@@ -1,0 +1,73 @@
+// Ablation: the difficulty bomb and the Constantinople delay (§III-C1).
+// The paper attributes the 2017→2019 commit-time improvement (200 s → 189 s
+// for 12 confirmations) to the inter-block time dropping from 14.3 s to
+// 13.3 s after EIP-1234 delayed the bomb. This bench runs the same hashrate
+// under three historical (height, bomb-delay) settings and reports the
+// equilibrium inter-block time each produces.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "common/render.hpp"
+
+using namespace ethsim;
+
+namespace {
+
+struct Era {
+  const char* name;
+  std::uint64_t height;
+  std::uint64_t bomb_delay;
+  const char* paper_note;
+};
+
+double EquilibriumInterval(const Era& era) {
+  core::ExperimentConfig cfg = core::presets::SmallStudy(20);
+  cfg.duration = Duration::Hours(16);  // EIP-100 converges ~1/2048 per block
+  cfg.workload.rate_per_sec = 0;
+  cfg.genesis_number = era.height;
+  cfg.mining.difficulty.bomb_delay_blocks = era.bomb_delay;
+
+  core::Experiment exp{cfg};
+  exp.Run();
+
+  // Mean interval over the last third of the canonical chain (equilibrated).
+  const auto chain_blocks = exp.reference_tree().CanonicalChain();
+  const std::size_t n = chain_blocks.size();
+  if (n < 30) return 0;
+  const std::size_t start = n - n / 3;
+  const double span =
+      static_cast<double>(chain_blocks[n - 1]->header.timestamp -
+                          chain_blocks[start]->header.timestamp);
+  return span / static_cast<double>(n - 1 - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner banner{"Ablation - difficulty bomb vs inter-block time"};
+
+  // Heights/delays per fork history: pre-Byzantium (original bomb already
+  // biting), pre-Constantinople (Byzantium's 3M delay aging out), and the
+  // paper's measurement window (Constantinople's 5M delay).
+  const Era eras[] = {
+      {"mid-2017 (pre-Byzantium)", 3'950'000, 0, "Weber et al. era: 14.3 s"},
+      {"early-2019 (pre-Constantinople)", 7'270'000, 3'000'000,
+       "bomb re-biting: >14 s and climbing"},
+      {"study window (post-Constantinople)", 7'479'573, 5'000'000,
+       "paper: 13.3 s"},
+  };
+
+  render::Table t{{"era", "equilibrium inter-block", "implied 12-conf wait",
+                   "paper"}};
+  for (const auto& era : eras) {
+    const double interval = EquilibriumInterval(era);
+    t.AddRow({era.name, render::Fmt(interval, 1) + " s",
+              render::Fmt(interval * 12.5, 0) + " s", era.paper_note});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "the bomb term raises the equilibrium interval as a chain ages; each\n"
+      "fork's delay resets it toward the bomb-free ~13.2 s fixpoint of\n"
+      "EIP-100 — which is exactly the paper's explanation for commit times\n"
+      "improving between the 2017 and 2019 measurements.\n");
+  return 0;
+}

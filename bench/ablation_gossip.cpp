@@ -1,0 +1,70 @@
+// Ablation: block relay policy. Geth's sqrt-push+announce is a tradeoff —
+// push-to-all minimizes latency but floods bandwidth; announce-only
+// minimizes redundant bytes but pays an extra fetch round-trip everywhere.
+// This bench quantifies that tradeoff on the same overlay, justifying the
+// default and explaining *why* Table II's redundancy looks the way it does.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "common/render.hpp"
+
+using namespace ethsim;
+
+namespace {
+
+struct Outcome {
+  double median_ms = 0;
+  double p99_ms = 0;
+  double copies_per_block = 0;  // full-block receptions at the probe node
+  double announcements = 0;
+};
+
+Outcome RunMode(eth::RelayMode mode) {
+  core::ExperimentConfig cfg = core::presets::SmallStudy(100);
+  cfg.duration = Duration::Hours(2);
+  cfg.workload.rate_per_sec = 0;
+  cfg.node_config.relay_mode = mode;
+  cfg.gateway_config.relay_mode = mode;
+  cfg.observer_config.relay_mode = mode;
+
+  core::Experiment exp{cfg};
+  exp.Run();
+
+  analysis::ObserverSet observers;
+  for (const auto& obs : exp.observers()) observers.push_back(obs.get());
+  const auto prop = analysis::BlockPropagationDelays(observers);
+  const auto redundancy =
+      analysis::BlockReceptionRedundancy(*exp.observers().front());
+
+  return Outcome{prop.median_ms, prop.p99_ms, redundancy.whole_blocks.mean,
+                 redundancy.announcements.mean};
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner banner{"Ablation - block relay policy (sqrt-push vs alternatives)"};
+
+  render::Table t{{"relay mode", "median prop", "p99 prop", "full copies/block",
+                   "announcements/block"}};
+  const struct {
+    const char* name;
+    eth::RelayMode mode;
+  } modes[] = {
+      {"sqrt-push (Geth)", eth::RelayMode::kSqrtPush},
+      {"push-to-all", eth::RelayMode::kPushAll},
+      {"announce-only", eth::RelayMode::kAnnounceOnly},
+  };
+  for (const auto& m : modes) {
+    const Outcome o = RunMode(m.mode);
+    t.AddRow({m.name, render::Fmt(o.median_ms, 1) + " ms",
+              render::Fmt(o.p99_ms, 1) + " ms", render::Fmt(o.copies_per_block, 2),
+              render::Fmt(o.announcements, 2)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "expected shape: push-to-all is fastest but multiplies full-block\n"
+      "traffic; announce-only pays ~2 extra one-way trips per hop; sqrt-push\n"
+      "sits between — the redundancy Table II measures is the price of\n"
+      "loss-tolerant, low-latency dissemination.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared glue for the per-figure bench binaries: standard banner, timing,
+// and StudyInputs assembly from a finished experiment.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analysis/inputs.hpp"
+#include "core/experiment.hpp"
+
+namespace ethsim::bench {
+
+inline analysis::StudyInputs InputsFor(const core::Experiment& exp) {
+  analysis::StudyInputs inputs;
+  for (const auto& obs : exp.observers()) inputs.observers.push_back(obs.get());
+  inputs.minted = &exp.minted();
+  inputs.pools = &exp.config().pools;
+  inputs.reference = &exp.reference_tree();
+  return inputs;
+}
+
+class Banner {
+ public:
+  explicit Banner(const std::string& title) : start_(Clock::now()) {
+    std::printf("\n############ %s ############\n\n", title.c_str());
+  }
+  ~Banner() {
+    const double s =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    std::printf("[bench complete in %.1f s]\n", s);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+inline void PrintRunSummary(core::Experiment& exp) {
+  const auto& cfg = exp.config();
+  std::printf(
+      "run: %zu nodes + %zu vantages, %.1f sim-hours, %zu blocks minted, "
+      "head height +%llu, %llu events\n\n",
+      cfg.peer_nodes, cfg.vantages.size(), cfg.duration.seconds() / 3600.0,
+      exp.minted().size(),
+      static_cast<unsigned long long>(exp.reference_tree().head_number() -
+                                      cfg.genesis_number),
+      static_cast<unsigned long long>(exp.simulator().events_executed()));
+}
+
+}  // namespace ethsim::bench

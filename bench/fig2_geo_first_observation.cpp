@@ -1,0 +1,22 @@
+// Figure 2: share of first new-block observations per vantage region.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+using namespace ethsim;
+
+int main() {
+  bench::Banner banner{"Fig 2 - first observations per region"};
+
+  core::ExperimentConfig cfg = core::presets::SmallStudy(150);
+  cfg.duration = Duration::Hours(10);
+  cfg.workload.rate_per_sec = 0;  // blocks only
+  core::Experiment exp{cfg};
+  exp.Run();
+  bench::PrintRunSummary(exp);
+
+  const auto inputs = bench::InputsFor(exp);
+  std::printf("%s\n",
+              analysis::RenderFig2(
+                  analysis::FirstObservationShares(inputs.observers)).c_str());
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Microbenchmarks for the hot substrate paths (google-benchmark): hashing,
+// RLP, the event queue, winner sampling, tree insertion, and a full
+// block-gossip round. These guard the simulator's events/second budget and
+// double as the ablation harness for DESIGN.md's engine choices.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "chain/blocktree.hpp"
+#include "chain/txpool.hpp"
+#include "common/keccak.hpp"
+#include "common/random.hpp"
+#include "common/rlp.hpp"
+#include "eth/node.hpp"
+#include "miner/pool.hpp"
+#include "net/network.hpp"
+#include "p2p/kademlia.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ethsim;
+
+void BM_Keccak256(benchmark::State& state) {
+  const std::string input(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Keccak256Of(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RlpEncodeHeader(benchmark::State& state) {
+  chain::BlockHeader h;
+  h.number = 7'500'000;
+  h.difficulty = 2'000'000'000'000ULL;
+  h.timestamp = 1'554'076'800;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain::EncodeHeader(h));
+  }
+}
+BENCHMARK(BM_RlpEncodeHeader);
+
+void BM_RlpDecodeRoundTrip(benchmark::State& state) {
+  rlp::Encoder e;
+  e.BeginList();
+  for (int i = 0; i < 16; ++i) e.WriteUint(static_cast<std::uint64_t>(i) << 20);
+  e.EndList();
+  const rlp::Bytes encoded = e.Take();
+  for (auto _ : state) {
+    rlp::Item item;
+    benchmark::DoNotOptimize(rlp::Decode(encoded, item));
+  }
+}
+BENCHMARK(BM_RlpDecodeRoundTrip);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t x = 99;
+    for (std::size_t i = 0; i < n; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      simulator.Schedule(Duration::Micros(static_cast<std::int64_t>(x % 1'000'000)),
+                         [] {});
+    }
+    simulator.RunAll();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_AliasSamplerDraw(benchmark::State& state) {
+  std::vector<double> shares;
+  for (const auto& pool : miner::PaperPools()) shares.push_back(pool.hashrate_share);
+  AliasSampler sampler{shares};
+  Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSamplerDraw);
+
+void BM_BlockTreeLinearInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto genesis = std::make_shared<chain::Block>();
+    genesis->header.difficulty = 1000;
+    genesis->Seal();
+    std::vector<chain::BlockPtr> blocks;
+    chain::BlockPtr tip = genesis;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto b = std::make_shared<chain::Block>();
+      b->header.parent_hash = tip->hash;
+      b->header.number = tip->header.number + 1;
+      b->header.difficulty = 1000;
+      b->Seal();
+      blocks.push_back(b);
+      tip = b;
+    }
+    state.ResumeTiming();
+
+    chain::BlockTree tree{genesis};
+    for (std::uint64_t i = 0; i < n; ++i)
+      tree.Add(blocks[i], TimePoint::FromMicros(static_cast<std::int64_t>(i)));
+    benchmark::DoNotOptimize(tree.head_number());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BlockTreeLinearInsert)->Arg(1'000);
+
+void BM_TxPoolAddSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    chain::TxPool pool;
+    for (std::uint8_t s = 1; s <= 50; ++s) {
+      Address sender;
+      sender.bytes[0] = s;
+      for (std::uint64_t n = 0; n < 4; ++n)
+        pool.Add(chain::MakeTransaction(sender, n, sender, 1,
+                                        1 + (s * 7 + n) % 50));
+    }
+    benchmark::DoNotOptimize(pool.SelectForBlock(8'000'000, 200));
+  }
+}
+BENCHMARK(BM_TxPoolAddSelect);
+
+void BM_KademliaLookup(benchmark::State& state) {
+  Rng rng{3};
+  std::vector<p2p::NodeId> ids;
+  for (int i = 0; i < 500; ++i) ids.push_back(p2p::RandomNodeId(rng));
+  std::unordered_map<Hash32, p2p::RoutingTable> tables;
+  for (const auto& id : ids) {
+    p2p::RoutingTable t{id};
+    for (const auto& other : ids) t.Add(other);
+    tables.emplace(id, std::move(t));
+  }
+  p2p::RoutingTable local{p2p::RandomNodeId(rng)};
+  for (int i = 0; i < 3; ++i) local.Add(ids[static_cast<std::size_t>(i)]);
+  const auto query = [&](const p2p::NodeId& n, const p2p::NodeId& t) {
+    return tables.at(n).Closest(t, p2p::kBucketSize);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p2p::IterativeFindNode(local, p2p::RandomNodeId(rng), 16, query));
+  }
+}
+BENCHMARK(BM_KademliaLookup);
+
+// Full gossip round: one mined block disseminated through a 64-node mesh.
+void BM_GossipBlockBroadcast(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    net::NetworkParams params;
+    net::Network network{simulator, Rng{7}, params};
+    auto genesis = std::make_shared<chain::Block>();
+    genesis->header.difficulty = 1000;
+    genesis->Seal();
+    Rng ids{11};
+    std::vector<std::unique_ptr<eth::EthNode>> nodes;
+    for (int i = 0; i < 64; ++i) {
+      const net::HostId host =
+          network.AddHost({net::Region::WesternEurope, 1e9});
+      nodes.push_back(std::make_unique<eth::EthNode>(
+          simulator, network, host, p2p::RandomNodeId(ids), genesis,
+          eth::NodeConfig{}, ids.Fork(static_cast<std::uint64_t>(i))));
+    }
+    Rng topo{13};
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      for (int d = 0; d < 8; ++d)
+        eth::EthNode::Connect(*nodes[i], *nodes[topo.NextBounded(nodes.size())]);
+    auto block = std::make_shared<chain::Block>();
+    block->header.parent_hash = genesis->hash;
+    block->header.number = genesis->header.number + 1;
+    block->header.difficulty = 1000;
+    block->Seal();
+    state.ResumeTiming();
+
+    nodes[0]->InjectMinedBlock(block);
+    simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(30).micros()));
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+}
+BENCHMARK(BM_GossipBlockBroadcast)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Table I: the measurement infrastructure specification, as modeled by the
+// simulator's vantage hosts.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+using namespace ethsim;
+
+int main() {
+  bench::Banner banner{"Table I - measurement infrastructure"};
+  std::printf("%s\n", analysis::RenderTable1().c_str());
+
+  // Show the live configuration of the preset vantages for cross-checking.
+  const core::ExperimentConfig cfg = core::presets::PaperStudy();
+  std::printf("preset vantages:\n");
+  for (const auto& v : cfg.vantages)
+    std::printf("  %-3s %-15s dials %zu peers (observer max_peers %zu)\n",
+                v.name.c_str(), net::RegionName(v.region).data(),
+                v.connect_peers, cfg.observer_config.max_peers);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Table II: redundant block receptions at a default-configured (25-peer)
+// client — the paper's May 2-9 subsidiary measurement.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+using namespace ethsim;
+
+int main() {
+  bench::Banner banner{"Table II - redundant block receptions (25 peers)"};
+
+  core::ExperimentConfig cfg = core::presets::DefaultPeersStudy();
+  cfg.duration = Duration::Hours(3);
+  cfg.workload.rate_per_sec = 0;
+  core::Experiment exp{cfg};
+  exp.Run();
+  bench::PrintRunSummary(exp);
+
+  const auto& observer = *exp.observers().front();
+  const auto result = analysis::BlockReceptionRedundancy(observer);
+  const std::size_t network_size = exp.nodes().size();
+  std::printf("%s\n",
+              analysis::RenderTable2(result, network_size).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// What-if: two top pools merge (or quietly collude). §III-D warns that the
+// 12-block rule already creaks at 25.9% concentration; this example runs the
+// finality math and month-scale winner processes for the 2019 roster vs a
+// merged Ethermine+Sparkpool (48.2%) — the scenario the paper's §V says
+// protocol designers must treat as a first-class threat.
+//
+//   $ ./pool_merger_whatif [months=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.hpp"
+#include "analysis/security.hpp"
+#include "common/render.hpp"
+
+using namespace ethsim;
+
+namespace {
+
+std::vector<miner::PoolSpec> MergedRoster() {
+  auto pools = miner::PaperPools();
+  // Fold Sparkpool (index 1) into Ethermine (index 0).
+  pools[0].name = "Ethermine+Sparkpool";
+  pools[0].coinbase = miner::PoolCoinbase("Ethermine+Sparkpool");
+  pools[0].hashrate_share += pools[1].hashrate_share;
+  pools.erase(pools.begin() + 1);
+  return pools;
+}
+
+void Report(const std::vector<miner::PoolSpec>& pools, const char* title,
+            std::size_t months) {
+  std::printf("--- %s ---\n", title);
+  const double top = pools[0].hashrate_share;
+  std::printf("top pool: %s at %.1f%%\n", pools[0].name.c_str(), top * 100);
+
+  render::Table t{{"k", "P(k-run)", "expected / month", "censorship window"}};
+  for (std::size_t k : {8, 12, 20, 30}) {
+    t.AddRow({std::to_string(k),
+              render::Fmt(analysis::RunProbability(top, k), 6),
+              render::Fmt(analysis::ExpectedRuns(top, k, 201'086), 3),
+              render::Fmt(static_cast<double>(k) * 13.3, 0) + " s"});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf("confirmations for <0.01 expected breaks/month: %zu\n",
+              analysis::RequiredConfirmations(top, 0.01));
+
+  // Empirical check: sample the winner process for `months` months.
+  const auto winners =
+      analysis::SampleWinners(pools, months * 201'086, Rng{99});
+  const auto sequences = analysis::SequencesFromWinners(winners, pools);
+  std::printf("sampled %zu month(s): top pool max run %zu, runs>=12: %zu\n\n",
+              months, sequences.pools[0].max_run,
+              sequences.pools[0].RunsAtLeast(12));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto months =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : std::size_t{1};
+
+  std::printf("The 12-block rule under pool concentration (SIII-D / SV):\n\n");
+  Report(miner::PaperPools(), "2019 roster (as measured by the paper)", months);
+  Report(MergedRoster(), "what-if: Ethermine + Sparkpool merge (48.2%)", months);
+
+  std::printf(
+      "At 48%% a 12-block run is an every-few-days event: the merged pool\n"
+      "can double-spend against any 12-confirmation acceptor and censor\n"
+      "transactions for minutes at will. The paper's conclusion — that\n"
+      "protocol analyses must model pools, not flat miner populations —\n"
+      "follows directly.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "analysis/commit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ethsim::analysis {
+
+std::unordered_map<std::uint64_t, TimePoint> CanonicalBlockFirstSeen(
+    const StudyInputs& inputs) {
+  assert(inputs.reference != nullptr);
+  std::unordered_map<std::uint64_t, TimePoint> first_seen;
+  const auto chain_blocks = inputs.reference->CanonicalChain();
+  for (const auto& block : chain_blocks) {
+    TimePoint best;
+    bool any = false;
+    for (const auto* obs : inputs.observers) {
+      const auto it = obs->first_block_arrival().find(block->hash);
+      if (it == obs->first_block_arrival().end()) continue;
+      if (!any || it->second < best) best = it->second;
+      any = true;
+    }
+    if (any) first_seen.emplace(block->header.number, best);
+  }
+  return first_seen;
+}
+
+std::unordered_map<Hash32, TimePoint> TxFirstSeen(const ObserverSet& observers) {
+  std::unordered_map<Hash32, TimePoint> first;
+  for (const auto* obs : observers) {
+    for (const auto& [hash, when] : obs->first_tx_arrival()) {
+      auto [it, inserted] = first.try_emplace(hash, when);
+      if (!inserted && when < it->second) it->second = when;
+    }
+  }
+  return first;
+}
+
+CommitTimeResult TransactionCommitTimes(
+    const StudyInputs& inputs, std::vector<std::uint64_t> confirmation_depths) {
+  assert(inputs.reference != nullptr);
+  CommitTimeResult result;
+  result.depths = confirmation_depths;
+  result.delays_s.resize(confirmation_depths.size());
+
+  const auto block_seen = CanonicalBlockFirstSeen(inputs);
+  const auto tx_seen = TxFirstSeen(inputs.observers);
+
+  const std::uint64_t max_depth =
+      confirmation_depths.empty()
+          ? 0
+          : *std::max_element(confirmation_depths.begin(),
+                              confirmation_depths.end());
+
+  for (const auto& block : inputs.reference->CanonicalChain()) {
+    const std::uint64_t height = block->header.number;
+    // Require observation coverage for every needed height.
+    bool covered = true;
+    for (const std::uint64_t depth : confirmation_depths)
+      if (!block_seen.contains(height + depth)) covered = false;
+    if (!covered || !block_seen.contains(height + max_depth)) continue;
+
+    for (const auto& tx : block->transactions) {
+      const auto seen_it = tx_seen.find(tx.hash);
+      if (seen_it == tx_seen.end()) continue;  // vantages never saw it
+      const TimePoint t0 = seen_it->second;
+      ++result.committed_txs;
+      for (std::size_t d = 0; d < confirmation_depths.size(); ++d) {
+        const TimePoint done = block_seen.at(height + confirmation_depths[d]);
+        const double delay_s = (done - t0).seconds();
+        // Clock skew can produce tiny negatives for inclusion in the same
+        // instant; clamp at zero like the paper's pipeline.
+        result.delays_s[d].Add(std::max(0.0, delay_s));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,39 @@
+// Fig 4: transaction inclusion and commit times. For a committed transaction
+// the inclusion delay is (first network observation of the including block)
+// minus (first network observation of the transaction); the k-confirmation
+// delay additionally waits for the canonical block at height h+k. All times
+// are vantage-local observations, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+#include "common/stats.hpp"
+
+namespace ethsim::analysis {
+
+struct CommitTimeResult {
+  // Delays in seconds for each depth: inclusion (0) and each requested
+  // confirmation depth, in the order passed to the function.
+  std::vector<SampleSet> delays_s;
+  std::vector<std::uint64_t> depths;  // {0, 3, 12, 15, 36} by default
+  std::size_t committed_txs = 0;      // txs with full confirmation coverage
+};
+
+// Computes inclusion/commit CDurves over the canonical chain of
+// `inputs.reference`. Transactions too close to the end of the run (their
+// h+max_depth block doesn't exist) are excluded, as are never-committed txs.
+CommitTimeResult TransactionCommitTimes(
+    const StudyInputs& inputs,
+    std::vector<std::uint64_t> confirmation_depths = {0, 3, 12, 15, 36});
+
+// First network-wide observation time of the canonical block at each height
+// (minimum across vantages). Exposed for reuse by the ordering analysis.
+std::unordered_map<std::uint64_t, TimePoint> CanonicalBlockFirstSeen(
+    const StudyInputs& inputs);
+
+// First network-wide observation per transaction hash.
+std::unordered_map<Hash32, TimePoint> TxFirstSeen(const ObserverSet& observers);
+
+}  // namespace ethsim::analysis

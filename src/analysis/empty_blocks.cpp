@@ -1,0 +1,49 @@
+#include "analysis/empty_blocks.hpp"
+
+#include <cassert>
+
+namespace ethsim::analysis {
+
+EmptyBlockResult EmptyBlockCensus(const StudyInputs& inputs,
+                                  std::size_t paper_total_blocks) {
+  assert(inputs.reference != nullptr && inputs.pools != nullptr);
+  EmptyBlockResult result;
+  const auto coinbase_index = CoinbaseIndex(*inputs.pools);
+
+  std::vector<std::size_t> main(inputs.pools->size(), 0);
+  std::vector<std::size_t> empty(inputs.pools->size(), 0);
+
+  for (const auto& block : inputs.reference->CanonicalChain()) {
+    if (block->hash == inputs.reference->genesis_hash()) continue;
+    const auto it = coinbase_index.find(block->header.miner);
+    if (it == coinbase_index.end()) continue;  // genesis/unknown coinbase
+    ++result.total_main_blocks;
+    ++main[it->second];
+    if (block->IsEmpty()) {
+      ++result.total_empty_blocks;
+      ++empty[it->second];
+    }
+  }
+
+  for (std::size_t p = 0; p < inputs.pools->size(); ++p) {
+    EmptyBlockRow row;
+    row.pool = (*inputs.pools)[p].name;
+    row.main_blocks = main[p];
+    row.empty_blocks = empty[p];
+    row.empty_rate = main[p] > 0 ? static_cast<double>(empty[p]) /
+                                       static_cast<double>(main[p])
+                                 : 0.0;
+    if (result.total_main_blocks > 0)
+      row.scaled_to_paper = static_cast<double>(empty[p]) *
+                            static_cast<double>(paper_total_blocks) /
+                            static_cast<double>(result.total_main_blocks);
+    result.rows.push_back(std::move(row));
+  }
+  if (result.total_main_blocks > 0)
+    result.overall_empty_rate =
+        static_cast<double>(result.total_empty_blocks) /
+        static_cast<double>(result.total_main_blocks);
+  return result;
+}
+
+}  // namespace ethsim::analysis

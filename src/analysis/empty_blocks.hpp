@@ -1,0 +1,33 @@
+// Fig 6 + §III-C3: the empty-block census — how many canonical blocks carry
+// zero transactions, and which pools mined them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+
+namespace ethsim::analysis {
+
+struct EmptyBlockRow {
+  std::string pool;
+  std::size_t main_blocks = 0;   // canonical blocks mined by this pool
+  std::size_t empty_blocks = 0;  // of which empty
+  double empty_rate = 0;         // empty / main
+  // The paper reports absolute counts over 201,086 main blocks; this scales
+  // our run to that frame for side-by-side comparison.
+  double scaled_to_paper = 0;
+};
+
+struct EmptyBlockResult {
+  std::vector<EmptyBlockRow> rows;  // pool roster order
+  std::size_t total_main_blocks = 0;
+  std::size_t total_empty_blocks = 0;
+  double overall_empty_rate = 0;  // paper: 1.45%
+};
+
+EmptyBlockResult EmptyBlockCensus(const StudyInputs& inputs,
+                                  std::size_t paper_total_blocks = 201'086);
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,153 @@
+#include "analysis/forks.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_set>
+
+namespace ethsim::analysis {
+
+namespace {
+
+// Hashes referenced as uncles by any canonical block.
+std::unordered_set<Hash32> RecognizedUncles(const chain::BlockTree& tree) {
+  std::unordered_set<Hash32> recognized;
+  for (const auto& block : tree.CanonicalChain())
+    for (const auto& uncle : block->uncles) recognized.insert(uncle.Hash());
+  return recognized;
+}
+
+}  // namespace
+
+ForkCensus ComputeForkCensus(const StudyInputs& inputs) {
+  assert(inputs.reference != nullptr);
+  const chain::BlockTree& tree = *inputs.reference;
+  ForkCensus census;
+
+  const auto recognized = RecognizedUncles(tree);
+
+  // Children index over non-canonical blocks + classification counts.
+  std::unordered_map<Hash32, std::vector<chain::BlockPtr>> children;
+  std::vector<chain::BlockPtr> fork_roots;
+  for (const auto& block : tree.AllBlocks()) {
+    if (block->hash == tree.genesis_hash()) continue;
+    ++census.total_blocks;
+    if (tree.IsCanonical(block->hash)) {
+      ++census.main_blocks;
+      continue;
+    }
+    if (recognized.contains(block->hash)) {
+      ++census.recognized_uncles;
+    } else {
+      ++census.unrecognized_blocks;
+    }
+    children[block->header.parent_hash].push_back(block);
+    if (tree.IsCanonical(block->header.parent_hash)) fork_roots.push_back(block);
+  }
+
+  // A fork event is rooted at a non-canonical block with a canonical parent;
+  // its length is the longest chain of non-canonical descendants (including
+  // the root). The fork is recognized only if every block on that longest
+  // path is referenced as an uncle — which the protocol only permits for
+  // length-1 forks, since a depth-2 block's parent is not a main-chain
+  // ancestor.
+  std::map<std::size_t, ForkLengthRow> rows;
+  for (const auto& root : fork_roots) {
+    ++census.fork_events;
+    std::size_t depth = 0;
+    bool all_recognized = true;
+    // Iterative longest-path with recognition along the deepest chain.
+    struct Frame {
+      chain::BlockPtr block;
+      std::size_t depth;
+    };
+    std::vector<Frame> stack{{root, 1}};
+    while (!stack.empty()) {
+      const Frame frame = stack.back();
+      stack.pop_back();
+      if (frame.depth > depth) depth = frame.depth;
+      const auto it = children.find(frame.block->hash);
+      if (it == children.end()) continue;
+      for (const auto& child : it->second)
+        stack.push_back({child, frame.depth + 1});
+    }
+    // Recognition check: walk the root only for length 1; longer forks are
+    // unrecognizable by rule, and empirically (paper) none were.
+    if (depth == 1) {
+      all_recognized = recognized.contains(root->hash);
+    } else {
+      all_recognized = false;
+    }
+    ForkLengthRow& row = rows[depth];
+    row.length = depth;
+    ++row.total;
+    if (all_recognized) {
+      ++row.recognized;
+    } else {
+      ++row.unrecognized;
+    }
+  }
+
+  for (auto& [length, row] : rows) census.by_length.push_back(row);
+
+  if (census.total_blocks > 0) {
+    const auto total = static_cast<double>(census.total_blocks);
+    census.main_share = static_cast<double>(census.main_blocks) / total;
+    census.recognized_share =
+        static_cast<double>(census.recognized_uncles) / total;
+    census.unrecognized_share =
+        static_cast<double>(census.unrecognized_blocks) / total;
+  }
+  return census;
+}
+
+OneMinerForkCensus ComputeOneMinerForks(const StudyInputs& inputs,
+                                        const ForkCensus& census) {
+  assert(inputs.reference != nullptr);
+  const chain::BlockTree& tree = *inputs.reference;
+  OneMinerForkCensus result;
+
+  const auto recognized = RecognizedUncles(tree);
+
+  // Group all observed blocks by (height, miner).
+  std::map<std::pair<std::uint64_t, Address>, std::vector<chain::BlockPtr>>
+      groups;
+  for (const auto& block : tree.AllBlocks()) {
+    if (block->hash == tree.genesis_hash()) continue;
+    groups[{block->header.number, block->header.miner}].push_back(block);
+  }
+
+  std::size_t recognized_extras = 0;
+  std::size_t same_txset_events = 0;
+  for (auto& [key, blocks] : groups) {
+    if (blocks.size() < 2) continue;
+    ++result.events;
+    ++result.tuples[blocks.size()];
+
+    // Same-txset if every member commits to the same transaction list.
+    const bool same = std::all_of(
+        blocks.begin(), blocks.end(), [&](const chain::BlockPtr& b) {
+          return b->header.tx_root == blocks.front()->header.tx_root;
+        });
+    if (same) ++same_txset_events;
+
+    for (const auto& block : blocks) {
+      if (tree.IsCanonical(block->hash)) continue;
+      ++result.extra_blocks;
+      if (recognized.contains(block->hash)) ++recognized_extras;
+    }
+  }
+
+  if (result.extra_blocks > 0)
+    result.recognized_extra_share = static_cast<double>(recognized_extras) /
+                                    static_cast<double>(result.extra_blocks);
+  if (result.events > 0)
+    result.same_txset_share = static_cast<double>(same_txset_events) /
+                              static_cast<double>(result.events);
+  if (census.fork_events > 0)
+    result.share_of_all_forks = static_cast<double>(result.events) /
+                                static_cast<double>(census.fork_events);
+  return result;
+}
+
+}  // namespace ethsim::analysis

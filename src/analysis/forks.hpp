@@ -1,0 +1,50 @@
+// Table III + §III-C4/C5: the fork census. Classifies every block the
+// network produced into main chain / recognized uncle (referenced by a
+// canonical block) / unrecognized fork, counts fork events by length, and
+// runs the one-miner-fork analysis (same miner, same height) including the
+// same-vs-distinct transaction-set split and the uncle-reward success rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+
+namespace ethsim::analysis {
+
+struct ForkLengthRow {
+  std::size_t length = 0;
+  std::size_t total = 0;
+  std::size_t recognized = 0;    // every block referenced as an uncle
+  std::size_t unrecognized = 0;
+};
+
+struct ForkCensus {
+  std::size_t total_blocks = 0;        // all non-genesis blocks seen
+  std::size_t main_blocks = 0;         // canonical
+  std::size_t recognized_uncles = 0;   // non-canonical, referenced
+  std::size_t unrecognized_blocks = 0; // non-canonical, never referenced
+  double main_share = 0;               // paper: 92.81%
+  double recognized_share = 0;         // paper: 6.97%
+  double unrecognized_share = 0;       // paper: 0.22%
+  std::vector<ForkLengthRow> by_length;  // ascending length
+  std::size_t fork_events = 0;           // number of fork roots
+};
+
+ForkCensus ComputeForkCensus(const StudyInputs& inputs);
+
+struct OneMinerForkCensus {
+  // tuple size (2 = pair, 3 = triple, ...) -> occurrences.
+  std::map<std::size_t, std::size_t> tuples;
+  std::size_t events = 0;            // total tuples
+  std::size_t extra_blocks = 0;      // non-canonical members of tuples
+  double recognized_extra_share = 0; // paper: rewarded in 98% of cases
+  double same_txset_share = 0;       // paper: 56% same / 44% distinct
+  double share_of_all_forks = 0;     // paper: > 11%
+};
+
+OneMinerForkCensus ComputeOneMinerForks(const StudyInputs& inputs,
+                                        const ForkCensus& census);
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,109 @@
+#include "analysis/geo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ethsim::analysis {
+
+namespace {
+
+// For one block hash: (winner index, margin to runner-up). Returns false if
+// fewer than one observer saw it.
+bool WinnerFor(const ObserverSet& observers, const Hash32& hash,
+               std::size_t& winner, Duration& margin) {
+  bool any = false;
+  TimePoint best, second;
+  for (std::size_t i = 0; i < observers.size(); ++i) {
+    const auto& arrivals = observers[i]->first_block_arrival();
+    const auto it = arrivals.find(hash);
+    if (it == arrivals.end()) continue;
+    if (!any || it->second < best) {
+      if (any) second = best;
+      best = it->second;
+      winner = i;
+      if (!any) second = TimePoint::FromMicros(INT64_MAX);
+      any = true;
+    } else if (it->second < second) {
+      second = it->second;
+    }
+  }
+  if (!any) return false;
+  margin = second == TimePoint::FromMicros(INT64_MAX)
+               ? Duration::Hours(999)  // only one vantage saw it
+               : second - best;
+  return true;
+}
+
+}  // namespace
+
+GeoResult FirstObservationShares(const ObserverSet& observers,
+                                 Duration ntp_error) {
+  GeoResult result;
+  result.shares.resize(observers.size());
+  for (std::size_t i = 0; i < observers.size(); ++i)
+    result.shares[i].vantage = observers[i]->name();
+
+  // Union of all observed block hashes.
+  std::unordered_map<Hash32, char> seen;
+  for (const auto* obs : observers)
+    for (const auto& [hash, when] : obs->first_block_arrival())
+      seen.emplace(hash, 0);
+
+  std::vector<std::size_t> uncertain(observers.size(), 0);
+  for (const auto& [hash, unused] : seen) {
+    std::size_t winner = 0;
+    Duration margin;
+    if (!WinnerFor(observers, hash, winner, margin)) continue;
+    ++result.total_blocks;
+    ++result.shares[winner].wins;
+    // Two skewed clocks can each be off by up to the NTP envelope.
+    if (margin < ntp_error * 2.0) ++uncertain[winner];
+  }
+
+  for (std::size_t i = 0; i < observers.size(); ++i) {
+    if (result.total_blocks == 0) break;
+    result.shares[i].share = static_cast<double>(result.shares[i].wins) /
+                             static_cast<double>(result.total_blocks);
+    result.shares[i].uncertain_share =
+        static_cast<double>(uncertain[i]) /
+        static_cast<double>(result.total_blocks);
+  }
+  return result;
+}
+
+PoolGeoResult PoolFirstObservation(const StudyInputs& inputs) {
+  assert(inputs.minted != nullptr && inputs.pools != nullptr);
+  PoolGeoResult result;
+  for (const auto* obs : inputs.observers)
+    result.vantages.push_back(obs->name());
+
+  const std::size_t pool_count = inputs.pools->size();
+  std::vector<std::vector<std::size_t>> wins(
+      pool_count, std::vector<std::size_t>(inputs.observers.size(), 0));
+  std::vector<std::size_t> totals(pool_count, 0);
+
+  for (const auto& record : *inputs.minted) {
+    std::size_t winner = 0;
+    Duration margin;
+    if (!WinnerFor(inputs.observers, record.block->hash, winner, margin))
+      continue;
+    ++totals[record.pool_index];
+    ++wins[record.pool_index][winner];
+  }
+
+  for (std::size_t p = 0; p < pool_count; ++p) {
+    PoolGeoRow row;
+    row.pool = (*inputs.pools)[p].name;
+    row.hashrate_share = (*inputs.pools)[p].hashrate_share;
+    row.blocks = totals[p];
+    row.vantage_shares.resize(inputs.observers.size(), 0.0);
+    if (totals[p] > 0)
+      for (std::size_t v = 0; v < inputs.observers.size(); ++v)
+        row.vantage_shares[v] = static_cast<double>(wins[p][v]) /
+                                static_cast<double>(totals[p]);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace ethsim::analysis

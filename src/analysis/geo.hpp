@@ -1,0 +1,45 @@
+// Fig 2: which vantage sees new blocks first, and Fig 3: the same split
+// conditioned on the origin mining pool. Error bars follow §II — a win is
+// "uncertain" when the runner-up vantage is within the NTP error envelope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+
+namespace ethsim::analysis {
+
+struct FirstObservationShare {
+  std::string vantage;
+  std::size_t wins = 0;
+  double share = 0;            // wins / total
+  double uncertain_share = 0;  // wins where 2nd place was within NTP error
+};
+
+struct GeoResult {
+  std::vector<FirstObservationShare> shares;  // one per observer
+  std::size_t total_blocks = 0;
+};
+
+// Fig 2. `ntp_error` is the tie window for the error bars (paper: 10 ms in
+// 90% of cases; a win decided by less than 2x that is flagged uncertain).
+GeoResult FirstObservationShares(const ObserverSet& observers,
+                                 Duration ntp_error = Duration::Millis(10));
+
+struct PoolGeoRow {
+  std::string pool;
+  double hashrate_share = 0;
+  std::size_t blocks = 0;                  // blocks from this pool seen >= 1 vantage
+  std::vector<double> vantage_shares;      // same order as observers
+};
+
+struct PoolGeoResult {
+  std::vector<std::string> vantages;
+  std::vector<PoolGeoRow> rows;  // pool roster order (share-descending)
+};
+
+// Fig 3: first-observation split per origin pool.
+PoolGeoResult PoolFirstObservation(const StudyInputs& inputs);
+
+}  // namespace ethsim::analysis

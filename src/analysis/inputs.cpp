@@ -1,0 +1,21 @@
+#include "analysis/inputs.hpp"
+
+namespace ethsim::analysis {
+
+std::unordered_map<Address, std::size_t> CoinbaseIndex(
+    const std::vector<miner::PoolSpec>& pools) {
+  std::unordered_map<Address, std::size_t> index;
+  for (std::size_t i = 0; i < pools.size(); ++i)
+    index.emplace(pools[i].coinbase, i);
+  return index;
+}
+
+std::unordered_map<Hash32, const miner::MintRecord*> MintIndex(
+    const std::vector<miner::MintRecord>& minted) {
+  std::unordered_map<Hash32, const miner::MintRecord*> index;
+  index.reserve(minted.size());
+  for (const auto& record : minted) index.emplace(record.block->hash, &record);
+  return index;
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,43 @@
+#include "analysis/interblock.hpp"
+
+#include <cassert>
+
+namespace ethsim::analysis {
+
+InterBlockResult InterBlockTimes(const StudyInputs& inputs, std::size_t skip) {
+  assert(inputs.reference != nullptr);
+  InterBlockResult result;
+
+  const auto chain_blocks = inputs.reference->CanonicalChain();
+  if (chain_blocks.size() < skip + 2) return result;
+
+  for (std::size_t i = skip + 1; i < chain_blocks.size(); ++i) {
+    const double delta =
+        static_cast<double>(chain_blocks[i]->header.timestamp -
+                            chain_blocks[i - 1]->header.timestamp);
+    result.intervals_s.Add(delta);
+  }
+  result.blocks = result.intervals_s.count();
+  result.mean_s = result.intervals_s.mean();
+  result.median_s = result.intervals_s.Median();
+
+  const std::size_t usable = chain_blocks.size() - skip;
+  const std::size_t decile = std::max<std::size_t>(usable / 10, 1);
+  RunningStats first, last;
+  for (std::size_t i = 0; i < decile; ++i) {
+    first.Add(static_cast<double>(chain_blocks[skip + i]->header.difficulty));
+    last.Add(static_cast<double>(
+        chain_blocks[chain_blocks.size() - 1 - i]->header.difficulty));
+  }
+  result.difficulty_first_decile = first.mean();
+  result.difficulty_last_decile = last.mean();
+  return result;
+}
+
+double ExpectedCommitSeconds(const InterBlockResult& result,
+                             std::uint64_t confirmations) {
+  // Inclusion waits on average half an interval; each confirmation one more.
+  return result.mean_s * (0.5 + static_cast<double>(confirmations));
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,79 @@
+#include "analysis/ordering.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "analysis/commit.hpp"
+
+namespace ethsim::analysis {
+
+OrderingResult TransactionOrdering(const StudyInputs& inputs,
+                                   std::uint64_t confirmations) {
+  assert(inputs.reference != nullptr);
+  OrderingResult result;
+
+  const auto block_seen = CanonicalBlockFirstSeen(inputs);
+
+  // Committed txs with commit coverage: hash -> (sender, nonce, commit time).
+  struct Committed {
+    Address sender;
+    std::uint64_t nonce;
+    TimePoint committed_at;
+  };
+  std::unordered_map<Hash32, Committed> committed;
+  for (const auto& block : inputs.reference->CanonicalChain()) {
+    const auto it = block_seen.find(block->header.number + confirmations);
+    if (it == block_seen.end()) continue;  // ran past the end of the study
+    for (const auto& tx : block->transactions)
+      committed.emplace(tx.hash, Committed{tx.sender, tx.nonce, it->second});
+  }
+
+  // Classification happens independently at each vantage, exactly as each
+  // measurement node's log would be processed; samples aggregate across
+  // vantages.
+  for (const auto* obs : inputs.observers) {
+    // sender -> [(nonce, arrival, commit time)]
+    struct Seen {
+      std::uint64_t nonce;
+      TimePoint arrival;
+      TimePoint committed_at;
+    };
+    std::unordered_map<Address, std::vector<Seen>> by_sender;
+    for (const auto& [hash, arrival] : obs->first_tx_arrival()) {
+      const auto it = committed.find(hash);
+      if (it == committed.end()) continue;
+      by_sender[it->second.sender].push_back(
+          Seen{it->second.nonce, arrival, it->second.committed_at});
+    }
+
+    for (auto& [sender, txs] : by_sender) {
+      std::sort(txs.begin(), txs.end(),
+                [](const Seen& a, const Seen& b) { return a.nonce < b.nonce; });
+      // tx is out-of-order iff some lower nonce arrived after it.
+      TimePoint running_max_arrival;
+      bool have_prev = false;
+      for (const auto& tx : txs) {
+        const bool ooo = have_prev && running_max_arrival > tx.arrival;
+        ++result.committed_txs;
+        const double delay_s =
+            std::max(0.0, (tx.committed_at - tx.arrival).seconds());
+        if (ooo) {
+          ++result.out_of_order;
+          result.out_of_order_delay_s.Add(delay_s);
+        } else {
+          result.in_order_delay_s.Add(delay_s);
+        }
+        if (!have_prev || tx.arrival > running_max_arrival)
+          running_max_arrival = tx.arrival;
+        have_prev = true;
+      }
+    }
+  }
+
+  if (result.committed_txs > 0)
+    result.out_of_order_share = static_cast<double>(result.out_of_order) /
+                                static_cast<double>(result.committed_txs);
+  return result;
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,29 @@
+// Fig 5 + §III-C2: out-of-order transaction receptions. A committed
+// transaction is out-of-order at a vantage when some lower-nonce transaction
+// from the same sender (that also committed) was first observed *later* than
+// it — i.e. the higher nonce arrived first. The paper reports the OoO share
+// of committed transactions (11.54% in 2019, up from 6.18% in 2017) and the
+// commit-delay CDFs split by ordering class.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/inputs.hpp"
+#include "common/stats.hpp"
+
+namespace ethsim::analysis {
+
+struct OrderingResult {
+  std::size_t committed_txs = 0;       // classified committed transactions
+  std::size_t out_of_order = 0;        // OoO among them
+  double out_of_order_share = 0;
+  // 12-confirmation commit delay (seconds) split by class.
+  SampleSet in_order_delay_s;
+  SampleSet out_of_order_delay_s;
+};
+
+// `confirmations` is the commit rule applied to both classes (12 default).
+OrderingResult TransactionOrdering(const StudyInputs& inputs,
+                                   std::uint64_t confirmations = 12);
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,61 @@
+#include "analysis/redundancy.hpp"
+
+#include <cmath>
+
+namespace ethsim::analysis {
+
+namespace {
+
+RedundancyStats StatsFrom(SampleSet& samples) {
+  RedundancyStats stats;
+  if (samples.empty()) return stats;
+  stats.mean = samples.mean();
+  stats.median = samples.Median();
+  stats.top10 = samples.Quantile(0.90);
+  stats.top1 = samples.Quantile(0.99);
+  return stats;
+}
+
+}  // namespace
+
+RedundancyResult BlockReceptionRedundancy(const measure::Observer& observer,
+                                          Duration settle) {
+  RedundancyResult result;
+
+  struct Counts {
+    std::uint32_t announcements = 0;
+    std::uint32_t whole = 0;
+    TimePoint first;
+  };
+  std::unordered_map<Hash32, Counts> per_block;
+  TimePoint last;
+  for (const auto& arrival : observer.block_arrivals()) {
+    auto [it, inserted] = per_block.try_emplace(arrival.hash);
+    if (inserted) it->second.first = arrival.local_time;
+    if (arrival.kind == eth::MessageSink::BlockMsgKind::kAnnouncement) {
+      ++it->second.announcements;
+    } else {
+      ++it->second.whole;
+    }
+    if (arrival.local_time > last) last = arrival.local_time;
+  }
+
+  SampleSet ann, whole, both;
+  for (const auto& [hash, counts] : per_block) {
+    if (counts.first + settle > last) continue;  // still settling at cutoff
+    ++result.blocks;
+    ann.Add(counts.announcements);
+    whole.Add(counts.whole);
+    both.Add(counts.announcements + counts.whole);
+  }
+  result.announcements = StatsFrom(ann);
+  result.whole_blocks = StatsFrom(whole);
+  result.combined = StatsFrom(both);
+  return result;
+}
+
+double OptimalGossipReceptions(std::size_t network_size) {
+  return std::log(static_cast<double>(network_size));
+}
+
+}  // namespace ethsim::analysis

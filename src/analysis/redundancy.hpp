@@ -1,0 +1,39 @@
+// Table II: redundant block receptions at a default-configured (25-peer)
+// client — how many times each block reaches the node as an announcement vs
+// as a whole block, and whether the total sits near the gossip-theoretic
+// optimum ln(network size).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/inputs.hpp"
+#include "common/stats.hpp"
+
+namespace ethsim::analysis {
+
+struct RedundancyStats {
+  double mean = 0;
+  double median = 0;
+  double top10 = 0;  // 90th percentile (paper's "Top 10%")
+  double top1 = 0;   // 99th percentile
+};
+
+struct RedundancyResult {
+  RedundancyStats announcements;
+  RedundancyStats whole_blocks;  // pushes + fetched bodies
+  RedundancyStats combined;
+  std::size_t blocks = 0;  // distinct block hashes received
+};
+
+// Computed from a single observer's raw message log (the Table II subsidiary
+// node). Blocks first seen in the final `settle` window are excluded — their
+// redundant copies may still be in flight at cutoff.
+RedundancyResult BlockReceptionRedundancy(
+    const measure::Observer& observer,
+    Duration settle = Duration::Seconds(60));
+
+// ln(estimated network size): Eugster et al.'s sufficient gossip fanout the
+// paper compares against (ln 15000 ≈ 9.62).
+double OptimalGossipReceptions(std::size_t network_size);
+
+}  // namespace ethsim::analysis

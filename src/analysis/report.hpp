@@ -1,0 +1,59 @@
+// Paper-style rendering of every analysis result: each Render* function
+// prints the measured numbers next to the values the paper reports, plus an
+// ASCII rendition of the figure itself. Shared by the bench binaries and the
+// examples.
+#pragma once
+
+#include <string>
+
+#include "analysis/commit.hpp"
+#include "analysis/empty_blocks.hpp"
+#include "analysis/forks.hpp"
+#include "analysis/geo.hpp"
+#include "analysis/ordering.hpp"
+#include "analysis/propagation.hpp"
+#include "analysis/redundancy.hpp"
+#include "analysis/security.hpp"
+#include "analysis/sequences.hpp"
+
+namespace ethsim::analysis {
+
+// Fig 1 + the §III-A1 transaction claim.
+std::string RenderFig1(const PropagationResult& blocks,
+                       const PropagationResult& txs,
+                       const std::vector<VantageDelay>& tx_per_vantage);
+
+// Fig 2.
+std::string RenderFig2(const GeoResult& geo);
+
+// Fig 3.
+std::string RenderFig3(const PoolGeoResult& result);
+
+// Fig 4 (inclusion + 3/12/15/36 confirmations).
+std::string RenderFig4(const CommitTimeResult& result);
+
+// Fig 5 (in-order vs out-of-order commit delay).
+std::string RenderFig5(const OrderingResult& result);
+
+// Fig 6 (empty blocks per pool).
+std::string RenderFig6(const EmptyBlockResult& result);
+
+// Fig 7 (consecutive main blocks per pool) + the §III-D rarity analysis.
+std::string RenderFig7(const SequenceResult& sequences);
+
+// Table I (the vantage infrastructure; static).
+std::string RenderTable1();
+
+// Table II (redundant block receptions).
+std::string RenderTable2(const RedundancyResult& result, std::size_t network_size);
+
+// Table III (+ the one-miner-fork census of §III-C5).
+std::string RenderTable3(const ForkCensus& census, const OneMinerForkCensus& omf,
+                         std::size_t paper_scale_blocks = 216'671);
+
+// §III-D security findings over an observed + sampled-history pair.
+std::string RenderSecurity(const SequenceResult& observed,
+                           const SequenceResult& history,
+                           double inter_block_seconds);
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,76 @@
+#include "analysis/rewards.hpp"
+
+#include <cassert>
+
+namespace ethsim::analysis {
+
+RevenueResult ComputeRevenue(const StudyInputs& inputs,
+                             double block_reward_eth) {
+  assert(inputs.reference != nullptr && inputs.pools != nullptr);
+  const chain::BlockTree& tree = *inputs.reference;
+  const auto coinbase_index = CoinbaseIndex(*inputs.pools);
+
+  RevenueResult result;
+  result.rows.resize(inputs.pools->size());
+  for (std::size_t p = 0; p < inputs.pools->size(); ++p) {
+    result.rows[p].pool = (*inputs.pools)[p].name;
+    result.rows[p].hashrate_share = (*inputs.pools)[p].hashrate_share;
+  }
+
+  auto pool_of = [&](const Address& coinbase) -> PoolRevenue* {
+    const auto it = coinbase_index.find(coinbase);
+    return it == coinbase_index.end() ? nullptr : &result.rows[it->second];
+  };
+
+  double total_fees = 0;
+  for (const auto& block : tree.CanonicalChain()) {
+    if (block->hash == tree.genesis_hash()) continue;
+    PoolRevenue* miner = pool_of(block->header.miner);
+    if (miner != nullptr) {
+      ++miner->main_blocks;
+      miner->block_rewards_eth += block_reward_eth;
+      double fees = 0;
+      for (const auto& tx : block->transactions)
+        fees += static_cast<double>(tx.gas_limit) *
+                static_cast<double>(tx.gas_price) * 1e-9;
+      miner->fee_rewards_eth += fees;
+      total_fees += fees;
+      miner->nephew_rewards_eth +=
+          block_reward_eth / 32.0 * static_cast<double>(block->uncles.size());
+    }
+
+    for (const auto& uncle : block->uncles) {
+      PoolRevenue* uncle_miner = pool_of(uncle.miner);
+      if (uncle_miner == nullptr) continue;
+      ++uncle_miner->uncles_rewarded;
+      const std::uint64_t distance = block->header.number - uncle.number;
+      const double reward =
+          block_reward_eth *
+          static_cast<double>(8 - std::min<std::uint64_t>(distance, 7)) / 8.0;
+      uncle_miner->uncle_rewards_eth += reward;
+
+      // §V's unethical case: the uncle's miner also holds the canonical
+      // slot at the uncle's own height.
+      const Hash32 canonical_at = tree.CanonicalAt(uncle.number);
+      const chain::BlockPtr canonical = tree.Get(canonical_at);
+      if (canonical && canonical->header.miner == uncle.miner) {
+        uncle_miner->one_miner_uncle_eth += reward;
+        result.one_miner_uncle_eth += reward;
+      }
+    }
+  }
+
+  for (auto& row : result.rows) {
+    row.total_eth = row.block_rewards_eth + row.fee_rewards_eth +
+                    row.uncle_rewards_eth + row.nephew_rewards_eth;
+    result.total_eth += row.total_eth;
+  }
+  for (auto& row : result.rows)
+    row.revenue_share =
+        result.total_eth > 0 ? row.total_eth / result.total_eth : 0.0;
+  result.fees_share_of_total =
+      result.total_eth > 0 ? total_fees / result.total_eth : 0.0;
+  return result;
+}
+
+}  // namespace ethsim::analysis

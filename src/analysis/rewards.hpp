@@ -1,0 +1,43 @@
+// Reward accounting (Constantinople rules): 2 ETH base per main block,
+// uncle-miner reward base*(8-d)/8 at inclusion distance d, nephew bonus
+// base/32 per referenced uncle, plus transaction fees. Quantifies the
+// paper's economics: why empty blocks still pay (§III-C3: the base reward
+// dwarfs fees) and what one-miner forks unethically collect (§III-C5/§V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+
+namespace ethsim::analysis {
+
+struct PoolRevenue {
+  std::string pool;
+  double hashrate_share = 0;
+  std::size_t main_blocks = 0;
+  std::size_t uncles_rewarded = 0;
+  double block_rewards_eth = 0;
+  double fee_rewards_eth = 0;
+  double uncle_rewards_eth = 0;   // earned as uncle miner
+  double nephew_rewards_eth = 0;  // earned for referencing uncles
+  // Uncle rewards collected for forks of this pool's *own* canonical blocks
+  // — the §V "unethical profit" (subset of uncle_rewards_eth).
+  double one_miner_uncle_eth = 0;
+  double total_eth = 0;
+  double revenue_share = 0;  // of network total; compare to hashrate share
+};
+
+struct RevenueResult {
+  std::vector<PoolRevenue> rows;  // roster order
+  double total_eth = 0;
+  double one_miner_uncle_eth = 0;      // network-wide §V leakage
+  double fees_share_of_total = 0;      // why empty blocks barely cost anything
+};
+
+// Computes revenue over the reference tree's canonical chain. Fees convert
+// as gas * gas_price(gwei) * 1e-9 ETH.
+RevenueResult ComputeRevenue(const StudyInputs& inputs,
+                             double block_reward_eth = 2.0);
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,65 @@
+#include "analysis/security.hpp"
+
+#include <cmath>
+
+namespace ethsim::analysis {
+
+std::vector<RunRarity> RunRarityTable(const SequenceResult& sequences,
+                                      std::size_t k,
+                                      std::size_t blocks_per_month) {
+  std::vector<RunRarity> rows;
+  for (const auto& pool : sequences.pools) {
+    RunRarity row;
+    row.pool = pool.pool;
+    row.share = pool.hashrate_share;
+    row.run_length = k;
+    row.observed = pool.RunsAtLeast(k);
+    row.expected = ExpectedRuns(pool.hashrate_share, k, blocks_per_month) *
+                   static_cast<double>(sequences.total_main_blocks) /
+                   static_cast<double>(blocks_per_month);
+    const double per_month =
+        ExpectedRuns(pool.hashrate_share, k, blocks_per_month);
+    row.months_per_event = per_month > 0 ? 1.0 / per_month : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double YearsPerOccurrence(double share, std::size_t k, double blocks_per_year) {
+  const double per_year = std::pow(share, static_cast<double>(k)) *
+                          blocks_per_year;
+  return per_year > 0 ? 1.0 / per_year : 0.0;
+}
+
+std::vector<CensorshipWindow> CensorshipWindows(const SequenceResult& sequences,
+                                                double inter_block_seconds) {
+  std::vector<CensorshipWindow> rows;
+  for (const auto& pool : sequences.pools) {
+    if (pool.blocks == 0) continue;
+    rows.push_back(CensorshipWindow{
+        pool.pool, pool.max_run,
+        static_cast<double>(pool.max_run) * inter_block_seconds});
+  }
+  return rows;
+}
+
+double RunProbability(double share, std::size_t k) {
+  return std::pow(share, static_cast<double>(k));
+}
+
+std::size_t RequiredConfirmations(double strongest_share,
+                                  double target_probability,
+                                  std::size_t blocks_per_month) {
+  // Expected monthly occurrences of a k-run must fall below target.
+  std::size_t k = 1;
+  while (k < 1000) {
+    const double monthly =
+        std::pow(strongest_share, static_cast<double>(k)) *
+        static_cast<double>(blocks_per_month);
+    if (monthly < target_probability) return k;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,57 @@
+// §III-D: block-finality security math. Converts consecutive-run
+// observations into the paper's claims — expected occurrences per month,
+// once-in-N-years rarity, censorship windows, and the adequacy of the
+// 12-block confirmation rule against pool-level adversaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/sequences.hpp"
+
+namespace ethsim::analysis {
+
+struct RunRarity {
+  std::string pool;
+  double share = 0;
+  std::size_t run_length = 0;
+  std::size_t observed = 0;      // runs of at least this length
+  double expected = 0;           // p^k * N (the paper's model)
+  double months_per_event = 0;   // 1/expected in month-sized windows
+};
+
+// Compares observed >=k runs against the p^k model for each pool, in a
+// window of `blocks_per_month` main blocks (the paper's month = 201,086).
+std::vector<RunRarity> RunRarityTable(const SequenceResult& sequences,
+                                      std::size_t k,
+                                      std::size_t blocks_per_month = 201'086);
+
+// "Once in N years" for a run of length k at hashrate `share` (Ethermine's
+// 14-run: ~1,000 years).
+double YearsPerOccurrence(double share, std::size_t k,
+                          double blocks_per_year = 201'086.0 * 12);
+
+// Temporary-censorship windows: the longest observed run per pool converted
+// to wall-clock seconds at the given inter-block time (paper: pools can
+// censor for >2 minutes regularly, 3 minutes historically).
+struct CensorshipWindow {
+  std::string pool;
+  std::size_t longest_run = 0;
+  double seconds = 0;
+};
+std::vector<CensorshipWindow> CensorshipWindows(
+    const SequenceResult& sequences, double inter_block_seconds = 13.3);
+
+// Probability that a pool with `share` of hashrate produces k consecutive
+// blocks starting at a given block (the naive finality-break model).
+double RunProbability(double share, std::size_t k);
+
+// Smallest confirmation depth k such that the strongest pool's p^k stays
+// below `target_probability` over a month of blocks — i.e. what the
+// 12-block rule *should* be, given pool concentration.
+std::size_t RequiredConfirmations(double strongest_share,
+                                  double target_probability,
+                                  std::size_t blocks_per_month = 201'086);
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,85 @@
+#include "analysis/sequences.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ethsim::analysis {
+
+double PoolSequences::CdfAt(std::size_t k) const {
+  std::size_t total = 0, at_most = 0;
+  for (const auto& [length, count] : runs) {
+    total += count;
+    if (length <= k) at_most += count;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(at_most) / static_cast<double>(total);
+}
+
+std::size_t PoolSequences::RunsAtLeast(std::size_t k) const {
+  std::size_t n = 0;
+  for (const auto& [length, count] : runs)
+    if (length >= k) n += count;
+  return n;
+}
+
+SequenceResult SequencesFromWinners(const std::vector<std::size_t>& winners,
+                                    const std::vector<miner::PoolSpec>& pools) {
+  SequenceResult result;
+  result.total_main_blocks = winners.size();
+  result.pools.resize(pools.size());
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    result.pools[p].pool = pools[p].name;
+    result.pools[p].hashrate_share = pools[p].hashrate_share;
+  }
+
+  std::size_t i = 0;
+  while (i < winners.size()) {
+    const std::size_t pool = winners[i];
+    std::size_t j = i;
+    while (j < winners.size() && winners[j] == pool) ++j;
+    const std::size_t run = j - i;
+    if (pool < result.pools.size()) {
+      PoolSequences& ps = result.pools[pool];
+      ++ps.runs[run];
+      ps.blocks += run;
+      ps.max_run = std::max(ps.max_run, run);
+    }
+    i = j;
+  }
+  return result;
+}
+
+SequenceResult ConsecutiveMinerSequences(const StudyInputs& inputs) {
+  assert(inputs.reference != nullptr && inputs.pools != nullptr);
+  const auto coinbase_index = CoinbaseIndex(*inputs.pools);
+
+  std::vector<std::size_t> winners;
+  for (const auto& block : inputs.reference->CanonicalChain()) {
+    if (block->hash == inputs.reference->genesis_hash()) continue;
+    const auto it = coinbase_index.find(block->header.miner);
+    // Unknown coinbases (shouldn't happen) break runs via a sentinel index.
+    winners.push_back(it == coinbase_index.end() ? inputs.pools->size()
+                                                 : it->second);
+  }
+  return SequencesFromWinners(winners, *inputs.pools);
+}
+
+double ExpectedRuns(double share, std::size_t k, std::size_t blocks) {
+  return std::pow(share, static_cast<double>(k)) *
+         static_cast<double>(blocks);
+}
+
+std::vector<std::size_t> SampleWinners(const std::vector<miner::PoolSpec>& pools,
+                                       std::size_t blocks, Rng rng) {
+  std::vector<double> shares;
+  shares.reserve(pools.size());
+  for (const auto& p : pools) shares.push_back(p.hashrate_share);
+  AliasSampler sampler{shares};
+
+  std::vector<std::size_t> winners;
+  winners.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) winners.push_back(sampler.Sample(rng));
+  return winners;
+}
+
+}  // namespace ethsim::analysis

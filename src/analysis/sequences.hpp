@@ -1,0 +1,52 @@
+// Fig 7 + §III-D: sequences of consecutive canonical blocks mined by the
+// same pool, the temporary-censorship windows they enable, and the
+// theoretical run probabilities under the paper's p^k model. Includes a
+// network-free fast sampler for whole-history-scale analysis (7.6M blocks).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+#include "common/random.hpp"
+
+namespace ethsim::analysis {
+
+struct PoolSequences {
+  std::string pool;
+  double hashrate_share = 0;
+  // run length -> number of maximal runs of exactly that length.
+  std::map<std::size_t, std::size_t> runs;
+  std::size_t max_run = 0;
+  std::size_t blocks = 0;  // canonical blocks mined
+
+  // P(run length <= k) over this pool's runs — the Fig 7 CDF.
+  double CdfAt(std::size_t k) const;
+  std::size_t RunsAtLeast(std::size_t k) const;
+};
+
+struct SequenceResult {
+  std::vector<PoolSequences> pools;  // roster order
+  std::size_t total_main_blocks = 0;
+};
+
+// Computed over the reference tree's canonical chain.
+SequenceResult ConsecutiveMinerSequences(const StudyInputs& inputs);
+
+// The same computation over an arbitrary winner list (pool index per block),
+// reused by the fast sampler and tests.
+SequenceResult SequencesFromWinners(const std::vector<std::size_t>& winners,
+                                    const std::vector<miner::PoolSpec>& pools);
+
+// Paper §III-D theory: expected number of k-runs in N blocks under the
+// simple p^k model the authors use (Ethermine example: 0.259^8 * 201086 ≈ 4).
+double ExpectedRuns(double share, std::size_t k, std::size_t blocks);
+
+// Network-free winner sampler: draws `blocks` winners by hashrate share.
+// Stands in for the paper's whole-blockchain scan (7.6M blocks).
+std::vector<std::size_t> SampleWinners(const std::vector<miner::PoolSpec>& pools,
+                                       std::size_t blocks, Rng rng);
+
+}  // namespace ethsim::analysis

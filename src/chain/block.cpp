@@ -1,0 +1,61 @@
+#include "chain/block.hpp"
+
+#include "common/keccak.hpp"
+
+namespace ethsim::chain {
+
+rlp::Bytes EncodeHeader(const BlockHeader& h) {
+  rlp::Encoder e;
+  e.BeginList();
+  e.WriteFixed(h.parent_hash);
+  e.WriteUint(h.number);
+  e.WriteUint(h.difficulty);
+  e.WriteUint(h.timestamp);
+  e.WriteFixed(h.miner);
+  e.WriteFixed(h.tx_root);
+  e.WriteFixed(h.uncle_root);
+  e.WriteUint(h.gas_limit);
+  e.WriteUint(h.gas_used);
+  e.WriteUint(h.mix_seed);
+  e.EndList();
+  return e.Take();
+}
+
+Hash32 BlockHeader::Hash() const {
+  const rlp::Bytes encoded = EncodeHeader(*this);
+  return Keccak256Of(std::span<const std::uint8_t>(encoded.data(), encoded.size()));
+}
+
+Hash32 ComputeTxRoot(const std::vector<Transaction>& txs) {
+  Keccak256 h;
+  for (const auto& tx : txs)
+    h.Update(std::span<const std::uint8_t>(tx.hash.bytes.data(), 32));
+  return h.Final();
+}
+
+Hash32 ComputeUncleRoot(const std::vector<BlockHeader>& uncles) {
+  Keccak256 h;
+  for (const auto& u : uncles) {
+    const Hash32 uh = u.Hash();
+    h.Update(std::span<const std::uint8_t>(uh.bytes.data(), 32));
+  }
+  return h.Final();
+}
+
+void Block::Seal() {
+  header.tx_root = ComputeTxRoot(transactions);
+  header.uncle_root = ComputeUncleRoot(uncles);
+  std::uint64_t gas = 0;
+  for (const auto& tx : transactions) gas += tx.gas_limit;
+  header.gas_used = gas;
+  hash = header.Hash();
+}
+
+std::size_t Block::EncodedSize() const {
+  std::size_t size = kHeaderWireSize;
+  for (const auto& tx : transactions) size += tx.EncodedSize();
+  size += uncles.size() * kHeaderWireSize;
+  return size;
+}
+
+}  // namespace ethsim::chain

@@ -1,0 +1,59 @@
+// Blocks: header + transactions + uncle headers, identified by
+// keccak256(rlp(header)) as in Ethereum. The `mix_seed` field plays the role
+// of the PoW nonce/mixHash: two blocks a miner builds with identical content
+// still get distinct hashes, which is what makes one-miner forks (§III-C5)
+// observable at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "common/rlp.hpp"
+#include "common/types.hpp"
+
+namespace ethsim::chain {
+
+struct BlockHeader {
+  Hash32 parent_hash;
+  std::uint64_t number = 0;
+  std::uint64_t difficulty = 0;
+  std::uint64_t timestamp = 0;  // seconds since simulation epoch
+  Address miner;                // coinbase of the producing pool/miner
+  Hash32 tx_root;               // commitment over the body's transactions
+  Hash32 uncle_root;            // commitment over referenced uncle headers
+  std::uint64_t gas_limit = 8'000'000;
+  std::uint64_t gas_used = 0;
+  std::uint64_t mix_seed = 0;  // PoW mix stand-in; randomizes the hash
+
+  Hash32 Hash() const;  // keccak256(rlp(header))
+};
+
+rlp::Bytes EncodeHeader(const BlockHeader& h);
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+  std::vector<BlockHeader> uncles;
+
+  Hash32 hash;  // cached header hash; set by Seal()
+
+  // Recomputes tx_root/uncle_root/gas_used from the body and caches the
+  // header hash. Call after assembling or mutating the body.
+  void Seal();
+
+  bool IsEmpty() const { return transactions.empty(); }
+
+  // Wire size of the full block (header + body), for the bandwidth model.
+  std::size_t EncodedSize() const;
+};
+
+// Commitment over an ordered list of transaction hashes (simplified
+// Merkle root: keccak of the concatenation; order-sensitive).
+Hash32 ComputeTxRoot(const std::vector<Transaction>& txs);
+Hash32 ComputeUncleRoot(const std::vector<BlockHeader>& uncles);
+
+// Header-only wire size (announcement follow-up fetches use this).
+inline constexpr std::size_t kHeaderWireSize = 530;  // mainnet headers ≈ 508-540 B
+
+}  // namespace ethsim::chain

@@ -1,0 +1,235 @@
+#include "chain/blocktree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ethsim::chain {
+
+BlockTree::BlockTree(BlockPtr genesis) {
+  assert(genesis && genesis->hash == genesis->header.Hash());
+  genesis_ = genesis->hash;
+  genesis_number_ = genesis->header.number;
+  head_ = genesis_;
+  Node node;
+  node.block = genesis;
+  node.total_difficulty = genesis->header.difficulty;
+  nodes_.emplace(genesis_, std::move(node));
+  by_height_[genesis_number_].push_back(genesis_);
+  canonical_[genesis_number_] = genesis_;
+}
+
+bool BlockTree::Contains(const Hash32& hash) const { return nodes_.contains(hash); }
+
+BlockPtr BlockTree::Get(const Hash32& hash) const {
+  const auto it = nodes_.find(hash);
+  return it == nodes_.end() ? nullptr : it->second.block;
+}
+
+TimePoint BlockTree::FirstSeen(const Hash32& hash) const {
+  const auto it = nodes_.find(hash);
+  return it == nodes_.end() ? TimePoint{} : it->second.first_seen;
+}
+
+std::uint64_t BlockTree::head_number() const {
+  return nodes_.at(head_).block->header.number;
+}
+
+std::uint64_t BlockTree::TotalDifficulty(const Hash32& hash) const {
+  const auto it = nodes_.find(hash);
+  return it == nodes_.end() ? 0 : it->second.total_difficulty;
+}
+
+bool BlockTree::IsCanonical(const Hash32& hash) const {
+  const auto it = nodes_.find(hash);
+  if (it == nodes_.end()) return false;
+  const auto c = canonical_.find(it->second.block->header.number);
+  return c != canonical_.end() && c->second == hash;
+}
+
+Hash32 BlockTree::CanonicalAt(std::uint64_t number) const {
+  const auto it = canonical_.find(number);
+  return it == canonical_.end() ? Hash32{} : it->second;
+}
+
+BlockTree::AddResult BlockTree::Add(BlockPtr block, TimePoint received) {
+  assert(block);
+  AddResult result;
+  if (nodes_.contains(block->hash)) {
+    result.outcome = AddOutcome::kDuplicate;
+    return result;
+  }
+  if (!nodes_.contains(block->header.parent_hash)) {
+    // Buffer until the parent shows up (announcement/fetch races make this
+    // a normal occurrence, not an error).
+    orphans_[block->header.parent_hash].emplace_back(std::move(block), received);
+    result.outcome = AddOutcome::kOrphaned;
+    return result;
+  }
+
+  Attach(std::move(block), received, result);
+  return result;
+}
+
+void BlockTree::Attach(BlockPtr block, TimePoint received, AddResult& result) {
+  const Hash32 hash = block->hash;
+  const auto& parent = nodes_.at(block->header.parent_hash);
+  assert(block->header.number == parent.block->header.number + 1);
+
+  Node node;
+  node.block = block;
+  node.total_difficulty = parent.total_difficulty + block->header.difficulty;
+  node.first_seen = received;
+  nodes_.emplace(hash, std::move(node));
+  by_height_[block->header.number].push_back(hash);
+
+  MaybeReorg(hash, result);
+
+  // Adopt any orphans that were waiting for this block, recursively.
+  if (const auto it = orphans_.find(hash); it != orphans_.end()) {
+    auto waiting = std::move(it->second);
+    orphans_.erase(it);
+    for (auto& [child, child_received] : waiting)
+      Attach(std::move(child), child_received, result);
+  }
+}
+
+void BlockTree::MaybeReorg(const Hash32& candidate, AddResult& result) {
+  const Node& cand = nodes_.at(candidate);
+  const Node& cur = nodes_.at(head_);
+  // Heaviest chain wins; on exact ties keep the first-seen head (Geth keeps
+  // its current chain unless the new one is strictly heavier... except that
+  // Geth 1.8 actually coin-flips equal-difficulty reorgs; we keep
+  // first-seen for determinism, which is also what the paper's measurement
+  // nodes effectively record).
+  if (cand.total_difficulty <= cur.total_difficulty) {
+    if (result.outcome != AddOutcome::kAddedNewHead)
+      result.outcome = AddOutcome::kAdded;
+    return;
+  }
+
+  // Walk the new head's ancestry down to the first block that is already
+  // canonical; everything above it on the old chain retires.
+  std::vector<BlockPtr> adopted;
+  Hash32 cursor = candidate;
+  while (!IsCanonical(cursor)) {
+    const Node& n = nodes_.at(cursor);
+    adopted.push_back(n.block);
+    if (cursor == genesis_) break;
+    cursor = n.block->header.parent_hash;
+  }
+  const std::uint64_t fork_point = nodes_.at(cursor).block->header.number;
+
+  const std::uint64_t old_head_number = nodes_.at(head_).block->header.number;
+  for (std::uint64_t h = fork_point + 1; h <= old_head_number; ++h) {
+    const auto it = canonical_.find(h);
+    if (it == canonical_.end()) break;
+    result.retired.push_back(nodes_.at(it->second).block);
+    canonical_.erase(it);
+  }
+
+  std::reverse(adopted.begin(), adopted.end());
+  for (const auto& b : adopted) canonical_[b->header.number] = b->hash;
+  result.adopted.insert(result.adopted.end(), adopted.begin(), adopted.end());
+
+  head_ = candidate;
+  result.outcome = AddOutcome::kAddedNewHead;
+}
+
+std::vector<BlockHeader> BlockTree::UncleCandidates(
+    const Hash32& parent, std::size_t max_uncles,
+    bool forbid_same_miner_as_main) const {
+  const auto parent_it = nodes_.find(parent);
+  if (parent_it == nodes_.end()) return {};
+  const std::uint64_t child_number = parent_it->second.block->header.number + 1;
+
+  // Collect up to 7 ancestors of the child (starting at the parent) plus the
+  // uncle hashes they already reference; both are excluded.
+  std::vector<Hash32> ancestors;
+  std::vector<Hash32> excluded;
+  std::unordered_map<std::uint64_t, Address> main_miner_at;  // per height
+  Hash32 cursor = parent;
+  for (int depth = 0; depth < 7; ++depth) {
+    const auto it = nodes_.find(cursor);
+    if (it == nodes_.end()) break;
+    ancestors.push_back(cursor);
+    excluded.push_back(cursor);
+    main_miner_at.emplace(it->second.block->header.number,
+                          it->second.block->header.miner);
+    for (const auto& u : it->second.block->uncles) excluded.push_back(u.Hash());
+    if (cursor == genesis_) break;
+    cursor = it->second.block->header.parent_hash;
+  }
+
+  auto is_excluded = [&](const Hash32& h) {
+    return std::find(excluded.begin(), excluded.end(), h) != excluded.end();
+  };
+  auto is_ancestor = [&](const Hash32& h) {
+    return std::find(ancestors.begin(), ancestors.end(), h) != ancestors.end();
+  };
+
+  struct Candidate {
+    BlockHeader header;
+    TimePoint first_seen;
+    Hash32 hash;
+  };
+  std::vector<Candidate> candidates;
+  const std::uint64_t min_height =
+      child_number > 6 ? child_number - 6 : genesis_number_;
+  for (std::uint64_t h = min_height; h < child_number; ++h) {
+    const auto it = by_height_.find(h);
+    if (it == by_height_.end()) continue;
+    for (const Hash32& hash : it->second) {
+      if (is_excluded(hash)) continue;
+      const Node& n = nodes_.at(hash);
+      // Yellow-paper rule: the uncle's parent must be an ancestor of the
+      // including block (i.e., the uncle is a sibling of some ancestor).
+      if (!is_ancestor(n.block->header.parent_hash)) continue;
+      // §V proposal: no uncle credit to a miner that already holds the
+      // main-chain slot at the same height.
+      if (forbid_same_miner_as_main) {
+        const auto main_it = main_miner_at.find(h);
+        if (main_it != main_miner_at.end() &&
+            main_it->second == n.block->header.miner)
+          continue;
+      }
+      candidates.push_back({n.block->header, n.first_seen, hash});
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+    if (a.first_seen != b.first_seen) return a.first_seen < b.first_seen;
+    return a.hash < b.hash;
+  });
+  if (candidates.size() > max_uncles) candidates.resize(max_uncles);
+
+  std::vector<BlockHeader> out;
+  out.reserve(candidates.size());
+  for (auto& c : candidates) out.push_back(c.header);
+  return out;
+}
+
+std::vector<Hash32> BlockTree::HashesAtHeight(std::uint64_t number) const {
+  const auto it = by_height_.find(number);
+  return it == by_height_.end() ? std::vector<Hash32>{} : it->second;
+}
+
+std::vector<BlockPtr> BlockTree::AllBlocks() const {
+  std::vector<BlockPtr> out;
+  out.reserve(nodes_.size());
+  for (const auto& [hash, node] : nodes_) out.push_back(node.block);
+  return out;
+}
+
+std::vector<BlockPtr> BlockTree::CanonicalChain() const {
+  std::vector<BlockPtr> out;
+  const std::uint64_t top = head_number();
+  out.reserve(top - genesis_number_ + 1);
+  for (std::uint64_t h = genesis_number_; h <= top; ++h) {
+    const auto it = canonical_.find(h);
+    assert(it != canonical_.end());
+    out.push_back(nodes_.at(it->second).block);
+  }
+  return out;
+}
+
+}  // namespace ethsim::chain

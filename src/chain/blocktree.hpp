@@ -1,0 +1,99 @@
+// The block tree: every block a node has ever accepted, with total-difficulty
+// fork choice (heaviest chain wins, ties broken by first-seen, as in Geth),
+// canonical-chain maintenance with reorg reporting, orphan buffering, and
+// Ethereum's uncle-candidate rules. Blocks are immutable and shared between
+// all simulated nodes via shared_ptr — the simulator keeps one copy of each.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "common/time.hpp"
+
+namespace ethsim::chain {
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+class BlockTree {
+ public:
+  // The tree is rooted at a genesis block (number may be nonzero so runs can
+  // start at paper-era heights like 7,479,573).
+  explicit BlockTree(BlockPtr genesis);
+
+  enum class AddOutcome {
+    kAdded,          // accepted, head unchanged
+    kAddedNewHead,   // accepted and became (part of) the canonical chain
+    kDuplicate,      // already known
+    kOrphaned,       // parent unknown; buffered until the parent arrives
+  };
+
+  struct AddResult {
+    AddOutcome outcome = AddOutcome::kAdded;
+    // Canonical-chain delta when a reorg happened (oldest first). Retired
+    // blocks left the canonical chain; adopted blocks joined it.
+    std::vector<BlockPtr> retired;
+    std::vector<BlockPtr> adopted;
+  };
+
+  AddResult Add(BlockPtr block, TimePoint received);
+
+  bool Contains(const Hash32& hash) const;
+  BlockPtr Get(const Hash32& hash) const;  // nullptr if unknown
+  TimePoint FirstSeen(const Hash32& hash) const;
+
+  const Hash32& head_hash() const { return head_; }
+  BlockPtr head() const { return Get(head_); }
+  std::uint64_t head_number() const;
+  std::uint64_t TotalDifficulty(const Hash32& hash) const;
+
+  bool IsCanonical(const Hash32& hash) const;
+  // Canonical hash at a height; zero hash if above head or below genesis.
+  Hash32 CanonicalAt(std::uint64_t number) const;
+
+  // Valid uncle references for a block built on `parent`: known non-ancestor
+  // blocks within 6 generations whose parent is an ancestor of the new block
+  // and which are not already referenced by the parent's recent ancestry.
+  // Deterministic order (first-seen, then hash); at most `max_uncles`.
+  // `forbid_same_miner_as_main` applies the paper's §V proposal: a block
+  // whose miner already produced the main-chain block at the same height is
+  // not an acceptable uncle (kills the one-miner-fork reward).
+  std::vector<BlockHeader> UncleCandidates(
+      const Hash32& parent, std::size_t max_uncles = 2,
+      bool forbid_same_miner_as_main = false) const;
+
+  // All known block hashes at a height (canonical and forks).
+  std::vector<Hash32> HashesAtHeight(std::uint64_t number) const;
+
+  std::size_t block_count() const { return nodes_.size(); }
+  std::size_t orphan_count() const { return orphans_.size(); }
+  const Hash32& genesis_hash() const { return genesis_; }
+  std::uint64_t genesis_number() const { return genesis_number_; }
+
+  // Enumeration for the analysis pipeline.
+  std::vector<BlockPtr> AllBlocks() const;
+  std::vector<BlockPtr> CanonicalChain() const;  // genesis..head
+
+ private:
+  struct Node {
+    BlockPtr block;
+    std::uint64_t total_difficulty = 0;
+    TimePoint first_seen;
+  };
+
+  void Attach(BlockPtr block, TimePoint received, AddResult& result);
+  void MaybeReorg(const Hash32& candidate, AddResult& result);
+
+  std::unordered_map<Hash32, Node> nodes_;
+  // parent hash -> blocks waiting for that parent.
+  std::unordered_map<Hash32, std::vector<std::pair<BlockPtr, TimePoint>>> orphans_;
+  std::unordered_map<std::uint64_t, std::vector<Hash32>> by_height_;
+  std::unordered_map<std::uint64_t, Hash32> canonical_;
+  Hash32 genesis_;
+  std::uint64_t genesis_number_ = 0;
+  Hash32 head_;
+};
+
+}  // namespace ethsim::chain

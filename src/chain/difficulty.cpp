@@ -1,0 +1,38 @@
+#include "chain/difficulty.hpp"
+
+#include <algorithm>
+
+namespace ethsim::chain {
+
+std::uint64_t NextDifficulty(std::uint64_t parent_difficulty,
+                             std::uint64_t parent_timestamp,
+                             bool parent_has_uncles,
+                             std::uint64_t child_timestamp,
+                             std::uint64_t child_number,
+                             const DifficultyParams& params) {
+  const std::int64_t uncles_term = parent_has_uncles ? 2 : 1;
+  const std::int64_t elapsed =
+      static_cast<std::int64_t>(child_timestamp) -
+      static_cast<std::int64_t>(parent_timestamp);
+  const std::int64_t sensitivity =
+      std::max<std::int64_t>(uncles_term - elapsed / 9, -99);
+
+  const std::int64_t quotient =
+      static_cast<std::int64_t>(parent_difficulty / 2048);
+  std::int64_t diff =
+      static_cast<std::int64_t>(parent_difficulty) + quotient * sensitivity;
+
+  // Difficulty bomb: doubles every 100k blocks past the (delayed) trigger.
+  const std::uint64_t fake_number =
+      child_number > params.bomb_delay_blocks
+          ? child_number - params.bomb_delay_blocks
+          : 0;
+  const std::uint64_t periods = fake_number / 100'000;
+  if (periods >= 2 && periods - 2 < 63)
+    diff += static_cast<std::int64_t>(std::uint64_t{1} << (periods - 2));
+
+  return std::max<std::int64_t>(
+      diff, static_cast<std::int64_t>(params.minimum_difficulty));
+}
+
+}  // namespace ethsim::chain

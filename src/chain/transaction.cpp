@@ -1,0 +1,48 @@
+#include "chain/transaction.hpp"
+
+#include "common/keccak.hpp"
+
+namespace ethsim::chain {
+
+rlp::Bytes EncodeTransaction(const Transaction& tx) {
+  rlp::Encoder e;
+  e.BeginList();
+  e.WriteFixed(tx.sender);
+  e.WriteUint(tx.nonce);
+  e.WriteFixed(tx.to);
+  e.WriteUint(tx.value);
+  e.WriteUint(tx.gas_limit);
+  e.WriteUint(tx.gas_price);
+  e.WriteUint(tx.payload_bytes);
+  e.EndList();
+  return e.Take();
+}
+
+void Transaction::Seal() {
+  const rlp::Bytes encoded = EncodeTransaction(*this);
+  hash = Keccak256Of(std::span<const std::uint8_t>(encoded.data(), encoded.size()));
+}
+
+std::size_t Transaction::EncodedSize() const {
+  // RLP framing of the fixed fields is ~110 bytes (sender 21 + to 21 +
+  // scalars); calldata rides on top. Close to mainnet's ~110-byte simple
+  // transfer.
+  return 110 + payload_bytes;
+}
+
+Transaction MakeTransaction(Address sender, std::uint64_t nonce, Address to,
+                            std::uint64_t value, std::uint64_t gas_price,
+                            std::uint32_t payload_bytes) {
+  Transaction tx;
+  tx.sender = sender;
+  tx.nonce = nonce;
+  tx.to = to;
+  tx.value = value;
+  tx.gas_price = gas_price;
+  tx.payload_bytes = payload_bytes;
+  tx.gas_limit = 21'000 + static_cast<std::uint64_t>(payload_bytes) * 16;
+  tx.Seal();
+  return tx;
+}
+
+}  // namespace ethsim::chain

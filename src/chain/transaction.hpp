@@ -1,0 +1,42 @@
+// Ethereum-style transactions. Each transaction carries a per-sender
+// monotonically increasing nonce — the mechanism behind the paper's
+// out-of-order commit analysis (§III-C2) — and is identified by
+// keccak256(rlp(tx)) exactly as in the real protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rlp.hpp"
+#include "common/types.hpp"
+
+namespace ethsim::chain {
+
+struct Transaction {
+  Address sender;
+  std::uint64_t nonce = 0;
+  Address to;
+  std::uint64_t value = 0;      // in gwei (simulation currency unit)
+  std::uint64_t gas_limit = 21'000;
+  std::uint64_t gas_price = 1;  // gwei per gas
+  std::uint32_t payload_bytes = 0;  // calldata size; affects wire size
+
+  Hash32 hash;  // cached identity, computed by Seal()
+
+  // Computes and caches the RLP hash identity. Must be called after any
+  // field change; all factory paths do this.
+  void Seal();
+
+  // Approximate wire size of the RLP-encoded transaction.
+  std::size_t EncodedSize() const;
+};
+
+// RLP-encodes all identity-relevant fields (everything except the cache).
+rlp::Bytes EncodeTransaction(const Transaction& tx);
+
+// Builds a sealed transaction.
+Transaction MakeTransaction(Address sender, std::uint64_t nonce, Address to,
+                            std::uint64_t value, std::uint64_t gas_price,
+                            std::uint32_t payload_bytes = 0);
+
+}  // namespace ethsim::chain

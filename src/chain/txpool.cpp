@@ -1,0 +1,123 @@
+#include "chain/txpool.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ethsim::chain {
+
+std::size_t TxPool::Account::ExecutableCount() const {
+  std::size_t n = 0;
+  auto it = txs.find(next_nonce);
+  while (it != txs.end() && it->first == next_nonce + n) {
+    ++n;
+    ++it;
+  }
+  return n;
+}
+
+TxPool::AddOutcome TxPool::Add(const Transaction& tx) {
+  if (known_.contains(tx.hash)) return AddOutcome::kKnown;
+
+  Account& account = accounts_[tx.sender];
+  if (tx.nonce < account.next_nonce) return AddOutcome::kStale;
+
+  const auto it = account.txs.find(tx.nonce);
+  if (it != account.txs.end()) {
+    // Same-slot replacement requires a strictly better price (Geth demands a
+    // 10% bump; strict improvement is the behaviour that matters here).
+    if (tx.gas_price <= it->second.gas_price) return AddOutcome::kRejected;
+    known_.erase(it->second.hash);
+    it->second = tx;
+    known_.insert(tx.hash);
+    return AddOutcome::kReplaced;
+  }
+
+  account.txs.emplace(tx.nonce, tx);
+  known_.insert(tx.hash);
+  return tx.nonce < account.next_nonce + account.ExecutableCount()
+             ? AddOutcome::kPending
+             : AddOutcome::kQueued;
+}
+
+void TxPool::SetAccountNonce(const Address& account_addr, std::uint64_t nonce) {
+  Account& account = accounts_[account_addr];
+  if (nonce <= account.next_nonce) {
+    account.next_nonce = std::max(account.next_nonce, nonce);
+    return;
+  }
+  account.next_nonce = nonce;
+  // Drop transactions made stale by the nonce jump.
+  while (!account.txs.empty() && account.txs.begin()->first < nonce) {
+    known_.erase(account.txs.begin()->second.hash);
+    account.txs.erase(account.txs.begin());
+  }
+}
+
+void TxPool::RollbackAccountNonce(const Address& account_addr,
+                                  std::uint64_t nonce) {
+  Account& account = accounts_[account_addr];
+  if (nonce < account.next_nonce) account.next_nonce = nonce;
+}
+
+std::uint64_t TxPool::AccountNonce(const Address& account) const {
+  const auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second.next_nonce;
+}
+
+void TxPool::RemoveIncluded(const std::vector<Transaction>& txs) {
+  for (const auto& tx : txs) {
+    known_.erase(tx.hash);
+    Account& account = accounts_[tx.sender];
+    account.txs.erase(tx.nonce);
+    if (tx.nonce >= account.next_nonce) SetAccountNonce(tx.sender, tx.nonce + 1);
+  }
+}
+
+std::vector<Transaction> TxPool::SelectForBlock(std::uint64_t gas_limit,
+                                                std::size_t max_txs) const {
+  // Price-and-nonce selection: a heap of per-account cursors keyed by the
+  // gas price of the account's lowest executable nonce.
+  struct Cursor {
+    const Account* account;
+    std::map<std::uint64_t, Transaction>::const_iterator it;
+    std::size_t remaining;  // executable txs left for this account
+  };
+  auto price_less = [](const Cursor& a, const Cursor& b) {
+    if (a.it->second.gas_price != b.it->second.gas_price)
+      return a.it->second.gas_price < b.it->second.gas_price;
+    // Deterministic tie-break on tx hash.
+    return a.it->second.hash < b.it->second.hash;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(price_less)> heap{
+      price_less};
+
+  for (const auto& [addr, account] : accounts_) {
+    const std::size_t executable = account.ExecutableCount();
+    if (executable == 0) continue;
+    heap.push({&account, account.txs.find(account.next_nonce), executable});
+  }
+
+  std::vector<Transaction> out;
+  std::uint64_t gas_used = 0;
+  while (!heap.empty() && out.size() < max_txs) {
+    Cursor cur = heap.top();
+    heap.pop();
+    const Transaction& tx = cur.it->second;
+    if (gas_used + tx.gas_limit > gas_limit) continue;  // account blocked on gas
+    gas_used += tx.gas_limit;
+    out.push_back(tx);
+    if (cur.remaining > 1) heap.push({cur.account, std::next(cur.it),
+                                      cur.remaining - 1});
+  }
+  return out;
+}
+
+std::size_t TxPool::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [addr, account] : accounts_) n += account.ExecutableCount();
+  return n;
+}
+
+std::size_t TxPool::queued_count() const { return known_.size() - pending_count(); }
+
+}  // namespace ethsim::chain

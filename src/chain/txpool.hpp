@@ -1,0 +1,69 @@
+// Transaction pool with Geth's pending/queued split: transactions are
+// executable ("pending") only when every lower nonce from the same sender is
+// known; higher-nonce arrivals wait in "queued". This is the mechanism that
+// turns out-of-order propagation into extra commit latency (§III-C2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/transaction.hpp"
+
+namespace ethsim::chain {
+
+class TxPool {
+ public:
+  enum class AddOutcome {
+    kPending,   // executable now
+    kQueued,    // future nonce; waits for its predecessors
+    kKnown,     // duplicate hash
+    kStale,     // nonce below the account's current nonce
+    kReplaced,  // same (sender, nonce) already pooled; kept the higher price
+    kRejected,  // same (sender, nonce) at equal/lower price
+  };
+
+  AddOutcome Add(const Transaction& tx);
+
+  // Chain-state nonce updates. Raising an account nonce drops now-stale
+  // transactions and promotes newly executable ones.
+  void SetAccountNonce(const Address& account, std::uint64_t nonce);
+  std::uint64_t AccountNonce(const Address& account) const;
+
+  // Lowers an account nonce to at most `nonce` (no-op if already lower).
+  // Used on reorgs: a retired block's transactions become un-included, so
+  // the pool's view of the sender nonce must rewind before re-adding them
+  // (Geth achieves the same by resetting pool state to the new head).
+  void RollbackAccountNonce(const Address& account, std::uint64_t nonce);
+
+  // Marks a block's transactions as included: advances account nonces and
+  // evicts them from the pool.
+  void RemoveIncluded(const std::vector<Transaction>& txs);
+
+  // Selects executable transactions for a new block: highest gas price
+  // first, per-sender nonce order always respected, stopping at either
+  // limit. (Geth's price-and-nonce heap.)
+  std::vector<Transaction> SelectForBlock(std::uint64_t gas_limit,
+                                          std::size_t max_txs) const;
+
+  bool Contains(const Hash32& hash) const { return known_.contains(hash); }
+  std::size_t pending_count() const;
+  std::size_t queued_count() const;
+  std::size_t size() const { return known_.size(); }
+
+ private:
+  struct Account {
+    std::uint64_t next_nonce = 0;
+    std::map<std::uint64_t, Transaction> txs;  // nonce -> tx
+
+    // Number of consecutively executable txs starting at next_nonce.
+    std::size_t ExecutableCount() const;
+  };
+
+  std::unordered_map<Address, Account> accounts_;
+  std::unordered_set<Hash32> known_;
+};
+
+}  // namespace ethsim::chain

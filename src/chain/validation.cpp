@@ -1,0 +1,81 @@
+#include "chain/validation.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ethsim::chain {
+
+std::string_view ValidationErrorName(ValidationError error) {
+  switch (error) {
+    case ValidationError::kNone: return "none";
+    case ValidationError::kBadSeal: return "bad-seal";
+    case ValidationError::kBadNumber: return "bad-number";
+    case ValidationError::kBadTimestamp: return "bad-timestamp";
+    case ValidationError::kBadTxRoot: return "bad-tx-root";
+    case ValidationError::kBadUncleRoot: return "bad-uncle-root";
+    case ValidationError::kBadGasUsed: return "bad-gas-used";
+    case ValidationError::kGasOverLimit: return "gas-over-limit";
+    case ValidationError::kTooManyUncles: return "too-many-uncles";
+    case ValidationError::kDuplicateUncle: return "duplicate-uncle";
+    case ValidationError::kBadUncleRange: return "bad-uncle-range";
+    case ValidationError::kSelfUncle: return "self-uncle";
+    case ValidationError::kNonceOrder: return "nonce-order";
+    case ValidationError::kBadDifficulty: return "bad-difficulty";
+  }
+  return "?";
+}
+
+ValidationError ValidateBlock(const Block& block, const BlockHeader& parent,
+                              const DifficultyParams* difficulty_params) {
+  const BlockHeader& h = block.header;
+
+  if (block.hash != h.Hash()) return ValidationError::kBadSeal;
+  if (h.number != parent.number + 1) return ValidationError::kBadNumber;
+  if (h.timestamp <= parent.timestamp) return ValidationError::kBadTimestamp;
+  if (h.tx_root != ComputeTxRoot(block.transactions))
+    return ValidationError::kBadTxRoot;
+  if (h.uncle_root != ComputeUncleRoot(block.uncles))
+    return ValidationError::kBadUncleRoot;
+
+  std::uint64_t gas = 0;
+  for (const auto& tx : block.transactions) gas += tx.gas_limit;
+  if (h.gas_used != gas) return ValidationError::kBadGasUsed;
+  if (h.gas_used > h.gas_limit) return ValidationError::kGasOverLimit;
+
+  if (block.uncles.size() > 2) return ValidationError::kTooManyUncles;
+  std::unordered_set<Hash32> uncle_hashes;
+  for (const auto& uncle : block.uncles) {
+    const Hash32 uncle_hash = uncle.Hash();
+    if (!uncle_hashes.insert(uncle_hash).second)
+      return ValidationError::kDuplicateUncle;
+    if (uncle_hash == block.hash || uncle_hash == h.parent_hash)
+      return ValidationError::kSelfUncle;
+    if (uncle.number >= h.number || uncle.number + 6 < h.number)
+      return ValidationError::kBadUncleRange;
+  }
+
+  // Per-sender nonce streams inside a block must be strictly increasing.
+  std::unordered_map<Address, std::uint64_t> last_nonce;
+  for (const auto& tx : block.transactions) {
+    const auto it = last_nonce.find(tx.sender);
+    if (it != last_nonce.end() && tx.nonce <= it->second)
+      return ValidationError::kNonceOrder;
+    last_nonce[tx.sender] = tx.nonce;
+  }
+
+  if (difficulty_params != nullptr) {
+    const std::uint64_t expected =
+        NextDifficulty(parent.difficulty, parent.timestamp, false, h.timestamp,
+                       h.number, *difficulty_params);
+    // Parent uncle status isn't visible from the header alone; accept
+    // either branch of the EIP-100 uncle term.
+    const std::uint64_t expected_uncles =
+        NextDifficulty(parent.difficulty, parent.timestamp, true, h.timestamp,
+                       h.number, *difficulty_params);
+    if (h.difficulty != expected && h.difficulty != expected_uncles)
+      return ValidationError::kBadDifficulty;
+  }
+  return ValidationError::kNone;
+}
+
+}  // namespace ethsim::chain

@@ -1,0 +1,39 @@
+// Structural block validation — the consensus checks a client runs before
+// importing a block (yellow-paper header/body well-formedness; state
+// execution is out of scope for the simulator). Full nodes reject blocks
+// failing any of these, so a byzantine peer cannot corrupt a chain view.
+#pragma once
+
+#include <string_view>
+
+#include "chain/block.hpp"
+#include "chain/difficulty.hpp"
+
+namespace ethsim::chain {
+
+enum class ValidationError {
+  kNone = 0,
+  kBadSeal,        // cached hash doesn't match the header
+  kBadNumber,      // number != parent.number + 1
+  kBadTimestamp,   // timestamp <= parent.timestamp
+  kBadTxRoot,      // header commitment doesn't match the body
+  kBadUncleRoot,
+  kBadGasUsed,     // header gas_used doesn't match the transactions
+  kGasOverLimit,   // gas_used > gas_limit
+  kTooManyUncles,  // > 2
+  kDuplicateUncle,
+  kBadUncleRange,  // uncle height outside [number-6, number-1]
+  kSelfUncle,      // block lists itself/its parent as an uncle
+  kNonceOrder,     // a sender's nonces inside the block are not increasing
+  kBadDifficulty,  // difficulty doesn't match the EIP-100 formula
+};
+
+std::string_view ValidationErrorName(ValidationError error);
+
+// Validates `block` against its parent header. Difficulty is checked only
+// when `difficulty_params` is non-null (some tests construct synthetic
+// difficulty schedules).
+ValidationError ValidateBlock(const Block& block, const BlockHeader& parent,
+                              const DifficultyParams* difficulty_params = nullptr);
+
+}  // namespace ethsim::chain

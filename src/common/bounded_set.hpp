@@ -1,0 +1,38 @@
+// FIFO-bounded hash set, the idiom Geth uses for per-peer knownTxs /
+// knownBlocks caches: constant memory, oldest entries evicted first.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+namespace ethsim {
+
+template <typename T>
+class BoundedSet {
+ public:
+  explicit BoundedSet(std::size_t capacity) : capacity_(capacity) {}
+
+  // Inserts; returns false if already present. Evicts the oldest entry when
+  // over capacity.
+  bool Insert(const T& value) {
+    if (!set_.insert(value).second) return false;
+    order_.push_back(value);
+    if (order_.size() > capacity_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  bool Contains(const T& value) const { return set_.contains(value); }
+  std::size_t size() const { return set_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<T> set_;
+  std::deque<T> order_;
+};
+
+}  // namespace ethsim

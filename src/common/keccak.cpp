@@ -1,0 +1,132 @@
+#include "common/keccak.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace ethsim {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr std::size_t kRateBytes = 136;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kRotations[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int n) {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+void KeccakF1600(std::uint64_t a[25]) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    std::uint64_t d[5];
+    for (int x = 0; x < 5; ++x) d[x] = c[(x + 4) % 5] ^ Rotl(c[(x + 1) % 5], 1);
+    for (int i = 0; i < 25; ++i) a[i] ^= d[i % 5];
+
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y) {
+        const int src = x + 5 * y;
+        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        b[dst] = Rotl(a[src], kRotations[src]);
+      }
+
+    // Chi
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 5; ++x)
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+void Keccak256::AbsorbBlock(const std::uint8_t* block) {
+  for (std::size_t i = 0; i < kRateBytes / 8; ++i) {
+    std::uint64_t lane;
+    std::memcpy(&lane, block + 8 * i, 8);  // little-endian host assumed (x86)
+    state_[i] ^= lane;
+  }
+  KeccakF1600(state_);
+}
+
+void Keccak256::Update(std::span<const std::uint8_t> data) {
+  assert(!finalized_);
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kRateBytes - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kRateBytes) {
+      AbsorbBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - offset >= kRateBytes) {
+    AbsorbBlock(data.data() + offset);
+    offset += kRateBytes;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Keccak256::Update(std::string_view data) {
+  Update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Hash32 Keccak256::Final() {
+  assert(!finalized_);
+  finalized_ = true;
+  // Original Keccak multi-rate padding: 0x01 ... 0x80.
+  std::memset(buffer_ + buffered_, 0, kRateBytes - buffered_);
+  buffer_[buffered_] = 0x01;
+  buffer_[kRateBytes - 1] |= 0x80;
+  AbsorbBlock(buffer_);
+
+  Hash32 out;
+  std::memcpy(out.bytes.data(), state_, 32);
+  return out;
+}
+
+void Keccak256::Reset() {
+  std::memset(state_, 0, sizeof(state_));
+  buffered_ = 0;
+  finalized_ = false;
+}
+
+Hash32 Keccak256Of(std::span<const std::uint8_t> data) {
+  Keccak256 h;
+  h.Update(data);
+  return h.Final();
+}
+
+Hash32 Keccak256Of(std::string_view data) {
+  Keccak256 h;
+  h.Update(data);
+  return h.Final();
+}
+
+}  // namespace ethsim

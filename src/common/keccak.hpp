@@ -1,0 +1,41 @@
+// Keccak-256 as used by Ethereum (original Keccak padding 0x01, not the
+// NIST SHA-3 0x06 variant). Block and transaction hashes in this simulator
+// are real keccak256(rlp(...)) digests, matching Geth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ethsim {
+
+// Incremental Keccak-256 hasher.
+class Keccak256 {
+ public:
+  Keccak256() = default;
+
+  void Update(std::span<const std::uint8_t> data);
+  void Update(std::string_view data);
+
+  // Finalizes and returns the digest. The hasher must not be reused after
+  // calling Final() without Reset().
+  Hash32 Final();
+
+  void Reset();
+
+ private:
+  void AbsorbBlock(const std::uint8_t* block);
+
+  std::uint64_t state_[25] = {};
+  std::uint8_t buffer_[136] = {};  // rate = 1088 bits = 136 bytes
+  std::size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+// One-shot helpers.
+Hash32 Keccak256Of(std::span<const std::uint8_t> data);
+Hash32 Keccak256Of(std::string_view data);
+
+}  // namespace ethsim

@@ -1,0 +1,64 @@
+// Deterministic randomness. Every stochastic component in the simulator owns
+// an Rng forked by name from the experiment's master seed, so runs are a pure
+// function of (config, seed) and independent of evaluation order elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ethsim {
+
+// xoshiro256++ seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  // Derives an independent stream keyed by (this stream's seed, name).
+  Rng Fork(std::string_view name) const;
+  Rng Fork(std::uint64_t key) const;
+
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform integer in [0, bound) with rejection to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound);
+  // Uniform in [lo, hi).
+  double NextRange(double lo, double hi);
+  // Exponential with the given mean (mean = 1/lambda).
+  double NextExponential(double mean);
+  // Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double NextNormal(double mean, double stddev);
+  // Bernoulli.
+  bool NextBool(double probability_true);
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double NextLogNormal(double mu, double sigma);
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+};
+
+// Samples indices with fixed weights in O(1) per draw (Vose alias method).
+// Used for picking the winning miner of each block from hashrate shares.
+class AliasSampler {
+ public:
+  // Weights must be non-negative with a positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace ethsim

@@ -1,0 +1,189 @@
+#include "common/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ethsim::render {
+
+namespace {
+
+std::string Repeat(char c, int n) {
+  return std::string(static_cast<std::size_t>(std::max(0, n)), c);
+}
+
+char SeriesGlyph(std::size_t i) {
+  constexpr char glyphs[] = "123456789abcdefghijk";
+  return glyphs[i % (sizeof(glyphs) - 1)];
+}
+
+}  // namespace
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Percent(double fraction, int decimals) {
+  return Fmt(fraction * 100.0, decimals) + "%";
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c] << Repeat(' ', static_cast<int>(widths[c] - cells[c].size()))
+         << ' ';
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << '|' << Repeat('-', static_cast<int>(widths[c]) + 2);
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string BarChart(const std::vector<Bar>& bars, int width) {
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (const auto& b : bars) {
+    max_v = std::max(max_v, b.value);
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (max_v <= 0) max_v = 1;
+
+  std::ostringstream os;
+  for (const auto& b : bars) {
+    const int len = static_cast<int>(std::lround(b.value / max_v * width));
+    os << b.label << Repeat(' ', static_cast<int>(label_w - b.label.size())) << " |"
+       << Repeat('#', len) << ' ' << b.annotation << '\n';
+  }
+  return os.str();
+}
+
+std::string StackedBarChart(const std::vector<StackedBar>& bars,
+                            const std::vector<std::string>& legend, int width) {
+  std::size_t label_w = 0;
+  for (const auto& b : bars) label_w = std::max(label_w, b.label.size());
+
+  std::ostringstream os;
+  os << "legend:";
+  for (std::size_t i = 0; i < legend.size(); ++i)
+    os << ' ' << SeriesGlyph(i) << '=' << legend[i];
+  os << '\n';
+
+  for (const auto& b : bars) {
+    double total = 0;
+    for (double s : b.shares) total += s;
+    if (total <= 0) total = 1;
+    os << b.label << Repeat(' ', static_cast<int>(label_w - b.label.size())) << " |";
+    int used = 0;
+    for (std::size_t i = 0; i < b.shares.size(); ++i) {
+      int len = static_cast<int>(std::lround(b.shares[i] / total * width));
+      if (i + 1 == b.shares.size()) len = width - used;  // fill rounding gap
+      len = std::max(0, std::min(len, width - used));
+      os << Repeat(SeriesGlyph(i), len);
+      used += len;
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string HistogramChart(const Histogram& hist, const std::string& x_label,
+                           int height) {
+  double max_frac = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b)
+    max_frac = std::max(max_frac, hist.Fraction(b));
+  if (max_frac <= 0) max_frac = 1;
+
+  std::ostringstream os;
+  for (int row = height; row >= 1; --row) {
+    const double threshold = max_frac * row / height;
+    char ylab[32];
+    std::snprintf(ylab, sizeof(ylab), "%5.1f%% ", threshold * 100.0);
+    os << ylab << '|';
+    for (std::size_t b = 0; b < hist.bins(); ++b)
+      os << (hist.Fraction(b) >= threshold - 1e-12 ? '#' : ' ');
+    os << '\n';
+  }
+  os << "       +" << Repeat('-', static_cast<int>(hist.bins())) << "\n";
+  char xl[128];
+  std::snprintf(xl, sizeof(xl), "        %.0f ... %.0f  (%s)\n", hist.BinLow(0),
+                hist.BinHigh(hist.bins() - 1), x_label.c_str());
+  os << xl;
+  return os.str();
+}
+
+std::string CdfChart(const std::vector<Series>& series, const std::string& x_label,
+                     int width, int height, bool log_x) {
+  double min_x = 1e300, max_x = -1e300;
+  for (const auto& s : series)
+    for (const auto& p : s.points) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+    }
+  if (min_x >= max_x) return "(empty cdf)\n";
+  if (log_x) min_x = std::max(min_x, 1e-9);
+
+  auto x_to_col = [&](double x) -> int {
+    double t;
+    if (log_x) {
+      x = std::max(x, min_x);
+      t = (std::log(x) - std::log(min_x)) / (std::log(max_x) - std::log(min_x));
+    } else {
+      t = (x - min_x) / (max_x - min_x);
+    }
+    return std::clamp(static_cast<int>(std::lround(t * (width - 1))), 0, width - 1);
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = SeriesGlyph(si);
+    for (const auto& p : series[si].points) {
+      const int col = x_to_col(p.x);
+      const int row =
+          std::clamp(static_cast<int>(std::lround(p.p * (height - 1))), 0, height - 1);
+      grid[static_cast<std::size_t>(height - 1 - row)][static_cast<std::size_t>(col)] =
+          glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << "legend:";
+  for (std::size_t i = 0; i < series.size(); ++i)
+    os << ' ' << SeriesGlyph(i) << '=' << series[i].name;
+  os << '\n';
+  for (int row = 0; row < height; ++row) {
+    const double p = 1.0 - static_cast<double>(row) / (height - 1);
+    char ylab[16];
+    std::snprintf(ylab, sizeof(ylab), "%4.0f%% ", p * 100.0);
+    os << ylab << '|' << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << "      +" << Repeat('-', width) << '\n';
+  char xl[160];
+  std::snprintf(xl, sizeof(xl), "       %.0f ... %.0f (%s%s)\n", min_x, max_x,
+                x_label.c_str(), log_x ? ", log-x" : "");
+  os << xl;
+  return os.str();
+}
+
+}  // namespace ethsim::render

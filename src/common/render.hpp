@@ -1,0 +1,61 @@
+// Plain-text rendering of tables, bar charts, histograms and CDF plots.
+// Bench binaries use these to print paper-style figures next to the paper's
+// reported numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ethsim::render {
+
+// Column-aligned ASCII table with a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal bar chart; one row per label, bars scaled to the max value.
+// `value_fmt` renders the numeric annotation (e.g. "40.1%").
+struct Bar {
+  std::string label;
+  double value = 0;
+  std::string annotation;
+};
+std::string BarChart(const std::vector<Bar>& bars, int width = 48);
+
+// Stacked horizontal bars where each row's segments sum to 100%.
+// Used for Fig 3 (per-pool first-observation split across regions).
+struct StackedBar {
+  std::string label;
+  std::vector<double> shares;  // same order as `legend`
+};
+std::string StackedBarChart(const std::vector<StackedBar>& bars,
+                            const std::vector<std::string>& legend,
+                            int width = 48);
+
+// Vertical histogram like the paper's Fig 1.
+std::string HistogramChart(const Histogram& hist, const std::string& x_label,
+                           int height = 12);
+
+// Multi-series CDF line plot (x ascending). Series get glyphs 1..9,a..z.
+struct Series {
+  std::string name;
+  std::vector<CdfPoint> points;
+};
+std::string CdfChart(const std::vector<Series>& series, const std::string& x_label,
+                     int width = 72, int height = 20, bool log_x = false);
+
+// Number formatting helpers.
+std::string Fmt(double v, int decimals = 2);
+std::string Percent(double fraction, int decimals = 1);
+
+}  // namespace ethsim::render

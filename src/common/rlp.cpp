@@ -1,0 +1,169 @@
+#include "common/rlp.hpp"
+
+#include <cassert>
+
+namespace ethsim::rlp {
+
+namespace {
+
+// Minimal big-endian representation of value (empty for 0).
+Bytes BigEndianTrimmed(std::uint64_t value) {
+  Bytes out;
+  while (value != 0) {
+    out.insert(out.begin(), static_cast<std::uint8_t>(value & 0xff));
+    value >>= 8;
+  }
+  return out;
+}
+
+void AppendStringHeader(Bytes& out, std::size_t length) {
+  if (length <= 55) {
+    out.push_back(static_cast<std::uint8_t>(0x80 + length));
+  } else {
+    const Bytes len_be = BigEndianTrimmed(length);
+    out.push_back(static_cast<std::uint8_t>(0xb7 + len_be.size()));
+    out.insert(out.end(), len_be.begin(), len_be.end());
+  }
+}
+
+}  // namespace
+
+void Encoder::WriteUint(std::uint64_t value) {
+  const Bytes be = BigEndianTrimmed(value);
+  WriteBytes(be);
+}
+
+void Encoder::WriteBytes(std::span<const std::uint8_t> data) {
+  if (data.size() == 1 && data[0] < 0x80) {
+    out_.push_back(data[0]);
+    return;
+  }
+  AppendStringHeader(out_, data.size());
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Encoder::WriteString(std::string_view s) {
+  WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Encoder::BeginList() { list_starts_.push_back(out_.size()); }
+
+void Encoder::EndList() {
+  assert(!list_starts_.empty());
+  const std::size_t start = list_starts_.back();
+  list_starts_.pop_back();
+  const std::size_t payload = out_.size() - start;
+
+  Bytes header;
+  if (payload <= 55) {
+    header.push_back(static_cast<std::uint8_t>(0xc0 + payload));
+  } else {
+    const Bytes len_be = BigEndianTrimmed(payload);
+    header.push_back(static_cast<std::uint8_t>(0xf7 + len_be.size()));
+    header.insert(header.end(), len_be.begin(), len_be.end());
+  }
+  out_.insert(out_.begin() + static_cast<std::ptrdiff_t>(start), header.begin(),
+              header.end());
+}
+
+Bytes Encoder::Take() {
+  assert(list_starts_.empty());
+  return std::move(out_);
+}
+
+std::uint64_t Item::AsUint() const {
+  std::uint64_t v = 0;
+  for (auto b : data) v = (v << 8) | b;
+  return v;
+}
+
+namespace {
+
+// Parses one item starting at input[pos]; advances pos past it.
+bool DecodeItem(std::span<const std::uint8_t> input, std::size_t& pos, Item& out,
+                int depth) {
+  if (depth > 64) return false;  // guard against adversarial nesting
+  if (pos >= input.size()) return false;
+  const std::uint8_t b = input[pos];
+
+  auto read_length = [&](std::size_t len_of_len, std::size_t& len) -> bool {
+    if (pos + 1 + len_of_len > input.size()) return false;
+    len = 0;
+    for (std::size_t i = 0; i < len_of_len; ++i) {
+      if (len > (std::size_t{1} << 48)) return false;
+      len = (len << 8) | input[pos + 1 + i];
+    }
+    pos += 1 + len_of_len;
+    return true;
+  };
+
+  if (b < 0x80) {  // single byte
+    out.is_list = false;
+    out.data = {b};
+    ++pos;
+    return true;
+  }
+  if (b <= 0xb7) {  // short string
+    const std::size_t len = b - 0x80;
+    if (pos + 1 + len > input.size()) return false;
+    out.is_list = false;
+    out.data.assign(input.begin() + static_cast<std::ptrdiff_t>(pos + 1),
+                    input.begin() + static_cast<std::ptrdiff_t>(pos + 1 + len));
+    pos += 1 + len;
+    return true;
+  }
+  if (b <= 0xbf) {  // long string
+    std::size_t len = 0;
+    if (!read_length(b - 0xb7, len)) return false;
+    if (pos + len > input.size()) return false;
+    out.is_list = false;
+    out.data.assign(input.begin() + static_cast<std::ptrdiff_t>(pos),
+                    input.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return true;
+  }
+
+  // List.
+  std::size_t payload_len = 0;
+  if (b <= 0xf7) {
+    payload_len = b - 0xc0;
+    ++pos;
+  } else {
+    if (!read_length(b - 0xf7, payload_len)) return false;
+  }
+  if (pos + payload_len > input.size()) return false;
+
+  out.is_list = true;
+  out.items.clear();
+  const std::size_t end = pos + payload_len;
+  while (pos < end) {
+    Item child;
+    if (!DecodeItem(input, pos, child, depth + 1)) return false;
+    if (pos > end) return false;
+    out.items.push_back(std::move(child));
+  }
+  return pos == end;
+}
+
+}  // namespace
+
+bool Decode(std::span<const std::uint8_t> input, Item& out) {
+  std::size_t pos = 0;
+  if (!DecodeItem(input, pos, out, 0)) return false;
+  return pos == input.size();
+}
+
+Bytes EncodeUint(std::uint64_t value) {
+  Encoder e;
+  e.WriteUint(value);
+  return e.Take();
+}
+
+Bytes EncodeString(std::string_view s) {
+  Encoder e;
+  e.WriteString(s);
+  return e.Take();
+}
+
+}  // namespace ethsim::rlp

@@ -1,0 +1,68 @@
+// Recursive Length Prefix (RLP) — Ethereum's canonical serialization.
+// Blocks and transactions in this simulator are hashed as keccak256(rlp(x)),
+// matching the real protocol's identity scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ethsim::rlp {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Streaming RLP encoder. Lists are written via BeginList/EndList pairs;
+// nesting is supported.
+class Encoder {
+ public:
+  // Scalars are encoded as big-endian byte strings with no leading zeros
+  // (0 encodes as the empty string), per the yellow paper.
+  void WriteUint(std::uint64_t value);
+  void WriteBytes(std::span<const std::uint8_t> data);
+  void WriteString(std::string_view s);
+  template <std::size_t N>
+  void WriteFixed(const FixedBytes<N>& b) {
+    WriteBytes(std::span<const std::uint8_t>(b.bytes.data(), N));
+  }
+
+  void BeginList();
+  void EndList();
+
+  // Finishes encoding and returns the buffer. All lists must be closed.
+  Bytes Take();
+
+ private:
+  void AppendLength(std::size_t length, std::uint8_t offset);
+
+  Bytes out_;
+  std::vector<std::size_t> list_starts_;
+};
+
+// A decoded RLP item: either a byte string or a list of items.
+struct Item {
+  bool is_list = false;
+  Bytes data;               // valid when !is_list
+  std::vector<Item> items;  // valid when is_list
+
+  std::uint64_t AsUint() const;
+  template <std::size_t N>
+  FixedBytes<N> AsFixed() const {
+    FixedBytes<N> v;
+    if (data.size() == N)
+      for (std::size_t i = 0; i < N; ++i) v.bytes[i] = data[i];
+    return v;
+  }
+};
+
+// Decodes a single top-level RLP item. Returns false on malformed input or
+// trailing bytes.
+bool Decode(std::span<const std::uint8_t> input, Item& out);
+
+// Convenience one-shot encoders.
+Bytes EncodeUint(std::uint64_t value);
+Bytes EncodeString(std::string_view s);
+
+}  // namespace ethsim::rlp

@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ethsim {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::Add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double SampleSet::min() const {
+  return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleSet::max() const {
+  return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+}
+
+void SampleSet::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSet::Quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::CdfAt(double x) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  std::ptrdiff_t bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinLow(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::BinHigh(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::Fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::vector<CdfPoint> MakeCdf(const SampleSet& samples, std::size_t points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty() || points < 2) return out;
+  out.reserve(points);
+  const double lo = samples.min();
+  const double hi = samples.max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({x, samples.CdfAt(x)});
+  }
+  return out;
+}
+
+}  // namespace ethsim

@@ -1,0 +1,93 @@
+// Statistics toolkit used by the analysis pipeline: streaming moments,
+// sample sets with exact quantiles, fixed-bin histograms and empirical CDFs.
+// This is the NumPy/pandas replacement for the paper's post-processing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ethsim {
+
+// Streaming count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores samples and answers exact order statistics. Sorting is lazy and
+// cached; Add() invalidates the cache.
+class SampleSet {
+ public:
+  void Add(double x);
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // q in [0,1]; linear interpolation between closest ranks.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  // Fraction of samples <= x (empirical CDF).
+  double CdfAt(double x) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+// the first/last bin so mass is never lost (matches how the paper's Fig 1
+// axis truncates at 500 ms).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t total() const { return total_; }
+  double BinLow(std::size_t bin) const;
+  double BinHigh(std::size_t bin) const;
+  double Fraction(std::size_t bin) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// A discrete empirical CDF evaluated at caller-chosen points, for rendering
+// figures like the paper's Fig 4/5/7.
+struct CdfPoint {
+  double x = 0;
+  double p = 0;
+};
+std::vector<CdfPoint> MakeCdf(const SampleSet& samples, std::size_t points);
+
+}  // namespace ethsim

@@ -1,0 +1,31 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ethsim {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const std::int64_t us = d.micros();
+  const std::int64_t abs_us = us < 0 ? -us : us;
+  const char* sign = us < 0 ? "-" : "";
+  if (abs_us < 1000) {
+    std::snprintf(buf, sizeof(buf), "%s%ldus", sign, static_cast<long>(abs_us));
+  } else if (abs_us < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fms", sign,
+                  static_cast<double>(abs_us) / 1e3);
+  } else if (abs_us < 3'600'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fs", sign,
+                  static_cast<double>(abs_us) / 1e6);
+  } else {
+    const std::int64_t total_s = abs_us / 1'000'000;
+    std::snprintf(buf, sizeof(buf), "%s%ldh%02ldm%02lds", sign,
+                  static_cast<long>(total_s / 3600),
+                  static_cast<long>((total_s % 3600) / 60),
+                  static_cast<long>(total_s % 60));
+  }
+  return buf;
+}
+
+}  // namespace ethsim

@@ -1,0 +1,85 @@
+// Simulation time. One tick = 1 microsecond, stored in int64 (≈292k years of
+// range). TimePoint and Duration are distinct strong types so that "when"
+// and "how long" cannot be mixed up silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ethsim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration Micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration Millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  static constexpr Duration Seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr Duration Hours(double h) { return Seconds(h * 3600.0); }
+
+  constexpr std::int64_t micros() const { return us_; }
+  constexpr double millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * f)};
+  }
+  constexpr Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint FromMicros(std::int64_t us) { return TimePoint{us}; }
+
+  constexpr std::int64_t micros() const { return us_; }
+  constexpr double millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{us_ + d.micros()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{us_ - d.micros()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Micros(us_ - o.us_);
+  }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// "1h02m03s", "213ms", "74.3ms" — compact form for reports.
+std::string FormatDuration(Duration d);
+
+namespace literals {
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::Millis(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::Seconds(static_cast<double>(v));
+}
+constexpr Duration operator""_min(unsigned long long v) {
+  return Duration::Minutes(static_cast<double>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::Micros(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace ethsim

@@ -1,0 +1,87 @@
+// Fundamental value types shared across the simulator: fixed-size hashes,
+// addresses, and hex formatting helpers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ethsim {
+
+// Fixed-size big-endian byte array used for hashes, node ids and addresses.
+template <std::size_t N>
+struct FixedBytes {
+  std::array<std::uint8_t, N> bytes{};
+
+  constexpr FixedBytes() = default;
+  explicit constexpr FixedBytes(const std::array<std::uint8_t, N>& b) : bytes(b) {}
+
+  static constexpr std::size_t size() { return N; }
+  std::uint8_t* data() { return bytes.data(); }
+  const std::uint8_t* data() const { return bytes.data(); }
+
+  auto operator<=>(const FixedBytes&) const = default;
+
+  bool is_zero() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  // First 8 bytes interpreted as a big-endian integer; handy for cheap
+  // bucketing and deterministic tie-breaking.
+  std::uint64_t prefix_u64() const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8 && i < N; ++i) v = (v << 8) | bytes[i];
+    return v;
+  }
+};
+
+using Hash32 = FixedBytes<32>;
+using Address = FixedBytes<20>;
+
+// Lowercase hex with no 0x prefix.
+std::string ToHex(std::span<const std::uint8_t> data);
+
+template <std::size_t N>
+std::string ToHex(const FixedBytes<N>& b) {
+  return ToHex(std::span<const std::uint8_t>(b.bytes.data(), N));
+}
+
+// Parses hex (optionally 0x-prefixed) into out; returns false on bad input
+// or length mismatch.
+bool FromHex(std::string_view hex, std::span<std::uint8_t> out);
+
+template <std::size_t N>
+FixedBytes<N> FixedBytesFromHex(std::string_view hex) {
+  FixedBytes<N> v;
+  FromHex(hex, std::span<std::uint8_t>(v.bytes.data(), N));
+  return v;
+}
+
+// Short human-readable form (first 4 bytes): "a1b2c3d4".
+template <std::size_t N>
+std::string ShortHex(const FixedBytes<N>& b) {
+  return ToHex(std::span<const std::uint8_t>(b.bytes.data(), N < 4 ? N : 4));
+}
+
+}  // namespace ethsim
+
+namespace std {
+template <std::size_t N>
+struct hash<ethsim::FixedBytes<N>> {
+  std::size_t operator()(const ethsim::FixedBytes<N>& v) const noexcept {
+    // Hashes/ids in this codebase are outputs of Keccak or a PRNG, so the
+    // first word is already uniformly distributed.
+    std::uint64_t h;
+    static_assert(N >= 8);
+    std::memcpy(&h, v.bytes.data(), sizeof(h));
+    return static_cast<std::size_t>(h);
+  }
+};
+}  // namespace std

@@ -1,0 +1,58 @@
+#include "core/config.hpp"
+
+namespace ethsim::core::presets {
+
+namespace {
+
+ExperimentConfig Base() {
+  ExperimentConfig cfg;
+  cfg.pools = miner::PaperPools();
+  cfg.observer_config.max_peers = 1'000'000;  // §II: "unlimited"
+  cfg.gateway_config.max_peers = 100;
+  // Main-study observers connect broadly, gateways included. In a 15k-node
+  // network they would mostly NOT peer with gateways, but they would sit in
+  // a dense regional fabric; in a hundreds-sized world, gateway adjacency is
+  // the faithful substitute for that density (see DESIGN.md scale notes).
+  cfg.vantages = {
+      {"NA", net::Region::NorthAmerica, 100},
+      {"EA", net::Region::EasternAsia, 100},
+      {"WE", net::Region::WesternEurope, 100},
+      {"CE", net::Region::CentralEurope, 100},
+  };
+  return cfg;
+}
+
+}  // namespace
+
+ExperimentConfig PaperStudy() {
+  ExperimentConfig cfg = Base();
+  cfg.peer_nodes = 300;
+  cfg.duration = Duration::Hours(2);
+  return cfg;
+}
+
+ExperimentConfig SmallStudy(std::size_t nodes) {
+  ExperimentConfig cfg = Base();
+  cfg.peer_nodes = nodes;
+  cfg.duration = Duration::Minutes(30);
+  const std::size_t peers = std::max<std::size_t>(8, nodes / 2);
+  for (auto& v : cfg.vantages) v.connect_peers = peers;
+  cfg.workload.accounts = std::max<std::size_t>(20, nodes);
+  return cfg;
+}
+
+ExperimentConfig DefaultPeersStudy() {
+  ExperimentConfig cfg = Base();
+  // A larger overlay lengthens the multi-hop wave relative to one link
+  // latency, which is what the redundancy statistics are sensitive to.
+  cfg.peer_nodes = 320;
+  cfg.duration = Duration::Hours(1);
+  cfg.vantages = {{"WE-default", net::Region::WesternEurope, 25}};
+  // The subsidiary node runs an unmodified-default config: 25 peers, and at
+  // mainnet scale those peers are essentially never pool gateways.
+  cfg.observer_config.max_peers = 25;
+  cfg.observers_avoid_gateways = true;
+  return cfg;
+}
+
+}  // namespace ethsim::core::presets

@@ -1,0 +1,187 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "net/geo.hpp"
+#include "p2p/kademlia.hpp"
+
+namespace ethsim::core {
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+void Experiment::Build() {
+  if (built_) return;
+  built_ = true;
+
+  Rng master{config_.seed};
+  net_ = std::make_unique<net::Network>(sim_, master.Fork("network"),
+                                        config_.net_params);
+
+  // Genesis difficulty pins the initial pace to the target interval.
+  auto genesis = std::make_shared<chain::Block>();
+  genesis->header.number = config_.genesis_number;
+  genesis->header.difficulty = static_cast<std::uint64_t>(
+      config_.mining.total_hashrate * config_.mining.target_interval.seconds());
+  genesis->Seal();
+  genesis_ = genesis;
+
+  Rng ids = master.Fork("node-ids");
+  Rng placement = master.Fork("placement");
+  Rng node_rngs = master.Fork("node-rngs");
+
+  auto add_node = [&](net::Region region, double bandwidth,
+                      const eth::NodeConfig& node_cfg) -> eth::EthNode* {
+    const net::HostId host = net_->AddHost({region, bandwidth});
+    nodes_.push_back(std::make_unique<eth::EthNode>(
+        sim_, *net_, host, p2p::RandomNodeId(ids), genesis_, node_cfg,
+        node_rngs.Fork(nodes_.size())));
+    return nodes_.back().get();
+  };
+
+  // 1. Pool gateways (well-provisioned hosts), one node per declared
+  //    gateway, in spec order so release weights line up.
+  coordinator_ = std::make_unique<miner::MiningCoordinator>(
+      sim_, master.Fork("mining"), config_.mining, config_.pools);
+  for (std::size_t p = 0; p < config_.pools.size(); ++p) {
+    for (const auto& gw : config_.pools[p].gateways) {
+      eth::EthNode* node = add_node(gw.region, 1e9, config_.gateway_config);
+      coordinator_->AddGateway(p, node);
+    }
+  }
+
+  // 2. Plain overlay nodes, placed by the region weight vector.
+  const std::vector<double> region_weights(config_.node_region_weights.begin(),
+                                           config_.node_region_weights.end());
+  AliasSampler region_sampler{region_weights};
+  for (std::size_t i = 0; i < config_.peer_nodes; ++i) {
+    const auto region =
+        static_cast<net::Region>(region_sampler.Sample(placement));
+    eth::NodeConfig node_cfg = config_.node_config;
+    node_cfg.validation_speed_factor = std::clamp(
+        placement.NextLogNormal(config_.plain_validation_mu,
+                                config_.plain_validation_sigma),
+        0.3, 12.0);
+    add_node(region, 100e6, node_cfg);
+  }
+
+  // 3. Vantage observers (§II: backbone-grade links, instrumented client).
+  net::ClockModel clocks{master.Fork("ntp")};
+  for (const auto& vantage : config_.vantages) {
+    eth::EthNode* node = add_node(vantage.region, 8e9, config_.observer_config);
+    observers_.push_back(std::make_unique<measure::Observer>(
+        vantage.name, vantage.region, sim_, clocks.SampleOffset()));
+    observers_.back()->Attach(*node);
+  }
+
+  BuildTopology(master.Fork("topology"));
+
+  // 4. Transaction workload submits through plain nodes (not gateways, not
+  //    observers — vantages are passive, like the paper's).
+  std::vector<eth::EthNode*> frontends;
+  const std::size_t gateway_count = nodes_.size() - observers_.size() -
+                                    config_.peer_nodes;
+  for (std::size_t i = gateway_count; i < gateway_count + config_.peer_nodes; ++i)
+    frontends.push_back(nodes_[i].get());
+  if (frontends.empty())  // degenerate configs: fall back to gateways
+    for (std::size_t i = 0; i < gateway_count; ++i)
+      frontends.push_back(nodes_[i].get());
+  workload_ = std::make_unique<TxWorkload>(sim_, master.Fork("workload"),
+                                           config_.workload, frontends);
+}
+
+void Experiment::BuildTopology(Rng rng) {
+  // Discovery: every node's routing table is filled from three random
+  // bootstrap nodes via iterative FindNode lookups against the global id
+  // registry, then the node dials lookup results — geography-blind, as in
+  // devp2p. Observers dial `connect_peers` peers; plain nodes dial
+  // `dials_per_node` and accept the rest.
+  const std::size_t n = nodes_.size();
+  assert(n >= 2);
+
+  std::unordered_map<Hash32, eth::EthNode*> by_id;
+  std::vector<p2p::NodeId> all_ids;
+  all_ids.reserve(n);
+  for (const auto& node : nodes_) {
+    by_id.emplace(node->id(), node.get());
+    all_ids.push_back(node->id());
+  }
+
+  // Full registry tables (the steady-state content of a long-running
+  // discovery daemon).
+  std::unordered_map<Hash32, p2p::RoutingTable> tables;
+  for (const auto& id : all_ids) {
+    p2p::RoutingTable table{id};
+    for (const auto& other : all_ids) table.Add(other);
+    tables.emplace(id, std::move(table));
+  }
+  const auto query = [&](const p2p::NodeId& node, const p2p::NodeId& target) {
+    return tables.at(node).Closest(target, p2p::kBucketSize);
+  };
+
+  const std::size_t observer_start = n - observers_.size();
+  std::size_t gateway_count = 0;
+  for (const auto& pool : config_.pools) gateway_count += pool.gateways.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    eth::EthNode& node = *nodes_[i];
+    const bool is_observer = i >= observer_start;
+    const bool is_gateway = i < gateway_count;
+    const std::size_t want_dials =
+        is_observer ? config_.vantages[i - observer_start].connect_peers
+        : is_gateway ? config_.gateway_dials
+                     : config_.dials_per_node;
+
+    // Local table seeded with 3 bootstrap nodes.
+    p2p::RoutingTable local{node.id()};
+    for (int b = 0; b < 3; ++b)
+      local.Add(all_ids[rng.NextBounded(all_ids.size())]);
+
+    // Observers optionally skip gateway nodes (a small-world scale
+    // correction; see ExperimentConfig::observers_avoid_gateways).
+    std::unordered_map<Hash32, char> gateway_ids;
+    if (is_observer && config_.observers_avoid_gateways)
+      for (std::size_t g = 0; g < gateway_count; ++g)
+        gateway_ids.emplace(nodes_[g]->id(), 0);
+    auto dialable = [&](const p2p::NodeId& candidate) {
+      return !gateway_ids.contains(candidate);
+    };
+
+    std::size_t dialed = 0;
+    int lookups = 0;
+    const int max_lookups = static_cast<int>(want_dials) + 32;
+    while (dialed < want_dials && lookups < max_lookups) {
+      ++lookups;
+      const p2p::NodeId target = p2p::RandomNodeId(rng);
+      const auto found =
+          p2p::IterativeFindNode(local, target, p2p::kBucketSize, query);
+      for (const auto& candidate : found) {
+        if (dialed >= want_dials) break;
+        if (candidate == node.id() || !dialable(candidate)) continue;
+        eth::EthNode* other = by_id.at(candidate);
+        if (eth::EthNode::Connect(node, *other)) ++dialed;
+        local.Add(candidate);
+      }
+    }
+    // Fallback for saturated neighborhoods: random dials.
+    int attempts = 0;
+    while (dialed < want_dials && attempts < 20 * static_cast<int>(n)) {
+      ++attempts;
+      eth::EthNode* other = nodes_[rng.NextBounded(n)].get();
+      if (!dialable(other->id())) continue;
+      if (eth::EthNode::Connect(node, *other)) ++dialed;
+    }
+  }
+}
+
+void Experiment::Run() {
+  if (ran_) return;
+  ran_ = true;
+  Build();
+
+  coordinator_->Start();
+  workload_->Start();
+  sim_.RunUntil(TimePoint::FromMicros(config_.duration.micros()));
+}
+
+}  // namespace ethsim::core

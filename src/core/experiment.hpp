@@ -1,0 +1,67 @@
+// The experiment runner: builds the overlay (gateways, plain nodes, vantage
+// observers), wires the topology through Kademlia lookups, starts the PoW
+// race and the transaction workload, runs the clock, and hands the observer
+// logs + mint catalog to the analysis pipeline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/workload.hpp"
+#include "eth/node.hpp"
+#include "measure/observer.hpp"
+#include "miner/mining.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ethsim::core {
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  // Builds and runs the full study once. Subsequent calls are no-ops.
+  void Run();
+
+  const ExperimentConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  const std::vector<std::unique_ptr<measure::Observer>>& observers() const {
+    return observers_;
+  }
+  const miner::MiningCoordinator& coordinator() const { return *coordinator_; }
+  const std::vector<miner::MintRecord>& minted() const {
+    return coordinator_->minted();
+  }
+  const TxWorkload& workload() const { return *workload_; }
+  // A converged full node's view of the chain at the end of the run.
+  const chain::BlockTree& reference_tree() const {
+    return coordinator_->reference_tree();
+  }
+  const std::vector<std::unique_ptr<eth::EthNode>>& nodes() const {
+    return nodes_;
+  }
+  chain::BlockPtr genesis() const { return genesis_; }
+
+ private:
+  void Build();
+  void BuildTopology(Rng rng);
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  chain::BlockPtr genesis_;
+  // All full nodes: [gateways..., plain..., observers...]. Gateways first so
+  // pool p's gateways are contiguous and discoverable by index.
+  std::vector<std::unique_ptr<eth::EthNode>> nodes_;
+  std::vector<std::unique_ptr<measure::Observer>> observers_;
+  std::unique_ptr<miner::MiningCoordinator> coordinator_;
+  std::unique_ptr<TxWorkload> workload_;
+  bool ran_ = false;
+  bool built_ = false;
+};
+
+}  // namespace ethsim::core

@@ -1,0 +1,106 @@
+#include "core/workload.hpp"
+
+#include <cassert>
+
+#include "common/keccak.hpp"
+
+namespace ethsim::core {
+
+namespace {
+Address AccountAddress(std::uint64_t index) {
+  const Hash32 digest = Keccak256Of("account-" + std::to_string(index));
+  Address addr;
+  for (std::size_t i = 0; i < 20; ++i) addr.bytes[i] = digest.bytes[i];
+  return addr;
+}
+}  // namespace
+
+TxWorkload::TxWorkload(sim::Simulator& simulator, Rng rng,
+                       TxWorkloadParams params,
+                       std::vector<eth::EthNode*> frontends)
+    : sim_(simulator),
+      rng_(rng),
+      params_(params),
+      frontends_(std::move(frontends)),
+      next_nonce_(params.accounts, 0) {
+  assert(!frontends_.empty());
+  assert(params_.accounts > 0);
+  account_addr_.reserve(params_.accounts);
+  for (std::size_t i = 0; i < params_.accounts; ++i)
+    account_addr_.push_back(AccountAddress(i));
+}
+
+void TxWorkload::Start() {
+  if (params_.rate_per_sec <= 0) return;
+  ScheduleNext();
+}
+
+void TxWorkload::ScheduleNext() {
+  const Duration wait =
+      Duration::Seconds(rng_.NextExponential(1.0 / params_.rate_per_sec));
+  sim_.Schedule(wait, [this] { SubmitOne(); });
+}
+
+chain::Transaction TxWorkload::BuildTx(std::size_t account) {
+  const std::uint64_t nonce = next_nonce_[account]++;
+  std::uint32_t payload = 0;
+  if (params_.payload_mean_bytes > 0)
+    payload = static_cast<std::uint32_t>(
+        rng_.NextExponential(params_.payload_mean_bytes));
+  // Gas prices 1..100 gwei-ish; spread exercises the pool's price ordering.
+  const std::uint64_t gas_price = 1 + rng_.NextBounded(100);
+  const Address to = AccountAddress(rng_.NextBounded(params_.accounts));
+  return chain::MakeTransaction(account_addr_[account], nonce, to,
+                                /*value=*/1 + rng_.NextBounded(1'000'000),
+                                gas_price, payload);
+}
+
+void TxWorkload::SubmitOne() {
+  const std::size_t account = rng_.NextBounded(params_.accounts);
+  const std::size_t frontend = rng_.NextBounded(frontends_.size());
+
+  const chain::Transaction tx = BuildTx(account);
+  const bool burst = rng_.NextBool(params_.burst_prob);
+
+  if (!burst) {
+    submitted_.push_back(
+        SubmittedTx{tx.hash, tx.sender, tx.nonce, sim_.Now(), false});
+    frontends_[frontend]->SubmitTransaction(tx);
+    ScheduleNext();
+    return;
+  }
+
+  // A burst: the follow-up nonce leaves from a different frontend. Normally
+  // it trails by a few ms (two gossip waves race; the higher nonce sometimes
+  // wins at a vantage — §III-C2). In an *inversion*, the lower nonce is the
+  // one stuck behind a slow frontend for seconds, so the higher nonce
+  // provably propagates first and must wait in every txpool's queued bucket.
+  const chain::Transaction follow = BuildTx(account);
+  std::size_t other = rng_.NextBounded(frontends_.size());
+  if (frontends_.size() > 1 && other == frontend)
+    other = (other + 1) % frontends_.size();
+
+  Duration first_delay = Duration::Micros(0);
+  Duration follow_delay = Duration::Millis(
+      1 + static_cast<std::int64_t>(rng_.NextBounded(40)));
+  if (rng_.NextBool(params_.inversion_prob)) {
+    first_delay =
+        Duration::Seconds(rng_.NextExponential(params_.inversion_delay_mean_s));
+    follow_delay = Duration::Micros(0);
+  }
+
+  submitted_.push_back(SubmittedTx{tx.hash, tx.sender, tx.nonce,
+                                   sim_.Now() + first_delay, true});
+  submitted_.push_back(SubmittedTx{follow.hash, follow.sender, follow.nonce,
+                                   sim_.Now() + follow_delay, true});
+  sim_.Schedule(first_delay, [this, frontend, tx] {
+    frontends_[frontend]->SubmitTransaction(tx);
+  });
+  sim_.Schedule(follow_delay, [this, other, follow] {
+    frontends_[other]->SubmitTransaction(follow);
+  });
+
+  ScheduleNext();
+}
+
+}  // namespace ethsim::core

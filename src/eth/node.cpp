@@ -1,0 +1,314 @@
+#include "eth/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "chain/validation.hpp"
+
+namespace ethsim::eth {
+
+EthNode::EthNode(sim::Simulator& simulator, net::Network& network,
+                 net::HostId host, p2p::NodeId id, chain::BlockPtr genesis,
+                 NodeConfig config, Rng rng)
+    : sim_(simulator),
+      net_(network),
+      host_(host),
+      id_(id),
+      config_(config),
+      rng_(rng),
+      tree_(std::move(genesis)),
+      seen_txs_(config.seen_txs_cap) {}
+
+net::Region EthNode::region() const { return net_.host(host_).region; }
+
+bool EthNode::Connect(EthNode& a, EthNode& b) {
+  if (&a == &b) return false;
+  if (a.peers_.size() >= a.config_.max_peers) return false;
+  if (b.peers_.size() >= b.config_.max_peers) return false;
+  if (a.ConnectedTo(b)) return false;
+  a.peers_.push_back(Peer{&b, BoundedSet<Hash32>(a.config_.known_blocks_cap),
+                          BoundedSet<Hash32>(a.config_.known_txs_cap)});
+  b.peers_.push_back(Peer{&a, BoundedSet<Hash32>(b.config_.known_blocks_cap),
+                          BoundedSet<Hash32>(b.config_.known_txs_cap)});
+  return true;
+}
+
+bool EthNode::ConnectedTo(const EthNode& other) const {
+  return std::any_of(peers_.begin(), peers_.end(),
+                     [&](const Peer& p) { return p.node == &other; });
+}
+
+EthNode::Peer* EthNode::FindPeer(const EthNode* node) {
+  for (auto& p : peers_)
+    if (p.node == node) return &p;
+  return nullptr;
+}
+
+void EthNode::MarkKnowsBlock(EthNode* from, const Hash32& hash) {
+  if (Peer* p = FindPeer(from)) p->known_blocks.Insert(hash);
+}
+
+// --- local actions ---------------------------------------------------------
+
+void EthNode::SubmitTransaction(const chain::Transaction& tx) {
+  if (!seen_txs_.Insert(tx.hash)) return;
+  pool_.Add(tx);
+  QueueTxForBroadcast(tx);
+}
+
+void EthNode::InjectMinedBlock(chain::BlockPtr block) {
+  // The miner built this block itself: no validation needed. Geth's
+  // minedBroadcastLoop pushes the full block to sqrt(peers) and announces
+  // the hash to everyone else.
+  const auto result = tree_.Add(block, sim_.Now());
+  if (result.outcome == chain::BlockTree::AddOutcome::kDuplicate) return;
+  for (const auto& retired : result.retired)
+    for (const auto& tx : retired->transactions) {
+      pool_.RollbackAccountNonce(tx.sender, tx.nonce);
+      pool_.Add(tx);
+    }
+  for (const auto& adopted : result.adopted)
+    pool_.RemoveIncluded(adopted->transactions);
+
+  if (sink_ != nullptr)
+    sink_->OnBlockImported(
+        block, result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead);
+
+  PushToSqrtPeers(block);
+  AnnounceToOtherPeers(block);
+
+  if (result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead &&
+      on_new_head_)
+    on_new_head_(tree_.head());
+}
+
+// --- wire ingress ------------------------------------------------------------
+
+void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
+  if (sink_ != nullptr)
+    sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFullBlock, block->hash,
+                          block->header.number, block.get());
+  MarkKnowsBlock(from, block->hash);
+  HandleIncomingBlock(from, std::move(block));
+}
+
+void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
+  if (sink_ != nullptr)
+    sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFetched, block->hash,
+                          block->header.number, block.get());
+  requested_.erase(block->hash);
+  MarkKnowsBlock(from, block->hash);
+  HandleIncomingBlock(from, std::move(block));
+}
+
+void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
+                                  std::uint64_t number) {
+  if (sink_ != nullptr)
+    sink_->OnBlockMessage(MessageSink::BlockMsgKind::kAnnouncement, hash, number,
+                          nullptr);
+  MarkKnowsBlock(from, hash);
+  if (tree_.Contains(hash) || importing_.contains(hash) ||
+      requested_.contains(hash))
+    return;
+  requested_.insert(hash);
+  net_.Send(host_, from->host(), kGetBlockWireSize,
+            [from, self = this, hash] { from->DeliverGetBlock(self, hash); });
+  // Retry guard: if the fetch (or its response) is lost, forget it so the
+  // next announcement re-triggers the request.
+  sim_.Schedule(config_.fetch_retry_timeout,
+                [this, hash] { requested_.erase(hash); });
+}
+
+void EthNode::DeliverGetBlock(EthNode* from, const Hash32& hash) {
+  const chain::BlockPtr block = tree_.Get(hash);
+  if (!block) return;  // pruned/unknown; requester will hear it elsewhere
+  if (Peer* p = FindPeer(from)) p->known_blocks.Insert(hash);
+  net_.Send(host_, from->host(), block->EncodedSize(),
+            [from, self = this, block] { from->DeliverBlockResponse(self, block); });
+}
+
+void EthNode::DeliverTransactions(
+    EthNode* from, std::shared_ptr<const std::vector<chain::Transaction>> txs) {
+  Peer* peer = FindPeer(from);
+  for (const auto& tx : *txs) {
+    if (sink_ != nullptr) sink_->OnTransactionMessage(tx);
+    if (peer != nullptr) peer->known_txs.Insert(tx.hash);
+    if (!seen_txs_.Insert(tx.hash)) continue;
+    pool_.Add(tx);
+    QueueTxForBroadcast(tx);
+  }
+}
+
+// --- relay pipeline ----------------------------------------------------------
+
+void EthNode::HandleIncomingBlock(EthNode* from, chain::BlockPtr block) {
+  const Hash32 hash = block->hash;
+  if (tree_.Contains(hash) || importing_.contains(hash)) return;
+  importing_.insert(hash);
+
+  // Geth relays eagerly after the cheap PoW/header check, then spends the
+  // full validation time before import.
+  sim_.Schedule(config_.header_check_delay, [this, block] {
+    PushToSqrtPeers(block);
+    sim_.Schedule(ValidationDelay(*block),
+                  [this, block] { ImportBlock(block, nullptr); });
+  });
+  (void)from;
+}
+
+Duration EthNode::ValidationDelay(const chain::Block& block) const {
+  const Duration work =
+      config_.base_validation +
+      config_.per_tx_validation * static_cast<double>(block.transactions.size());
+  return work * config_.validation_speed_factor;
+}
+
+void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
+  (void)origin;
+  const Hash32 hash = block->hash;
+  importing_.erase(hash);
+
+  // Consensus checks against the parent (when known). A byzantine or corrupt
+  // block is dropped and never relayed further. (Blocks that arrive as
+  // orphans attach inside the tree when their parent shows up and skip this
+  // check — acceptable here because the fetch path re-delivers through this
+  // function; a hardened client would validate at attach time.)
+  if (const chain::BlockPtr parent = tree_.Get(block->header.parent_hash)) {
+    if (chain::ValidateBlock(*block, parent->header) !=
+        chain::ValidationError::kNone) {
+      ++invalid_blocks_;
+      return;
+    }
+  }
+
+  const auto result = tree_.Add(block, sim_.Now());
+  switch (result.outcome) {
+    case chain::BlockTree::AddOutcome::kDuplicate:
+      return;
+    case chain::BlockTree::AddOutcome::kOrphaned: {
+      // Fetch the missing parent from a random peer claiming block knowledge
+      // (any peer, in our loss-free overlay).
+      if (!peers_.empty() && !requested_.contains(block->header.parent_hash)) {
+        const Hash32 parent = block->header.parent_hash;
+        requested_.insert(parent);
+        Peer& peer = peers_[rng_.NextBounded(peers_.size())];
+        net_.Send(host_, peer.node->host(), kGetBlockWireSize,
+                  [target = peer.node, self = this, parent] {
+                    target->DeliverGetBlock(self, parent);
+                  });
+        sim_.Schedule(config_.fetch_retry_timeout,
+                      [this, parent] { requested_.erase(parent); });
+      }
+      return;
+    }
+    case chain::BlockTree::AddOutcome::kAdded:
+    case chain::BlockTree::AddOutcome::kAddedNewHead:
+      break;
+  }
+
+  // Reorg bookkeeping mirrors Geth: retired transactions return to the pool,
+  // adopted ones leave it.
+  for (const auto& retired : result.retired)
+    for (const auto& tx : retired->transactions) {
+      pool_.RollbackAccountNonce(tx.sender, tx.nonce);
+      pool_.Add(tx);
+    }
+  for (const auto& adopted : result.adopted)
+    pool_.RemoveIncluded(adopted->transactions);
+
+  if (sink_ != nullptr)
+    sink_->OnBlockImported(
+        block, result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead);
+
+  AnnounceToOtherPeers(block);
+
+  if (result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead &&
+      on_new_head_)
+    on_new_head_(tree_.head());
+}
+
+void EthNode::PushToSqrtPeers(const chain::BlockPtr& block) {
+  if (peers_.empty()) return;
+  if (config_.relay_mode == RelayMode::kAnnounceOnly) return;
+  const auto want =
+      config_.relay_mode == RelayMode::kPushAll
+          ? peers_.size()
+          : static_cast<std::size_t>(
+                std::ceil(std::sqrt(static_cast<double>(peers_.size()))));
+
+  // Sample peers without replacement until `want` unaware peers were pushed.
+  std::vector<std::size_t> order(peers_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng_.NextBounded(i)]);
+
+  std::size_t pushed = 0;
+  for (const std::size_t idx : order) {
+    if (pushed == want) break;
+    Peer& peer = peers_[idx];
+    if (peer.known_blocks.Contains(block->hash)) continue;
+    SendNewBlock(peer, block);
+    ++pushed;
+  }
+}
+
+void EthNode::AnnounceToOtherPeers(const chain::BlockPtr& block) {
+  for (Peer& peer : peers_) {
+    if (peer.known_blocks.Contains(block->hash)) continue;
+    SendAnnouncement(peer, block);
+  }
+}
+
+void EthNode::SendNewBlock(Peer& peer, const chain::BlockPtr& block) {
+  peer.known_blocks.Insert(block->hash);
+  EthNode* target = peer.node;
+  net_.Send(host_, target->host(), block->EncodedSize(),
+            [target, self = this, block] { target->DeliverNewBlock(self, block); });
+}
+
+void EthNode::SendAnnouncement(Peer& peer, const chain::BlockPtr& block) {
+  peer.known_blocks.Insert(block->hash);
+  EthNode* target = peer.node;
+  net_.Send(host_, target->host(), kAnnouncementWireSize,
+            [target, self = this, hash = block->hash,
+             number = block->header.number] {
+              target->DeliverAnnouncement(self, hash, number);
+            });
+}
+
+// --- transaction gossip ------------------------------------------------------
+
+void EthNode::QueueTxForBroadcast(const chain::Transaction& tx) {
+  tx_broadcast_queue_.push_back(tx);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_.Schedule(config_.tx_flush_interval, [this] { FlushTxBroadcast(); });
+  }
+}
+
+void EthNode::FlushTxBroadcast() {
+  flush_scheduled_ = false;
+  if (tx_broadcast_queue_.empty()) return;
+  const std::vector<chain::Transaction> queue = std::move(tx_broadcast_queue_);
+  tx_broadcast_queue_.clear();
+
+  for (Peer& peer : peers_) {
+    auto batch = std::make_shared<std::vector<chain::Transaction>>();
+    std::size_t bytes = kTxBatchOverhead;
+    for (const auto& tx : queue) {
+      if (peer.known_txs.Contains(tx.hash)) continue;
+      peer.known_txs.Insert(tx.hash);
+      batch->push_back(tx);
+      bytes += tx.EncodedSize();
+    }
+    if (batch->empty()) continue;
+    EthNode* target = peer.node;
+    net_.Send(host_, target->host(), bytes,
+              [target, self = this,
+               payload = std::shared_ptr<const std::vector<chain::Transaction>>(
+                   batch)] { target->DeliverTransactions(self, payload); });
+  }
+}
+
+}  // namespace ethsim::eth

@@ -1,0 +1,171 @@
+// The full-node model: a Geth-1.8-like client speaking a simplified eth/63.
+//   - NewBlock      — unsolicited full-block push to ~sqrt(peers)
+//   - NewBlockHashes— hash announcement to the remaining peers after import
+//   - GetBlock      — fetch of an announced-but-unknown block
+//   - Transactions  — batched transaction relay to all peers not known to
+//                     have a transaction
+// Each node owns its private view of the chain (BlockTree) and a TxPool, and
+// tracks per-peer known-block/known-tx caches exactly like Geth's
+// peer.knownBlocks/knownTxs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/blocktree.hpp"
+#include "chain/txpool.hpp"
+#include "common/bounded_set.hpp"
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "eth/sink.hpp"
+#include "net/network.hpp"
+#include "p2p/node_id.hpp"
+#include "sim/simulator.hpp"
+
+namespace ethsim::eth {
+
+// Block relay strategy — Geth's sqrt-push is the default; the alternatives
+// exist for the ablation benches (bandwidth/latency/redundancy tradeoff).
+enum class RelayMode {
+  kSqrtPush,     // full block to ~sqrt(peers), hash announce to the rest
+  kPushAll,      // full block to every unaware peer (max speed, max waste)
+  kAnnounceOnly, // hash announcements only; everyone fetches (min waste)
+};
+
+struct NodeConfig {
+  // Geth's default maxpeers is 25; the paper's vantage nodes ran unlimited.
+  std::size_t max_peers = 25;
+  RelayMode relay_mode = RelayMode::kSqrtPush;
+  // Tx broadcast batching window (Geth flushes its per-peer queues promptly;
+  // a small window models the syscall/scheduler granularity).
+  Duration tx_flush_interval = Duration::Millis(100);
+  // PoW/header sanity check before eager push relay.
+  Duration header_check_delay = Duration::Millis(3);
+  // Full validation before import: base + per-transaction execution
+  // (state-root computation dominated real Geth 1.8 imports: ~100-500 ms).
+  // This is what stretches the propagation wave far beyond a single link
+  // latency — and why announcements rarely flow backwards (Table II) — and
+  // the asymmetry that gives empty blocks a relay head start (§III-C3).
+  Duration base_validation = Duration::Millis(150);
+  Duration per_tx_validation = Duration::Micros(250);
+  // Host-speed multiplier on validation (1.0 = provisioned hardware).
+  // Commodity peers run slow disks/CPUs and import in seconds; this
+  // heterogeneity stretches the propagation wave relative to link latency,
+  // which is what keeps redundant back-announcements low (Table II).
+  double validation_speed_factor = 1.0;
+  // Per-peer known caches only need to span the propagation window (relay
+  // dedupe happens within seconds); small caps keep memory flat on
+  // day-scale simulations with thousands of peer links.
+  std::size_t known_txs_cap = 1024;
+  std::size_t known_blocks_cap = 256;
+  // Node-level seen-tx horizon (admission dedupe) can be longer.
+  std::size_t seen_txs_cap = 16384;
+  // A GetBlock fetch that produced no response within this window is
+  // forgotten, so a later announcement can re-trigger it (Geth's fetcher
+  // timeout). Without this, one lost fetch poisons the hash forever.
+  Duration fetch_retry_timeout = Duration::Seconds(5);
+};
+
+class EthNode {
+ public:
+  EthNode(sim::Simulator& simulator, net::Network& network, net::HostId host,
+          p2p::NodeId id, chain::BlockPtr genesis, NodeConfig config, Rng rng);
+
+  EthNode(const EthNode&) = delete;
+  EthNode& operator=(const EthNode&) = delete;
+
+  // --- identity / wiring -------------------------------------------------
+  net::HostId host() const { return host_; }
+  const p2p::NodeId& id() const { return id_; }
+  net::Region region() const;
+
+  // Establishes a mutual connection. Returns false if either side is full,
+  // they are already connected, or it is a self-dial.
+  static bool Connect(EthNode& a, EthNode& b);
+  std::size_t peer_count() const { return peers_.size(); }
+  bool ConnectedTo(const EthNode& other) const;
+  std::size_t max_peers() const { return config_.max_peers; }
+
+  void set_sink(MessageSink* sink) { sink_ = sink; }
+  // Invoked whenever the canonical head changes (miners re-target here).
+  void set_head_callback(std::function<void(chain::BlockPtr)> cb) {
+    on_new_head_ = std::move(cb);
+  }
+
+  // --- local actions ------------------------------------------------------
+  // A user submits a transaction at this node (enters pool + gossip).
+  void SubmitTransaction(const chain::Transaction& tx);
+  // A mining pool releases a freshly mined block through this gateway node.
+  void InjectMinedBlock(chain::BlockPtr block);
+
+  // --- chain state --------------------------------------------------------
+  const chain::BlockTree& tree() const { return tree_; }
+  const chain::TxPool& pool() const { return pool_; }
+  chain::TxPool& mutable_pool() { return pool_; }
+  // Blocks rejected by consensus validation at import.
+  std::uint64_t invalid_blocks() const { return invalid_blocks_; }
+
+  // --- wire ingress (invoked by peers through the Network) ----------------
+  void DeliverNewBlock(EthNode* from, chain::BlockPtr block);
+  void DeliverAnnouncement(EthNode* from, const Hash32& hash,
+                           std::uint64_t number);
+  void DeliverGetBlock(EthNode* from, const Hash32& hash);
+  void DeliverBlockResponse(EthNode* from, chain::BlockPtr block);
+  void DeliverTransactions(
+      EthNode* from, std::shared_ptr<const std::vector<chain::Transaction>> txs);
+
+ private:
+  struct Peer {
+    EthNode* node = nullptr;
+    BoundedSet<Hash32> known_blocks;
+    BoundedSet<Hash32> known_txs;
+  };
+
+  Peer* FindPeer(const EthNode* node);
+  void MarkKnowsBlock(EthNode* from, const Hash32& hash);
+
+  // Relay pipeline.
+  void HandleIncomingBlock(EthNode* from, chain::BlockPtr block);
+  void PushToSqrtPeers(const chain::BlockPtr& block);
+  void AnnounceToOtherPeers(const chain::BlockPtr& block);
+  void ImportBlock(chain::BlockPtr block, EthNode* origin);
+  Duration ValidationDelay(const chain::Block& block) const;
+
+  void QueueTxForBroadcast(const chain::Transaction& tx);
+  void FlushTxBroadcast();
+
+  void SendNewBlock(Peer& peer, const chain::BlockPtr& block);
+  void SendAnnouncement(Peer& peer, const chain::BlockPtr& block);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::HostId host_;
+  p2p::NodeId id_;
+  NodeConfig config_;
+  Rng rng_;
+
+  chain::BlockTree tree_;
+  chain::TxPool pool_;
+  std::vector<Peer> peers_;
+
+  BoundedSet<Hash32> seen_txs_;
+  std::unordered_set<Hash32> importing_;  // full block received, pre-import
+  std::unordered_set<Hash32> requested_;  // GetBlock in flight
+
+  std::vector<chain::Transaction> tx_broadcast_queue_;
+  bool flush_scheduled_ = false;
+  std::uint64_t invalid_blocks_ = 0;
+
+  MessageSink* sink_ = nullptr;
+  std::function<void(chain::BlockPtr)> on_new_head_;
+};
+
+// Wire-size constants (approximate devp2p framing).
+inline constexpr std::size_t kAnnouncementWireSize = 44;
+inline constexpr std::size_t kGetBlockWireSize = 40;
+inline constexpr std::size_t kTxBatchOverhead = 16;
+
+}  // namespace ethsim::eth

@@ -1,0 +1,245 @@
+#include "measure/dataset.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ethsim::measure {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* KindName(eth::MessageSink::BlockMsgKind kind) {
+  switch (kind) {
+    case eth::MessageSink::BlockMsgKind::kFullBlock: return "full";
+    case eth::MessageSink::BlockMsgKind::kAnnouncement: return "announce";
+    case eth::MessageSink::BlockMsgKind::kFetched: return "fetched";
+  }
+  return "?";
+}
+
+bool ParseKind(const std::string& s, eth::MessageSink::BlockMsgKind& kind) {
+  if (s == "full") {
+    kind = eth::MessageSink::BlockMsgKind::kFullBlock;
+  } else if (s == "announce") {
+    kind = eth::MessageSink::BlockMsgKind::kAnnouncement;
+  } else if (s == "fetched") {
+    kind = eth::MessageSink::BlockMsgKind::kFetched;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, '\t')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+VantageLog SnapshotObserver(const Observer& observer) {
+  VantageLog log;
+  log.name = observer.name();
+  log.region = observer.region();
+  log.clock_offset = observer.clock_offset();
+  log.block_arrivals = observer.block_arrivals();
+  log.tx_arrivals = observer.tx_arrivals();
+  log.imports = observer.imports();
+  return log;
+}
+
+std::vector<CatalogBlock> BuildCatalog(
+    const std::vector<miner::MintRecord>& minted,
+    const std::vector<miner::PoolSpec>& pools) {
+  std::vector<CatalogBlock> catalog;
+  catalog.reserve(minted.size());
+  for (const auto& record : minted) {
+    CatalogBlock row;
+    row.hash = record.block->hash;
+    row.number = record.block->header.number;
+    row.parent = record.block->header.parent_hash;
+    row.pool = record.pool_index < pools.size() ? pools[record.pool_index].name
+                                                : "unknown";
+    row.empty = record.block->IsEmpty();
+    row.fork_sibling = record.is_fork_sibling;
+    row.mined_at = record.mined_at;
+    catalog.push_back(std::move(row));
+  }
+  return catalog;
+}
+
+std::unique_ptr<Observer> ReplayObserver(const VantageLog& log,
+                                         sim::Simulator& simulator) {
+  auto observer = std::make_unique<Observer>(log.name, log.region, simulator,
+                                             log.clock_offset);
+  for (const auto& arrival : log.block_arrivals)
+    observer->IngestBlockArrival(arrival);
+  for (const auto& arrival : log.tx_arrivals) observer->IngestTxArrival(arrival);
+  for (const auto& event : log.imports) observer->IngestImport(event);
+  return observer;
+}
+
+std::vector<miner::MintRecord> ReconstructMintRecords(
+    const std::vector<CatalogBlock>& catalog,
+    const std::vector<miner::PoolSpec>& pools) {
+  std::unordered_map<std::string, std::size_t> pool_by_name;
+  for (std::size_t i = 0; i < pools.size(); ++i)
+    pool_by_name.emplace(pools[i].name, i);
+
+  std::vector<miner::MintRecord> minted;
+  minted.reserve(catalog.size());
+  for (const auto& row : catalog) {
+    const auto it = pool_by_name.find(row.pool);
+    if (it == pool_by_name.end()) continue;
+    auto block = std::make_shared<chain::Block>();
+    block->header.number = row.number;
+    block->header.parent_hash = row.parent;
+    block->hash = row.hash;  // persisted identity overrides the recomputed one
+    miner::MintRecord record;
+    record.block = std::move(block);
+    record.pool_index = it->second;
+    record.mined_at = row.mined_at;
+    record.deliberate_empty = row.empty;
+    record.is_fork_sibling = row.fork_sibling;
+    minted.push_back(std::move(record));
+  }
+  return minted;
+}
+
+bool WriteDataset(const std::string& directory, const Dataset& dataset) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return false;
+
+  {
+    std::ofstream manifest(fs::path(directory) / "MANIFEST.tsv");
+    if (!manifest) return false;
+    manifest << "# vantage\tregion\tclock_offset_us\n";
+    for (const auto& vantage : dataset.vantages)
+      manifest << vantage.name << '\t'
+               << net::RegionShortName(vantage.region) << '\t'
+               << vantage.clock_offset.micros() << '\n';
+  }
+
+  for (const auto& vantage : dataset.vantages) {
+    std::ofstream blocks(fs::path(directory) / (vantage.name + ".blocks.tsv"));
+    if (!blocks) return false;
+    blocks << "# local_time_us\thash\tnumber\tkind\n";
+    for (const auto& arrival : vantage.block_arrivals)
+      blocks << arrival.local_time.micros() << '\t' << ToHex(arrival.hash)
+             << '\t' << arrival.number << '\t' << KindName(arrival.kind) << '\n';
+
+    std::ofstream txs(fs::path(directory) / (vantage.name + ".txs.tsv"));
+    if (!txs) return false;
+    txs << "# local_time_us\thash\tsender\tnonce\n";
+    for (const auto& arrival : vantage.tx_arrivals)
+      txs << arrival.local_time.micros() << '\t' << ToHex(arrival.hash) << '\t'
+          << ToHex(arrival.sender) << '\t' << arrival.nonce << '\n';
+
+    std::ofstream imports(fs::path(directory) / (vantage.name + ".imports.tsv"));
+    if (!imports) return false;
+    imports << "# local_time_us\thash\tnumber\tnew_head\n";
+    for (const auto& event : vantage.imports)
+      imports << event.local_time.micros() << '\t' << ToHex(event.hash) << '\t'
+              << event.number << '\t' << (event.new_head ? 1 : 0) << '\n';
+  }
+
+  std::ofstream catalog(fs::path(directory) / "catalog.tsv");
+  if (!catalog) return false;
+  catalog << "# hash\tnumber\tparent\tpool\tempty\tfork_sibling\tmined_at_us\n";
+  for (const auto& row : dataset.catalog)
+    catalog << ToHex(row.hash) << '\t' << row.number << '\t' << ToHex(row.parent)
+            << '\t' << row.pool << '\t' << (row.empty ? 1 : 0) << '\t'
+            << (row.fork_sibling ? 1 : 0) << '\t' << row.mined_at.micros()
+            << '\n';
+  return true;
+}
+
+bool ReadDataset(const std::string& directory, Dataset& out) {
+  out = Dataset{};
+  std::ifstream manifest(fs::path(directory) / "MANIFEST.tsv");
+  if (!manifest) return false;
+
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitTabs(line);
+    if (fields.size() != 3) return false;
+    VantageLog vantage;
+    vantage.name = fields[0];
+    for (net::Region region : net::AllRegions())
+      if (net::RegionShortName(region) == fields[1]) vantage.region = region;
+    vantage.clock_offset = Duration::Micros(std::stoll(fields[2]));
+    out.vantages.push_back(std::move(vantage));
+  }
+
+  for (auto& vantage : out.vantages) {
+    std::ifstream blocks(fs::path(directory) / (vantage.name + ".blocks.tsv"));
+    if (!blocks) return false;
+    while (std::getline(blocks, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() != 4) return false;
+      BlockArrival arrival;
+      arrival.local_time = TimePoint::FromMicros(std::stoll(fields[0]));
+      arrival.hash = FixedBytesFromHex<32>(fields[1]);
+      arrival.number = std::stoull(fields[2]);
+      if (!ParseKind(fields[3], arrival.kind)) return false;
+      vantage.block_arrivals.push_back(arrival);
+    }
+
+    std::ifstream txs(fs::path(directory) / (vantage.name + ".txs.tsv"));
+    if (!txs) return false;
+    while (std::getline(txs, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() != 4) return false;
+      TxArrival arrival;
+      arrival.local_time = TimePoint::FromMicros(std::stoll(fields[0]));
+      arrival.hash = FixedBytesFromHex<32>(fields[1]);
+      arrival.sender = FixedBytesFromHex<20>(fields[2]);
+      arrival.nonce = std::stoull(fields[3]);
+      vantage.tx_arrivals.push_back(arrival);
+    }
+
+    std::ifstream imports(fs::path(directory) / (vantage.name + ".imports.tsv"));
+    if (!imports) return false;
+    while (std::getline(imports, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() != 4) return false;
+      ImportEvent event;
+      event.local_time = TimePoint::FromMicros(std::stoll(fields[0]));
+      event.hash = FixedBytesFromHex<32>(fields[1]);
+      event.number = std::stoull(fields[2]);
+      event.new_head = fields[3] == "1";
+      vantage.imports.push_back(event);
+    }
+  }
+
+  std::ifstream catalog(fs::path(directory) / "catalog.tsv");
+  if (!catalog) return false;
+  while (std::getline(catalog, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitTabs(line);
+    if (fields.size() != 7) return false;
+    CatalogBlock row;
+    row.hash = FixedBytesFromHex<32>(fields[0]);
+    row.number = std::stoull(fields[1]);
+    row.parent = FixedBytesFromHex<32>(fields[2]);
+    row.pool = fields[3];
+    row.empty = fields[4] == "1";
+    row.fork_sibling = fields[5] == "1";
+    row.mined_at = TimePoint::FromMicros(std::stoll(fields[6]));
+    out.catalog.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace ethsim::measure

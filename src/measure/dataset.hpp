@@ -1,0 +1,75 @@
+// Dataset persistence — the paper's released artifact was the raw
+// measurement logs plus processing tools. This module serializes observer
+// logs and the mint catalog to a plain-text dataset directory and loads them
+// back, so the analysis pipeline can run on stored data (simulated or,
+// with an adapter, real client logs).
+//
+// Format: one file per vantage (TSV, one record per line) plus catalog
+// files; a MANIFEST file lists vantages and clock offsets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/observer.hpp"
+#include "miner/mining.hpp"
+#include "miner/pool.hpp"
+
+namespace ethsim::measure {
+
+// A vantage's log, decoupled from the live Observer (what gets persisted).
+struct VantageLog {
+  std::string name;
+  net::Region region = net::Region::WesternEurope;
+  Duration clock_offset;
+  std::vector<BlockArrival> block_arrivals;
+  std::vector<TxArrival> tx_arrivals;
+  std::vector<ImportEvent> imports;
+};
+
+// Catalog row: ground truth about a produced block (the simulator's
+// Etherscan substitute).
+struct CatalogBlock {
+  Hash32 hash;
+  std::uint64_t number = 0;
+  Hash32 parent;
+  std::string pool;
+  bool empty = false;
+  bool fork_sibling = false;
+  TimePoint mined_at;
+};
+
+struct Dataset {
+  std::vector<VantageLog> vantages;
+  std::vector<CatalogBlock> catalog;
+};
+
+// Snapshot of a live observer.
+VantageLog SnapshotObserver(const Observer& observer);
+
+// Writes the dataset under `directory` (created if missing). Returns false
+// on any I/O failure.
+bool WriteDataset(const std::string& directory, const Dataset& dataset);
+
+// Loads a dataset previously written by WriteDataset.
+bool ReadDataset(const std::string& directory, Dataset& out);
+
+// Builds the catalog rows from a mint record list + pool roster.
+std::vector<CatalogBlock> BuildCatalog(
+    const std::vector<miner::MintRecord>& minted,
+    const std::vector<miner::PoolSpec>& pools);
+
+// Reconstructs a replay Observer from a persisted vantage log. The returned
+// observer serves the analysis pipeline exactly like a live one (the dummy
+// simulator is only needed for the base-class reference).
+std::unique_ptr<Observer> ReplayObserver(const VantageLog& log,
+                                         sim::Simulator& simulator);
+
+// Reconstructs mint records from the catalog (minimal blocks carrying hash,
+// number, parent and the pool index resolved against `pools` by name).
+// Enables the catalog-joined analyses (Fig 3) on stored datasets.
+std::vector<miner::MintRecord> ReconstructMintRecords(
+    const std::vector<CatalogBlock>& catalog,
+    const std::vector<miner::PoolSpec>& pools);
+
+}  // namespace ethsim::measure

@@ -1,0 +1,54 @@
+#include "measure/observer.hpp"
+
+namespace ethsim::measure {
+
+Observer::Observer(std::string name, net::Region region,
+                   sim::Simulator& simulator, Duration clock_offset)
+    : name_(std::move(name)),
+      region_(region),
+      sim_(simulator),
+      clock_offset_(clock_offset) {}
+
+void Observer::Attach(eth::EthNode& node) {
+  node_ = &node;
+  node.set_sink(this);
+}
+
+void Observer::OnBlockMessage(BlockMsgKind kind, const Hash32& hash,
+                              std::uint64_t number, const chain::Block* full) {
+  (void)full;
+  const TimePoint now = LocalNow();
+  blocks_.push_back(BlockArrival{hash, number, kind, now});
+  first_block_.try_emplace(hash, now);
+}
+
+void Observer::OnTransactionMessage(const chain::Transaction& tx) {
+  const TimePoint now = LocalNow();
+  txs_.push_back(TxArrival{tx.hash, tx.sender, tx.nonce, now});
+  first_tx_.try_emplace(tx.hash, now);
+}
+
+void Observer::OnBlockImported(const chain::BlockPtr& block, bool new_head) {
+  imports_.push_back(
+      ImportEvent{block->hash, block->header.number, new_head, LocalNow()});
+}
+
+void Observer::IngestBlockArrival(const BlockArrival& arrival) {
+  blocks_.push_back(arrival);
+  auto [it, inserted] = first_block_.try_emplace(arrival.hash, arrival.local_time);
+  if (!inserted && arrival.local_time < it->second)
+    it->second = arrival.local_time;
+}
+
+void Observer::IngestTxArrival(const TxArrival& arrival) {
+  txs_.push_back(arrival);
+  auto [it, inserted] = first_tx_.try_emplace(arrival.hash, arrival.local_time);
+  if (!inserted && arrival.local_time < it->second)
+    it->second = arrival.local_time;
+}
+
+void Observer::IngestImport(const ImportEvent& event) {
+  imports_.push_back(event);
+}
+
+}  // namespace ethsim::measure

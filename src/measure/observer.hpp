@@ -1,0 +1,98 @@
+// The measurement infrastructure of §II: an Observer is the "instrumented
+// Geth" — it attaches to a full node as its MessageSink and logs every
+// incoming block/transaction message with a *local* timestamp, i.e. the
+// simulation clock plus this vantage's NTP-style offset. Everything the
+// analysis pipeline consumes comes from these records, never from simulator
+// internals, mirroring the paper's log-driven methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "eth/node.hpp"
+#include "eth/sink.hpp"
+#include "net/geo.hpp"
+#include "sim/simulator.hpp"
+
+namespace ethsim::measure {
+
+struct BlockArrival {
+  Hash32 hash;
+  std::uint64_t number = 0;
+  eth::MessageSink::BlockMsgKind kind = eth::MessageSink::BlockMsgKind::kFullBlock;
+  TimePoint local_time;  // skewed by the vantage's clock offset
+};
+
+struct TxArrival {
+  Hash32 hash;
+  Address sender;
+  std::uint64_t nonce = 0;
+  TimePoint local_time;
+};
+
+struct ImportEvent {
+  Hash32 hash;
+  std::uint64_t number = 0;
+  bool new_head = false;
+  TimePoint local_time;
+};
+
+class Observer final : public eth::MessageSink {
+ public:
+  Observer(std::string name, net::Region region, sim::Simulator& simulator,
+           Duration clock_offset);
+
+  // Installs this observer as the node's message sink.
+  void Attach(eth::EthNode& node);
+
+  const std::string& name() const { return name_; }
+  net::Region region() const { return region_; }
+  Duration clock_offset() const { return clock_offset_; }
+  const eth::EthNode* node() const { return node_; }
+
+  // What this vantage's wall clock reads right now.
+  TimePoint LocalNow() const { return sim_.Now() + clock_offset_; }
+
+  const std::vector<BlockArrival>& block_arrivals() const { return blocks_; }
+  const std::vector<TxArrival>& tx_arrivals() const { return txs_; }
+  const std::vector<ImportEvent>& imports() const { return imports_; }
+
+  // First arrival (any message kind) per block / transaction hash.
+  const std::unordered_map<Hash32, TimePoint>& first_block_arrival() const {
+    return first_block_;
+  }
+  const std::unordered_map<Hash32, TimePoint>& first_tx_arrival() const {
+    return first_tx_;
+  }
+
+  // MessageSink:
+  void OnBlockMessage(BlockMsgKind kind, const Hash32& hash, std::uint64_t number,
+                      const chain::Block* full) override;
+  void OnTransactionMessage(const chain::Transaction& tx) override;
+  void OnBlockImported(const chain::BlockPtr& block, bool new_head) override;
+
+  // Replay ingestion: load records captured earlier (dataset playback). The
+  // record's own local_time is preserved; first-arrival indices update.
+  void IngestBlockArrival(const BlockArrival& arrival);
+  void IngestTxArrival(const TxArrival& arrival);
+  void IngestImport(const ImportEvent& event);
+
+ private:
+  std::string name_;
+  net::Region region_;
+  sim::Simulator& sim_;
+  Duration clock_offset_;
+  eth::EthNode* node_ = nullptr;
+
+  std::vector<BlockArrival> blocks_;
+  std::vector<TxArrival> txs_;
+  std::vector<ImportEvent> imports_;
+  std::unordered_map<Hash32, TimePoint> first_block_;
+  std::unordered_map<Hash32, TimePoint> first_tx_;
+};
+
+}  // namespace ethsim::measure

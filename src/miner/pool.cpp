@@ -1,0 +1,117 @@
+#include "miner/pool.hpp"
+
+#include "common/keccak.hpp"
+
+namespace ethsim::miner {
+
+Address PoolCoinbase(const std::string& name) {
+  const Hash32 digest = Keccak256Of(name);
+  Address addr;
+  for (std::size_t i = 0; i < 20; ++i) addr.bytes[i] = digest.bytes[i + 12];
+  return addr;
+}
+
+namespace {
+
+using net::Region;
+
+PoolSpec Make(std::string name, double share_percent,
+              std::vector<GatewaySpec> gateways, PoolPolicy policy) {
+  PoolSpec spec;
+  spec.coinbase = PoolCoinbase(name);
+  spec.name = std::move(name);
+  spec.hashrate_share = share_percent / 100.0;
+  spec.gateways = std::move(gateways);
+  spec.policy = policy;
+  return spec;
+}
+
+// One-miner-fork policy helper: total rate split 56% same-txset / 44%
+// distinct-txset as observed in §V, with 25/1775 of events being triples.
+PoolPolicy Policy(double empty_rate, double omf_rate) {
+  PoolPolicy p;
+  p.empty_block_rate = empty_rate;
+  p.one_miner_fork_same_txset_rate = omf_rate * 0.56;
+  p.one_miner_fork_distinct_txset_rate = omf_rate * 0.44;
+  p.fork_triple_rate = omf_rate > 0 ? 0.014 : 0.0;
+  return p;
+}
+
+}  // namespace
+
+std::vector<PoolSpec> PaperPools() {
+  // Hashrate shares are the paper's Fig 3 percentages. Gateway regions are
+  // fitted to Fig 3's first-observation splits (Chinese pools EA-heavy,
+  // Ethermine/Nanopool/DwarfPool EU-centric with US presence). Empty-block
+  // rates are fitted to Fig 6 (counts per pool out of 2,921 empty blocks in
+  // 201,086; Zhizhu's >25% and the zero rows for Nanopool/Miningpoolhub1
+  // are as reported). One-miner-fork rates are fitted to the §III-C5 census
+  // (~1,775 events over the month, dominated by the large pools).
+  std::vector<PoolSpec> pools;
+  pools.push_back(Make("Ethermine", 25.32,
+                       {{Region::WesternEurope, 0.38},
+                        {Region::CentralEurope, 0.47},
+                        {Region::NorthAmerica, 0.15}},
+                       Policy(0.0234, 0.012)));
+  pools.push_back(Make("Sparkpool", 22.88,
+                       {{Region::EasternAsia, 0.90},
+                        {Region::SoutheastAsia, 0.07},
+                        {Region::NorthAmerica, 0.03}},
+                       Policy(0.0109, 0.014)));
+  pools.push_back(Make("F2pool2", 12.75,
+                       {{Region::EasternAsia, 0.95}, {Region::NorthAmerica, 0.05}},
+                       Policy(0.0117, 0.010)));
+  pools.push_back(Make("Nanopool", 12.10,
+                       {{Region::WesternEurope, 0.35},
+                        {Region::CentralEurope, 0.35},
+                        {Region::EasternEurope, 0.20},
+                        {Region::NorthAmerica, 0.10}},
+                       Policy(0.0, 0.008)));
+  pools.push_back(Make("Miningpoolhub1", 5.61,
+                       {{Region::EasternAsia, 0.85}, {Region::NorthAmerica, 0.15}},
+                       Policy(0.0, 0.008)));
+  pools.push_back(Make("HuoBi.pro", 1.85, {{Region::EasternAsia, 1.0}},
+                       Policy(0.0134, 0.004)));
+  pools.push_back(Make("Pandapool", 1.82,
+                       {{Region::EasternAsia, 0.80}, {Region::NorthAmerica, 0.20}},
+                       Policy(0.0164, 0.004)));
+  pools.push_back(Make("DwarfPool1", 1.74,
+                       {{Region::WesternEurope, 0.40},
+                        {Region::CentralEurope, 0.40},
+                        {Region::NorthAmerica, 0.20}},
+                       Policy(0.0114, 0.003)));
+  pools.push_back(Make("Xnpool", 1.34, {{Region::EasternAsia, 1.0}},
+                       Policy(0.0130, 0.003)));
+  pools.push_back(Make("Uupool", 1.33, {{Region::EasternAsia, 1.0}},
+                       Policy(0.0337, 0.003)));
+  pools.push_back(Make("Minerall", 1.23,
+                       {{Region::EasternEurope, 0.50}, {Region::CentralEurope, 0.50}},
+                       Policy(0.0121, 0.002)));
+  pools.push_back(Make("Firepool", 1.22,
+                       {{Region::EasternAsia, 0.60}, {Region::SoutheastAsia, 0.40}},
+                       Policy(0.0102, 0.002)));
+  pools.push_back(Make("Zhizhu", 0.85, {{Region::EasternAsia, 1.0}},
+                       Policy(0.2516, 0.002)));
+  pools.push_back(Make("MiningExpress", 0.81,
+                       {{Region::NorthAmerica, 0.50}, {Region::SouthAmerica, 0.50}},
+                       Policy(0.0276, 0.002)));
+  pools.push_back(Make("Hiveon", 0.77,
+                       {{Region::EasternEurope, 0.60}, {Region::CentralEurope, 0.40}},
+                       Policy(0.0097, 0.002)));
+  pools.push_back(Make("Remaining miners", 8.39,
+                       {{Region::NorthAmerica, 0.15},
+                        {Region::WesternEurope, 0.20},
+                        {Region::CentralEurope, 0.15},
+                        {Region::EasternEurope, 0.10},
+                        {Region::EasternAsia, 0.25},
+                        {Region::SoutheastAsia, 0.08},
+                        {Region::Oceania, 0.04},
+                        {Region::SouthAmerica, 0.03}},
+                       Policy(0.0065, 0.001)));
+  // The Etherscan curiosity: a solo miner whose every block is empty.
+  pools.push_back(Make("EmptyOnlySolo", 0.004, {{Region::NorthAmerica, 1.0}},
+                       Policy(1.0, 0.0)));
+  return pools;
+}
+
+}  // namespace ethsim::miner

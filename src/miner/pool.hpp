@@ -1,0 +1,63 @@
+// Mining pools as first-class citizens (the paper's central modeling point):
+// each pool has a hashrate share, a coinbase, geographically placed gateway
+// nodes, and a policy block covering the selfish behaviors the paper
+// documents — deliberate empty blocks (§III-C3) and one-miner forks
+// (§III-C5, both the same-txset and distinct-txset variants).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/geo.hpp"
+
+namespace ethsim::miner {
+
+struct GatewaySpec {
+  net::Region region = net::Region::WesternEurope;
+  // Relative probability that a freshly mined block is released through a
+  // gateway in this region.
+  double weight = 1.0;
+};
+
+struct PoolPolicy {
+  // Probability that a found block is deliberately left empty (no time spent
+  // packing/validating transactions — the head-start strategy).
+  double empty_block_rate = 0.0;
+
+  // One-miner forks: probability that, having found a block, the pool emits
+  // a second distinct block at the same height.
+  //   same-txset     — a pool partition / redundant server race: identical
+  //                    content, different mix_seed.
+  //   distinct-txset — intentional double-mining for the extra uncle reward.
+  double one_miner_fork_same_txset_rate = 0.0;
+  double one_miner_fork_distinct_txset_rate = 0.0;
+  // Given a one-miner fork, probability of a triple instead of a pair.
+  double fork_triple_rate = 0.0;
+
+  // Extra delay between a gateway head update and the pool's workers
+  // actually mining on it (stratum job distribution latency). This is the
+  // fork window: larger values mean more stale blocks.
+  Duration job_update_delay = Duration::Millis(800);
+};
+
+struct PoolSpec {
+  std::string name;
+  double hashrate_share = 0.0;  // fraction of total network hashrate
+  Address coinbase;             // identifies the pool on-chain
+  std::vector<GatewaySpec> gateways;
+  PoolPolicy policy;
+};
+
+// The 15 named pools of Fig 3 with their measured hashrate shares, plus the
+// 8.39% "Remaining miners" bucket and the curious always-empty solo miner
+// the paper found on Etherscan. Gateway placement and policy rates are
+// fitted so the downstream measurements reproduce Figs 2, 3, 6, 7 and the
+// §III-C5 one-miner-fork census (see DESIGN.md).
+std::vector<PoolSpec> PaperPools();
+
+// Deterministic coinbase for a pool name (keccak-derived).
+Address PoolCoinbase(const std::string& name);
+
+}  // namespace ethsim::miner

@@ -1,0 +1,52 @@
+#include "net/geo.hpp"
+
+namespace ethsim::net {
+
+namespace {
+
+// One-way latency in milliseconds, symmetric. Diagonal = intra-region.
+// Figures approximate public backbone RTT/2 measurements (e.g. WonderNetwork,
+// AWS inter-region) circa 2019.
+constexpr double kLatencyMs[kRegionCount][kRegionCount] = {
+    //      NA     SA     WE     CE     EE     EA    SEA     OC
+    /*NA*/ {18.0, 75.0, 45.0, 55.0, 65.0, 85.0, 100.0, 80.0},
+    /*SA*/ {75.0, 20.0, 95.0, 105.0, 115.0, 150.0, 160.0, 160.0},
+    /*WE*/ {45.0, 95.0, 8.0, 10.0, 20.0, 110.0, 90.0, 140.0},
+    /*CE*/ {55.0, 105.0, 10.0, 7.0, 12.0, 100.0, 85.0, 140.0},
+    /*EE*/ {65.0, 115.0, 20.0, 12.0, 10.0, 80.0, 85.0, 150.0},
+    /*EA*/ {85.0, 150.0, 110.0, 100.0, 80.0, 15.0, 35.0, 65.0},
+    /*SEA*/ {100.0, 160.0, 90.0, 85.0, 85.0, 35.0, 18.0, 55.0},
+    /*OC*/ {80.0, 160.0, 140.0, 140.0, 150.0, 65.0, 55.0, 12.0},
+};
+
+constexpr std::string_view kNames[kRegionCount] = {
+    "North America", "South America", "Western Europe", "Central Europe",
+    "Eastern Europe", "Eastern Asia",  "Southeast Asia", "Oceania",
+};
+
+constexpr std::string_view kShortNames[kRegionCount] = {"NA", "SA", "WE", "CE",
+                                                        "EE", "EA", "SEA", "OC"};
+
+}  // namespace
+
+std::string_view RegionName(Region r) {
+  return kNames[static_cast<std::size_t>(r)];
+}
+
+std::string_view RegionShortName(Region r) {
+  return kShortNames[static_cast<std::size_t>(r)];
+}
+
+Duration BaseOneWayLatency(Region from, Region to) {
+  const double ms =
+      kLatencyMs[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  return Duration::Micros(static_cast<std::int64_t>(ms * 1000.0));
+}
+
+std::array<Region, kRegionCount> AllRegions() {
+  return {Region::NorthAmerica, Region::SouthAmerica, Region::WesternEurope,
+          Region::CentralEurope, Region::EasternEurope, Region::EasternAsia,
+          Region::SoutheastAsia, Region::Oceania};
+}
+
+}  // namespace ethsim::net

@@ -1,0 +1,36 @@
+// Geography model: world regions and a baseline inter-region one-way latency
+// matrix (typical Internet-backbone figures). The paper's four vantage
+// regions (NA, EA, WE, CE) are a subset; network nodes may live anywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace ethsim::net {
+
+enum class Region : std::uint8_t {
+  NorthAmerica = 0,
+  SouthAmerica,
+  WesternEurope,
+  CentralEurope,
+  EasternEurope,
+  EasternAsia,
+  SoutheastAsia,
+  Oceania,
+};
+inline constexpr std::size_t kRegionCount = 8;
+
+std::string_view RegionName(Region r);       // "North America"
+std::string_view RegionShortName(Region r);  // "NA"
+
+// Baseline one-way propagation latency between region backbones. Actual link
+// delay adds per-pair jitter and size/bandwidth cost (see LatencyModel).
+Duration BaseOneWayLatency(Region from, Region to);
+
+// All regions, for iteration.
+std::array<Region, kRegionCount> AllRegions();
+
+}  // namespace ethsim::net

@@ -1,0 +1,73 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ethsim::net {
+
+Network::Network(sim::Simulator& simulator, Rng rng, NetworkParams params)
+    : sim_(simulator), rng_(rng), params_(params) {}
+
+HostId Network::AddHost(HostSpec spec) {
+  hosts_.push_back(spec);
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+Duration Network::SampleDelay(HostId from, HostId to, std::size_t bytes) {
+  assert(from < hosts_.size() && to < hosts_.size());
+  const HostSpec& src = hosts_[from];
+  const HostSpec& dst = hosts_[to];
+
+  const Duration base = BaseOneWayLatency(src.region, dst.region);
+  // Lognormal with median 1.0: multiplicative jitter never goes negative and
+  // has the heavy right tail real paths show.
+  double jitter = rng_.NextLogNormal(0.0, params_.jitter_sigma);
+  if (params_.slow_path_prob > 0 && rng_.NextBool(params_.slow_path_prob))
+    jitter *= rng_.NextRange(2.0, params_.slow_path_factor_max);
+  const double latency_us = static_cast<double>(base.micros()) *
+                            params_.latency_scale * jitter;
+
+  const double bw = std::min(src.bandwidth_bps, dst.bandwidth_bps);
+  const double transfer_us = static_cast<double>(bytes) * 8.0 / bw * 1e6;
+
+  return Duration::Micros(static_cast<std::int64_t>(latency_us + transfer_us)) +
+         params_.per_message_overhead;
+}
+
+void Network::Send(HostId from, HostId to, std::size_t bytes, sim::EventFn deliver) {
+  if (params_.drop_prob > 0 && rng_.NextBool(params_.drop_prob)) {
+    ++dropped_;
+    return;
+  }
+  const Duration delay = SampleDelay(from, to, bytes);
+  TimePoint arrival = sim_.Now() + delay;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  auto [it, inserted] = fifo_last_.try_emplace(key, arrival);
+  if (!inserted) {
+    // TCP stream semantics: a later send on the same connection can never
+    // arrive before an earlier one.
+    if (arrival < it->second) arrival = it->second;
+    it->second = arrival;
+  }
+  sim_.ScheduleAt(arrival, std::move(deliver));
+}
+
+Duration ClockModel::SampleOffset() {
+  // Mixture fitted to the paper's NTP envelope: 90% under 10 ms, 99% under
+  // 100 ms, worst cases bounded by 250 ms.
+  const double u = rng_.NextDouble();
+  double magnitude_ms;
+  if (u < 0.90) {
+    magnitude_ms = rng_.NextRange(0.0, 10.0);
+  } else if (u < 0.99) {
+    magnitude_ms = rng_.NextRange(10.0, 100.0);
+  } else {
+    magnitude_ms = rng_.NextRange(100.0, 250.0);
+  }
+  const double sign = rng_.NextBool(0.5) ? 1.0 : -1.0;
+  return Duration::Micros(static_cast<std::int64_t>(sign * magnitude_ms * 1000.0));
+}
+
+}  // namespace ethsim::net

@@ -1,0 +1,84 @@
+#include "p2p/kademlia.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace ethsim::p2p {
+
+bool RoutingTable::Add(const NodeId& node) {
+  const int dist = LogDistance(self_, node);
+  if (dist < 0) return false;  // self
+  auto& bucket = buckets_[static_cast<std::size_t>(dist)];
+  if (std::find(bucket.begin(), bucket.end(), node) != bucket.end()) return false;
+  if (bucket.size() >= kBucketSize) return false;
+  bucket.push_back(node);
+  ++size_;
+  return true;
+}
+
+bool RoutingTable::Contains(const NodeId& node) const {
+  const int dist = LogDistance(self_, node);
+  if (dist < 0) return false;
+  const auto& bucket = buckets_[static_cast<std::size_t>(dist)];
+  return std::find(bucket.begin(), bucket.end(), node) != bucket.end();
+}
+
+std::vector<NodeId> RoutingTable::Closest(const NodeId& target,
+                                          std::size_t count) const {
+  std::vector<NodeId> all = Entries();
+  std::sort(all.begin(), all.end(), [&](const NodeId& a, const NodeId& b) {
+    return CloserTo(target, a, b);
+  });
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+std::vector<NodeId> RoutingTable::Entries() const {
+  std::vector<NodeId> out;
+  out.reserve(size_);
+  for (const auto& bucket : buckets_)
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  return out;
+}
+
+std::vector<NodeId> IterativeFindNode(
+    const RoutingTable& local, const NodeId& target, std::size_t k,
+    const std::function<std::vector<NodeId>(const NodeId&, const NodeId&)>& query,
+    int max_rounds) {
+  auto closer = [&](const NodeId& a, const NodeId& b) {
+    return CloserTo(target, a, b);
+  };
+
+  std::vector<NodeId> shortlist = local.Closest(target, k);
+  std::unordered_set<NodeId> seen(shortlist.begin(), shortlist.end());
+  std::unordered_set<NodeId> queried;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // Query the alpha(=3) closest not-yet-queried nodes.
+    std::vector<NodeId> pending;
+    for (const NodeId& n : shortlist) {
+      if (!queried.contains(n)) pending.push_back(n);
+      if (pending.size() == 3) break;
+    }
+    if (pending.empty()) break;
+
+    bool improved = false;
+    for (const NodeId& n : pending) {
+      queried.insert(n);
+      for (const NodeId& found : query(n, target)) {
+        if (found == local.self()) continue;
+        if (seen.insert(found).second) {
+          shortlist.push_back(found);
+          improved = true;
+        }
+      }
+    }
+    std::sort(shortlist.begin(), shortlist.end(), closer);
+    if (shortlist.size() > k) shortlist.resize(k);
+    if (!improved) break;
+  }
+  return shortlist;
+}
+
+}  // namespace ethsim::p2p

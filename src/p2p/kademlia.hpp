@@ -1,0 +1,52 @@
+// Kademlia routing table (discv4 flavor): 256 k-buckets of capacity 16,
+// bucket i holding peers at XOR log-distance i from the local id. Used to
+// build the overlay topology the way real Geth does — iterative FindNode
+// lookups against bootstrap nodes — which yields geography-blind, close-to-
+// random neighbor sets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "p2p/node_id.hpp"
+
+namespace ethsim::p2p {
+
+inline constexpr std::size_t kBucketSize = 16;  // discv4's k
+inline constexpr std::size_t kBucketCount = 256;
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(NodeId self) : self_(self) {}
+
+  const NodeId& self() const { return self_; }
+
+  // Adds a node. Returns false when it is the local id, already present, or
+  // its bucket is full (discv4 would ping-evict; we keep the incumbent).
+  bool Add(const NodeId& node);
+
+  bool Contains(const NodeId& node) const;
+  std::size_t size() const { return size_; }
+
+  // The `count` table entries closest to `target` by XOR distance.
+  std::vector<NodeId> Closest(const NodeId& target, std::size_t count) const;
+
+  // All entries (bucket order). Mostly for tests/inspection.
+  std::vector<NodeId> Entries() const;
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> buckets_[kBucketCount];
+  std::size_t size_ = 0;
+};
+
+// Iterative lookup driver used at topology-build time. `query` plays the
+// role of a FindNode RPC: given (node, target) it returns that node's
+// closest entries to the target. Returns the closest `k` ids found.
+std::vector<NodeId> IterativeFindNode(
+    const RoutingTable& local, const NodeId& target, std::size_t k,
+    const std::function<std::vector<NodeId>(const NodeId&, const NodeId&)>& query,
+    int max_rounds = 8);
+
+}  // namespace ethsim::p2p

@@ -1,0 +1,38 @@
+#include "p2p/node_id.hpp"
+
+#include <bit>
+
+namespace ethsim::p2p {
+
+NodeId RandomNodeId(Rng& rng) {
+  NodeId id;
+  for (std::size_t i = 0; i < 32; i += 8) {
+    const std::uint64_t word = rng.Next();
+    for (std::size_t j = 0; j < 8; ++j)
+      id.bytes[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return id;
+}
+
+NodeId XorDistance(const NodeId& a, const NodeId& b) {
+  NodeId d;
+  for (std::size_t i = 0; i < 32; ++i) d.bytes[i] = a.bytes[i] ^ b.bytes[i];
+  return d;
+}
+
+int LogDistance(const NodeId& a, const NodeId& b) {
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint8_t x = static_cast<std::uint8_t>(a.bytes[i] ^ b.bytes[i]);
+    if (x != 0) {
+      const int leading = std::countl_zero(x);  // within the byte
+      return static_cast<int>((31 - i) * 8 + (7 - static_cast<std::size_t>(leading)));
+    }
+  }
+  return -1;
+}
+
+bool CloserTo(const NodeId& target, const NodeId& a, const NodeId& b) {
+  return XorDistance(target, a) < XorDistance(target, b);
+}
+
+}  // namespace ethsim::p2p

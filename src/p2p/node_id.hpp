@@ -1,0 +1,29 @@
+// devp2p node identities: 256-bit random ids with the Kademlia XOR metric.
+// Neighbor relationships in Ethereum derive from these ids and are therefore
+// independent of geography — the starting point of the paper's §III-B
+// argument (any geographic bias must come from miners, not the overlay).
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace ethsim::p2p {
+
+using NodeId = Hash32;
+
+// Uniformly random node id.
+NodeId RandomNodeId(Rng& rng);
+
+// XOR distance (big-endian lexicographic on the xor bytes).
+NodeId XorDistance(const NodeId& a, const NodeId& b);
+
+// Index of the highest set bit of XorDistance(a,b): 0..255, or -1 when
+// a == b. Bucket i holds nodes at log-distance i.
+int LogDistance(const NodeId& a, const NodeId& b);
+
+// true if XorDistance(target, a) < XorDistance(target, b).
+bool CloserTo(const NodeId& target, const NodeId& a, const NodeId& b);
+
+}  // namespace ethsim::p2p

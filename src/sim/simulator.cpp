@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ethsim::sim {
+
+EventHandle Simulator::Schedule(Duration delay, EventFn fn) {
+  assert(delay.micros() >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(TimePoint when, EventFn fn) {
+  assert(when >= now_);
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{id};
+}
+
+void Simulator::Cancel(EventHandle handle) {
+  if (handle.valid()) cancelled_.insert(handle.id_);
+}
+
+std::uint64_t Simulator::Run(TimePoint until, bool bounded) {
+  std::uint64_t ran = 0;
+  while (!heap_.empty()) {
+    if (bounded && heap_.front().when > until) break;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(e.when >= now_);
+    now_ = e.when;
+    ++executed_;
+    ++ran;
+    e.fn();
+  }
+  if (bounded && now_ < until) now_ = until;
+  return ran;
+}
+
+std::uint64_t Simulator::RunUntil(TimePoint until) { return Run(until, true); }
+
+std::uint64_t Simulator::RunAll() { return Run(TimePoint{}, false); }
+
+}  // namespace ethsim::sim

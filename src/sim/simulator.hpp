@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulation engine. Events fire in
+// (time, insertion-sequence) order, so two events scheduled for the same
+// instant run in the order they were scheduled — runs are reproducible
+// bit-for-bit for a given (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ethsim::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancelling a scheduled event. Cancellation is lazy: the id is
+// remembered and the event skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint Now() const { return now_; }
+
+  // Schedules fn to run `delay` from now. Delay must be non-negative.
+  EventHandle Schedule(Duration delay, EventFn fn);
+  EventHandle ScheduleAt(TimePoint when, EventFn fn);
+
+  // Cancels a pending event; no-op if it already ran or was cancelled.
+  void Cancel(EventHandle handle);
+
+  // Runs events with timestamp <= until (advancing the clock), then sets the
+  // clock to `until`. Returns the number of events executed.
+  std::uint64_t RunUntil(TimePoint until);
+
+  // Runs until the queue is completely empty.
+  std::uint64_t RunAll();
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    EventFn fn;
+  };
+  struct Later {
+    // Min-heap: std::push_heap keeps the *largest* on top, so invert.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::uint64_t Run(TimePoint until, bool bounded);
+
+  TimePoint now_;
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ethsim::sim

@@ -1,0 +1,111 @@
+#include "analysis/empty_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ethsim::analysis {
+namespace {
+
+struct EmptyBlockFixture : ::testing::Test {
+  EmptyBlockFixture() {
+    miner::PoolSpec a, b;
+    a.name = "Packer";
+    a.hashrate_share = 0.6;
+    a.coinbase = miner::PoolCoinbase("Packer");
+    b.name = "Skipper";
+    b.hashrate_share = 0.4;
+    b.coinbase = miner::PoolCoinbase("Skipper");
+    pools = {a, b};
+
+    auto g = std::make_shared<chain::Block>();
+    g->header.difficulty = 1;
+    g->Seal();
+    tree = std::make_unique<chain::BlockTree>(g);
+    tip = g;
+  }
+
+  void Append(std::size_t pool, bool empty) {
+    auto b = std::make_shared<chain::Block>();
+    b->header.parent_hash = tip->hash;
+    b->header.number = tip->header.number + 1;
+    b->header.difficulty = 1;
+    b->header.miner = pools[pool].coinbase;
+    if (!empty) {
+      Address sender;
+      sender.bytes[0] = static_cast<std::uint8_t>(tick + 1);
+      b->transactions.push_back(
+          chain::MakeTransaction(sender, 0, sender, 1, 1));
+    }
+    b->Seal();
+    tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
+    tip = b;
+  }
+
+  StudyInputs Inputs() {
+    StudyInputs inputs;
+    inputs.reference = tree.get();
+    inputs.pools = &pools;
+    return inputs;
+  }
+
+  std::vector<miner::PoolSpec> pools;
+  std::unique_ptr<chain::BlockTree> tree;
+  chain::BlockPtr tip;
+  std::uint64_t tick = 0;
+};
+
+TEST_F(EmptyBlockFixture, CountsPerPool) {
+  Append(0, false);
+  Append(0, false);
+  Append(0, true);
+  Append(1, true);
+  Append(1, true);
+
+  const auto result = EmptyBlockCensus(Inputs());
+  EXPECT_EQ(result.total_main_blocks, 5u);
+  EXPECT_EQ(result.total_empty_blocks, 3u);
+  EXPECT_DOUBLE_EQ(result.overall_empty_rate, 0.6);
+
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].pool, "Packer");
+  EXPECT_EQ(result.rows[0].main_blocks, 3u);
+  EXPECT_EQ(result.rows[0].empty_blocks, 1u);
+  EXPECT_NEAR(result.rows[0].empty_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(result.rows[1].empty_blocks, 2u);
+  EXPECT_DOUBLE_EQ(result.rows[1].empty_rate, 1.0);
+}
+
+TEST_F(EmptyBlockFixture, ScalingToPaperFrame) {
+  Append(0, true);
+  Append(0, false);  // 2 main blocks, 1 empty
+  const auto result = EmptyBlockCensus(Inputs(), 201'086);
+  // 1 empty out of 2 blocks -> scaled to 100,543.
+  EXPECT_NEAR(result.rows[0].scaled_to_paper, 100'543.0, 1.0);
+}
+
+TEST_F(EmptyBlockFixture, OnlyCanonicalBlocksCounted) {
+  Append(0, true);
+  // A forked empty block by pool 1 at the same height must not count.
+  auto fork = std::make_shared<chain::Block>();
+  fork->header.parent_hash = tree->genesis_hash();
+  fork->header.number = 1;
+  fork->header.difficulty = 1;
+  fork->header.miner = pools[1].coinbase;
+  fork->header.mix_seed = 99;
+  fork->Seal();
+  tree->Add(fork, TimePoint::FromMicros(1000));
+
+  const auto result = EmptyBlockCensus(Inputs());
+  EXPECT_EQ(result.total_main_blocks, 1u);
+  EXPECT_EQ(result.rows[1].main_blocks, 0u);
+}
+
+TEST_F(EmptyBlockFixture, EmptyChainIsSafe) {
+  const auto result = EmptyBlockCensus(Inputs());
+  EXPECT_EQ(result.total_main_blocks, 0u);
+  EXPECT_DOUBLE_EQ(result.overall_empty_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

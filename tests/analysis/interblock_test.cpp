@@ -1,0 +1,84 @@
+#include "analysis/interblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ethsim::analysis {
+namespace {
+
+struct InterBlockFixture : ::testing::Test {
+  InterBlockFixture() {
+    auto g = std::make_shared<chain::Block>();
+    g->header.difficulty = 1000;
+    g->Seal();
+    tree = std::make_unique<chain::BlockTree>(g);
+    tip = g;
+  }
+
+  void Append(std::uint64_t interval_s, std::uint64_t difficulty = 1000) {
+    auto b = std::make_shared<chain::Block>();
+    b->header.parent_hash = tip->hash;
+    b->header.number = tip->header.number + 1;
+    b->header.timestamp = tip->header.timestamp + interval_s;
+    b->header.difficulty = difficulty;
+    b->Seal();
+    tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
+    tip = b;
+  }
+
+  StudyInputs Inputs() {
+    StudyInputs inputs;
+    inputs.reference = tree.get();
+    return inputs;
+  }
+
+  std::unique_ptr<chain::BlockTree> tree;
+  chain::BlockPtr tip;
+  std::uint64_t tick = 0;
+};
+
+TEST_F(InterBlockFixture, MeanAndMedianOfConstantIntervals) {
+  for (int i = 0; i < 120; ++i) Append(13);
+  const auto result = InterBlockTimes(Inputs(), 10);
+  // Chain = genesis + 120 appended; skip 10 leaves 111 blocks -> 110 deltas.
+  EXPECT_EQ(result.blocks, 110u);
+  EXPECT_DOUBLE_EQ(result.mean_s, 13.0);
+  EXPECT_DOUBLE_EQ(result.median_s, 13.0);
+}
+
+TEST_F(InterBlockFixture, SkipDropsWarmup) {
+  // Warm-up blocks at 60 s, steady state at 13 s: skipping removes the bias.
+  for (int i = 0; i < 20; ++i) Append(60);
+  for (int i = 0; i < 100; ++i) Append(13);
+  const auto with_warmup = InterBlockTimes(Inputs(), 0);
+  const auto skipped = InterBlockTimes(Inputs(), 20);
+  EXPECT_GT(with_warmup.mean_s, 19.0);
+  EXPECT_DOUBLE_EQ(skipped.mean_s, 13.0);
+}
+
+TEST_F(InterBlockFixture, DifficultyTrendDetectsBombPressure) {
+  for (int i = 0; i < 200; ++i)
+    Append(13, 1000 + static_cast<std::uint64_t>(i) * 10);  // rising difficulty
+  const auto result = InterBlockTimes(Inputs(), 0);
+  EXPECT_GT(result.difficulty_last_decile, result.difficulty_first_decile * 1.5);
+}
+
+TEST_F(InterBlockFixture, TooShortChainIsSafe) {
+  Append(13);
+  const auto result = InterBlockTimes(Inputs(), 50);
+  EXPECT_EQ(result.blocks, 0u);
+  EXPECT_DOUBLE_EQ(result.mean_s, 0.0);
+}
+
+TEST_F(InterBlockFixture, ExpectedCommitBridgesToFig4) {
+  for (int i = 0; i < 120; ++i) Append(13);
+  const auto result = InterBlockTimes(Inputs(), 10);
+  // 12 confirmations at 13 s: 12.5 * 13 = 162.5 s — the ballpark the Fig 4
+  // bench measures (174 s incl. queueing).
+  EXPECT_NEAR(ExpectedCommitSeconds(result, 12), 162.5, 1e-9);
+  EXPECT_GT(ExpectedCommitSeconds(result, 36), ExpectedCommitSeconds(result, 12));
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

@@ -1,0 +1,108 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::analysis {
+namespace {
+
+TEST(Report, Fig1IncludesPaperReferenceValues) {
+  PropagationResult blocks;
+  for (int i = 0; i < 100; ++i) blocks.delays_ms.Add(70.0 + i * 0.1);
+  blocks.median_ms = blocks.delays_ms.Median();
+  blocks.mean_ms = blocks.delays_ms.mean();
+  blocks.p95_ms = blocks.delays_ms.Quantile(0.95);
+  blocks.p99_ms = blocks.delays_ms.Quantile(0.99);
+  PropagationResult txs;
+  txs.delays_ms.Add(100.0);
+  const std::string out =
+      RenderFig1(blocks, txs, {{"EA", 12.0, 50}, {"NA", 80.0, 50}});
+  EXPECT_NE(out.find("74 ms"), std::string::npos);   // paper median
+  EXPECT_NE(out.find("317 ms"), std::string::npos);  // paper p99
+  EXPECT_NE(out.find("EA"), std::string::npos);
+  EXPECT_NE(out.find("Figure 1"), std::string::npos);
+}
+
+TEST(Report, Fig2RendersSharesAsBars) {
+  GeoResult geo;
+  geo.total_blocks = 100;
+  geo.shares = {{"EA", 40, 0.40, 0.05}, {"NA", 10, 0.10, 0.02}};
+  const std::string out = RenderFig2(geo);
+  EXPECT_NE(out.find("EA"), std::string::npos);
+  EXPECT_NE(out.find("40.0%"), std::string::npos);
+  EXPECT_NE(out.find("paper: EA ~40%"), std::string::npos);
+}
+
+TEST(Report, Table2ComparesAgainstPaperAverages) {
+  RedundancyResult result;
+  result.blocks = 500;
+  result.announcements = {2.5, 2, 5, 7};
+  result.whole_blocks = {7.0, 7, 10, 12};
+  result.combined = {9.5, 9, 12, 15};
+  const std::string out = RenderTable2(result, 15'000);
+  EXPECT_NE(out.find("2.585"), std::string::npos);
+  EXPECT_NE(out.find("7.043"), std::string::npos);
+  EXPECT_NE(out.find("9.62"), std::string::npos);  // ln(15000)
+}
+
+TEST(Report, Table3ScalesCountsToPaperFrame) {
+  ForkCensus census;
+  census.total_blocks = 1000;
+  census.main_blocks = 928;
+  census.recognized_uncles = 70;
+  census.unrecognized_blocks = 2;
+  census.main_share = 0.928;
+  census.recognized_share = 0.07;
+  census.unrecognized_share = 0.002;
+  census.by_length = {{1, 68, 67, 1}, {2, 2, 0, 2}};
+  census.fork_events = 70;
+  OneMinerForkCensus omf;
+  omf.tuples[2] = 8;
+  omf.events = 8;
+  omf.extra_blocks = 8;
+  omf.recognized_extra_share = 1.0;
+  omf.same_txset_share = 0.5;
+  omf.share_of_all_forks = 8.0 / 70.0;
+  const std::string out = RenderTable3(census, omf, 216'671);
+  EXPECT_NE(out.find("92.81%"), std::string::npos);  // paper main share
+  EXPECT_NE(out.find("15,171"), std::string::npos);  // paper length-1 count
+  // Scaled length-1 count: 68 * 216671/1000 = 14734.
+  EXPECT_NE(out.find("14734"), std::string::npos);
+  EXPECT_NE(out.find("1,750"), std::string::npos);   // paper pair count
+}
+
+TEST(Report, Table1IsStatic) {
+  const std::string out = RenderTable1();
+  EXPECT_NE(out.find("North America"), std::string::npos);
+  EXPECT_NE(out.find("40x Xeon 2.2 GHz"), std::string::npos);
+  EXPECT_NE(out.find("8 Gbps"), std::string::npos);
+}
+
+TEST(Report, SecurityRendersHistoryComparison) {
+  miner::PoolSpec a;
+  a.name = "Ethermine";
+  a.hashrate_share = 0.259;
+  a.coinbase = miner::PoolCoinbase("Ethermine");
+  std::vector<miner::PoolSpec> pools{a};
+  std::vector<std::size_t> winners(1000, 0);
+  const auto month = SequencesFromWinners(winners, pools);
+  const auto history = SequencesFromWinners(winners, pools);
+  const std::string out = RenderSecurity(month, history, 13.3);
+  EXPECT_NE(out.find("102"), std::string::npos);  // paper's 10-run count
+  EXPECT_NE(out.find("censor"), std::string::npos);
+  EXPECT_NE(out.find("12-block rule"), std::string::npos);
+}
+
+TEST(Report, Fig6HighlightsPaperFindings) {
+  EmptyBlockResult result;
+  result.total_main_blocks = 1000;
+  result.total_empty_blocks = 15;
+  result.overall_empty_rate = 0.015;
+  result.rows = {{"Zhizhu", 30, 9, 0.30, 1809.0}};
+  const std::string out = RenderFig6(result);
+  EXPECT_NE(out.find("Zhizhu"), std::string::npos);
+  EXPECT_NE(out.find("1.45%"), std::string::npos);  // paper overall
+  EXPECT_NE(out.find("1.50%"), std::string::npos);  // measured overall
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

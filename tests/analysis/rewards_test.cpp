@@ -1,0 +1,141 @@
+#include "analysis/rewards.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ethsim::analysis {
+namespace {
+
+struct RewardsFixture : ::testing::Test {
+  RewardsFixture() {
+    miner::PoolSpec a, b;
+    a.name = "Alpha";
+    a.hashrate_share = 0.6;
+    a.coinbase = miner::PoolCoinbase("Alpha");
+    b.name = "Beta";
+    b.hashrate_share = 0.4;
+    b.coinbase = miner::PoolCoinbase("Beta");
+    pools = {a, b};
+
+    auto g = std::make_shared<chain::Block>();
+    g->header.difficulty = 1;
+    g->Seal();
+    tree = std::make_unique<chain::BlockTree>(g);
+    tip = g;
+  }
+
+  chain::BlockPtr Append(std::size_t pool,
+                         std::vector<chain::Transaction> txs = {},
+                         std::vector<chain::BlockHeader> uncles = {}) {
+    auto b = std::make_shared<chain::Block>();
+    b->header.parent_hash = tip->hash;
+    b->header.number = tip->header.number + 1;
+    b->header.difficulty = 1;
+    b->header.miner = pools[pool].coinbase;
+    b->transactions = std::move(txs);
+    b->uncles = std::move(uncles);
+    b->Seal();
+    tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
+    tip = b;
+    return b;
+  }
+
+  chain::BlockPtr Fork(const chain::BlockPtr& parent, std::size_t pool,
+                       std::uint64_t mix) {
+    auto b = std::make_shared<chain::Block>();
+    b->header.parent_hash = parent->hash;
+    b->header.number = parent->header.number + 1;
+    b->header.difficulty = 1;
+    b->header.miner = pools[pool].coinbase;
+    b->header.mix_seed = mix;
+    b->Seal();
+    tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
+    return b;
+  }
+
+  StudyInputs Inputs() {
+    StudyInputs inputs;
+    inputs.reference = tree.get();
+    inputs.pools = &pools;
+    return inputs;
+  }
+
+  std::vector<miner::PoolSpec> pools;
+  std::unique_ptr<chain::BlockTree> tree;
+  chain::BlockPtr tip;
+  std::uint64_t tick = 0;
+};
+
+TEST_F(RewardsFixture, BaseBlockRewards) {
+  Append(0);
+  Append(0);
+  Append(1);
+  const auto result = ComputeRevenue(Inputs());
+  EXPECT_DOUBLE_EQ(result.rows[0].block_rewards_eth, 4.0);
+  EXPECT_DOUBLE_EQ(result.rows[1].block_rewards_eth, 2.0);
+  EXPECT_DOUBLE_EQ(result.total_eth, 6.0);
+  EXPECT_NEAR(result.rows[0].revenue_share, 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(RewardsFixture, FeesScaleWithGasTimesPrice) {
+  Address sender;
+  sender.bytes[0] = 9;
+  // 21000 gas at 100 gwei = 0.0021 ETH.
+  const auto tx = chain::MakeTransaction(sender, 0, sender, 1, 100);
+  Append(0, {tx});
+  const auto result = ComputeRevenue(Inputs());
+  EXPECT_NEAR(result.rows[0].fee_rewards_eth, 21'000.0 * 100 * 1e-9, 1e-12);
+  // Fees are a rounding error next to the base reward — the paper's
+  // explanation of why empty blocks barely cost the miner anything.
+  EXPECT_LT(result.fees_share_of_total, 0.01);
+}
+
+TEST_F(RewardsFixture, UncleAndNephewRewards) {
+  Append(0);
+  const chain::BlockPtr uncle = Fork(tree->Get(tree->genesis_hash()), 1, 7);
+  // Distance 1 uncle: referenced by the block at height 2.
+  Append(0, {}, {uncle->header});
+
+  const auto result = ComputeRevenue(Inputs());
+  // Beta's uncle at distance 1: 2 * 7/8 = 1.75 ETH.
+  EXPECT_DOUBLE_EQ(result.rows[1].uncle_rewards_eth, 1.75);
+  EXPECT_EQ(result.rows[1].uncles_rewarded, 1u);
+  // Alpha referenced one uncle: nephew bonus 2/32.
+  EXPECT_DOUBLE_EQ(result.rows[0].nephew_rewards_eth, 2.0 / 32.0);
+  // Different miners at that height: no §V leakage.
+  EXPECT_DOUBLE_EQ(result.one_miner_uncle_eth, 0.0);
+}
+
+TEST_F(RewardsFixture, UncleRewardDecaysWithDistance) {
+  const chain::BlockPtr uncle = Fork(tree->Get(tree->genesis_hash()), 1, 7);
+  Append(0);  // height 1 (reorged over the fork once height 2 lands)
+  Append(0);  // height 2
+  Append(0);  // height 3
+  Append(0, {}, {uncle->header});  // height 4: distance 3 from the uncle
+  const auto result = ComputeRevenue(Inputs());
+  // 2 * (8-3)/8 = 1.25.
+  EXPECT_DOUBLE_EQ(result.rows[1].uncle_rewards_eth, 1.25);
+}
+
+TEST_F(RewardsFixture, OneMinerForkLeakageDetected) {
+  // Alpha holds height 1 AND its fork; the fork gets uncle-rewarded.
+  const chain::BlockPtr main1 = Append(0);
+  const chain::BlockPtr self_fork = Fork(tree->Get(main1->header.parent_hash), 0, 9);
+  Append(0, {}, {self_fork->header});
+
+  const auto result = ComputeRevenue(Inputs());
+  EXPECT_DOUBLE_EQ(result.rows[0].one_miner_uncle_eth, 1.75);
+  EXPECT_DOUBLE_EQ(result.one_miner_uncle_eth, 1.75);
+  // It still counts inside the pool's total uncle revenue.
+  EXPECT_DOUBLE_EQ(result.rows[0].uncle_rewards_eth, 1.75);
+}
+
+TEST_F(RewardsFixture, EmptyChainProducesZeroes) {
+  const auto result = ComputeRevenue(Inputs());
+  EXPECT_DOUBLE_EQ(result.total_eth, 0.0);
+  EXPECT_DOUBLE_EQ(result.fees_share_of_total, 0.0);
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

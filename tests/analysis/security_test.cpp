@@ -1,0 +1,100 @@
+#include "analysis/security.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::analysis {
+namespace {
+
+std::vector<miner::PoolSpec> Pools() {
+  miner::PoolSpec a, b;
+  a.name = "Ethermine";
+  a.hashrate_share = 0.259;
+  a.coinbase = miner::PoolCoinbase("Ethermine");
+  b.name = "Sparkpool";
+  b.hashrate_share = 0.2269;
+  b.coinbase = miner::PoolCoinbase("Sparkpool");
+  return {a, b};
+}
+
+TEST(Security, RunProbability) {
+  EXPECT_NEAR(RunProbability(0.259, 8), 2e-5, 0.4e-5);  // paper's 2x10^-5
+  EXPECT_DOUBLE_EQ(RunProbability(1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RunProbability(0.0, 1), 0.0);
+}
+
+TEST(Security, EthermineEightRunExpectedFourPerMonth) {
+  const auto pools = Pools();
+  // Synthetic observation: four 8-runs in a month of blocks.
+  std::vector<std::size_t> winners;
+  // Fill a month of blocks with a pattern containing exactly four 8-runs of
+  // pool 0 separated by pool 1 blocks; remainder pool 1.
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 8; ++i) winners.push_back(0);
+    winners.push_back(1);
+  }
+  while (winners.size() < 201'086) winners.push_back(1);
+  const auto sequences = SequencesFromWinners(winners, pools);
+
+  const auto rows = RunRarityTable(sequences, 8);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].observed, 4u);
+  // p^k model over the same window: ≈ 4 expected -> observation is ordinary.
+  EXPECT_NEAR(rows[0].expected, 4.0, 0.5);
+}
+
+TEST(Security, SparkpoolNineRunIsRare) {
+  const auto pools = Pools();
+  std::vector<std::size_t> winners(201'086, 0);
+  const auto sequences = SequencesFromWinners(winners, pools);
+  const auto rows = RunRarityTable(sequences, 9);
+  // Expected 9-runs for Sparkpool ≈ 0.3/month -> one every ~3.3 months.
+  EXPECT_NEAR(rows[1].months_per_event, 3.3, 0.5);
+}
+
+TEST(Security, FourteenRunIsGenerationallyRare) {
+  // §III-D claims the Ethermine 14-run would occur "around once in 1,000
+  // years". The strict p^k arithmetic (0.259^14 * 2.4M blocks/year) gives
+  // ~68 years — still generations beyond Ethereum's entire history, which is
+  // the substantive claim. We assert the exact math and record the paper's
+  // looser figure in EXPERIMENTS.md.
+  const double years = YearsPerOccurrence(0.259, 14);
+  EXPECT_GT(years, 30.0);
+  EXPECT_LT(years, 200.0);
+  // Ethereum was ~4 years old at measurement time: the event was far outside
+  // plausible organic occurrence either way.
+  EXPECT_GT(years, 4.0 * 10);
+}
+
+TEST(Security, CensorshipWindowsScaleWithRuns) {
+  const auto pools = Pools();
+  std::vector<std::size_t> winners;
+  for (int i = 0; i < 9; ++i) winners.push_back(0);  // 9-run for pool 0
+  winners.push_back(1);
+  const auto sequences = SequencesFromWinners(winners, pools);
+  const auto windows = CensorshipWindows(sequences, 13.3);
+  ASSERT_GE(windows.size(), 1u);
+  EXPECT_EQ(windows[0].pool, "Ethermine");
+  EXPECT_EQ(windows[0].longest_run, 9u);
+  // 9 * 13.3 ≈ 120s: the "more than two minutes" the paper warns about.
+  EXPECT_NEAR(windows[0].seconds, 119.7, 0.1);
+}
+
+TEST(Security, RequiredConfirmationsGrowsWithShare) {
+  // At 25.9% share, 12 confirmations give ~0.0002*201086 ≈ 19 expected
+  // 12-runs... the function finds the depth where expectation < target.
+  const std::size_t k_small = RequiredConfirmations(0.10, 0.01);
+  const std::size_t k_big = RequiredConfirmations(0.259, 0.01);
+  EXPECT_GT(k_big, k_small);
+  // The paper's implication: 12 is NOT enough against a 25.9% pool for
+  // monthly-once-in-a-hundred guarantees.
+  EXPECT_GT(k_big, 12u);
+}
+
+TEST(Security, RequiredConfirmationsMonotoneInTarget) {
+  const std::size_t strict = RequiredConfirmations(0.259, 0.0001);
+  const std::size_t loose = RequiredConfirmations(0.259, 1.0);
+  EXPECT_GT(strict, loose);
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

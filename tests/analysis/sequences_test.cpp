@@ -1,0 +1,131 @@
+#include "analysis/sequences.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ethsim::analysis {
+namespace {
+
+std::vector<miner::PoolSpec> TwoPools(double a = 0.7, double b = 0.3) {
+  miner::PoolSpec p0, p1;
+  p0.name = "Big";
+  p0.hashrate_share = a;
+  p0.coinbase = miner::PoolCoinbase("Big");
+  p1.name = "Small";
+  p1.hashrate_share = b;
+  p1.coinbase = miner::PoolCoinbase("Small");
+  return {p0, p1};
+}
+
+TEST(Sequences, RunsFromWinnerList) {
+  const auto pools = TwoPools();
+  // Runs: Big x3, Small x1, Big x1, Small x2.
+  const std::vector<std::size_t> winners{0, 0, 0, 1, 0, 1, 1};
+  const auto result = SequencesFromWinners(winners, pools);
+  ASSERT_EQ(result.pools.size(), 2u);
+  EXPECT_EQ(result.total_main_blocks, 7u);
+  EXPECT_EQ(result.pools[0].runs.at(3), 1u);
+  EXPECT_EQ(result.pools[0].runs.at(1), 1u);
+  EXPECT_EQ(result.pools[0].max_run, 3u);
+  EXPECT_EQ(result.pools[0].blocks, 4u);
+  EXPECT_EQ(result.pools[1].runs.at(1), 1u);
+  EXPECT_EQ(result.pools[1].runs.at(2), 1u);
+  EXPECT_EQ(result.pools[1].max_run, 2u);
+}
+
+TEST(Sequences, RunAtEndOfListCounted) {
+  const auto pools = TwoPools();
+  const std::vector<std::size_t> winners{1, 0, 0, 0, 0};
+  const auto result = SequencesFromWinners(winners, pools);
+  EXPECT_EQ(result.pools[0].runs.at(4), 1u);
+  EXPECT_EQ(result.pools[0].max_run, 4u);
+}
+
+TEST(Sequences, CdfAndRunsAtLeast) {
+  const auto pools = TwoPools();
+  const std::vector<std::size_t> winners{0, 1, 0, 0, 1, 0, 0, 0, 1};
+  const auto result = SequencesFromWinners(winners, pools);
+  const auto& big = result.pools[0];
+  // Big runs: 1, 2, 3.
+  EXPECT_EQ(big.RunsAtLeast(1), 3u);
+  EXPECT_EQ(big.RunsAtLeast(2), 2u);
+  EXPECT_EQ(big.RunsAtLeast(3), 1u);
+  EXPECT_EQ(big.RunsAtLeast(4), 0u);
+  EXPECT_NEAR(big.CdfAt(1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(big.CdfAt(2), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(big.CdfAt(3), 1.0);
+}
+
+TEST(Sequences, ExpectedRunsMatchesPaperExample) {
+  // §III-D: Ethermine at 25.9% share, 8-run, 201,086 blocks -> ~4 per month.
+  EXPECT_NEAR(ExpectedRuns(0.259, 8, 201'086), 4.0, 0.2);
+  // Sparkpool at 22.69%, 9-run -> ~0.3 per month (once per ~3 months).
+  EXPECT_NEAR(ExpectedRuns(0.2269, 9, 201'086), 0.3, 0.05);
+}
+
+TEST(Sequences, SampleWinnersFollowsShares) {
+  const auto pools = TwoPools(0.7, 0.3);
+  const auto winners = SampleWinners(pools, 100'000, Rng{42});
+  std::size_t big = 0;
+  for (const auto w : winners) big += (w == 0);
+  EXPECT_NEAR(static_cast<double>(big) / 100'000.0, 0.7, 0.01);
+}
+
+TEST(Sequences, SampledRunsMatchTheory) {
+  // Property check: in N sampled winners, #runs >= k approximates
+  // N * p^k * (1-p) (start-of-run correction) — within noise the paper's
+  // simpler N*p^k bound holds as an upper estimate.
+  const auto pools = TwoPools(0.25, 0.75);
+  const std::size_t n = 500'000;
+  const auto winners = SampleWinners(pools, n, Rng{7});
+  const auto result = SequencesFromWinners(winners, pools);
+  const double observed = static_cast<double>(result.pools[0].RunsAtLeast(6));
+  const double refined = static_cast<double>(n) * std::pow(0.25, 6) * 0.75;
+  EXPECT_NEAR(observed, refined, refined * 0.5 + 5.0);
+  EXPECT_LE(observed, ExpectedRuns(0.25, 6, n) * 1.5 + 5.0);
+}
+
+TEST(Sequences, WholeHistoryScaleSamplerIsFastEnough) {
+  // The §III-D whole-blockchain surrogate: 7.6M blocks with the full paper
+  // roster. Smoke check on shape: max Ethermine run should reach >= 10 as
+  // the paper's historical scan found (102 runs of 10, one of 14).
+  const auto pools = miner::PaperPools();
+  const auto winners = SampleWinners(pools, 7'600'000, Rng{2020});
+  const auto result = SequencesFromWinners(winners, pools);
+  EXPECT_GE(result.pools[0].max_run, 10u);  // Ethermine
+  EXPECT_EQ(result.total_main_blocks, 7'600'000u);
+}
+
+TEST(Sequences, FromReferenceTreeUsesCoinbases) {
+  const auto pools = TwoPools();
+  auto genesis = std::make_shared<chain::Block>();
+  genesis->header.difficulty = 1;
+  genesis->Seal();
+  chain::BlockTree tree{genesis};
+  chain::BlockPtr tip = genesis;
+  const std::vector<std::size_t> pattern{0, 0, 1, 0};
+  std::uint64_t tick = 0;
+  for (const std::size_t p : pattern) {
+    auto b = std::make_shared<chain::Block>();
+    b->header.parent_hash = tip->hash;
+    b->header.number = tip->header.number + 1;
+    b->header.difficulty = 1;
+    b->header.miner = pools[p].coinbase;
+    b->Seal();
+    tree.Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
+    tip = b;
+  }
+
+  StudyInputs inputs;
+  inputs.reference = &tree;
+  inputs.pools = &pools;
+  const auto result = ConsecutiveMinerSequences(inputs);
+  EXPECT_EQ(result.total_main_blocks, 4u);
+  EXPECT_EQ(result.pools[0].runs.at(2), 1u);
+  EXPECT_EQ(result.pools[0].runs.at(1), 1u);
+  EXPECT_EQ(result.pools[1].runs.at(1), 1u);
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

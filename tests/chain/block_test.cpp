@@ -1,0 +1,108 @@
+#include "chain/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::chain {
+namespace {
+
+Address Addr(std::uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+Block MakeBlock(std::uint64_t number, std::uint64_t mix_seed = 0) {
+  Block b;
+  b.header.number = number;
+  b.header.difficulty = 1000;
+  b.header.timestamp = number * 13;
+  b.header.miner = Addr(1);
+  b.header.mix_seed = mix_seed;
+  b.Seal();
+  return b;
+}
+
+TEST(Block, SealComputesHash) {
+  const Block b = MakeBlock(7);
+  EXPECT_FALSE(b.hash.is_zero());
+  EXPECT_EQ(b.hash, b.header.Hash());
+}
+
+TEST(Block, HashDependsOnParent) {
+  Block a = MakeBlock(7);
+  Block b = MakeBlock(7);
+  b.header.parent_hash.bytes[0] = 0xff;
+  b.Seal();
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST(Block, MixSeedDistinguishesIdenticalContent) {
+  // The one-miner-fork phenomenon (§III-C5): same miner, same height, same
+  // transaction set — still two distinct blocks on the wire.
+  const Block a = MakeBlock(7, /*mix_seed=*/1);
+  const Block b = MakeBlock(7, /*mix_seed=*/2);
+  EXPECT_EQ(a.header.tx_root, b.header.tx_root);
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST(Block, TxRootCommitsToTransactionsAndOrder) {
+  Block a = MakeBlock(1);
+  a.transactions.push_back(MakeTransaction(Addr(2), 0, Addr(3), 10, 1));
+  a.transactions.push_back(MakeTransaction(Addr(2), 1, Addr(3), 10, 1));
+  a.Seal();
+
+  Block b = a;
+  std::swap(b.transactions[0], b.transactions[1]);
+  b.Seal();
+
+  EXPECT_NE(a.header.tx_root, b.header.tx_root);
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST(Block, EmptyBlockHasDistinctTxRootFromNonEmpty) {
+  Block empty = MakeBlock(1);
+  Block full = MakeBlock(1);
+  full.transactions.push_back(MakeTransaction(Addr(2), 0, Addr(3), 10, 1));
+  full.Seal();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(full.IsEmpty());
+  EXPECT_NE(empty.header.tx_root, full.header.tx_root);
+}
+
+TEST(Block, GasUsedSumsTransactionGas) {
+  Block b = MakeBlock(1);
+  b.transactions.push_back(MakeTransaction(Addr(2), 0, Addr(3), 10, 1));       // 21k
+  b.transactions.push_back(MakeTransaction(Addr(2), 1, Addr(3), 10, 1, 100));  // 22.6k
+  b.Seal();
+  EXPECT_EQ(b.header.gas_used, 21'000u + 22'600u);
+}
+
+TEST(Block, UncleRootCommitsToUncles) {
+  Block plain = MakeBlock(5);
+  Block with_uncle = MakeBlock(5);
+  with_uncle.uncles.push_back(MakeBlock(4).header);
+  with_uncle.Seal();
+  EXPECT_NE(plain.header.uncle_root, with_uncle.header.uncle_root);
+  EXPECT_NE(plain.hash, with_uncle.hash);
+}
+
+TEST(Block, EncodedSizeAccountsForBodyAndUncles) {
+  Block b = MakeBlock(1);
+  EXPECT_EQ(b.EncodedSize(), kHeaderWireSize);
+  b.transactions.push_back(MakeTransaction(Addr(2), 0, Addr(3), 10, 1));
+  b.uncles.push_back(MakeBlock(0).header);
+  b.Seal();
+  EXPECT_EQ(b.EncodedSize(), kHeaderWireSize + 110 + kHeaderWireSize);
+}
+
+TEST(Block, HeaderEncodingIsValidRlp) {
+  const Block b = MakeBlock(123456);
+  rlp::Item item;
+  ASSERT_TRUE(rlp::Decode(EncodeHeader(b.header), item));
+  ASSERT_TRUE(item.is_list);
+  ASSERT_EQ(item.items.size(), 10u);
+  EXPECT_EQ(item.items[1].AsUint(), 123456u);
+}
+
+}  // namespace
+}  // namespace ethsim::chain

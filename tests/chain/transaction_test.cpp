@@ -1,0 +1,85 @@
+#include "chain/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/keccak.hpp"
+
+namespace ethsim::chain {
+namespace {
+
+Address Addr(std::uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+TEST(Transaction, MakeSealsHash) {
+  const Transaction tx = MakeTransaction(Addr(1), 0, Addr(2), 100, 5);
+  EXPECT_FALSE(tx.hash.is_zero());
+  const rlp::Bytes encoded = EncodeTransaction(tx);
+  EXPECT_EQ(tx.hash, Keccak256Of(std::span<const std::uint8_t>(encoded.data(),
+                                                               encoded.size())));
+}
+
+TEST(Transaction, HashCoversAllIdentityFields) {
+  const Transaction base = MakeTransaction(Addr(1), 7, Addr(2), 100, 5, 32);
+
+  Transaction t = base;
+  t.nonce = 8;
+  t.Seal();
+  EXPECT_NE(t.hash, base.hash);
+
+  t = base;
+  t.value = 101;
+  t.Seal();
+  EXPECT_NE(t.hash, base.hash);
+
+  t = base;
+  t.gas_price = 6;
+  t.Seal();
+  EXPECT_NE(t.hash, base.hash);
+
+  t = base;
+  t.sender = Addr(3);
+  t.Seal();
+  EXPECT_NE(t.hash, base.hash);
+
+  t = base;
+  t.payload_bytes = 33;
+  t.Seal();
+  EXPECT_NE(t.hash, base.hash);
+}
+
+TEST(Transaction, IdenticalContentIdenticalHash) {
+  const Transaction a = MakeTransaction(Addr(1), 3, Addr(2), 50, 2);
+  const Transaction b = MakeTransaction(Addr(1), 3, Addr(2), 50, 2);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(Transaction, EncodedSizeGrowsWithPayload) {
+  const Transaction plain = MakeTransaction(Addr(1), 0, Addr(2), 1, 1, 0);
+  const Transaction heavy = MakeTransaction(Addr(1), 0, Addr(2), 1, 1, 4096);
+  EXPECT_EQ(plain.EncodedSize(), 110u);
+  EXPECT_EQ(heavy.EncodedSize(), 110u + 4096u);
+}
+
+TEST(Transaction, GasLimitScalesWithCalldata) {
+  const Transaction plain = MakeTransaction(Addr(1), 0, Addr(2), 1, 1, 0);
+  const Transaction heavy = MakeTransaction(Addr(1), 0, Addr(2), 1, 1, 100);
+  EXPECT_EQ(plain.gas_limit, 21'000u);
+  EXPECT_EQ(heavy.gas_limit, 21'000u + 1600u);
+}
+
+TEST(Transaction, EncodingIsValidRlp) {
+  const Transaction tx = MakeTransaction(Addr(9), 42, Addr(8), 1'000'000, 3, 16);
+  rlp::Item item;
+  ASSERT_TRUE(rlp::Decode(EncodeTransaction(tx), item));
+  ASSERT_TRUE(item.is_list);
+  ASSERT_EQ(item.items.size(), 7u);
+  EXPECT_EQ(item.items[0].AsFixed<20>(), tx.sender);
+  EXPECT_EQ(item.items[1].AsUint(), 42u);
+  EXPECT_EQ(item.items[3].AsUint(), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace ethsim::chain

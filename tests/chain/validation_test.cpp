@@ -1,0 +1,161 @@
+#include "chain/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::chain {
+namespace {
+
+Address Addr(std::uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+struct ValidationFixture : ::testing::Test {
+  ValidationFixture() {
+    parent.number = 100;
+    parent.difficulty = 1'000'000;
+    parent.timestamp = 5000;
+  }
+
+  // A fully consistent child of `parent`.
+  Block GoodChild() {
+    Block b;
+    b.header.parent_hash = parent.Hash();
+    b.header.number = parent.number + 1;
+    b.header.difficulty = 1'000'000;
+    b.header.timestamp = parent.timestamp + 13;
+    b.header.miner = Addr(1);
+    b.Seal();
+    return b;
+  }
+
+  BlockHeader parent;
+};
+
+TEST_F(ValidationFixture, WellFormedBlockPasses) {
+  EXPECT_EQ(ValidateBlock(GoodChild(), parent), ValidationError::kNone);
+}
+
+TEST_F(ValidationFixture, TamperedHashRejected) {
+  Block b = GoodChild();
+  b.hash.bytes[0] ^= 1;
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kBadSeal);
+}
+
+TEST_F(ValidationFixture, WrongNumberRejected) {
+  Block b = GoodChild();
+  b.header.number = parent.number + 2;
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kBadNumber);
+}
+
+TEST_F(ValidationFixture, NonIncreasingTimestampRejected) {
+  Block b = GoodChild();
+  b.header.timestamp = parent.timestamp;
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kBadTimestamp);
+}
+
+TEST_F(ValidationFixture, TamperedTxRootRejected) {
+  Block b = GoodChild();
+  // Append a tx *after* sealing: commitment no longer matches.
+  b.transactions.push_back(MakeTransaction(Addr(2), 0, Addr(3), 1, 1));
+  b.header.gas_used = b.transactions[0].gas_limit;  // keep gas consistent
+  b.hash = b.header.Hash();                         // re-cache, keep roots stale
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kBadTxRoot);
+}
+
+TEST_F(ValidationFixture, TamperedGasUsedRejected) {
+  Block b = GoodChild();
+  b.header.gas_used += 1;
+  b.hash = b.header.Hash();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kBadGasUsed);
+}
+
+TEST_F(ValidationFixture, GasOverLimitRejected) {
+  Block b = GoodChild();
+  b.header.gas_limit = 30'000;
+  for (std::uint64_t n = 0; n < 2; ++n)
+    b.transactions.push_back(MakeTransaction(Addr(2), n, Addr(3), 1, 1));
+  b.Seal();  // 42k gas used > 30k limit, but roots consistent
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kGasOverLimit);
+}
+
+TEST_F(ValidationFixture, TooManyUnclesRejected) {
+  Block b = GoodChild();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    BlockHeader uncle;
+    uncle.number = parent.number;
+    uncle.mix_seed = i;
+    b.uncles.push_back(uncle);
+  }
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kTooManyUncles);
+}
+
+TEST_F(ValidationFixture, DuplicateUncleRejected) {
+  Block b = GoodChild();
+  BlockHeader uncle;
+  uncle.number = parent.number;
+  b.uncles.push_back(uncle);
+  b.uncles.push_back(uncle);
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kDuplicateUncle);
+}
+
+TEST_F(ValidationFixture, UncleOutsideWindowRejected) {
+  Block b = GoodChild();
+  BlockHeader uncle;
+  uncle.number = parent.number - 7;  // child - 8: too deep
+  b.uncles.push_back(uncle);
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kBadUncleRange);
+}
+
+TEST_F(ValidationFixture, ParentAsUncleRejected) {
+  Block b = GoodChild();
+  b.uncles.push_back(parent);
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kSelfUncle);
+}
+
+TEST_F(ValidationFixture, NonceRegressionInsideBlockRejected) {
+  Block b = GoodChild();
+  b.transactions.push_back(MakeTransaction(Addr(2), 5, Addr(3), 1, 1));
+  b.transactions.push_back(MakeTransaction(Addr(2), 4, Addr(3), 1, 1));
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kNonceOrder);
+}
+
+TEST_F(ValidationFixture, InterleavedSendersAreFine) {
+  Block b = GoodChild();
+  b.transactions.push_back(MakeTransaction(Addr(2), 0, Addr(3), 1, 1));
+  b.transactions.push_back(MakeTransaction(Addr(4), 7, Addr(3), 1, 1));
+  b.transactions.push_back(MakeTransaction(Addr(2), 1, Addr(3), 1, 1));
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent), ValidationError::kNone);
+}
+
+TEST_F(ValidationFixture, DifficultyFormulaEnforcedWhenRequested) {
+  DifficultyParams params;
+  Block b = GoodChild();
+  b.header.difficulty = NextDifficulty(parent.difficulty, parent.timestamp,
+                                       false, b.header.timestamp,
+                                       b.header.number, params);
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent, &params), ValidationError::kNone);
+
+  b.header.difficulty += 12345;
+  b.Seal();
+  EXPECT_EQ(ValidateBlock(b, parent, &params), ValidationError::kBadDifficulty);
+}
+
+TEST_F(ValidationFixture, ErrorNamesAreStable) {
+  EXPECT_EQ(ValidationErrorName(ValidationError::kNone), "none");
+  EXPECT_EQ(ValidationErrorName(ValidationError::kBadSeal), "bad-seal");
+  EXPECT_EQ(ValidationErrorName(ValidationError::kNonceOrder), "nonce-order");
+}
+
+}  // namespace
+}  // namespace ethsim::chain

@@ -1,0 +1,58 @@
+#include "common/bounded_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ethsim {
+namespace {
+
+TEST(BoundedSet, InsertAndContains) {
+  BoundedSet<int> set{4};
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_FALSE(set.Insert(1));
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(2));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(BoundedSet, EvictsOldestBeyondCapacity) {
+  BoundedSet<int> set{3};
+  set.Insert(1);
+  set.Insert(2);
+  set.Insert(3);
+  set.Insert(4);  // evicts 1
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(4));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(BoundedSet, ReinsertAfterEvictionSucceeds) {
+  BoundedSet<int> set{2};
+  set.Insert(1);
+  set.Insert(2);
+  set.Insert(3);  // evicts 1
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_FALSE(set.Contains(2));  // 2 evicted by the reinsertion
+}
+
+TEST(BoundedSet, WorksWithStrings) {
+  BoundedSet<std::string> set{2};
+  EXPECT_TRUE(set.Insert("block-a"));
+  EXPECT_TRUE(set.Insert("block-b"));
+  EXPECT_FALSE(set.Insert("block-a"));
+  EXPECT_EQ(set.capacity(), 2u);
+}
+
+TEST(BoundedSet, CapacityOneDegeneratesGracefully) {
+  BoundedSet<int> set{1};
+  set.Insert(1);
+  set.Insert(2);
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ethsim

@@ -1,0 +1,81 @@
+#include "common/keccak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ethsim {
+namespace {
+
+// Known-answer vectors for the *legacy* Keccak-256 (Ethereum flavor, 0x01
+// padding), not NIST SHA3-256.
+TEST(Keccak256, EmptyString) {
+  EXPECT_EQ(ToHex(Keccak256Of("")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256, Abc) {
+  EXPECT_EQ(ToHex(Keccak256Of("abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, HelloWorld) {
+  // Canonical Ethereum example (solidity docs).
+  EXPECT_EQ(ToHex(Keccak256Of("hello world")),
+            "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad");
+}
+
+TEST(Keccak256, TestVectorLongerThanRate) {
+  // 200 'a' bytes spans more than one 136-byte rate block.
+  const std::string input(200, 'a');
+  const Hash32 digest = Keccak256Of(input);
+  // Self-consistency: one-shot equals chunked incremental updates.
+  Keccak256 h;
+  h.Update(std::string_view(input).substr(0, 7));
+  h.Update(std::string_view(input).substr(7, 129));
+  h.Update(std::string_view(input).substr(136));
+  EXPECT_EQ(digest, h.Final());
+}
+
+TEST(Keccak256, IncrementalMatchesOneShotAtAllSplitPoints) {
+  const std::string input =
+      "The quick brown fox jumps over the lazy dog. The quick brown fox "
+      "jumps over the lazy dog. The quick brown fox jumps over the lazy "
+      "dog. The quick brown fox jumps over the lazy dog.";
+  const Hash32 expected = Keccak256Of(input);
+  for (std::size_t split = 0; split <= input.size(); ++split) {
+    Keccak256 h;
+    h.Update(std::string_view(input).substr(0, split));
+    h.Update(std::string_view(input).substr(split));
+    EXPECT_EQ(h.Final(), expected) << "split=" << split;
+  }
+}
+
+TEST(Keccak256, ResetAllowsReuse) {
+  Keccak256 h;
+  h.Update("first");
+  (void)h.Final();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(ToHex(h.Final()),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Keccak256Of("block-1"), Keccak256Of("block-2"));
+  EXPECT_NE(Keccak256Of(""), Keccak256Of(std::string(1, '\0')));
+}
+
+TEST(Keccak256, ExactlyOneRateBlock) {
+  // 136 bytes: padding must add a whole extra block.
+  const std::string input(136, 'x');
+  Keccak256 h;
+  h.Update(input);
+  const Hash32 a = h.Final();
+  EXPECT_EQ(a, Keccak256Of(input));
+  EXPECT_NE(a, Keccak256Of(std::string(135, 'x')));
+}
+
+}  // namespace
+}  // namespace ethsim

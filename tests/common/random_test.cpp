@@ -1,0 +1,121 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ethsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng parent1{7};
+  Rng parent2{7};
+  (void)parent2.Next();  // advance one parent
+  Rng f1 = parent1.Fork("stream");
+  Rng f2 = parent2.Fork("stream");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(f1.Next(), f2.Next());
+}
+
+TEST(Rng, NamedForksDiffer) {
+  Rng parent{7};
+  Rng a = parent.Fork("alpha");
+  Rng b = parent.Fork("beta");
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedInRangeAndRoughlyUniform) {
+  Rng rng{11};
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{5};
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(13.3);
+  EXPECT_NEAR(sum / n, 13.3, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{5};
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextNormal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{9};
+  int heads = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) heads += rng.NextBool(0.25);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.01);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  // Shares shaped like the paper's top pools.
+  const std::vector<double> w{25.32, 22.88, 12.75, 12.10, 5.61, 21.34};
+  AliasSampler sampler{w};
+  Rng rng{123};
+  std::vector<int> counts(w.size(), 0);
+  const int n = 500'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  double total = 0;
+  for (double x : w) total += x;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / total, 0.005) << i;
+  }
+}
+
+TEST(AliasSampler, SingleBucketAlwaysZero) {
+  AliasSampler sampler{{3.0}};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  AliasSampler sampler{{1.0, 0.0, 1.0}};
+  Rng rng{17};
+  for (int i = 0; i < 10'000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace ethsim

@@ -1,0 +1,92 @@
+#include "common/render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::render {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t{{"Pool", "Share"}};
+  t.AddRow({"Ethermine", "25.32%"});
+  t.AddRow({"Zhizhu", "0.85%"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Pool      | Share  |"), std::string::npos);
+  EXPECT_NE(s.find("| Ethermine | 25.32% |"), std::string::npos);
+  EXPECT_NE(s.find("| Zhizhu    | 0.85%  |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t{{"A", "B", "C"}};
+  t.AddRow({"x"});
+  const std::string s = t.ToString();
+  // Row renders with empty cells rather than crashing.
+  EXPECT_NE(s.find("| x |"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMax) {
+  std::vector<Bar> bars{{"EA", 40.0, "40%"}, {"NA", 10.0, "10%"}};
+  const std::string s = BarChart(bars, 40);
+  // EA bar should be 40 chars, NA 10 chars.
+  EXPECT_NE(s.find(std::string(40, '#')), std::string::npos);
+  const auto na_line_start = s.find("NA");
+  ASSERT_NE(na_line_start, std::string::npos);
+  const std::string na_line = s.substr(na_line_start, s.find('\n', na_line_start) -
+                                                          na_line_start);
+  EXPECT_NE(na_line.find(std::string(10, '#')), std::string::npos);
+  EXPECT_EQ(na_line.find(std::string(11, '#')), std::string::npos);
+}
+
+TEST(BarChart, AllZeroDoesNotDivideByZero) {
+  std::vector<Bar> bars{{"a", 0.0, ""}, {"b", 0.0, ""}};
+  EXPECT_NO_THROW({ BarChart(bars); });
+}
+
+TEST(StackedBarChart, RowsFillFullWidth) {
+  std::vector<StackedBar> bars{{"Ethermine", {0.25, 0.25, 0.25, 0.25}},
+                               {"Sparkpool", {0.05, 0.05, 0.05, 0.85}}};
+  const std::string s = StackedBarChart(bars, {"WE", "CE", "NA", "EA"}, 40);
+  EXPECT_NE(s.find("legend: 1=WE 2=CE 3=NA 4=EA"), std::string::npos);
+  // Each row's bar is exactly 40 glyphs between the pipes.
+  std::size_t pos = s.find("Ethermine");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t open = s.find('|', pos);
+  const std::size_t close = s.find('|', open + 1);
+  EXPECT_EQ(close - open - 1, 40u);
+}
+
+TEST(HistogramChart, RendersAxisAndBars) {
+  Histogram h{0, 500, 50};
+  for (int i = 0; i < 100; ++i) h.Add(74.0);
+  for (int i = 0; i < 30; ++i) h.Add(200.0);
+  const std::string s = HistogramChart(h, "ms");
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("(ms)"), std::string::npos);
+}
+
+TEST(CdfChart, RendersSeriesGlyphsAndLegend) {
+  std::vector<Series> series(2);
+  series[0].name = "in-order";
+  series[1].name = "out-of-order";
+  for (int i = 0; i <= 10; ++i) {
+    series[0].points.push_back({i * 100.0, i / 10.0});
+    series[1].points.push_back({i * 120.0, i / 10.0});
+  }
+  const std::string s = CdfChart(series, "seconds");
+  EXPECT_NE(s.find("legend: 1=in-order 2=out-of-order"), std::string::npos);
+  EXPECT_NE(s.find('1'), std::string::npos);
+  EXPECT_NE(s.find('2'), std::string::npos);
+}
+
+TEST(CdfChart, EmptyInputHandled) {
+  EXPECT_EQ(CdfChart({}, "x"), "(empty cdf)\n");
+}
+
+TEST(Formatting, FmtAndPercent) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(10.0, 0), "10");
+  EXPECT_EQ(Percent(0.2532, 2), "25.32%");
+  EXPECT_EQ(Percent(0.4, 0), "40%");
+}
+
+}  // namespace
+}  // namespace ethsim::render

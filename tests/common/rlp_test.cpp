@@ -1,0 +1,154 @@
+#include "common/rlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ethsim::rlp {
+namespace {
+
+std::string Hex(const Bytes& b) {
+  return ToHex(std::span<const std::uint8_t>(b.data(), b.size()));
+}
+
+// Canonical vectors from the Ethereum wiki RLP page.
+TEST(RlpEncode, Dog) { EXPECT_EQ(Hex(EncodeString("dog")), "83646f67"); }
+
+TEST(RlpEncode, CatDogList) {
+  Encoder e;
+  e.BeginList();
+  e.WriteString("cat");
+  e.WriteString("dog");
+  e.EndList();
+  EXPECT_EQ(Hex(e.Take()), "c88363617483646f67");
+}
+
+TEST(RlpEncode, EmptyString) { EXPECT_EQ(Hex(EncodeString("")), "80"); }
+
+TEST(RlpEncode, EmptyList) {
+  Encoder e;
+  e.BeginList();
+  e.EndList();
+  EXPECT_EQ(Hex(e.Take()), "c0");
+}
+
+TEST(RlpEncode, IntegerZeroIsEmptyString) {
+  EXPECT_EQ(Hex(EncodeUint(0)), "80");
+}
+
+TEST(RlpEncode, SmallIntegerIsItself) {
+  EXPECT_EQ(Hex(EncodeUint(15)), "0f");
+  EXPECT_EQ(Hex(EncodeUint(0x7f)), "7f");
+}
+
+TEST(RlpEncode, TwoByteInteger) { EXPECT_EQ(Hex(EncodeUint(1024)), "820400"); }
+
+TEST(RlpEncode, SetTheoreticalRepresentationOfThree) {
+  // [ [], [[]], [ [], [[]] ] ] -> c7c0c1c0c3c0c1c0
+  Encoder e;
+  e.BeginList();
+  e.BeginList();
+  e.EndList();
+  e.BeginList();
+  e.BeginList();
+  e.EndList();
+  e.EndList();
+  e.BeginList();
+  e.BeginList();
+  e.EndList();
+  e.BeginList();
+  e.BeginList();
+  e.EndList();
+  e.EndList();
+  e.EndList();
+  e.EndList();
+  EXPECT_EQ(Hex(e.Take()), "c7c0c1c0c3c0c1c0");
+}
+
+TEST(RlpEncode, LoremIpsumLongString) {
+  const std::string s = "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  const Bytes out = EncodeString(s);
+  EXPECT_EQ(out[0], 0xb8);
+  EXPECT_EQ(out[1], 0x38);
+  EXPECT_EQ(out.size(), s.size() + 2);
+}
+
+TEST(RlpEncode, LongListGetsLongHeader) {
+  Encoder e;
+  e.BeginList();
+  for (int i = 0; i < 20; ++i) e.WriteString("abcd");  // payload 100 bytes
+  e.EndList();
+  const Bytes out = e.Take();
+  EXPECT_EQ(out[0], 0xf8);
+  EXPECT_EQ(out[1], 100);
+}
+
+TEST(RlpDecode, RoundTripScalars) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 255ULL, 256ULL, 1024ULL,
+                          0xffffffffULL, 0xdeadbeefcafeULL}) {
+    Item item;
+    ASSERT_TRUE(Decode(EncodeUint(v), item)) << v;
+    EXPECT_FALSE(item.is_list);
+    EXPECT_EQ(item.AsUint(), v);
+  }
+}
+
+TEST(RlpDecode, RoundTripNestedList) {
+  Encoder e;
+  e.BeginList();
+  e.WriteUint(42);
+  e.BeginList();
+  e.WriteString("inner");
+  e.EndList();
+  e.WriteString("tail");
+  e.EndList();
+
+  Item item;
+  ASSERT_TRUE(Decode(e.Take(), item));
+  ASSERT_TRUE(item.is_list);
+  ASSERT_EQ(item.items.size(), 3u);
+  EXPECT_EQ(item.items[0].AsUint(), 42u);
+  ASSERT_TRUE(item.items[1].is_list);
+  ASSERT_EQ(item.items[1].items.size(), 1u);
+  EXPECT_EQ(std::string(item.items[1].items[0].data.begin(),
+                        item.items[1].items[0].data.end()),
+            "inner");
+  EXPECT_EQ(std::string(item.items[2].data.begin(), item.items[2].data.end()),
+            "tail");
+}
+
+TEST(RlpDecode, RejectsTruncatedInput) {
+  Bytes good = EncodeString("dog");
+  good.pop_back();
+  Item item;
+  EXPECT_FALSE(Decode(good, item));
+}
+
+TEST(RlpDecode, RejectsTrailingGarbage) {
+  Bytes b = EncodeString("dog");
+  b.push_back(0x00);
+  Item item;
+  EXPECT_FALSE(Decode(b, item));
+}
+
+TEST(RlpDecode, RejectsListLengthOverrun) {
+  // Claims list payload of 5 bytes but only 1 follows.
+  Bytes b{0xc5, 0x01};
+  Item item;
+  EXPECT_FALSE(Decode(b, item));
+}
+
+TEST(RlpDecode, FixedBytesRoundTrip) {
+  Hash32 h;
+  for (std::size_t i = 0; i < 32; ++i) h.bytes[i] = static_cast<std::uint8_t>(i);
+  Encoder e;
+  e.WriteFixed(h);
+  Item item;
+  ASSERT_TRUE(Decode(e.Take(), item));
+  EXPECT_EQ(item.AsFixed<32>(), h);
+}
+
+}  // namespace
+}  // namespace ethsim::rlp

@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ethsim {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleSet, QuantilesExactOnSmallSet) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.125), 15.0);  // interpolated
+}
+
+TEST(SampleSet, MedianOfTwo) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1000.0), 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileInvalidatesCache) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 2.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 10.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h{0.0, 100.0, 10};
+  h.Add(5.0);    // bin 0
+  h.Add(15.0);   // bin 1
+  h.Add(99.9);   // bin 9
+  h.Add(-3.0);   // clamps to bin 0
+  h.Add(250.0);  // clamps to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.BinLow(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(1), 20.0);
+}
+
+TEST(MakeCdf, MonotonicAndSpansRange) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.Add(static_cast<double>(i % 37));
+  const auto cdf = MakeCdf(s, 50);
+  ASSERT_EQ(cdf.size(), 50u);
+  EXPECT_DOUBLE_EQ(cdf.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 36.0);
+  EXPECT_DOUBLE_EQ(cdf.back().p, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].p, cdf[i - 1].p);
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+  }
+}
+
+TEST(MakeCdf, EmptyInputEmptyOutput) {
+  SampleSet s;
+  EXPECT_TRUE(MakeCdf(s, 10).empty());
+}
+
+}  // namespace
+}  // namespace ethsim

@@ -1,0 +1,51 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim {
+namespace {
+
+using namespace ethsim::literals;
+
+TEST(Duration, Conversions) {
+  EXPECT_EQ(Duration::Millis(74).micros(), 74'000);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(13.3).seconds(), 13.3);
+  EXPECT_DOUBLE_EQ(Duration::Minutes(2).seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::Hours(1).seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ((189_s).millis(), 189'000.0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = 100_ms + 50_ms;
+  EXPECT_EQ(d.micros(), 150'000);
+  EXPECT_EQ((d - 25_ms).micros(), 125'000);
+  EXPECT_EQ((d * 2.0).micros(), 300'000);
+  Duration e = 1_s;
+  e += 500_ms;
+  EXPECT_DOUBLE_EQ(e.seconds(), 1.5);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(74_ms, 109_ms);
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_GT(1_min, 59_s);
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  const TimePoint t0 = TimePoint::FromMicros(1'000'000);
+  const TimePoint t1 = t0 + 500_ms;
+  EXPECT_EQ(t1.micros(), 1'500'000);
+  EXPECT_EQ((t1 - t0).millis(), 500.0);
+  EXPECT_EQ((t1 - 250_ms).micros(), 1'250'000);
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_EQ(FormatDuration(500_us), "500us");
+  EXPECT_EQ(FormatDuration(Duration::Millis(74)), "74.0ms");
+  EXPECT_EQ(FormatDuration(Duration::Seconds(13.3)), "13.3s");
+  EXPECT_EQ(FormatDuration(Duration::Hours(2) + 3_min + 4_s), "2h03m04s");
+  EXPECT_EQ(FormatDuration(Duration::Millis(-74)), "-74.0ms");
+}
+
+}  // namespace
+}  // namespace ethsim

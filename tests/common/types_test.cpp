@@ -1,0 +1,78 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ethsim {
+namespace {
+
+TEST(FixedBytes, DefaultIsZero) {
+  Hash32 h;
+  EXPECT_TRUE(h.is_zero());
+  EXPECT_EQ(h.prefix_u64(), 0u);
+}
+
+TEST(FixedBytes, ComparisonIsLexicographic) {
+  Hash32 a, b;
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  EXPECT_LT(a, b);
+  b.bytes[0] = 1;
+  EXPECT_EQ(a, b);
+  b.bytes[31] = 1;
+  EXPECT_LT(a, b);
+}
+
+TEST(FixedBytes, PrefixU64BigEndian) {
+  Hash32 h;
+  h.bytes[0] = 0x12;
+  h.bytes[7] = 0x34;
+  EXPECT_EQ(h.prefix_u64(), 0x1200000000000034ULL);
+}
+
+TEST(Hex, RoundTrip) {
+  Hash32 h;
+  for (std::size_t i = 0; i < 32; ++i) h.bytes[i] = static_cast<std::uint8_t>(i * 7);
+  const std::string hex = ToHex(h);
+  EXPECT_EQ(hex.size(), 64u);
+  const Hash32 back = FixedBytesFromHex<32>(hex);
+  EXPECT_EQ(h, back);
+}
+
+TEST(Hex, ParsesWith0xPrefix) {
+  Address a = FixedBytesFromHex<20>("0x00000000000000000000000000000000000000ff");
+  EXPECT_EQ(a.bytes[19], 0xff);
+  EXPECT_EQ(a.bytes[18], 0x00);
+}
+
+TEST(Hex, RejectsBadInput) {
+  std::array<std::uint8_t, 2> buf{};
+  EXPECT_FALSE(FromHex("zzzz", buf));
+  EXPECT_FALSE(FromHex("abc", buf));    // wrong length
+  EXPECT_FALSE(FromHex("abcdef", buf)); // wrong length
+  EXPECT_TRUE(FromHex("a1B2", buf));    // mixed case ok
+  EXPECT_EQ(buf[0], 0xa1);
+  EXPECT_EQ(buf[1], 0xb2);
+}
+
+TEST(Hex, ShortHexUsesFourBytes) {
+  Hash32 h = FixedBytesFromHex<32>(
+      "a1b2c3d4000000000000000000000000000000000000000000000000000000ee");
+  EXPECT_EQ(ShortHex(h), "a1b2c3d4");
+}
+
+TEST(FixedBytes, StdHashUsableInUnorderedSet) {
+  std::unordered_set<Hash32> set;
+  Hash32 a, b;
+  a.bytes[5] = 1;
+  b.bytes[5] = 2;
+  set.insert(a);
+  set.insert(b);
+  set.insert(a);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(a));
+}
+
+}  // namespace
+}  // namespace ethsim

@@ -1,0 +1,415 @@
+#include "eth/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace ethsim::eth {
+namespace {
+
+using namespace ethsim::literals;
+
+chain::BlockPtr MakeGenesis() {
+  auto b = std::make_shared<chain::Block>();
+  b->header.number = 0;
+  b->header.difficulty = 1000;
+  b->Seal();
+  return b;
+}
+
+Address Addr(std::uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+chain::BlockPtr Child(const chain::BlockPtr& parent, std::uint64_t mix = 0,
+                      std::vector<chain::Transaction> txs = {}) {
+  auto b = std::make_shared<chain::Block>();
+  b->header.parent_hash = parent->hash;
+  b->header.number = parent->header.number + 1;
+  b->header.timestamp = parent->header.timestamp + 13;
+  b->header.difficulty = 1000;
+  b->header.miner = Addr(1);
+  b->header.mix_seed = mix;
+  b->transactions = std::move(txs);
+  b->Seal();
+  return b;
+}
+
+// A small fully-wired test cluster.
+struct Cluster {
+  explicit Cluster(std::size_t n, NodeConfig cfg = {},
+                   net::Region region = net::Region::WesternEurope) {
+    net = std::make_unique<net::Network>(simulator, Rng{99}, net::NetworkParams{});
+    genesis = MakeGenesis();
+    Rng ids{7};
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::HostId host = net->AddHost({region, 1e9});
+      nodes.push_back(std::make_unique<EthNode>(simulator, *net, host,
+                                                p2p::RandomNodeId(ids), genesis,
+                                                cfg, ids.Fork(i)));
+    }
+  }
+
+  void ConnectAll() {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      for (std::size_t j = i + 1; j < nodes.size(); ++j)
+        EthNode::Connect(*nodes[i], *nodes[j]);
+  }
+
+  void ConnectRing() {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      EthNode::Connect(*nodes[i], *nodes[(i + 1) % nodes.size()]);
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::Network> net;
+  chain::BlockPtr genesis;
+  std::vector<std::unique_ptr<EthNode>> nodes;
+};
+
+TEST(EthNodeConnect, MutualAndIdempotent) {
+  Cluster c{2};
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
+  EXPECT_TRUE(c.nodes[0]->ConnectedTo(*c.nodes[1]));
+  EXPECT_TRUE(c.nodes[1]->ConnectedTo(*c.nodes[0]));
+  EXPECT_FALSE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));  // duplicate
+  EXPECT_FALSE(EthNode::Connect(*c.nodes[0], *c.nodes[0]));  // self
+  EXPECT_EQ(c.nodes[0]->peer_count(), 1u);
+}
+
+TEST(EthNodeConnect, MaxPeersEnforced) {
+  NodeConfig cfg;
+  cfg.max_peers = 2;
+  Cluster c{4, cfg};
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[2]));
+  EXPECT_FALSE(EthNode::Connect(*c.nodes[0], *c.nodes[3]));
+  EXPECT_EQ(c.nodes[0]->peer_count(), 2u);
+  EXPECT_EQ(c.nodes[3]->peer_count(), 0u);
+}
+
+TEST(EthNodeBlocks, MinedBlockReachesAllNodes) {
+  Cluster c{8};
+  c.ConnectAll();
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));
+  for (const auto& node : c.nodes) {
+    EXPECT_TRUE(node->tree().Contains(b1->hash));
+    EXPECT_EQ(node->tree().head_hash(), b1->hash);
+  }
+}
+
+TEST(EthNodeBlocks, PropagatesAcrossRingTopology) {
+  // Multi-hop relay: a ring forces the block through every node in turn.
+  Cluster c{10};
+  c.ConnectRing();
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(30).micros()));
+  for (const auto& node : c.nodes) EXPECT_TRUE(node->tree().Contains(b1->hash));
+}
+
+TEST(EthNodeBlocks, ChainOfBlocksPropagates) {
+  Cluster c{5};
+  c.ConnectAll();
+  chain::BlockPtr tip = c.genesis;
+  for (int i = 0; i < 5; ++i) {
+    tip = Child(tip, static_cast<std::uint64_t>(i));
+    c.nodes[static_cast<std::size_t>(i) % c.nodes.size()]->InjectMinedBlock(tip);
+    c.simulator.RunUntil(c.simulator.Now() + 5_s);
+  }
+  for (const auto& node : c.nodes) {
+    EXPECT_EQ(node->tree().head_number(), 5u);
+    EXPECT_EQ(node->tree().head_hash(), tip->hash);
+  }
+}
+
+TEST(EthNodeBlocks, HeadCallbackFiresOnNewHead) {
+  Cluster c{3};
+  c.ConnectAll();
+  int fires = 0;
+  chain::BlockPtr last;
+  c.nodes[2]->set_head_callback([&](chain::BlockPtr b) {
+    ++fires;
+    last = std::move(b);
+  });
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(5).micros()));
+  EXPECT_EQ(fires, 1);
+  ASSERT_TRUE(last);
+  EXPECT_EQ(last->hash, b1->hash);
+}
+
+TEST(EthNodeBlocks, CompetingForksConvergeOnHeavierChain) {
+  Cluster c{6};
+  c.ConnectAll();
+  // Two same-height blocks injected at different nodes at the same instant.
+  const chain::BlockPtr a = Child(c.genesis, 1);
+  const chain::BlockPtr b = Child(c.genesis, 2);
+  c.nodes[0]->InjectMinedBlock(a);
+  c.nodes[5]->InjectMinedBlock(b);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(5).micros()));
+
+  // Extend fork b: everyone must reorg onto it.
+  const chain::BlockPtr b2 = Child(b, 3);
+  c.nodes[5]->InjectMinedBlock(b2);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(15).micros()));
+  for (const auto& node : c.nodes) {
+    EXPECT_EQ(node->tree().head_hash(), b2->hash);
+    EXPECT_TRUE(node->tree().Contains(a->hash));  // fork retained in the tree
+  }
+}
+
+TEST(EthNodeTxs, SubmittedTransactionGossipsToAllPools) {
+  Cluster c{6};
+  c.ConnectAll();
+  const chain::Transaction tx = chain::MakeTransaction(Addr(5), 0, Addr(6), 10, 1);
+  c.nodes[0]->SubmitTransaction(tx);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));
+  for (const auto& node : c.nodes) {
+    EXPECT_TRUE(node->pool().Contains(tx.hash))
+        << "node missing tx";
+    EXPECT_EQ(node->pool().pending_count(), 1u);
+  }
+}
+
+TEST(EthNodeTxs, DuplicateSubmissionIsIgnored) {
+  Cluster c{2};
+  c.ConnectAll();
+  const chain::Transaction tx = chain::MakeTransaction(Addr(5), 0, Addr(6), 10, 1);
+  c.nodes[0]->SubmitTransaction(tx);
+  c.nodes[0]->SubmitTransaction(tx);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(5).micros()));
+  EXPECT_EQ(c.nodes[1]->pool().size(), 1u);
+}
+
+TEST(EthNodeTxs, IncludedTransactionsLeavePoolsEverywhere) {
+  Cluster c{4};
+  c.ConnectAll();
+  const chain::Transaction tx = chain::MakeTransaction(Addr(5), 0, Addr(6), 10, 1);
+  c.nodes[0]->SubmitTransaction(tx);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(5).micros()));
+
+  const chain::BlockPtr b1 = Child(c.genesis, 0, {tx});
+  c.nodes[1]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(15).micros()));
+  for (const auto& node : c.nodes) {
+    EXPECT_FALSE(node->pool().Contains(tx.hash));
+    EXPECT_EQ(node->pool().AccountNonce(Addr(5)), 1u);
+  }
+}
+
+TEST(EthNodeTxs, ReorgReturnsRetiredTransactionsToPool) {
+  Cluster c{2};
+  c.ConnectAll();
+  const chain::Transaction tx = chain::MakeTransaction(Addr(5), 0, Addr(6), 10, 1);
+
+  // Chain A includes the tx.
+  const chain::BlockPtr a1 = Child(c.genesis, 1, {tx});
+  c.nodes[0]->InjectMinedBlock(a1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(5).micros()));
+  EXPECT_FALSE(c.nodes[1]->pool().Contains(tx.hash));
+
+  // Chain B (empty blocks) outgrows chain A: the tx must come back.
+  const chain::BlockPtr b1 = Child(c.genesis, 2);
+  const chain::BlockPtr b2 = Child(b1, 2);
+  c.nodes[1]->InjectMinedBlock(b1);
+  c.nodes[1]->InjectMinedBlock(b2);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(15).micros()));
+
+  for (const auto& node : c.nodes) {
+    EXPECT_EQ(node->tree().head_hash(), b2->hash);
+    EXPECT_TRUE(node->pool().Contains(tx.hash)) << "tx lost in reorg";
+  }
+}
+
+// Counting sink used to verify relay economics.
+struct CountingSink : MessageSink {
+  int full_blocks = 0;
+  int announcements = 0;
+  int fetched = 0;
+  int imported = 0;
+  int txs = 0;
+
+  void OnBlockMessage(BlockMsgKind kind, const Hash32&, std::uint64_t,
+                      const chain::Block*) override {
+    switch (kind) {
+      case BlockMsgKind::kFullBlock: ++full_blocks; break;
+      case BlockMsgKind::kAnnouncement: ++announcements; break;
+      case BlockMsgKind::kFetched: ++fetched; break;
+    }
+  }
+  void OnTransactionMessage(const chain::Transaction&) override { ++txs; }
+  void OnBlockImported(const chain::BlockPtr&, bool) override { ++imported; }
+};
+
+TEST(EthNodeRelay, SinkSeesBlockTraffic) {
+  Cluster c{8};
+  c.ConnectAll();
+  CountingSink sink;
+  c.nodes[7]->set_sink(&sink);
+  c.nodes[0]->InjectMinedBlock(Child(c.genesis));
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));
+  EXPECT_EQ(sink.imported, 1);
+  // With 7 peers each pushing to ~sqrt(7)≈3 and announcing to the rest, the
+  // observer receives the block multiple times but far fewer than 7 pushes.
+  EXPECT_GE(sink.full_blocks + sink.fetched, 1);
+  EXPECT_GE(sink.announcements + sink.full_blocks, 1);
+}
+
+TEST(EthNodeRelay, EachNodeImportsEachBlockExactlyOnce) {
+  Cluster c{8};
+  c.ConnectAll();
+  std::vector<CountingSink> sinks(8);
+  for (std::size_t i = 0; i < 8; ++i) c.nodes[i]->set_sink(&sinks[i]);
+  chain::BlockPtr tip = c.genesis;
+  for (int i = 0; i < 3; ++i) {
+    tip = Child(tip, static_cast<std::uint64_t>(i));
+    c.nodes[0]->InjectMinedBlock(tip);
+    c.simulator.RunUntil(c.simulator.Now() + 5_s);
+  }
+  for (const auto& sink : sinks) EXPECT_EQ(sink.imported, 3);
+}
+
+TEST(EthNodeRelay, AnnouncementTriggersFetchWhenUnknown) {
+  // Topology: miner -- hub -- leaf, with the hub's push targeting limited so
+  // the leaf node sometimes learns via announcement + fetch. With 1 peer
+  // sqrt(1)=1 so push always happens; use a sink to check the fetched path
+  // is at least exercised across a wider cluster instead.
+  Cluster c{12};
+  c.ConnectAll();
+  std::vector<CountingSink> sinks(12);
+  for (std::size_t i = 0; i < 12; ++i) c.nodes[i]->set_sink(&sinks[i]);
+  chain::BlockPtr tip = c.genesis;
+  for (int i = 0; i < 10; ++i) {
+    tip = Child(tip, static_cast<std::uint64_t>(i));
+    c.nodes[static_cast<std::size_t>(i) % 12]->InjectMinedBlock(tip);
+    c.simulator.RunUntil(c.simulator.Now() + 3_s);
+  }
+  int total_fetched = 0;
+  for (const auto& sink : sinks) total_fetched += sink.fetched;
+  EXPECT_GT(total_fetched, 0) << "announcement+fetch path never used";
+}
+
+
+TEST(EthNodeRelayModes, PushAllFloodsEveryPeerDirectly) {
+  NodeConfig cfg;
+  cfg.relay_mode = RelayMode::kPushAll;
+  Cluster c{10, cfg};
+  c.ConnectAll();
+  CountingSink sink;
+  c.nodes[9]->set_sink(&sink);
+  c.nodes[0]->InjectMinedBlock(Child(c.genesis));
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(20).micros()));
+  EXPECT_EQ(sink.imported, 1);
+  // With push-to-all, the observer receives many more full copies than the
+  // sqrt policy would send, and never needs to fetch.
+  EXPECT_GE(sink.full_blocks, 3);
+  EXPECT_EQ(sink.fetched, 0);
+}
+
+TEST(EthNodeRelayModes, AnnounceOnlyStillDisseminates) {
+  NodeConfig cfg;
+  cfg.relay_mode = RelayMode::kAnnounceOnly;
+  Cluster c{10, cfg};
+  c.ConnectAll();
+  std::vector<CountingSink> sinks(10);
+  for (std::size_t i = 0; i < 10; ++i) c.nodes[i]->set_sink(&sinks[i]);
+  c.nodes[0]->InjectMinedBlock(Child(c.genesis));
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(30).micros()));
+  int fetched_total = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sinks[i].imported, 1) << "node " << i;
+    fetched_total += sinks[i].fetched;
+  }
+  // Everyone except the miner must have fetched the body.
+  EXPECT_GE(fetched_total, 9);
+}
+
+TEST(EthNodeFaults, GossipSurvivesMessageLoss) {
+  // 15% of messages vanish; redundancy (multiple pushes + announcements)
+  // still delivers the block everywhere — the fault-tolerance role of the
+  // redundancy the paper quantifies in Table II.
+  sim::Simulator simulator;
+  net::NetworkParams lossy;
+  lossy.drop_prob = 0.15;
+  net::Network network{simulator, Rng{99}, lossy};
+  chain::BlockPtr genesis = MakeGenesis();
+  Rng ids{7};
+  std::vector<std::unique_ptr<EthNode>> nodes;
+  for (int i = 0; i < 16; ++i) {
+    const net::HostId host = network.AddHost({net::Region::WesternEurope, 1e9});
+    nodes.push_back(std::make_unique<EthNode>(simulator, network, host,
+                                              p2p::RandomNodeId(ids), genesis,
+                                              NodeConfig{}, ids.Fork(i)));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      EthNode::Connect(*nodes[i], *nodes[j]);
+
+  chain::BlockPtr tip = genesis;
+  for (int i = 0; i < 10; ++i) {
+    tip = Child(tip, static_cast<std::uint64_t>(i));
+    nodes[0]->InjectMinedBlock(tip);
+    simulator.RunUntil(simulator.Now() + Duration::Seconds(13));
+  }
+  simulator.RunUntil(simulator.Now() + Duration::Seconds(60));
+
+  EXPECT_GT(network.messages_dropped(), 0u);
+  int fully_synced = 0;
+  for (const auto& node : nodes)
+    fully_synced += node->tree().head_hash() == tip->hash;
+  // A dense mesh shrugs off 15% loss almost entirely.
+  EXPECT_GE(fully_synced, 15);
+}
+
+
+TEST(EthNodeValidation, CorruptBlockIsRejectedNotImported) {
+  Cluster c{3};
+  c.ConnectAll();
+  // A block whose gas_used header field lies about the body.
+  auto bad = std::make_shared<chain::Block>();
+  bad->header.parent_hash = c.genesis->hash;
+  bad->header.number = c.genesis->header.number + 1;
+  bad->header.difficulty = 1000;
+  bad->header.timestamp = c.genesis->header.timestamp + 13;
+  bad->Seal();
+  auto tampered = std::make_shared<chain::Block>(*bad);
+  tampered->header.gas_used = 999;        // inconsistent with empty body
+  tampered->hash = tampered->header.Hash();  // re-sealed, still structurally bad
+
+  c.nodes[1]->DeliverNewBlock(c.nodes[0].get(), tampered);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));
+
+  EXPECT_EQ(c.nodes[1]->invalid_blocks(), 1u);
+  EXPECT_FALSE(c.nodes[1]->tree().Contains(tampered->hash));
+  // The honest version still works.
+  c.nodes[1]->DeliverNewBlock(c.nodes[0].get(), bad);
+  c.simulator.RunUntil(c.simulator.Now() + 10_s);
+  EXPECT_TRUE(c.nodes[1]->tree().Contains(bad->hash));
+}
+
+TEST(EthNodeBlocks, OrphanParentIsFetchedAndChainHeals) {
+  // Deliver a block whose parent the receiver never saw: node 1 must fetch
+  // the parent and still converge.
+  Cluster c{2};
+  c.ConnectAll();
+  const chain::BlockPtr b1 = Child(c.genesis, 1);
+  const chain::BlockPtr b2 = Child(b1, 1);
+  // Inject only into node 0's tree by hand-crafting: use a private cluster
+  // where node 0 knows b1 but the wire only carries b2 first.
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(1000));  // b1 still in flight
+  c.nodes[0]->InjectMinedBlock(b2);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(20).micros()));
+  EXPECT_EQ(c.nodes[1]->tree().head_hash(), b2->hash);
+  EXPECT_EQ(c.nodes[1]->tree().orphan_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ethsim::eth

@@ -1,0 +1,143 @@
+#include "eth/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::eth::wire {
+namespace {
+
+Address Addr(std::uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+chain::Block SampleBlock() {
+  chain::Block b;
+  b.header.number = 7'500'123;
+  b.header.difficulty = 2'000'000'000'000ULL;
+  b.header.timestamp = 1'554'076'800;
+  b.header.miner = Addr(5);
+  b.header.mix_seed = 0xdeadbeef;
+  b.transactions.push_back(chain::MakeTransaction(Addr(1), 0, Addr(2), 100, 5));
+  b.transactions.push_back(
+      chain::MakeTransaction(Addr(1), 1, Addr(3), 999, 7, 64));
+  chain::BlockHeader uncle;
+  uncle.number = 7'500'122;
+  uncle.miner = Addr(9);
+  b.uncles.push_back(uncle);
+  b.Seal();
+  return b;
+}
+
+TEST(Wire, StatusRoundTrip) {
+  Status status;
+  status.total_difficulty = 123'456'789;
+  status.head.bytes[0] = 0xaa;
+  status.genesis.bytes[0] = 0xbb;
+  Status decoded;
+  ASSERT_TRUE(DecodeStatus(EncodeStatus(status), decoded));
+  EXPECT_EQ(decoded.protocol_version, 63u);
+  EXPECT_EQ(decoded.network_id, 1u);
+  EXPECT_EQ(decoded.total_difficulty, 123'456'789u);
+  EXPECT_EQ(decoded.head, status.head);
+  EXPECT_EQ(decoded.genesis, status.genesis);
+}
+
+TEST(Wire, AnnouncementsRoundTrip) {
+  std::vector<Announcement> anns;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Announcement ann;
+    ann.hash.bytes[0] = static_cast<std::uint8_t>(i + 1);
+    ann.number = 7'000'000 + i;
+    anns.push_back(ann);
+  }
+  std::vector<Announcement> decoded;
+  ASSERT_TRUE(DecodeAnnouncements(EncodeAnnouncements(anns), decoded));
+  ASSERT_EQ(decoded.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(decoded[i].hash, anns[i].hash);
+    EXPECT_EQ(decoded[i].number, anns[i].number);
+  }
+}
+
+TEST(Wire, EmptyAnnouncementListRoundTrips) {
+  std::vector<Announcement> decoded{{}};
+  ASSERT_TRUE(DecodeAnnouncements(EncodeAnnouncements({}), decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(Wire, TransactionsRoundTripPreservesHashes) {
+  std::vector<chain::Transaction> txs;
+  txs.push_back(chain::MakeTransaction(Addr(1), 0, Addr(2), 100, 5));
+  txs.push_back(chain::MakeTransaction(Addr(4), 42, Addr(2), 7, 1, 512));
+  std::vector<chain::Transaction> decoded;
+  ASSERT_TRUE(DecodeTransactions(EncodeTransactions(txs), decoded));
+  ASSERT_EQ(decoded.size(), 2u);
+  // The decoder re-seals; identity must survive the wire.
+  EXPECT_EQ(decoded[0].hash, txs[0].hash);
+  EXPECT_EQ(decoded[1].hash, txs[1].hash);
+  EXPECT_EQ(decoded[1].payload_bytes, 512u);
+}
+
+TEST(Wire, GetBlockRoundTrip) {
+  Hash32 h;
+  h.bytes[31] = 0x42;
+  Hash32 decoded;
+  ASSERT_TRUE(DecodeGetBlock(EncodeGetBlock(h), decoded));
+  EXPECT_EQ(decoded, h);
+}
+
+TEST(Wire, NewBlockRoundTripPreservesIdentity) {
+  const chain::Block block = SampleBlock();
+  chain::Block decoded;
+  std::uint64_t td = 0;
+  ASSERT_TRUE(DecodeNewBlock(EncodeNewBlock(block, 999), decoded, td));
+  EXPECT_EQ(td, 999u);
+  EXPECT_EQ(decoded.hash, block.hash);  // keccak(rlp(header)) survives
+  ASSERT_EQ(decoded.transactions.size(), 2u);
+  EXPECT_EQ(decoded.transactions[0].hash, block.transactions[0].hash);
+  ASSERT_EQ(decoded.uncles.size(), 1u);
+  EXPECT_EQ(decoded.uncles[0].Hash(), block.uncles[0].Hash());
+}
+
+TEST(Wire, DecodersRejectGarbage) {
+  const rlp::Bytes junk{0xde, 0xad, 0xbe, 0xef};
+  Status status;
+  EXPECT_FALSE(DecodeStatus(junk, status));
+  std::vector<Announcement> anns;
+  EXPECT_FALSE(DecodeAnnouncements(junk, anns));
+  chain::Block block;
+  std::uint64_t td;
+  EXPECT_FALSE(DecodeNewBlock(junk, block, td));
+  // Wrong arity: a status used as GetBlock.
+  Hash32 h;
+  EXPECT_FALSE(DecodeGetBlock(EncodeStatus(Status{}), h));
+}
+
+TEST(Wire, WireSizesMatchEncodings) {
+  const chain::Block block = SampleBlock();
+  EXPECT_EQ(NewBlockWireSize(block), EncodeNewBlock(block, 1).size() + 1);
+  EXPECT_EQ(GetBlockWireSize(), EncodeGetBlock(Hash32{}).size() + 1);
+  EXPECT_EQ(AnnouncementsWireSize(3),
+            EncodeAnnouncements(std::vector<Announcement>(3)).size() + 1);
+
+  // The coarse EncodedSize() heuristic the relay uses stays within ~25% of
+  // the exact RLP size for realistic blocks.
+  const double exact = static_cast<double>(NewBlockWireSize(block));
+  const double heuristic = static_cast<double>(block.EncodedSize());
+  EXPECT_NEAR(heuristic / exact, 1.0, 0.45);
+}
+
+TEST(Wire, BigBlockEncodesProportionally) {
+  chain::Block small = SampleBlock();
+  chain::Block big = small;
+  for (std::uint64_t n = 2; n < 102; ++n)
+    big.transactions.push_back(chain::MakeTransaction(Addr(1), n, Addr(2), 1, 1));
+  big.Seal();
+  const std::size_t small_size = NewBlockWireSize(small);
+  const std::size_t big_size = NewBlockWireSize(big);
+  EXPECT_GT(big_size, small_size + 100 * 60);  // ~100 extra txs of >=60B each
+}
+
+}  // namespace
+}  // namespace ethsim::eth::wire

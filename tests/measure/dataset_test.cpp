@@ -1,0 +1,156 @@
+#include "measure/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/propagation.hpp"
+#include "core/experiment.hpp"
+
+namespace ethsim::measure {
+namespace {
+
+using namespace ethsim::literals;
+
+class DatasetFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ethsim_dataset_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+Dataset SyntheticDataset() {
+  Dataset dataset;
+  VantageLog vantage;
+  vantage.name = "EA";
+  vantage.region = net::Region::EasternAsia;
+  vantage.clock_offset = Duration::Millis(-7);
+
+  Hash32 h1 = FixedBytesFromHex<32>(
+      "00000000000000000000000000000000000000000000000000000000000000aa");
+  Hash32 h2 = FixedBytesFromHex<32>(
+      "00000000000000000000000000000000000000000000000000000000000000bb");
+  vantage.block_arrivals.push_back(
+      {h1, 42, eth::MessageSink::BlockMsgKind::kFullBlock,
+       TimePoint::FromMicros(1'000'000)});
+  vantage.block_arrivals.push_back(
+      {h1, 42, eth::MessageSink::BlockMsgKind::kAnnouncement,
+       TimePoint::FromMicros(1'100'000)});
+  Address sender;
+  sender.bytes[0] = 3;
+  vantage.tx_arrivals.push_back({h2, sender, 7, TimePoint::FromMicros(2'000'000)});
+  vantage.imports.push_back({h1, 42, true, TimePoint::FromMicros(1'200'000)});
+  dataset.vantages.push_back(vantage);
+
+  CatalogBlock row;
+  row.hash = h1;
+  row.number = 42;
+  row.parent = h2;
+  row.pool = "Ethermine";
+  row.empty = true;
+  row.fork_sibling = false;
+  row.mined_at = TimePoint::FromMicros(900'000);
+  dataset.catalog.push_back(row);
+  return dataset;
+}
+
+TEST_F(DatasetFixture, RoundTripPreservesEverything) {
+  const Dataset original = SyntheticDataset();
+  ASSERT_TRUE(WriteDataset(dir_.string(), original));
+
+  Dataset loaded;
+  ASSERT_TRUE(ReadDataset(dir_.string(), loaded));
+
+  ASSERT_EQ(loaded.vantages.size(), 1u);
+  const VantageLog& vantage = loaded.vantages[0];
+  EXPECT_EQ(vantage.name, "EA");
+  EXPECT_EQ(vantage.region, net::Region::EasternAsia);
+  EXPECT_EQ(vantage.clock_offset.micros(), -7000);
+  ASSERT_EQ(vantage.block_arrivals.size(), 2u);
+  EXPECT_EQ(vantage.block_arrivals[0].hash,
+            original.vantages[0].block_arrivals[0].hash);
+  EXPECT_EQ(vantage.block_arrivals[0].number, 42u);
+  EXPECT_EQ(vantage.block_arrivals[0].kind,
+            eth::MessageSink::BlockMsgKind::kFullBlock);
+  EXPECT_EQ(vantage.block_arrivals[1].kind,
+            eth::MessageSink::BlockMsgKind::kAnnouncement);
+  ASSERT_EQ(vantage.tx_arrivals.size(), 1u);
+  EXPECT_EQ(vantage.tx_arrivals[0].nonce, 7u);
+  EXPECT_EQ(vantage.tx_arrivals[0].sender.bytes[0], 3);
+  ASSERT_EQ(vantage.imports.size(), 1u);
+  EXPECT_TRUE(vantage.imports[0].new_head);
+
+  ASSERT_EQ(loaded.catalog.size(), 1u);
+  EXPECT_EQ(loaded.catalog[0].pool, "Ethermine");
+  EXPECT_TRUE(loaded.catalog[0].empty);
+  EXPECT_EQ(loaded.catalog[0].mined_at.micros(), 900'000);
+}
+
+TEST_F(DatasetFixture, ReadMissingDirectoryFails) {
+  Dataset loaded;
+  EXPECT_FALSE(ReadDataset((dir_ / "nope").string(), loaded));
+}
+
+TEST_F(DatasetFixture, ReplayObserverServesAnalysisIdentically) {
+  // Run a small live study, snapshot + replay, and check the analysis
+  // pipeline produces identical propagation numbers from the replay.
+  core::ExperimentConfig cfg = core::presets::SmallStudy(25);
+  cfg.duration = Duration::Minutes(8);
+  cfg.workload.rate_per_sec = 0.5;
+  core::Experiment exp{cfg};
+  exp.Run();
+
+  analysis::ObserverSet live;
+  Dataset dataset;
+  for (const auto& obs : exp.observers()) {
+    live.push_back(obs.get());
+    dataset.vantages.push_back(SnapshotObserver(*obs));
+  }
+  ASSERT_TRUE(WriteDataset(dir_.string(), dataset));
+  Dataset loaded;
+  ASSERT_TRUE(ReadDataset(dir_.string(), loaded));
+
+  sim::Simulator dummy;
+  std::vector<std::unique_ptr<Observer>> replayed;
+  analysis::ObserverSet replay_set;
+  for (const auto& vantage : loaded.vantages) {
+    replayed.push_back(ReplayObserver(vantage, dummy));
+    replay_set.push_back(replayed.back().get());
+  }
+
+  const auto live_result = analysis::BlockPropagationDelays(live);
+  const auto replay_result = analysis::BlockPropagationDelays(replay_set);
+  EXPECT_EQ(live_result.items, replay_result.items);
+  EXPECT_EQ(live_result.delays_ms.count(), replay_result.delays_ms.count());
+  EXPECT_DOUBLE_EQ(live_result.median_ms, replay_result.median_ms);
+  EXPECT_DOUBLE_EQ(live_result.p99_ms, replay_result.p99_ms);
+}
+
+TEST_F(DatasetFixture, CatalogBuildAndReconstruction) {
+  core::ExperimentConfig cfg = core::presets::SmallStudy(20);
+  cfg.duration = Duration::Minutes(10);
+  cfg.workload.rate_per_sec = 0;
+  core::Experiment exp{cfg};
+  exp.Run();
+
+  const auto catalog = BuildCatalog(exp.minted(), cfg.pools);
+  ASSERT_EQ(catalog.size(), exp.minted().size());
+
+  const auto minted = ReconstructMintRecords(catalog, cfg.pools);
+  ASSERT_EQ(minted.size(), exp.minted().size());
+  for (std::size_t i = 0; i < minted.size(); ++i) {
+    EXPECT_EQ(minted[i].block->hash, exp.minted()[i].block->hash);
+    EXPECT_EQ(minted[i].pool_index, exp.minted()[i].pool_index);
+    EXPECT_EQ(minted[i].is_fork_sibling, exp.minted()[i].is_fork_sibling);
+  }
+}
+
+}  // namespace
+}  // namespace ethsim::measure

@@ -1,0 +1,110 @@
+#include "miner/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ethsim::miner {
+namespace {
+
+TEST(PaperPools, RosterMatchesFig3) {
+  const auto pools = PaperPools();
+  // 15 named pools + remaining bucket + the always-empty solo miner.
+  ASSERT_EQ(pools.size(), 17u);
+  EXPECT_EQ(pools[0].name, "Ethermine");
+  EXPECT_NEAR(pools[0].hashrate_share, 0.2532, 1e-9);
+  EXPECT_EQ(pools[1].name, "Sparkpool");
+  EXPECT_NEAR(pools[1].hashrate_share, 0.2288, 1e-9);
+  EXPECT_EQ(pools[2].name, "F2pool2");
+  EXPECT_EQ(pools[14].name, "Hiveon");
+  EXPECT_EQ(pools[15].name, "Remaining miners");
+  EXPECT_NEAR(pools[15].hashrate_share, 0.0839, 1e-9);
+}
+
+TEST(PaperPools, SharesSumToApproximatelyOne) {
+  double total = 0;
+  for (const auto& p : PaperPools()) total += p.hashrate_share;
+  EXPECT_NEAR(total, 1.0, 0.001);
+}
+
+TEST(PaperPools, EveryPoolHasGatewaysAndValidWeights) {
+  for (const auto& p : PaperPools()) {
+    EXPECT_FALSE(p.gateways.empty()) << p.name;
+    double w = 0;
+    for (const auto& g : p.gateways) {
+      EXPECT_GT(g.weight, 0.0) << p.name;
+      w += g.weight;
+    }
+    EXPECT_NEAR(w, 1.0, 1e-6) << p.name;
+  }
+}
+
+TEST(PaperPools, CoinbasesAreUniqueAndDeterministic) {
+  const auto pools = PaperPools();
+  std::unordered_set<Address> seen;
+  for (const auto& p : pools) {
+    EXPECT_FALSE(p.coinbase.is_zero()) << p.name;
+    EXPECT_TRUE(seen.insert(p.coinbase).second) << "dup coinbase " << p.name;
+    EXPECT_EQ(p.coinbase, PoolCoinbase(p.name));
+  }
+}
+
+TEST(PaperPools, PolicyShapesMatchPaperObservations) {
+  const auto pools = PaperPools();
+  auto find = [&](const std::string& name) -> const PoolSpec& {
+    for (const auto& p : pools)
+      if (p.name == name) return p;
+    ADD_FAILURE() << name << " missing";
+    return pools[0];
+  };
+
+  // §III-C3: Nanopool and Miningpoolhub1 mined no empty blocks.
+  EXPECT_EQ(find("Nanopool").policy.empty_block_rate, 0.0);
+  EXPECT_EQ(find("Miningpoolhub1").policy.empty_block_rate, 0.0);
+  // Zhizhu: more than 25% empty.
+  EXPECT_GT(find("Zhizhu").policy.empty_block_rate, 0.25);
+  // The Etherscan solo account only mines empty blocks.
+  EXPECT_EQ(find("EmptyOnlySolo").policy.empty_block_rate, 1.0);
+
+  // Overall deliberate-empty expectation ≈ 1.45% of blocks.
+  double expected_empty = 0;
+  double total_share = 0;
+  for (const auto& p : pools) {
+    expected_empty += p.hashrate_share * p.policy.empty_block_rate;
+    total_share += p.hashrate_share;
+  }
+  EXPECT_NEAR(expected_empty / total_share, 0.0145, 0.002);
+
+  // Overall one-miner-fork expectation ≈ 0.88% of blocks, split 56/44.
+  double omf = 0, omf_same = 0;
+  for (const auto& p : pools) {
+    omf += p.hashrate_share * (p.policy.one_miner_fork_same_txset_rate +
+                               p.policy.one_miner_fork_distinct_txset_rate);
+    omf_same += p.hashrate_share * p.policy.one_miner_fork_same_txset_rate;
+  }
+  EXPECT_NEAR(omf / total_share, 0.0088, 0.003);
+  EXPECT_NEAR(omf_same / omf, 0.56, 0.01);
+}
+
+TEST(PaperPools, AsianPoolsAreEaHeavy) {
+  // The Fig 2/3 mechanism: the majority of hashrate releases blocks in EA.
+  double ea_weighted = 0, total = 0;
+  for (const auto& p : PaperPools()) {
+    for (const auto& g : p.gateways) {
+      if (g.region == net::Region::EasternAsia ||
+          g.region == net::Region::SoutheastAsia)
+        ea_weighted += p.hashrate_share * g.weight;
+      total += p.hashrate_share * g.weight;
+    }
+  }
+  EXPECT_GT(ea_weighted / total, 0.35);
+  EXPECT_LT(ea_weighted / total, 0.60);
+}
+
+TEST(PoolCoinbase, DistinctNamesDistinctAddresses) {
+  EXPECT_NE(PoolCoinbase("a"), PoolCoinbase("b"));
+  EXPECT_EQ(PoolCoinbase("Ethermine"), PoolCoinbase("Ethermine"));
+}
+
+}  // namespace
+}  // namespace ethsim::miner

@@ -1,0 +1,61 @@
+#include "net/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::net {
+namespace {
+
+TEST(Geo, RegionNames) {
+  EXPECT_EQ(RegionName(Region::NorthAmerica), "North America");
+  EXPECT_EQ(RegionShortName(Region::NorthAmerica), "NA");
+  EXPECT_EQ(RegionShortName(Region::EasternAsia), "EA");
+  EXPECT_EQ(RegionShortName(Region::WesternEurope), "WE");
+  EXPECT_EQ(RegionShortName(Region::CentralEurope), "CE");
+}
+
+TEST(Geo, LatencyMatrixIsSymmetric) {
+  for (Region a : AllRegions())
+    for (Region b : AllRegions())
+      EXPECT_EQ(BaseOneWayLatency(a, b).micros(), BaseOneWayLatency(b, a).micros())
+          << RegionShortName(a) << "<->" << RegionShortName(b);
+}
+
+TEST(Geo, IntraRegionFasterThanInterRegion) {
+  for (Region a : AllRegions())
+    for (Region b : AllRegions()) {
+      if (a == b) continue;
+      EXPECT_LT(BaseOneWayLatency(a, a), BaseOneWayLatency(a, b))
+          << RegionShortName(a) << " vs " << RegionShortName(b);
+    }
+}
+
+TEST(Geo, EuropeCloserToEuropeThanToAsia) {
+  EXPECT_LT(BaseOneWayLatency(Region::WesternEurope, Region::CentralEurope),
+            BaseOneWayLatency(Region::WesternEurope, Region::EasternAsia));
+}
+
+TEST(Geo, TriangleSanityTransatlanticVsTranspacific) {
+  // NA is closer to WE than to EA (reflects real backbone distances and the
+  // paper's observation that NA trails EA in block observation).
+  EXPECT_LT(BaseOneWayLatency(Region::NorthAmerica, Region::WesternEurope),
+            BaseOneWayLatency(Region::NorthAmerica, Region::EasternAsia));
+}
+
+TEST(Geo, AllRegionsAreDistinct) {
+  const auto regions = AllRegions();
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    for (std::size_t j = i + 1; j < regions.size(); ++j)
+      EXPECT_NE(regions[i], regions[j]);
+}
+
+TEST(Geo, LatenciesArePositiveAndBounded) {
+  for (Region a : AllRegions())
+    for (Region b : AllRegions()) {
+      const Duration d = BaseOneWayLatency(a, b);
+      EXPECT_GT(d.micros(), 0);
+      EXPECT_LT(d.millis(), 300.0);
+    }
+}
+
+}  // namespace
+}  // namespace ethsim::net

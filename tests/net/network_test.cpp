@@ -1,0 +1,204 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ethsim::net {
+namespace {
+
+using namespace ethsim::literals;
+
+// Pin neutral parameters: these tests check the delay mechanics, not the
+// Fig 1-calibrated defaults.
+inline NetworkParams NeutralParams() {
+  NetworkParams params;
+  params.latency_scale = 1.0;
+  params.jitter_sigma = 0.25;
+  params.slow_path_prob = 0.0;
+  return params;
+}
+
+struct NetworkFixture : ::testing::Test {
+  sim::Simulator simulator;
+  Network net{simulator, Rng{42}, NeutralParams()};
+};
+
+TEST_F(NetworkFixture, AddHostAssignsSequentialIds) {
+  const HostId a = net.AddHost({Region::NorthAmerica, 1e9});
+  const HostId b = net.AddHost({Region::EasternAsia, 1e9});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(net.host_count(), 2u);
+  EXPECT_EQ(net.host(a).region, Region::NorthAmerica);
+}
+
+TEST_F(NetworkFixture, DelayAtLeastBaseLatency) {
+  const HostId a = net.AddHost({Region::NorthAmerica, 1e9});
+  const HostId b = net.AddHost({Region::EasternAsia, 1e9});
+  // Lognormal jitter median is 1.0; over many samples the minimum should not
+  // fall far below ~60% of base, and mean should be near base.
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i)
+    stats.Add(net.SampleDelay(a, b, 0).millis());
+  const double base_ms = BaseOneWayLatency(Region::NorthAmerica,
+                                           Region::EasternAsia).millis();
+  EXPECT_GT(stats.min(), base_ms * 0.3);
+  EXPECT_NEAR(stats.mean(), base_ms * 1.03, base_ms * 0.12);  // E[lognormal]≈1.03
+}
+
+TEST_F(NetworkFixture, LargerMessagesTakeLonger) {
+  const HostId a = net.AddHost({Region::WesternEurope, 8e6});  // 1 MB/s
+  const HostId b = net.AddHost({Region::WesternEurope, 8e6});
+  RunningStats small, large;
+  for (int i = 0; i < 500; ++i) {
+    small.Add(net.SampleDelay(a, b, 100).millis());
+    large.Add(net.SampleDelay(a, b, 100'000).millis());
+  }
+  // 100 KB at 1 MB/s adds 100 ms of transfer time.
+  EXPECT_GT(large.mean() - small.mean(), 80.0);
+}
+
+TEST_F(NetworkFixture, BottleneckIsMinBandwidth) {
+  const HostId fast = net.AddHost({Region::WesternEurope, 1e12});
+  const HostId slow = net.AddHost({Region::WesternEurope, 8e6});
+  RunningStats up;
+  for (int i = 0; i < 200; ++i) up.Add(net.SampleDelay(fast, slow, 100'000).millis());
+  EXPECT_GT(up.mean(), 80.0);  // limited by the 1 MB/s receiver
+}
+
+TEST_F(NetworkFixture, SendDeliversAfterDelay) {
+  const HostId a = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId b = net.AddHost({Region::EasternAsia, 1e9});
+  bool delivered = false;
+  TimePoint at;
+  net.Send(a, b, 1000, [&] {
+    delivered = true;
+    at = simulator.Now();
+  });
+  simulator.RunAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(at.millis(), 30.0);  // at least some fraction of base latency
+}
+
+TEST_F(NetworkFixture, FifoOrderPerDirectedPair) {
+  const HostId a = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId b = net.AddHost({Region::EasternAsia, 1e9});
+  std::vector<int> order;
+  // Even if jitter would reorder, the TCP model must deliver in send order.
+  for (int i = 0; i < 50; ++i) net.Send(a, b, 100, [&, i] { order.push_back(i); });
+  simulator.RunAll();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(NetworkFixture, IndependentPairsMayInterleave) {
+  // FIFO applies per-pair only; a message on a fast pair sent after a slow
+  // pair's message can still arrive first.
+  const HostId we1 = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId we2 = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId oc = net.AddHost({Region::Oceania, 1e9});
+  std::vector<char> order;
+  net.Send(we1, oc, 100, [&] { order.push_back('s'); });   // slow pair first
+  net.Send(we1, we2, 100, [&] { order.push_back('f'); });  // fast pair second
+  simulator.RunAll();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'f');
+  EXPECT_EQ(order[1], 's');
+}
+
+TEST_F(NetworkFixture, LatencyScaleStretchesDelays) {
+  NetworkParams scaled = NeutralParams();
+  scaled.latency_scale = 3.0;
+  Network slow_net{simulator, Rng{42}, scaled};
+  const HostId a = slow_net.AddHost({Region::NorthAmerica, 1e9});
+  const HostId b = slow_net.AddHost({Region::EasternAsia, 1e9});
+  const HostId a2 = net.AddHost({Region::NorthAmerica, 1e9});
+  const HostId b2 = net.AddHost({Region::EasternAsia, 1e9});
+  RunningStats s1, s3;
+  for (int i = 0; i < 1000; ++i) {
+    s1.Add(net.SampleDelay(a2, b2, 0).millis());
+    s3.Add(slow_net.SampleDelay(a, b, 0).millis());
+  }
+  EXPECT_NEAR(s3.mean() / s1.mean(), 3.0, 0.35);
+}
+
+TEST(NetworkSlowPath, FattensTheTail) {
+  sim::Simulator simulator;
+  NetworkParams plain = NeutralParams();
+  NetworkParams spiky = NeutralParams();
+  spiky.slow_path_prob = 0.05;
+  spiky.slow_path_factor_max = 6.0;
+  Network a{simulator, Rng{42}, plain};
+  Network b{simulator, Rng{42}, spiky};
+  const HostId a1 = a.AddHost({Region::WesternEurope, 1e9});
+  const HostId a2 = a.AddHost({Region::EasternAsia, 1e9});
+  const HostId b1 = b.AddHost({Region::WesternEurope, 1e9});
+  const HostId b2 = b.AddHost({Region::EasternAsia, 1e9});
+
+  SampleSet sp, ss;
+  for (int i = 0; i < 20'000; ++i) {
+    sp.Add(a.SampleDelay(a1, a2, 0).millis());
+    ss.Add(b.SampleDelay(b1, b2, 0).millis());
+  }
+  // Medians barely move; the p99 tail stretches noticeably.
+  EXPECT_NEAR(ss.Median(), sp.Median(), sp.Median() * 0.1);
+  EXPECT_GT(ss.Quantile(0.99), sp.Quantile(0.99) * 1.5);
+}
+
+
+TEST(NetworkDrops, DropProbabilityLosesMessages) {
+  sim::Simulator simulator;
+  NetworkParams lossy = NeutralParams();
+  lossy.drop_prob = 0.5;
+  Network net{simulator, Rng{21}, lossy};
+  const HostId a = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId b = net.AddHost({Region::WesternEurope, 1e9});
+  int delivered = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) net.Send(a, b, 100, [&] { ++delivered; });
+  simulator.RunAll();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.5, 0.02);
+  EXPECT_EQ(net.messages_dropped() + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(NetworkDrops, ZeroDropDeliversEverything) {
+  sim::Simulator simulator;
+  Network net{simulator, Rng{22}, NeutralParams()};
+  const HostId a = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId b = net.AddHost({Region::WesternEurope, 1e9});
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) net.Send(a, b, 100, [&] { ++delivered; });
+  simulator.RunAll();
+  EXPECT_EQ(delivered, 1000);
+  EXPECT_EQ(net.messages_dropped(), 0u);
+}
+
+TEST(ClockModel, OffsetsMatchPaperEnvelope) {
+  ClockModel clocks{Rng{7}};
+  int under_10 = 0, under_100 = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double ms = std::abs(clocks.SampleOffset().millis());
+    under_10 += ms < 10.0;
+    under_100 += ms < 100.0;
+    ASSERT_LE(ms, 250.0);
+  }
+  // §II: NTP offsets < 10 ms in 90% of cases, < 100 ms in 99%.
+  EXPECT_NEAR(static_cast<double>(under_10) / n, 0.90, 0.01);
+  EXPECT_NEAR(static_cast<double>(under_100) / n, 0.99, 0.005);
+}
+
+TEST(ClockModel, OffsetsAreSignSymmetric) {
+  ClockModel clocks{Rng{9}};
+  int positive = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) positive += clocks.SampleOffset().micros() > 0;
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ethsim::net

@@ -1,0 +1,146 @@
+#include "p2p/kademlia.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace ethsim::p2p {
+namespace {
+
+TEST(RoutingTable, AddAndContains) {
+  Rng rng{1};
+  RoutingTable table{RandomNodeId(rng)};
+  const NodeId peer = RandomNodeId(rng);
+  EXPECT_TRUE(table.Add(peer));
+  EXPECT_TRUE(table.Contains(peer));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, RejectsSelfAndDuplicates) {
+  Rng rng{2};
+  const NodeId self = RandomNodeId(rng);
+  RoutingTable table{self};
+  EXPECT_FALSE(table.Add(self));
+  const NodeId peer = RandomNodeId(rng);
+  EXPECT_TRUE(table.Add(peer));
+  EXPECT_FALSE(table.Add(peer));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, BucketCapacityIsSixteen) {
+  // Fill one specific bucket: ids differing from self only in low bytes all
+  // share the same log distance when we pin the same leading bit pattern.
+  NodeId self{};
+  RoutingTable table{self};
+  // All ids with only byte 31 set have log distance 0..7; ids with byte 31 =
+  // 0x80|x land in bucket 7. Generate > 16 of them.
+  int added = 0;
+  for (int x = 0; x < 0x80; ++x) {
+    NodeId id{};
+    id.bytes[31] = static_cast<std::uint8_t>(0x80 | x);
+    added += table.Add(id) ? 1 : 0;
+  }
+  EXPECT_EQ(added, static_cast<int>(kBucketSize));
+}
+
+TEST(RoutingTable, ClosestReturnsSortedByXorDistance) {
+  NodeId self{};
+  RoutingTable table{self};
+  Rng rng{3};
+  std::vector<NodeId> peers;
+  for (int i = 0; i < 100; ++i) {
+    const NodeId id = RandomNodeId(rng);
+    if (table.Add(id)) peers.push_back(id);
+  }
+  const NodeId target = RandomNodeId(rng);
+  const auto closest = table.Closest(target, 10);
+  ASSERT_EQ(closest.size(), 10u);
+  for (std::size_t i = 1; i < closest.size(); ++i)
+    EXPECT_FALSE(CloserTo(target, closest[i], closest[i - 1]));
+  // The first result must be the global argmin over table entries.
+  NodeId best = peers.front();
+  for (const auto& p : peers)
+    if (CloserTo(target, p, best)) best = p;
+  EXPECT_EQ(closest.front(), best);
+}
+
+TEST(RoutingTable, ClosestWithFewEntriesReturnsAll) {
+  Rng rng{4};
+  RoutingTable table{RandomNodeId(rng)};
+  table.Add(RandomNodeId(rng));
+  table.Add(RandomNodeId(rng));
+  EXPECT_EQ(table.Closest(RandomNodeId(rng), 10).size(), 2u);
+}
+
+// A small in-memory universe where every node has a fully-populated table,
+// driving IterativeFindNode like a discv4 crawl.
+struct Universe {
+  explicit Universe(std::size_t n, std::uint64_t seed) {
+    Rng rng{seed};
+    for (std::size_t i = 0; i < n; ++i) ids.push_back(RandomNodeId(rng));
+    for (const auto& id : ids) {
+      RoutingTable t{id};
+      for (const auto& other : ids) t.Add(other);
+      tables.emplace(id, std::move(t));
+    }
+  }
+  std::vector<NodeId> ids;
+  std::unordered_map<NodeId, RoutingTable> tables;
+
+  std::vector<NodeId> Query(const NodeId& node, const NodeId& target) const {
+    return tables.at(node).Closest(target, kBucketSize);
+  }
+};
+
+TEST(IterativeFindNode, ConvergesToGlobalClosest) {
+  Universe universe{200, 42};
+  // A sparsely-seeded local table: three bootstrap nodes.
+  Rng rng{7};
+  RoutingTable local{RandomNodeId(rng)};
+  for (int i = 0; i < 3; ++i) local.Add(universe.ids[static_cast<std::size_t>(i)]);
+
+  const NodeId target = RandomNodeId(rng);
+  const auto found = IterativeFindNode(
+      local, target, 16,
+      [&](const NodeId& n, const NodeId& t) { return universe.Query(n, t); });
+
+  // Global ground truth.
+  std::vector<NodeId> all = universe.ids;
+  std::sort(all.begin(), all.end(), [&](const NodeId& a, const NodeId& b) {
+    return CloserTo(target, a, b);
+  });
+  ASSERT_GE(found.size(), 16u);
+  // The lookup must find the true closest node.
+  EXPECT_EQ(found.front(), all.front());
+  // And most of the true top-16 (iterative lookups can miss a straggler).
+  int hits = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    if (std::find(found.begin(), found.end(), all[i]) != found.end()) ++hits;
+  EXPECT_GE(hits, 14);
+}
+
+TEST(IterativeFindNode, EmptyLocalTableReturnsEmpty) {
+  Rng rng{8};
+  RoutingTable local{RandomNodeId(rng)};
+  const auto found = IterativeFindNode(
+      local, RandomNodeId(rng), 16,
+      [](const NodeId&, const NodeId&) { return std::vector<NodeId>{}; });
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(IterativeFindNode, NeverReturnsSelf) {
+  Universe universe{50, 9};
+  Rng rng{10};
+  const NodeId self = universe.ids[0];
+  RoutingTable local{self};
+  for (int i = 1; i < 4; ++i) local.Add(universe.ids[static_cast<std::size_t>(i)]);
+  const auto found = IterativeFindNode(
+      local, self, 16,
+      [&](const NodeId& n, const NodeId& t) { return universe.Query(n, t); });
+  EXPECT_EQ(std::find(found.begin(), found.end(), self), found.end());
+}
+
+}  // namespace
+}  // namespace ethsim::p2p

@@ -1,0 +1,84 @@
+#include "p2p/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::p2p {
+namespace {
+
+NodeId IdWithByte(std::size_t index, std::uint8_t value) {
+  NodeId id;
+  id.bytes[index] = value;
+  return id;
+}
+
+TEST(NodeId, RandomIdsAreDistinct) {
+  Rng rng{1};
+  const NodeId a = RandomNodeId(rng);
+  const NodeId b = RandomNodeId(rng);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(NodeId, XorDistanceIsSymmetricAndSelfZero) {
+  Rng rng{2};
+  const NodeId a = RandomNodeId(rng);
+  const NodeId b = RandomNodeId(rng);
+  EXPECT_EQ(XorDistance(a, b), XorDistance(b, a));
+  EXPECT_TRUE(XorDistance(a, a).is_zero());
+}
+
+TEST(NodeId, LogDistanceOfSelfIsNegative) {
+  const NodeId a = IdWithByte(0, 0x80);
+  EXPECT_EQ(LogDistance(a, a), -1);
+}
+
+TEST(NodeId, LogDistanceHighBit) {
+  const NodeId zero{};
+  // Top bit of byte 0 = bit 255.
+  EXPECT_EQ(LogDistance(zero, IdWithByte(0, 0x80)), 255);
+  EXPECT_EQ(LogDistance(zero, IdWithByte(0, 0x01)), 248);
+  // Lowest byte.
+  EXPECT_EQ(LogDistance(zero, IdWithByte(31, 0x01)), 0);
+  EXPECT_EQ(LogDistance(zero, IdWithByte(31, 0x80)), 7);
+}
+
+TEST(NodeId, LogDistanceUsesFirstDifferingByte) {
+  NodeId a = IdWithByte(3, 0x10);
+  NodeId b = IdWithByte(3, 0x10);
+  b.bytes[10] = 0x40;
+  EXPECT_EQ(LogDistance(a, b), (31 - 10) * 8 + 6);
+}
+
+TEST(NodeId, CloserToOrdersByXor) {
+  const NodeId target{};
+  const NodeId near = IdWithByte(31, 0x01);
+  const NodeId far = IdWithByte(0, 0x01);
+  EXPECT_TRUE(CloserTo(target, near, far));
+  EXPECT_FALSE(CloserTo(target, far, near));
+  EXPECT_FALSE(CloserTo(target, near, near));
+}
+
+TEST(NodeId, LogDistanceIsSymmetric) {
+  Rng rng{3};
+  for (int i = 0; i < 50; ++i) {
+    const NodeId a = RandomNodeId(rng);
+    const NodeId b = RandomNodeId(rng);
+    EXPECT_EQ(LogDistance(a, b), LogDistance(b, a));
+  }
+}
+
+TEST(NodeId, RandomPairsLandInHighBuckets) {
+  // Two uniform ids differ in the top byte with prob 255/256, so log
+  // distances concentrate in [248, 255].
+  Rng rng{4};
+  int high = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId a = RandomNodeId(rng);
+    const NodeId b = RandomNodeId(rng);
+    if (LogDistance(a, b) >= 248) ++high;
+  }
+  EXPECT_GT(high, 990);
+}
+
+}  // namespace
+}  // namespace ethsim::p2p

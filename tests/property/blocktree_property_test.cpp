@@ -1,0 +1,152 @@
+// Property tests: BlockTree invariants hold for arbitrary block DAGs
+// delivered in arbitrary orders (the situation real gossip produces).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "chain/blocktree.hpp"
+#include "common/random.hpp"
+
+namespace ethsim::chain {
+namespace {
+
+struct GeneratedDag {
+  BlockPtr genesis;
+  std::vector<BlockPtr> blocks;  // excludes genesis
+};
+
+// Random tree of blocks: each new block picks a random existing parent,
+// biased toward recent ones (like real mining on near-head forks).
+GeneratedDag RandomDag(Rng& rng, std::size_t count) {
+  GeneratedDag dag;
+  auto g = std::make_shared<Block>();
+  g->header.difficulty = 1'000'000;
+  g->Seal();
+  dag.genesis = g;
+
+  std::vector<BlockPtr> all{g};
+  for (std::size_t i = 0; i < count; ++i) {
+    // Bias: parent from the last 8 blocks 80% of the time.
+    const std::size_t window = std::min<std::size_t>(all.size(), 8);
+    const std::size_t parent_index =
+        rng.NextBool(0.8) ? all.size() - 1 - rng.NextBounded(window)
+                          : rng.NextBounded(all.size());
+    const BlockPtr& parent = all[parent_index];
+
+    auto b = std::make_shared<Block>();
+    b->header.parent_hash = parent->hash;
+    b->header.number = parent->header.number + 1;
+    b->header.difficulty = 900'000 + rng.NextBounded(200'000);
+    b->header.timestamp = parent->header.timestamp + 1 + rng.NextBounded(30);
+    b->header.miner.bytes[0] = static_cast<std::uint8_t>(rng.NextBounded(5));
+    b->header.mix_seed = rng.Next();
+    b->Seal();
+    all.push_back(b);
+    dag.blocks.push_back(b);
+  }
+  return dag;
+}
+
+class BlockTreeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockTreeInvariants, HoldUnderArbitraryDeliveryOrder) {
+  Rng rng{GetParam()};
+  GeneratedDag dag = RandomDag(rng, 120);
+
+  // Shuffle delivery order — orphaning and recursive attachment get a
+  // thorough workout.
+  std::vector<BlockPtr> order = dag.blocks;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+
+  BlockTree tree{dag.genesis};
+  std::int64_t tick = 0;
+  for (const auto& block : order)
+    tree.Add(block, TimePoint::FromMicros(++tick));
+
+  // 1. Every block was eventually attached (parents all exist in the DAG).
+  EXPECT_EQ(tree.block_count(), dag.blocks.size() + 1);
+  EXPECT_EQ(tree.orphan_count(), 0u);
+
+  // 2. Head has the maximum total difficulty in the tree.
+  const std::uint64_t head_td = tree.TotalDifficulty(tree.head_hash());
+  for (const auto& block : tree.AllBlocks())
+    EXPECT_LE(tree.TotalDifficulty(block->hash), head_td);
+
+  // 3. The canonical chain is a connected parent->child path from genesis
+  //    to head, and IsCanonical agrees with membership.
+  const auto canonical = tree.CanonicalChain();
+  ASSERT_FALSE(canonical.empty());
+  EXPECT_EQ(canonical.front()->hash, tree.genesis_hash());
+  EXPECT_EQ(canonical.back()->hash, tree.head_hash());
+  for (std::size_t i = 1; i < canonical.size(); ++i) {
+    EXPECT_EQ(canonical[i]->header.parent_hash, canonical[i - 1]->hash);
+    EXPECT_EQ(canonical[i]->header.number, canonical[i - 1]->header.number + 1);
+  }
+  std::unordered_map<Hash32, bool> canonical_set;
+  for (const auto& block : canonical) canonical_set.emplace(block->hash, true);
+  for (const auto& block : tree.AllBlocks())
+    EXPECT_EQ(tree.IsCanonical(block->hash), canonical_set.contains(block->hash));
+
+  // 4. CanonicalAt matches the chain.
+  for (const auto& block : canonical)
+    EXPECT_EQ(tree.CanonicalAt(block->header.number), block->hash);
+
+  // 5. Total difficulty telescopes along the canonical chain.
+  std::uint64_t td = 0;
+  for (const auto& block : canonical) {
+    td += block->header.difficulty;
+    EXPECT_EQ(tree.TotalDifficulty(block->hash), td);
+  }
+}
+
+TEST_P(BlockTreeInvariants, DeliveryOrderDoesNotChangeFinalHeadTd) {
+  Rng rng{GetParam() ^ 0x77};
+  GeneratedDag dag = RandomDag(rng, 80);
+
+  // Two different delivery orders; total difficulty of the winning head is
+  // order-independent (head identity can differ only among exact TD ties).
+  std::vector<BlockPtr> order1 = dag.blocks;
+  std::vector<BlockPtr> order2 = dag.blocks;
+  for (std::size_t i = order2.size(); i > 1; --i)
+    std::swap(order2[i - 1], order2[rng.NextBounded(i)]);
+
+  BlockTree tree1{dag.genesis};
+  BlockTree tree2{dag.genesis};
+  std::int64_t tick = 0;
+  for (const auto& b : order1) tree1.Add(b, TimePoint::FromMicros(++tick));
+  for (const auto& b : order2) tree2.Add(b, TimePoint::FromMicros(++tick));
+
+  EXPECT_EQ(tree1.TotalDifficulty(tree1.head_hash()),
+            tree2.TotalDifficulty(tree2.head_hash()));
+  EXPECT_EQ(tree1.head_number(), tree2.head_number());
+}
+
+TEST_P(BlockTreeInvariants, UncleCandidatesAlwaysValid) {
+  Rng rng{GetParam() ^ 0x1111};
+  GeneratedDag dag = RandomDag(rng, 100);
+  BlockTree tree{dag.genesis};
+  std::int64_t tick = 0;
+  for (const auto& b : dag.blocks) tree.Add(b, TimePoint::FromMicros(++tick));
+
+  const auto uncles = tree.UncleCandidates(tree.head_hash());
+  EXPECT_LE(uncles.size(), 2u);
+  const std::uint64_t child = tree.head_number() + 1;
+  for (const auto& uncle : uncles) {
+    const Hash32 h = uncle.Hash();
+    EXPECT_TRUE(tree.Contains(h));
+    EXPECT_FALSE(tree.IsCanonical(h));
+    EXPECT_GE(uncle.number + 6, child);
+    EXPECT_LT(uncle.number, child);
+    // Uncle's parent lies on the canonical ancestor path.
+    EXPECT_TRUE(tree.IsCanonical(uncle.parent_hash));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockTreeInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 42,
+                                           1337));
+
+}  // namespace
+}  // namespace ethsim::chain

@@ -1,0 +1,119 @@
+// Property tests: statistics utilities agree with brute-force references on
+// arbitrary sample sets, and hashing primitives behave like functions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/keccak.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+
+namespace ethsim {
+namespace {
+
+class StatsAgainstReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsAgainstReference, RunningStatsMatchesBruteForce) {
+  Rng rng{GetParam()};
+  RunningStats stats;
+  std::vector<double> values;
+  const int n = 500 + static_cast<int>(rng.NextBounded(1000));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextNormal(50, 20) + rng.NextExponential(5);
+    stats.Add(x);
+    values.push_back(x);
+  }
+  double sum = 0;
+  for (double v : values) sum += v;
+  const double mean = sum / n;
+  double m2 = 0;
+  for (double v : values) m2 += (v - mean) * (v - mean);
+
+  EXPECT_EQ(stats.count(), static_cast<std::size_t>(n));
+  EXPECT_NEAR(stats.mean(), mean, 1e-9 * std::abs(mean));
+  EXPECT_NEAR(stats.variance(), m2 / n, 1e-6);
+  EXPECT_DOUBLE_EQ(stats.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(stats.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(StatsAgainstReference, QuantileBracketsSortedNeighbors) {
+  Rng rng{GetParam() ^ 0xaa};
+  SampleSet set;
+  std::vector<double> values;
+  const int n = 100 + static_cast<int>(rng.NextBounded(400));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextRange(-1000, 1000);
+    set.Add(x);
+    values.push_back(x);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double result = set.Quantile(q);
+    const double rank = q * (n - 1);
+    const double lo = values[static_cast<std::size_t>(rank)];
+    const double hi =
+        values[std::min<std::size_t>(static_cast<std::size_t>(rank) + 1,
+                                     values.size() - 1)];
+    EXPECT_GE(result, lo - 1e-9) << "q=" << q;
+    EXPECT_LE(result, hi + 1e-9) << "q=" << q;
+  }
+}
+
+TEST_P(StatsAgainstReference, CdfIsAProperDistributionFunction) {
+  Rng rng{GetParam() ^ 0xbb};
+  SampleSet set;
+  for (int i = 0; i < 300; ++i) set.Add(rng.NextExponential(100));
+  // Monotone, 0 at -inf side, 1 at +inf side; CdfAt(Quantile(q)) >= q.
+  double last = 0;
+  for (double x = 0; x < 1000; x += 25) {
+    const double p = set.CdfAt(x);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+  EXPECT_DOUBLE_EQ(set.CdfAt(-1), 0.0);
+  EXPECT_DOUBLE_EQ(set.CdfAt(1e12), 1.0);
+  for (double q : {0.1, 0.5, 0.9})
+    EXPECT_GE(set.CdfAt(set.Quantile(q)), q - 1e-9);
+}
+
+TEST_P(StatsAgainstReference, HistogramConservesMass) {
+  Rng rng{GetParam() ^ 0xcc};
+  Histogram hist{0, 500, 25};
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) hist.Add(rng.NextRange(-100, 700));
+  std::uint64_t total = 0;
+  double fraction = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    total += hist.count(b);
+    fraction += hist.Fraction(b);
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(fraction, 1.0, 1e-9);
+}
+
+TEST_P(StatsAgainstReference, KeccakChunkingInvariance) {
+  Rng rng{GetParam() ^ 0xdd};
+  std::string input;
+  input.resize(300 + rng.NextBounded(500));
+  for (auto& c : input) c = static_cast<char>(rng.NextBounded(256));
+  const Hash32 expected = Keccak256Of(input);
+
+  // Random chunk decomposition must hash identically.
+  Keccak256 h;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(1 + rng.NextBounded(150), input.size() - pos);
+    h.Update(std::string_view(input).substr(pos, take));
+    pos += take;
+  }
+  EXPECT_EQ(h.Final(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsAgainstReference,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ethsim

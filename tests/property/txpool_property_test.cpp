@@ -1,0 +1,125 @@
+// Property tests: TxPool consistency under random interleavings of
+// submissions, inclusions, nonce jumps and rollbacks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "chain/txpool.hpp"
+#include "common/random.hpp"
+
+namespace ethsim::chain {
+namespace {
+
+Address Account(std::uint64_t index) {
+  Address a;
+  a.bytes[0] = static_cast<std::uint8_t>(index + 1);
+  return a;
+}
+
+class TxPoolInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TxPoolInvariants, CountsAndSelectionStayConsistent) {
+  Rng rng{GetParam()};
+  TxPool pool;
+  constexpr std::size_t kAccounts = 6;
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t account = rng.NextBounded(kAccounts);
+    const Address addr = Account(account);
+    const std::uint64_t op = rng.NextBounded(10);
+
+    if (op < 7) {
+      // Submit a tx with a nonce near the account's current nonce (some
+      // stale, some future).
+      const std::uint64_t base = pool.AccountNonce(addr);
+      const std::uint64_t nonce =
+          base + rng.NextBounded(6) - std::min<std::uint64_t>(1, base);
+      pool.Add(MakeTransaction(addr, nonce, addr, 1,
+                               1 + rng.NextBounded(50),
+                               static_cast<std::uint32_t>(rng.NextBounded(64))));
+    } else if (op < 9) {
+      // Include the account's executable prefix (as a mined block would).
+      const auto selected = pool.SelectForBlock(8'000'000, 4);
+      pool.RemoveIncluded(selected);
+    } else {
+      // Occasionally a reorg rolls an account back.
+      const std::uint64_t current = pool.AccountNonce(addr);
+      if (current > 0) pool.RollbackAccountNonce(addr, current - 1);
+    }
+
+    // Invariant 1: pending + queued == size.
+    EXPECT_EQ(pool.pending_count() + pool.queued_count(), pool.size());
+
+    // Invariant 2: selection respects per-sender nonce sequencing starting
+    // exactly at the account nonce.
+    const auto selected = pool.SelectForBlock(8'000'000, 100);
+    std::map<Address, std::uint64_t> expected_next;
+    for (const auto& tx : selected) {
+      auto [it, inserted] =
+          expected_next.try_emplace(tx.sender, pool.AccountNonce(tx.sender));
+      EXPECT_EQ(tx.nonce, it->second) << "step " << step;
+      ++it->second;
+    }
+
+    // Invariant 3: nothing stale is ever selected.
+    for (const auto& tx : selected)
+      EXPECT_GE(tx.nonce, pool.AccountNonce(tx.sender));
+  }
+}
+
+TEST_P(TxPoolInvariants, SelectionIsPriceMonotoneAcrossIndependentHeads) {
+  // Among the FIRST selected tx of each distinct sender, prices must be
+  // non-increasing (heads are popped from a max-price heap).
+  Rng rng{GetParam() ^ 0xbeef};
+  TxPool pool;
+  for (int i = 0; i < 60; ++i) {
+    const Address addr = Account(rng.NextBounded(8));
+    pool.Add(MakeTransaction(addr, pool.AccountNonce(addr) +
+                                       rng.NextBounded(2),
+                             addr, 1, 1 + rng.NextBounded(100)));
+  }
+  const auto selected = pool.SelectForBlock(8'000'000, 100);
+  std::set<Address> seen;
+  std::uint64_t last_head_price = UINT64_MAX;
+  for (const auto& tx : selected) {
+    if (seen.insert(tx.sender).second) {
+      EXPECT_LE(tx.gas_price, last_head_price);
+      last_head_price = tx.gas_price;
+    }
+  }
+}
+
+TEST_P(TxPoolInvariants, InclusionThenRollbackRestoresExecutability) {
+  Rng rng{GetParam() ^ 0xfeed};
+  TxPool pool;
+  const Address addr = Account(0);
+  std::vector<Transaction> txs;
+  for (std::uint64_t n = 0; n < 10; ++n)
+    txs.push_back(MakeTransaction(addr, n, addr, 1, 5));
+  for (const auto& tx : txs) pool.Add(tx);
+  EXPECT_EQ(pool.pending_count(), 10u);
+
+  // Include a random prefix...
+  const std::uint64_t k = 1 + rng.NextBounded(9);
+  std::vector<Transaction> included(txs.begin(),
+                                    txs.begin() + static_cast<std::ptrdiff_t>(k));
+  pool.RemoveIncluded(included);
+  EXPECT_EQ(pool.pending_count(), 10u - k);
+
+  // ...then the block is reorged away: roll back and re-add.
+  for (const auto& tx : included) {
+    pool.RollbackAccountNonce(tx.sender, tx.nonce);
+    pool.Add(tx);
+  }
+  EXPECT_EQ(pool.pending_count(), 10u);
+  const auto selected = pool.SelectForBlock(8'000'000, 20);
+  ASSERT_EQ(selected.size(), 10u);
+  for (std::uint64_t n = 0; n < 10; ++n) EXPECT_EQ(selected[n].nonce, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxPoolInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+}  // namespace
+}  // namespace ethsim::chain

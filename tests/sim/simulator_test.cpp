@@ -1,0 +1,149 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ethsim::sim {
+namespace {
+
+using namespace ethsim::literals;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.Now().micros(), 0);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(30_ms, [&] { order.push_back(3); });
+  s.Schedule(10_ms, [&] { order.push_back(1); });
+  s.Schedule(20_ms, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now().millis(), 30.0);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.Schedule(5_ms, [&, i] { order.push_back(i); });
+  s.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringEvent) {
+  Simulator s;
+  TimePoint seen;
+  s.Schedule(42_ms, [&] { seen = s.Now(); });
+  s.RunAll();
+  EXPECT_EQ(seen.millis(), 42.0);
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator s;
+  std::vector<double> fire_times;
+  s.Schedule(10_ms, [&] {
+    fire_times.push_back(s.Now().millis());
+    s.Schedule(5_ms, [&] { fire_times.push_back(s.Now().millis()); });
+  });
+  s.RunAll();
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 15.0}));
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTimeAfterCurrentEvent) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(1_ms, [&] {
+    order.push_back(1);
+    s.Schedule(Duration::Micros(0), [&] { order.push_back(2); });
+    order.push_back(3);  // runs before the zero-delay event
+  });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, RunUntilStopsAndSetsClock) {
+  Simulator s;
+  int ran = 0;
+  s.Schedule(10_ms, [&] { ++ran; });
+  s.Schedule(100_ms, [&] { ++ran; });
+  const std::uint64_t n = s.RunUntil(TimePoint::FromMicros(50'000));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.Now().millis(), 50.0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.RunAll();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundary) {
+  Simulator s;
+  int ran = 0;
+  s.Schedule(50_ms, [&] { ++ran; });
+  s.RunUntil(TimePoint::FromMicros(50'000));
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int ran = 0;
+  EventHandle h = s.Schedule(10_ms, [&] { ++ran; });
+  s.Schedule(20_ms, [&] { ++ran; });
+  s.Cancel(h);
+  s.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, CancelAfterRunIsNoop) {
+  Simulator s;
+  int ran = 0;
+  EventHandle h = s.Schedule(10_ms, [&] { ++ran; });
+  s.RunAll();
+  s.Cancel(h);  // must not affect later events with recycled state
+  s.Schedule(5_ms, [&] { ++ran; });
+  s.RunAll();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, DefaultHandleIsInvalidAndCancelIsSafe) {
+  Simulator s;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  s.Cancel(h);
+  int ran = 0;
+  s.Schedule(1_ms, [&] { ++ran; });
+  s.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 25; ++i) s.Schedule(Duration::Millis(i), [] {});
+  s.RunAll();
+  EXPECT_EQ(s.events_executed(), 25u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator s;
+  // Deterministic pseudo-random delays; verify monotone execution times.
+  std::uint64_t x = 12345;
+  double last = -1;
+  int executed = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto delay_us = static_cast<std::int64_t>(x % 1'000'000);
+    s.Schedule(Duration::Micros(delay_us), [&] {
+      const double now = s.Now().seconds();
+      EXPECT_GE(now, last);
+      last = now;
+      ++executed;
+    });
+  }
+  s.RunAll();
+  EXPECT_EQ(executed, 10'000);
+}
+
+}  // namespace
+}  // namespace ethsim::sim

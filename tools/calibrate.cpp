@@ -1,0 +1,136 @@
+// Calibration probe: runs a mid-sized study and prints the headline numbers
+// the presets are tuned against. Not part of the shipped benches; kept for
+// re-tuning when model parameters change.
+#include <array>
+#include <chrono>
+#include <unordered_map>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/forks.hpp"
+#include "analysis/geo.hpp"
+#include "analysis/ordering.hpp"
+#include "analysis/propagation.hpp"
+#include "analysis/redundancy.hpp"
+#include "core/experiment.hpp"
+
+using namespace ethsim;
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig cfg = core::presets::SmallStudy(150);
+  cfg.duration = Duration::Hours(2);
+  cfg.workload.rate_per_sec = 1.0;
+  if (argc > 1) cfg.duration = Duration::Hours(std::atof(argv[1]));
+  if (argc > 2) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+  core::Experiment exp{cfg};
+  const auto t0 = std::chrono::steady_clock::now();
+  exp.Run();
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0).count();
+
+  analysis::StudyInputs inputs;
+  for (const auto& obs : exp.observers()) inputs.observers.push_back(obs.get());
+  inputs.minted = &exp.minted();
+  inputs.pools = &cfg.pools;
+  inputs.reference = &exp.reference_tree();
+
+  std::printf("wall=%lldms events=%llu minted=%zu head=%llu\n",
+              static_cast<long long>(wall),
+              static_cast<unsigned long long>(exp.simulator().events_executed()),
+              exp.minted().size(),
+              static_cast<unsigned long long>(
+                  exp.reference_tree().head_number() - cfg.genesis_number));
+
+  const auto prop = analysis::BlockPropagationDelays(inputs.observers);
+  std::printf("fig1 block prop: median=%.1fms mean=%.1fms p95=%.1fms p99=%.1fms n=%zu (paper 74/109/211/317)\n",
+              prop.median_ms, prop.mean_ms, prop.p95_ms, prop.p99_ms,
+              prop.delays_ms.count());
+
+  const auto txprop = analysis::TxPropagationDelays(inputs.observers);
+  std::printf("tx prop: median=%.1fms mean=%.1fms n=%zu\n", txprop.median_ms,
+              txprop.mean_ms, txprop.delays_ms.count());
+
+  const auto geo = analysis::FirstObservationShares(inputs.observers);
+  std::printf("fig2 first-obs:");
+  for (const auto& share : geo.shares)
+    std::printf(" %s=%.1f%%(±%.1f)", share.vantage.c_str(), share.share * 100,
+                share.uncertain_share * 100);
+  std::printf("  (paper EA~40 NA~10)\n");
+
+  const auto census = analysis::ComputeForkCensus(inputs);
+  std::printf("forks: total_blocks=%zu main=%.2f%% recognized=%.2f%% unrecognized=%.2f%% events=%zu (paper 92.81/6.97/0.22)\n",
+              census.total_blocks, census.main_share * 100,
+              census.recognized_share * 100, census.unrecognized_share * 100,
+              census.fork_events);
+  for (const auto& row : census.by_length)
+    std::printf("  len=%zu total=%zu recognized=%zu\n", row.length, row.total,
+                row.recognized);
+
+  const auto omf = analysis::ComputeOneMinerForks(inputs, census);
+  std::printf("one-miner forks: events=%zu share_of_forks=%.1f%% recognized=%.0f%% same_txset=%.0f%% (paper 11%%/98%%/56%%)\n",
+              omf.events, omf.share_of_all_forks * 100,
+              omf.recognized_extra_share * 100, omf.same_txset_share * 100);
+
+  const auto ordering = analysis::TransactionOrdering(inputs);
+  std::printf("ordering: committed=%zu ooo=%.2f%% med_in=%.0fs med_ooo=%.0fs (paper 11.54%%, 189/192)\n",
+              ordering.committed_txs, ordering.out_of_order_share * 100,
+              ordering.in_order_delay_s.empty() ? 0 : ordering.in_order_delay_s.Median(),
+              ordering.out_of_order_delay_s.empty() ? 0 : ordering.out_of_order_delay_s.Median());
+
+  // Diagnostic: origin-region x winning-vantage matrix. Requires access to
+  // the release gateway's region; approximate with the pool's weighted-top
+  // gateway region via the mint record's pool index.
+  {
+    std::printf("observer peers:");
+    for (const auto& obs : exp.observers())
+      std::printf(" %s=%zu", obs->name().c_str(), obs->node()->peer_count());
+    std::printf("\n");
+
+    // winner per block hash
+    std::unordered_map<Hash32, std::size_t> winner;
+    for (const auto& record : *inputs.minted) {
+      TimePoint best;
+      bool any = false;
+      std::size_t who = 0;
+      for (std::size_t i = 0; i < inputs.observers.size(); ++i) {
+        const auto& m = inputs.observers[i]->first_block_arrival();
+        const auto it = m.find(record.block->hash);
+        if (it == m.end()) continue;
+        if (!any || it->second < best) { best = it->second; who = i; any = true; }
+      }
+      if (any) winner[record.block->hash] = who;
+    }
+    // per-pool wins
+    std::vector<std::array<int,5>> table(cfg.pools.size(), {0,0,0,0,0});
+    for (const auto& record : *inputs.minted) {
+      auto it = winner.find(record.block->hash);
+      if (it == winner.end()) continue;
+      table[record.pool_index][it->second]++;
+      table[record.pool_index][4]++;
+    }
+    for (std::size_t p = 0; p < cfg.pools.size(); ++p) {
+      if (table[p][4] < 5) continue;
+      std::printf("pool %-18s n=%3d  NA=%2d EA=%2d WE=%2d CE=%2d\n",
+                  cfg.pools[p].name.c_str(), table[p][4], table[p][0],
+                  table[p][1], table[p][2], table[p][3]);
+    }
+  }
+  // Gateway adjacency to observers.
+  {
+    std::size_t idx = 0;
+    for (const auto& pool : cfg.pools) {
+      for (const auto& gw : pool.gateways) {
+        const auto& node = exp.nodes()[idx++];
+        std::printf("gw %-18s %-3s peers=%2zu adj:", pool.name.c_str(),
+                    net::RegionShortName(gw.region).data(), node->peer_count());
+        for (const auto& obs : exp.observers())
+          std::printf(" %s=%d", obs->name().c_str(),
+                      node->ConnectedTo(*obs->node()) ? 1 : 0);
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
