@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_constantinople.dir/ablation_constantinople.cpp.o"
+  "CMakeFiles/ablation_constantinople.dir/ablation_constantinople.cpp.o.d"
+  "ablation_constantinople"
+  "ablation_constantinople.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constantinople.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

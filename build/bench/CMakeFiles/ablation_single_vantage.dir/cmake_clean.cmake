@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_single_vantage.dir/ablation_single_vantage.cpp.o"
+  "CMakeFiles/ablation_single_vantage.dir/ablation_single_vantage.cpp.o.d"
+  "ablation_single_vantage"
+  "ablation_single_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_single_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

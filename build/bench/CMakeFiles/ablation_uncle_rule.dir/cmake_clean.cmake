@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uncle_rule.dir/ablation_uncle_rule.cpp.o"
+  "CMakeFiles/ablation_uncle_rule.dir/ablation_uncle_rule.cpp.o.d"
+  "ablation_uncle_rule"
+  "ablation_uncle_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uncle_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

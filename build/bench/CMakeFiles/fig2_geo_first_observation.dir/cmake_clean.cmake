@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_geo_first_observation.dir/fig2_geo_first_observation.cpp.o"
+  "CMakeFiles/fig2_geo_first_observation.dir/fig2_geo_first_observation.cpp.o.d"
+  "fig2_geo_first_observation"
+  "fig2_geo_first_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_geo_first_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

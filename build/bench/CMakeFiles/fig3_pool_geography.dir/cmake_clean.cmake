@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pool_geography.dir/fig3_pool_geography.cpp.o"
+  "CMakeFiles/fig3_pool_geography.dir/fig3_pool_geography.cpp.o.d"
+  "fig3_pool_geography"
+  "fig3_pool_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pool_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tx_ordering.dir/fig5_tx_ordering.cpp.o"
+  "CMakeFiles/fig5_tx_ordering.dir/fig5_tx_ordering.cpp.o.d"
+  "fig5_tx_ordering"
+  "fig5_tx_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tx_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

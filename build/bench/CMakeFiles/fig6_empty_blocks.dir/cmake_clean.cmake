@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_empty_blocks.dir/fig6_empty_blocks.cpp.o"
+  "CMakeFiles/fig6_empty_blocks.dir/fig6_empty_blocks.cpp.o.d"
+  "fig6_empty_blocks"
+  "fig6_empty_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_empty_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

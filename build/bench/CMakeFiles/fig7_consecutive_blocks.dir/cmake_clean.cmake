@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_consecutive_blocks.dir/fig7_consecutive_blocks.cpp.o"
+  "CMakeFiles/fig7_consecutive_blocks.dir/fig7_consecutive_blocks.cpp.o.d"
+  "fig7_consecutive_blocks"
+  "fig7_consecutive_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_consecutive_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_finality.dir/security_finality.cpp.o"
+  "CMakeFiles/security_finality.dir/security_finality.cpp.o.d"
+  "security_finality"
+  "security_finality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_finality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_infrastructure.dir/table1_infrastructure.cpp.o"
+  "CMakeFiles/table1_infrastructure.dir/table1_infrastructure.cpp.o.d"
+  "table1_infrastructure"
+  "table1_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

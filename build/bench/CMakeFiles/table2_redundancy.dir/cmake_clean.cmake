@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_redundancy.dir/table2_redundancy.cpp.o"
+  "CMakeFiles/table2_redundancy.dir/table2_redundancy.cpp.o.d"
+  "table2_redundancy"
+  "table2_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_forks.dir/table3_forks.cpp.o"
+  "CMakeFiles/table3_forks.dir/table3_forks.cpp.o.d"
+  "table3_forks"
+  "table3_forks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_forks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

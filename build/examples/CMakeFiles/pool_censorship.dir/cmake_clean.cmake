@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_censorship.dir/pool_censorship.cpp.o"
+  "CMakeFiles/pool_censorship.dir/pool_censorship.cpp.o.d"
+  "pool_censorship"
+  "pool_censorship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_censorship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

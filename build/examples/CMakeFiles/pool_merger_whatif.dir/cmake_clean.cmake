@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_merger_whatif.dir/pool_merger_whatif.cpp.o"
+  "CMakeFiles/pool_merger_whatif.dir/pool_merger_whatif.cpp.o.d"
+  "pool_merger_whatif"
+  "pool_merger_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_merger_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

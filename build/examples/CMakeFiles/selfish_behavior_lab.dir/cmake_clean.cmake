@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfish_behavior_lab.dir/selfish_behavior_lab.cpp.o"
+  "CMakeFiles/selfish_behavior_lab.dir/selfish_behavior_lab.cpp.o.d"
+  "selfish_behavior_lab"
+  "selfish_behavior_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfish_behavior_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

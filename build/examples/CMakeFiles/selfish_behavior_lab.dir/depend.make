@@ -1,0 +1,2 @@
+# Empty dependencies file for selfish_behavior_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/commit.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/commit.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/commit.cpp.o.d"
+  "/root/repo/src/analysis/empty_blocks.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/empty_blocks.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/empty_blocks.cpp.o.d"
+  "/root/repo/src/analysis/forks.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/forks.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/forks.cpp.o.d"
+  "/root/repo/src/analysis/geo.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/geo.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/geo.cpp.o.d"
+  "/root/repo/src/analysis/inputs.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/inputs.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/inputs.cpp.o.d"
+  "/root/repo/src/analysis/interblock.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/interblock.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/interblock.cpp.o.d"
+  "/root/repo/src/analysis/ordering.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/ordering.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/ordering.cpp.o.d"
+  "/root/repo/src/analysis/propagation.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/propagation.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/propagation.cpp.o.d"
+  "/root/repo/src/analysis/redundancy.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/redundancy.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/redundancy.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/rewards.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/rewards.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/rewards.cpp.o.d"
+  "/root/repo/src/analysis/security.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/security.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/security.cpp.o.d"
+  "/root/repo/src/analysis/sequences.cpp" "src/analysis/CMakeFiles/ethsim_analysis.dir/sequences.cpp.o" "gcc" "src/analysis/CMakeFiles/ethsim_analysis.dir/sequences.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ethsim_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ethsim_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/ethsim_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethsim_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ethsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/ethsim_p2p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_analysis.dir/commit.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/commit.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/empty_blocks.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/empty_blocks.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/forks.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/forks.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/geo.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/geo.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/inputs.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/inputs.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/interblock.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/interblock.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/ordering.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/ordering.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/propagation.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/propagation.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/redundancy.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/redundancy.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/report.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/rewards.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/rewards.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/security.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/security.cpp.o.d"
+  "CMakeFiles/ethsim_analysis.dir/sequences.cpp.o"
+  "CMakeFiles/ethsim_analysis.dir/sequences.cpp.o.d"
+  "libethsim_analysis.a"
+  "libethsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/ethsim_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/ethsim_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blocktree.cpp" "src/chain/CMakeFiles/ethsim_chain.dir/blocktree.cpp.o" "gcc" "src/chain/CMakeFiles/ethsim_chain.dir/blocktree.cpp.o.d"
+  "/root/repo/src/chain/difficulty.cpp" "src/chain/CMakeFiles/ethsim_chain.dir/difficulty.cpp.o" "gcc" "src/chain/CMakeFiles/ethsim_chain.dir/difficulty.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/ethsim_chain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/ethsim_chain.dir/transaction.cpp.o.d"
+  "/root/repo/src/chain/txpool.cpp" "src/chain/CMakeFiles/ethsim_chain.dir/txpool.cpp.o" "gcc" "src/chain/CMakeFiles/ethsim_chain.dir/txpool.cpp.o.d"
+  "/root/repo/src/chain/validation.cpp" "src/chain/CMakeFiles/ethsim_chain.dir/validation.cpp.o" "gcc" "src/chain/CMakeFiles/ethsim_chain.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_chain.dir/block.cpp.o"
+  "CMakeFiles/ethsim_chain.dir/block.cpp.o.d"
+  "CMakeFiles/ethsim_chain.dir/blocktree.cpp.o"
+  "CMakeFiles/ethsim_chain.dir/blocktree.cpp.o.d"
+  "CMakeFiles/ethsim_chain.dir/difficulty.cpp.o"
+  "CMakeFiles/ethsim_chain.dir/difficulty.cpp.o.d"
+  "CMakeFiles/ethsim_chain.dir/transaction.cpp.o"
+  "CMakeFiles/ethsim_chain.dir/transaction.cpp.o.d"
+  "CMakeFiles/ethsim_chain.dir/txpool.cpp.o"
+  "CMakeFiles/ethsim_chain.dir/txpool.cpp.o.d"
+  "CMakeFiles/ethsim_chain.dir/validation.cpp.o"
+  "CMakeFiles/ethsim_chain.dir/validation.cpp.o.d"
+  "libethsim_chain.a"
+  "libethsim_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

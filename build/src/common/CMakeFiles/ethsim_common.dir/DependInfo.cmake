@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/keccak.cpp" "src/common/CMakeFiles/ethsim_common.dir/keccak.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/keccak.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/ethsim_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/render.cpp" "src/common/CMakeFiles/ethsim_common.dir/render.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/render.cpp.o.d"
+  "/root/repo/src/common/rlp.cpp" "src/common/CMakeFiles/ethsim_common.dir/rlp.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/rlp.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/ethsim_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/common/CMakeFiles/ethsim_common.dir/time.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/time.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/ethsim_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/ethsim_common.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_common.dir/keccak.cpp.o"
+  "CMakeFiles/ethsim_common.dir/keccak.cpp.o.d"
+  "CMakeFiles/ethsim_common.dir/random.cpp.o"
+  "CMakeFiles/ethsim_common.dir/random.cpp.o.d"
+  "CMakeFiles/ethsim_common.dir/render.cpp.o"
+  "CMakeFiles/ethsim_common.dir/render.cpp.o.d"
+  "CMakeFiles/ethsim_common.dir/rlp.cpp.o"
+  "CMakeFiles/ethsim_common.dir/rlp.cpp.o.d"
+  "CMakeFiles/ethsim_common.dir/stats.cpp.o"
+  "CMakeFiles/ethsim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ethsim_common.dir/time.cpp.o"
+  "CMakeFiles/ethsim_common.dir/time.cpp.o.d"
+  "CMakeFiles/ethsim_common.dir/types.cpp.o"
+  "CMakeFiles/ethsim_common.dir/types.cpp.o.d"
+  "libethsim_common.a"
+  "libethsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_core.dir/config.cpp.o"
+  "CMakeFiles/ethsim_core.dir/config.cpp.o.d"
+  "CMakeFiles/ethsim_core.dir/experiment.cpp.o"
+  "CMakeFiles/ethsim_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ethsim_core.dir/workload.cpp.o"
+  "CMakeFiles/ethsim_core.dir/workload.cpp.o.d"
+  "libethsim_core.a"
+  "libethsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_eth.dir/node.cpp.o"
+  "CMakeFiles/ethsim_eth.dir/node.cpp.o.d"
+  "CMakeFiles/ethsim_eth.dir/wire.cpp.o"
+  "CMakeFiles/ethsim_eth.dir/wire.cpp.o.d"
+  "libethsim_eth.a"
+  "libethsim_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/dataset.cpp" "src/measure/CMakeFiles/ethsim_measure.dir/dataset.cpp.o" "gcc" "src/measure/CMakeFiles/ethsim_measure.dir/dataset.cpp.o.d"
+  "/root/repo/src/measure/observer.cpp" "src/measure/CMakeFiles/ethsim_measure.dir/observer.cpp.o" "gcc" "src/measure/CMakeFiles/ethsim_measure.dir/observer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ethsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethsim_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/ethsim_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/ethsim_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ethsim_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

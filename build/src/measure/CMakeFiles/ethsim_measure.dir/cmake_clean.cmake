@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_measure.dir/dataset.cpp.o"
+  "CMakeFiles/ethsim_measure.dir/dataset.cpp.o.d"
+  "CMakeFiles/ethsim_measure.dir/observer.cpp.o"
+  "CMakeFiles/ethsim_measure.dir/observer.cpp.o.d"
+  "libethsim_measure.a"
+  "libethsim_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

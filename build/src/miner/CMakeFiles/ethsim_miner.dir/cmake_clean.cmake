@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_miner.dir/mining.cpp.o"
+  "CMakeFiles/ethsim_miner.dir/mining.cpp.o.d"
+  "CMakeFiles/ethsim_miner.dir/pool.cpp.o"
+  "CMakeFiles/ethsim_miner.dir/pool.cpp.o.d"
+  "libethsim_miner.a"
+  "libethsim_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

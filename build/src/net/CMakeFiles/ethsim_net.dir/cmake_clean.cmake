@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_net.dir/geo.cpp.o"
+  "CMakeFiles/ethsim_net.dir/geo.cpp.o.d"
+  "CMakeFiles/ethsim_net.dir/network.cpp.o"
+  "CMakeFiles/ethsim_net.dir/network.cpp.o.d"
+  "libethsim_net.a"
+  "libethsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_p2p.dir/kademlia.cpp.o"
+  "CMakeFiles/ethsim_p2p.dir/kademlia.cpp.o.d"
+  "CMakeFiles/ethsim_p2p.dir/node_id.cpp.o"
+  "CMakeFiles/ethsim_p2p.dir/node_id.cpp.o.d"
+  "libethsim_p2p.a"
+  "libethsim_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libethsim_p2p.a"
+)

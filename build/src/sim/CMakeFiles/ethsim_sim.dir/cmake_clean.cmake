@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethsim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ethsim_sim.dir/simulator.cpp.o.d"
+  "libethsim_sim.a"
+  "libethsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

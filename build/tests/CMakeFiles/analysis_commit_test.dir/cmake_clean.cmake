@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_commit_test.dir/analysis/commit_test.cpp.o"
+  "CMakeFiles/analysis_commit_test.dir/analysis/commit_test.cpp.o.d"
+  "analysis_commit_test"
+  "analysis_commit_test.pdb"
+  "analysis_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_empty_blocks_test.dir/analysis/empty_blocks_test.cpp.o"
+  "CMakeFiles/analysis_empty_blocks_test.dir/analysis/empty_blocks_test.cpp.o.d"
+  "analysis_empty_blocks_test"
+  "analysis_empty_blocks_test.pdb"
+  "analysis_empty_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_empty_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_forks_test.dir/analysis/forks_test.cpp.o"
+  "CMakeFiles/analysis_forks_test.dir/analysis/forks_test.cpp.o.d"
+  "analysis_forks_test"
+  "analysis_forks_test.pdb"
+  "analysis_forks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_forks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

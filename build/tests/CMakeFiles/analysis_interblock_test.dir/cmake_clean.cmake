@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_interblock_test.dir/analysis/interblock_test.cpp.o"
+  "CMakeFiles/analysis_interblock_test.dir/analysis/interblock_test.cpp.o.d"
+  "analysis_interblock_test"
+  "analysis_interblock_test.pdb"
+  "analysis_interblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_interblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_propagation_test.dir/analysis/propagation_test.cpp.o"
+  "CMakeFiles/analysis_propagation_test.dir/analysis/propagation_test.cpp.o.d"
+  "analysis_propagation_test"
+  "analysis_propagation_test.pdb"
+  "analysis_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

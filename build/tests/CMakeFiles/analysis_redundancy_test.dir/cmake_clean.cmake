@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_redundancy_test.dir/analysis/redundancy_test.cpp.o"
+  "CMakeFiles/analysis_redundancy_test.dir/analysis/redundancy_test.cpp.o.d"
+  "analysis_redundancy_test"
+  "analysis_redundancy_test.pdb"
+  "analysis_redundancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_redundancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

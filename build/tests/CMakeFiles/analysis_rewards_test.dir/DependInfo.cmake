@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/rewards_test.cpp" "tests/CMakeFiles/analysis_rewards_test.dir/analysis/rewards_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_rewards_test.dir/analysis/rewards_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ethsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ethsim_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/ethsim_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethsim_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/ethsim_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ethsim_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ethsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ethsim_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_rewards_test.dir/analysis/rewards_test.cpp.o"
+  "CMakeFiles/analysis_rewards_test.dir/analysis/rewards_test.cpp.o.d"
+  "analysis_rewards_test"
+  "analysis_rewards_test.pdb"
+  "analysis_rewards_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_rewards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_security_test.dir/analysis/security_test.cpp.o"
+  "CMakeFiles/analysis_security_test.dir/analysis/security_test.cpp.o.d"
+  "analysis_security_test"
+  "analysis_security_test.pdb"
+  "analysis_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_sequences_test.dir/analysis/sequences_test.cpp.o"
+  "CMakeFiles/analysis_sequences_test.dir/analysis/sequences_test.cpp.o.d"
+  "analysis_sequences_test"
+  "analysis_sequences_test.pdb"
+  "analysis_sequences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_sequences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

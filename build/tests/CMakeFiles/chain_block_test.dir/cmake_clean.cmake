@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_block_test.dir/chain/block_test.cpp.o"
+  "CMakeFiles/chain_block_test.dir/chain/block_test.cpp.o.d"
+  "chain_block_test"
+  "chain_block_test.pdb"
+  "chain_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_blocktree_test.dir/chain/blocktree_test.cpp.o"
+  "CMakeFiles/chain_blocktree_test.dir/chain/blocktree_test.cpp.o.d"
+  "chain_blocktree_test"
+  "chain_blocktree_test.pdb"
+  "chain_blocktree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_blocktree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_difficulty_test.dir/chain/difficulty_test.cpp.o"
+  "CMakeFiles/chain_difficulty_test.dir/chain/difficulty_test.cpp.o.d"
+  "chain_difficulty_test"
+  "chain_difficulty_test.pdb"
+  "chain_difficulty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_difficulty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

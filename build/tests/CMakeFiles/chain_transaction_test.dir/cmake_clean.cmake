@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_transaction_test.dir/chain/transaction_test.cpp.o"
+  "CMakeFiles/chain_transaction_test.dir/chain/transaction_test.cpp.o.d"
+  "chain_transaction_test"
+  "chain_transaction_test.pdb"
+  "chain_transaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

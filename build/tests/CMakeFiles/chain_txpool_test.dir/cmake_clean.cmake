@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_txpool_test.dir/chain/txpool_test.cpp.o"
+  "CMakeFiles/chain_txpool_test.dir/chain/txpool_test.cpp.o.d"
+  "chain_txpool_test"
+  "chain_txpool_test.pdb"
+  "chain_txpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_txpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

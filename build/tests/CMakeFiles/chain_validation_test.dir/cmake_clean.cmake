@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_validation_test.dir/chain/validation_test.cpp.o"
+  "CMakeFiles/chain_validation_test.dir/chain/validation_test.cpp.o.d"
+  "chain_validation_test"
+  "chain_validation_test.pdb"
+  "chain_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bounded_set_test.dir/common/bounded_set_test.cpp.o"
+  "CMakeFiles/common_bounded_set_test.dir/common/bounded_set_test.cpp.o.d"
+  "common_bounded_set_test"
+  "common_bounded_set_test.pdb"
+  "common_bounded_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bounded_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_keccak_test.dir/common/keccak_test.cpp.o"
+  "CMakeFiles/common_keccak_test.dir/common/keccak_test.cpp.o.d"
+  "common_keccak_test"
+  "common_keccak_test.pdb"
+  "common_keccak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_keccak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

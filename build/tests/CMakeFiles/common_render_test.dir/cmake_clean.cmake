@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_render_test.dir/common/render_test.cpp.o"
+  "CMakeFiles/common_render_test.dir/common/render_test.cpp.o.d"
+  "common_render_test"
+  "common_render_test.pdb"
+  "common_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_rlp_test.dir/common/rlp_test.cpp.o"
+  "CMakeFiles/common_rlp_test.dir/common/rlp_test.cpp.o.d"
+  "common_rlp_test"
+  "common_rlp_test.pdb"
+  "common_rlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_rlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_node_test.dir/eth/node_test.cpp.o"
+  "CMakeFiles/eth_node_test.dir/eth/node_test.cpp.o.d"
+  "eth_node_test"
+  "eth_node_test.pdb"
+  "eth_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_wire_test.dir/eth/wire_test.cpp.o"
+  "CMakeFiles/eth_wire_test.dir/eth/wire_test.cpp.o.d"
+  "eth_wire_test"
+  "eth_wire_test.pdb"
+  "eth_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

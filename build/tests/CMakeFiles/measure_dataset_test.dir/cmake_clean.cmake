@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_dataset_test.dir/measure/dataset_test.cpp.o"
+  "CMakeFiles/measure_dataset_test.dir/measure/dataset_test.cpp.o.d"
+  "measure_dataset_test"
+  "measure_dataset_test.pdb"
+  "measure_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

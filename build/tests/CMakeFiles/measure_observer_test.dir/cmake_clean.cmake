@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_observer_test.dir/measure/observer_test.cpp.o"
+  "CMakeFiles/measure_observer_test.dir/measure/observer_test.cpp.o.d"
+  "measure_observer_test"
+  "measure_observer_test.pdb"
+  "measure_observer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

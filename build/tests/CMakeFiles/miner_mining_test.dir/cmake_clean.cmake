@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_mining_test.dir/miner/mining_test.cpp.o"
+  "CMakeFiles/miner_mining_test.dir/miner/mining_test.cpp.o.d"
+  "miner_mining_test"
+  "miner_mining_test.pdb"
+  "miner_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_pool_test.dir/miner/pool_test.cpp.o"
+  "CMakeFiles/miner_pool_test.dir/miner/pool_test.cpp.o.d"
+  "miner_pool_test"
+  "miner_pool_test.pdb"
+  "miner_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_geo_test.dir/net/geo_test.cpp.o"
+  "CMakeFiles/net_geo_test.dir/net/geo_test.cpp.o.d"
+  "net_geo_test"
+  "net_geo_test.pdb"
+  "net_geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_blocktree_test.dir/property/blocktree_property_test.cpp.o"
+  "CMakeFiles/property_blocktree_test.dir/property/blocktree_property_test.cpp.o.d"
+  "property_blocktree_test"
+  "property_blocktree_test.pdb"
+  "property_blocktree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_blocktree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

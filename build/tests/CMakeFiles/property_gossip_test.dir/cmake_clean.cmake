@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_gossip_test.dir/property/gossip_property_test.cpp.o"
+  "CMakeFiles/property_gossip_test.dir/property/gossip_property_test.cpp.o.d"
+  "property_gossip_test"
+  "property_gossip_test.pdb"
+  "property_gossip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_gossip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_miner_test.dir/property/miner_property_test.cpp.o"
+  "CMakeFiles/property_miner_test.dir/property/miner_property_test.cpp.o.d"
+  "property_miner_test"
+  "property_miner_test.pdb"
+  "property_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

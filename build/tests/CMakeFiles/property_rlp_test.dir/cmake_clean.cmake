@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_rlp_test.dir/property/rlp_property_test.cpp.o"
+  "CMakeFiles/property_rlp_test.dir/property/rlp_property_test.cpp.o.d"
+  "property_rlp_test"
+  "property_rlp_test.pdb"
+  "property_rlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_rlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

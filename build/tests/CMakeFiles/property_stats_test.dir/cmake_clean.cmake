@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_stats_test.dir/property/stats_property_test.cpp.o"
+  "CMakeFiles/property_stats_test.dir/property/stats_property_test.cpp.o.d"
+  "property_stats_test"
+  "property_stats_test.pdb"
+  "property_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

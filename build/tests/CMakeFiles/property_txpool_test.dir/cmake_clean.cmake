@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_txpool_test.dir/property/txpool_property_test.cpp.o"
+  "CMakeFiles/property_txpool_test.dir/property/txpool_property_test.cpp.o.d"
+  "property_txpool_test"
+  "property_txpool_test.pdb"
+  "property_txpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_txpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

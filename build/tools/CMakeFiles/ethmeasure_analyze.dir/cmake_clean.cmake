@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethmeasure_analyze.dir/ethmeasure_analyze.cpp.o"
+  "CMakeFiles/ethmeasure_analyze.dir/ethmeasure_analyze.cpp.o.d"
+  "ethmeasure_analyze"
+  "ethmeasure_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethmeasure_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

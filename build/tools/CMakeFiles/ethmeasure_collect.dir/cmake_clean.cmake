@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethmeasure_collect.dir/ethmeasure_collect.cpp.o"
+  "CMakeFiles/ethmeasure_collect.dir/ethmeasure_collect.cpp.o.d"
+  "ethmeasure_collect"
+  "ethmeasure_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethmeasure_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
