@@ -4,12 +4,21 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "analysis/inputs.hpp"
 #include "core/experiment.hpp"
 
 namespace ethsim::bench {
+
+// Unsigned env override with a default (used for sweep seed/thread counts).
+inline std::size_t EnvSizeT(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
 
 inline analysis::StudyInputs InputsFor(const core::Experiment& exp) {
   analysis::StudyInputs inputs;

@@ -2,9 +2,17 @@
 // RLP, the event queue, winner sampling, tree insertion, and a full
 // block-gossip round. These guard the simulator's events/second budget and
 // double as the ablation harness for DESIGN.md's engine choices.
+//
+// Besides the console table, the binary writes a curated machine-readable
+// summary to BENCH_engine.json (path overridable via ETHSIM_BENCH_JSON) so
+// the engine's events/second trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "chain/blocktree.hpp"
 #include "chain/txpool.hpp"
@@ -152,6 +160,7 @@ BENCHMARK(BM_KademliaLookup);
 
 // Full gossip round: one mined block disseminated through a 64-node mesh.
 void BM_GossipBlockBroadcast(benchmark::State& state) {
+  std::int64_t total_events = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::Simulator simulator;
@@ -183,10 +192,108 @@ void BM_GossipBlockBroadcast(benchmark::State& state) {
     nodes[0]->InjectMinedBlock(block);
     simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(30).micros()));
     benchmark::DoNotOptimize(simulator.events_executed());
+    total_events += static_cast<std::int64_t>(simulator.events_executed());
   }
+  // items/sec == simulated events/sec for the full dissemination round.
+  state.SetItemsProcessed(total_events);
 }
 BENCHMARK(BM_GossipBlockBroadcast)->Unit(benchmark::kMillisecond);
 
+// Schedule/cancel churn: half the scheduled events are cancelled before they
+// fire. Guards the O(1) generation-based Cancel (the seed engine kept a
+// tombstone set that grew without bound).
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    std::uint64_t x = 7;
+    for (std::size_t i = 0; i < n; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      handles.push_back(simulator.Schedule(
+          Duration::Micros(static_cast<std::int64_t>(x % 1'000'000)), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) simulator.Cancel(handles[i]);
+    simulator.RunAll();
+    // Stale cancels after the run must stay no-ops (regression for the
+    // tombstone leak).
+    for (std::size_t i = 1; i < n; i += 2) simulator.Cancel(handles[i]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(100'000);
+
+// Curated JSON summary. We deliberately avoid --benchmark_format=json (it
+// dumps every context field and complexity report); instead we keep a small
+// stable schema so BENCH_engine.json diffs stay readable across PRs.
+// It piggybacks on ConsoleReporter because RunSpecifiedBenchmarks only feeds
+// a separate file_reporter when --benchmark_out is passed.
+class EngineJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Entry e;
+      e.real_time_ns = run.GetAdjustedRealTime();  // already in run.time_unit
+      switch (run.time_unit) {
+        case benchmark::kMillisecond: e.real_time_ns *= 1e6; break;
+        case benchmark::kMicrosecond: e.real_time_ns *= 1e3; break;
+        case benchmark::kSecond: e.real_time_ns *= 1e9; break;
+        default: break;  // kNanosecond
+      }
+      const auto items = run.counters.find("items_per_second");
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (items != run.counters.end()) e.items_per_second = items->second;
+      if (bytes != run.counters.end()) e.bytes_per_second = bytes->second;
+      entries_[run.benchmark_name()] = e;
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    const char* env = std::getenv("ETHSIM_BENCH_JSON");
+    const std::string path = (env != nullptr && env[0] != '\0')
+                                 ? std::string{env}
+                                 : std::string{"BENCH_engine.json"};
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "micro_substrate: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": {\n");
+    std::size_t i = 0;
+    for (const auto& [name, e] : entries_) {
+      std::fprintf(f, "    \"%s\": {\"real_time_ns\": %.1f", name.c_str(),
+                   e.real_time_ns);
+      if (e.items_per_second > 0.0)
+        std::fprintf(f, ", \"items_per_second\": %.0f", e.items_per_second);
+      if (e.bytes_per_second > 0.0)
+        std::fprintf(f, ", \"bytes_per_second\": %.0f", e.bytes_per_second);
+      std::fprintf(f, "}%s\n", ++i < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "micro_substrate: wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    double real_time_ns = 0.0;
+    double items_per_second = 0.0;
+    double bytes_per_second = 0.0;
+  };
+  std::map<std::string, Entry> entries_;  // sorted => stable JSON diffs
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  EngineJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

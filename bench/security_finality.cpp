@@ -1,8 +1,15 @@
 // §III-D: block-finality security. Month-scale observed runs vs the p^k
 // model, plus the whole-history (7.6M-block) surrogate scan that recovers
 // the paper's 10/11/12/14-length run counts.
+//
+// The four winner-sampling jobs (observed month + three concentration eras)
+// are independent — each owns its Rng seed — so they fan out through
+// SeedSweepRunner::ForEachIndex and land in fixed slots; the concatenation
+// order (and therefore every run-length count) is identical to the serial
+// version no matter how many threads ran.
 #include "analysis/report.hpp"
 #include "bench_util.hpp"
+#include "core/sweep.hpp"
 
 using namespace ethsim;
 
@@ -11,15 +18,11 @@ int main() {
 
   const auto pools = miner::PaperPools();
 
-  // One observed month (the paper's window: 201,086 main blocks).
-  const auto month_winners = analysis::SampleWinners(pools, 201'086, Rng{4});
-  const auto month = analysis::SequencesFromWinners(month_winners, pools);
-
-  // The whole-chain scan surrogate (7.6M blocks). Mining was far more
-  // concentrated in Ethereum's early years (Ethpool/Ethermine and F2pool
-  // held 30-40% for long stretches), which is where the paper's 10-14 block
-  // runs come from. Model history as three concentration eras; within each,
-  // the top pool's share is scaled and the rest renormalized.
+  // Mining was far more concentrated in Ethereum's early years
+  // (Ethpool/Ethermine and F2pool held 30-40% for long stretches), which is
+  // where the paper's 10-14 block runs come from. Model history as three
+  // concentration eras; within each, the top pool's share is scaled and the
+  // rest renormalized.
   auto era = [&](double top_share, std::size_t blocks, std::uint64_t seed) {
     std::vector<miner::PoolSpec> adjusted = pools;
     const double rest = 1.0 - top_share;
@@ -29,11 +32,27 @@ int main() {
       adjusted[i].hashrate_share *= rest / old_rest;
     return analysis::SampleWinners(adjusted, blocks, Rng{seed});
   };
-  std::vector<std::size_t> history_winners = era(0.42, 1'500'000, 5);  // 2015-16
-  const auto mid = era(0.30, 1'500'000, 6);                            // 2017
-  const auto late = analysis::SampleWinners(pools, 4'600'000, Rng{7}); // 2018-19
-  history_winners.insert(history_winners.end(), mid.begin(), mid.end());
-  history_winners.insert(history_winners.end(), late.begin(), late.end());
+
+  // slot 0: one observed month (the paper's window: 201,086 main blocks);
+  // slots 1-3: the 7.6M-block whole-chain surrogate, era by era.
+  std::vector<std::vector<std::size_t>> parts(4);
+  core::SeedSweepRunner runner{{bench::EnvSizeT("ETHSIM_SWEEP_THREADS", 0)}};
+  runner.ForEachIndex(parts.size(), [&](std::size_t i) {
+    switch (i) {
+      case 0: parts[0] = analysis::SampleWinners(pools, 201'086, Rng{4}); break;
+      case 1: parts[1] = era(0.42, 1'500'000, 5); break;                // 2015-16
+      case 2: parts[2] = era(0.30, 1'500'000, 6); break;               // 2017
+      case 3: parts[3] = analysis::SampleWinners(pools, 4'600'000, Rng{7});
+              break;                                                    // 2018-19
+    }
+  });
+
+  const auto month = analysis::SequencesFromWinners(parts[0], pools);
+  std::vector<std::size_t> history_winners = std::move(parts[1]);
+  history_winners.insert(history_winners.end(), parts[2].begin(),
+                         parts[2].end());
+  history_winners.insert(history_winners.end(), parts[3].begin(),
+                         parts[3].end());
   const auto history = analysis::SequencesFromWinners(history_winners, pools);
 
   std::printf("%s\n",

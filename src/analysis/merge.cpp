@@ -1,0 +1,122 @@
+#include "analysis/merge.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace ethsim::analysis {
+
+namespace {
+
+// Recovers an integer numerator stored as numerator/denominator. The shares
+// in the per-seed results are exact ratios of small integers, so the rounding
+// is lossless.
+std::size_t NumeratorOf(double share, std::size_t denominator) {
+  return static_cast<std::size_t>(
+      std::llround(share * static_cast<double>(denominator)));
+}
+
+}  // namespace
+
+ForkCensus MergeForkCensus(const std::vector<ForkCensus>& parts) {
+  ForkCensus merged;
+  std::map<std::size_t, ForkLengthRow> by_length;
+  for (const auto& part : parts) {
+    merged.total_blocks += part.total_blocks;
+    merged.main_blocks += part.main_blocks;
+    merged.recognized_uncles += part.recognized_uncles;
+    merged.unrecognized_blocks += part.unrecognized_blocks;
+    merged.fork_events += part.fork_events;
+    for (const auto& row : part.by_length) {
+      ForkLengthRow& acc = by_length[row.length];
+      acc.length = row.length;
+      acc.total += row.total;
+      acc.recognized += row.recognized;
+      acc.unrecognized += row.unrecognized;
+    }
+  }
+  for (const auto& [length, row] : by_length) merged.by_length.push_back(row);
+  if (merged.total_blocks > 0) {
+    const auto total = static_cast<double>(merged.total_blocks);
+    merged.main_share = static_cast<double>(merged.main_blocks) / total;
+    merged.recognized_share =
+        static_cast<double>(merged.recognized_uncles) / total;
+    merged.unrecognized_share =
+        static_cast<double>(merged.unrecognized_blocks) / total;
+  }
+  return merged;
+}
+
+OneMinerForkCensus MergeOneMinerForks(
+    const std::vector<OneMinerForkCensus>& parts,
+    const ForkCensus& merged_census) {
+  OneMinerForkCensus merged;
+  std::size_t recognized_extras = 0;
+  std::size_t same_txset_events = 0;
+  for (const auto& part : parts) {
+    merged.events += part.events;
+    merged.extra_blocks += part.extra_blocks;
+    for (const auto& [size, count] : part.tuples) merged.tuples[size] += count;
+    recognized_extras +=
+        NumeratorOf(part.recognized_extra_share, part.extra_blocks);
+    same_txset_events += NumeratorOf(part.same_txset_share, part.events);
+  }
+  if (merged.extra_blocks > 0)
+    merged.recognized_extra_share = static_cast<double>(recognized_extras) /
+                                    static_cast<double>(merged.extra_blocks);
+  if (merged.events > 0)
+    merged.same_txset_share = static_cast<double>(same_txset_events) /
+                              static_cast<double>(merged.events);
+  if (merged_census.fork_events > 0)
+    merged.share_of_all_forks =
+        static_cast<double>(merged.events) /
+        static_cast<double>(merged_census.fork_events);
+  return merged;
+}
+
+GeoResult MergeGeoResults(const std::vector<GeoResult>& parts) {
+  GeoResult merged;
+  if (parts.empty()) return merged;
+  merged.shares.resize(parts.front().shares.size());
+  std::vector<std::size_t> uncertain(merged.shares.size(), 0);
+  for (const auto& part : parts) {
+    assert(part.shares.size() == merged.shares.size());
+    merged.total_blocks += part.total_blocks;
+    for (std::size_t i = 0; i < part.shares.size(); ++i) {
+      merged.shares[i].vantage = part.shares[i].vantage;
+      merged.shares[i].wins += part.shares[i].wins;
+      uncertain[i] += NumeratorOf(part.shares[i].uncertain_share,
+                                  part.total_blocks);
+    }
+  }
+  if (merged.total_blocks > 0) {
+    const auto total = static_cast<double>(merged.total_blocks);
+    for (std::size_t i = 0; i < merged.shares.size(); ++i) {
+      merged.shares[i].share =
+          static_cast<double>(merged.shares[i].wins) / total;
+      merged.shares[i].uncertain_share =
+          static_cast<double>(uncertain[i]) / total;
+    }
+  }
+  return merged;
+}
+
+PropagationResult MergePropagation(const std::vector<PropagationResult>& parts) {
+  PropagationResult merged;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.delays_ms.count();
+  merged.delays_ms.Reserve(total);
+  for (const auto& part : parts) {
+    merged.items += part.items;
+    for (const double v : part.delays_ms.values()) merged.delays_ms.Add(v);
+  }
+  if (!merged.delays_ms.empty()) {
+    merged.median_ms = merged.delays_ms.Median();
+    merged.mean_ms = merged.delays_ms.mean();
+    merged.p95_ms = merged.delays_ms.Quantile(0.95);
+    merged.p99_ms = merged.delays_ms.Quantile(0.99);
+  }
+  return merged;
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,34 @@
+// Deterministic cross-seed aggregation. A SeedSweepRunner hands back one
+// finished Experiment per seed; these helpers fold the per-seed analysis
+// results into a single census/figure exactly as if the paper had observed N
+// independent months. All merges are pure functions of the inputs *in input
+// order*, so a parallel sweep merged in seed order is reproducible regardless
+// of thread count or scheduling.
+#pragma once
+
+#include <vector>
+
+#include "analysis/forks.hpp"
+#include "analysis/geo.hpp"
+#include "analysis/propagation.hpp"
+
+namespace ethsim::analysis {
+
+// Sums all counters and recomputes shares over the pooled population.
+ForkCensus MergeForkCensus(const std::vector<ForkCensus>& parts);
+
+// Sums tuple counts and recomputes the recognized/same-txset/fork shares
+// from the pooled numerators. `merged_census` must be the MergeForkCensus of
+// the same runs (for the share-of-all-forks denominator).
+OneMinerForkCensus MergeOneMinerForks(
+    const std::vector<OneMinerForkCensus>& parts,
+    const ForkCensus& merged_census);
+
+// Pools first-observation wins across runs. All parts must come from
+// identically configured vantage sets (same order, same names).
+GeoResult MergeGeoResults(const std::vector<GeoResult>& parts);
+
+// Pools the delay samples and recomputes the summary quantiles.
+PropagationResult MergePropagation(const std::vector<PropagationResult>& parts);
+
+}  // namespace ethsim::analysis

@@ -49,9 +49,11 @@ void Block::Seal() {
   for (const auto& tx : transactions) gas += tx.gas_limit;
   header.gas_used = gas;
   hash = header.Hash();
+  encoded_size = ComputeEncodedSize();
+  integrity_memo = 0;  // content changed: drop the memoized validation verdict
 }
 
-std::size_t Block::EncodedSize() const {
+std::size_t Block::ComputeEncodedSize() const {
   std::size_t size = kHeaderWireSize;
   for (const auto& tx : transactions) size += tx.EncodedSize();
   size += uncles.size() * kHeaderWireSize;

@@ -38,14 +38,34 @@ struct Block {
 
   Hash32 hash;  // cached header hash; set by Seal()
 
-  // Recomputes tx_root/uncle_root/gas_used from the body and caches the
-  // header hash. Call after assembling or mutating the body.
+  // Recomputes tx_root/uncle_root/gas_used from the body, caches the header
+  // hash and the wire size. Call after assembling or mutating the body.
   void Seal();
 
   bool IsEmpty() const { return transactions.empty(); }
 
   // Wire size of the full block (header + body), for the bandwidth model.
-  std::size_t EncodedSize() const;
+  // O(1) after Seal(): a block is relayed O(sqrt(peers) + peers) times per
+  // node and re-walking every transaction on each send dominated the gossip
+  // profile. Falls back to the walk for unsealed blocks (tests).
+  std::size_t EncodedSize() const {
+    return encoded_size != 0 ? encoded_size : ComputeEncodedSize();
+  }
+
+  // Memoized intrinsic-integrity verdict (seal / tx-root / uncle-root
+  // recomputation), maintained by chain::ValidateBlock and reset by Seal().
+  // Those checks are pure functions of the block, and a gossiped block is
+  // immutable and shared by every node, so the keccak-heavy recomputation
+  // runs once per block instead of once per validating node. Mutating a
+  // sealed block without re-sealing invalidates the memo (as it already
+  // invalidates `hash`); bit layout lives in validation.cpp. 0 = unset.
+  mutable std::uint8_t integrity_memo = 0;
+
+ private:
+  std::size_t ComputeEncodedSize() const;
+  std::size_t encoded_size = 0;  // cached by Seal(); 0 = not sealed
+
+ public:
 };
 
 // Commitment over an ordered list of transaction hashes (simplified

@@ -21,13 +21,10 @@ rlp::Bytes EncodeTransaction(const Transaction& tx) {
 void Transaction::Seal() {
   const rlp::Bytes encoded = EncodeTransaction(*this);
   hash = Keccak256Of(std::span<const std::uint8_t>(encoded.data(), encoded.size()));
-}
-
-std::size_t Transaction::EncodedSize() const {
   // RLP framing of the fixed fields is ~110 bytes (sender 21 + to 21 +
   // scalars); calldata rides on top. Close to mainnet's ~110-byte simple
-  // transfer.
-  return 110 + payload_bytes;
+  // transfer. Cached so the per-relay byte accounting never recomputes it.
+  wire_size = 110 + payload_bytes;
 }
 
 Transaction MakeTransaction(Address sender, std::uint64_t nonce, Address to,

@@ -22,13 +22,18 @@ struct Transaction {
   std::uint32_t payload_bytes = 0;  // calldata size; affects wire size
 
   Hash32 hash;  // cached identity, computed by Seal()
+  // Cached wire size, computed by Seal() (0 = not sealed yet). Not part of
+  // the RLP identity; caching it keeps the per-relay byte accounting free.
+  std::uint32_t wire_size = 0;
 
-  // Computes and caches the RLP hash identity. Must be called after any
-  // field change; all factory paths do this.
+  // Computes and caches the RLP hash identity and wire size. Must be called
+  // after any field change; all factory paths do this.
   void Seal();
 
   // Approximate wire size of the RLP-encoded transaction.
-  std::size_t EncodedSize() const;
+  std::size_t EncodedSize() const {
+    return wire_size != 0 ? wire_size : 110 + payload_bytes;
+  }
 };
 
 // RLP-encodes all identity-relevant fields (everything except the cache).

@@ -25,17 +25,43 @@ std::string_view ValidationErrorName(ValidationError error) {
   return "?";
 }
 
+namespace {
+
+// Bit layout of Block::integrity_memo. The seal/tx-root/uncle-root checks
+// recompute keccak digests over the (immutable once gossiped) block, so the
+// first validating node stores the three verdicts on the block and the other
+// N-1 nodes reuse them. The check *order* below is unchanged from the
+// uncached version — only the digest recomputation is shared.
+constexpr std::uint8_t kMemoComputed = 1u << 0;
+constexpr std::uint8_t kMemoSealOk = 1u << 1;
+constexpr std::uint8_t kMemoTxRootOk = 1u << 2;
+constexpr std::uint8_t kMemoUncleRootOk = 1u << 3;
+
+std::uint8_t IntegrityMemoFor(const Block& block) {
+  if ((block.integrity_memo & kMemoComputed) == 0) {
+    std::uint8_t memo = kMemoComputed;
+    if (block.hash == block.header.Hash()) memo |= kMemoSealOk;
+    if (block.header.tx_root == ComputeTxRoot(block.transactions))
+      memo |= kMemoTxRootOk;
+    if (block.header.uncle_root == ComputeUncleRoot(block.uncles))
+      memo |= kMemoUncleRootOk;
+    block.integrity_memo = memo;
+  }
+  return block.integrity_memo;
+}
+
+}  // namespace
+
 ValidationError ValidateBlock(const Block& block, const BlockHeader& parent,
                               const DifficultyParams* difficulty_params) {
   const BlockHeader& h = block.header;
+  const std::uint8_t memo = IntegrityMemoFor(block);
 
-  if (block.hash != h.Hash()) return ValidationError::kBadSeal;
+  if ((memo & kMemoSealOk) == 0) return ValidationError::kBadSeal;
   if (h.number != parent.number + 1) return ValidationError::kBadNumber;
   if (h.timestamp <= parent.timestamp) return ValidationError::kBadTimestamp;
-  if (h.tx_root != ComputeTxRoot(block.transactions))
-    return ValidationError::kBadTxRoot;
-  if (h.uncle_root != ComputeUncleRoot(block.uncles))
-    return ValidationError::kBadUncleRoot;
+  if ((memo & kMemoTxRootOk) == 0) return ValidationError::kBadTxRoot;
+  if ((memo & kMemoUncleRootOk) == 0) return ValidationError::kBadUncleRoot;
 
   std::uint64_t gas = 0;
   for (const auto& tx : block.transactions) gas += tx.gas_limit;

@@ -1,0 +1,75 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ethsim::core {
+
+SeedSweepRunner::SeedSweepRunner(SweepOptions options)
+    : threads_(options.threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+void SeedSweepRunner::ForEachIndex(
+    std::size_t jobs, const std::function<void(std::size_t)>& job) const {
+  if (jobs == 0) return;
+  const std::size_t workers = std::min(threads_, jobs);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) job(i);
+    return;
+  }
+
+  // Work-stealing-free dynamic dispatch: one shared atomic ticket counter.
+  // Each job owns its own world, so the only cross-thread state is the
+  // counter and the first-error latch.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<std::unique_ptr<Experiment>> SeedSweepRunner::RunExperiments(
+    const ExperimentConfig& base, const std::vector<std::uint64_t>& seeds) const {
+  std::vector<std::unique_ptr<Experiment>> results(seeds.size());
+  ForEachIndex(seeds.size(), [&](std::size_t i) {
+    ExperimentConfig cfg = base;
+    cfg.seed = seeds[i];
+    auto exp = std::make_unique<Experiment>(std::move(cfg));
+    exp->Run();
+    results[i] = std::move(exp);  // distinct slot per job: no synchronization
+  });
+  return results;
+}
+
+std::vector<std::uint64_t> ConsecutiveSeeds(std::uint64_t base_seed,
+                                            std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) seeds[i] = base_seed + i;
+  return seeds;
+}
+
+}  // namespace ethsim::core

@@ -1,0 +1,55 @@
+// Cross-seed parallelism. A single run is strictly sequential (the event
+// queue is a total order), but the statistical power of every reproduced
+// figure comes from averaging *independent* (config, seed) runs — and those
+// share no mutable state whatsoever. SeedSweepRunner fans N Experiments out
+// over a thread pool (each worker owns its Simulator/Network/Rng world) and
+// returns them in seed order, so the merged statistics are identical no
+// matter how many threads ran or how the OS scheduled them. Determinism per
+// seed is untouched: a sweep member is bit-for-bit the run a sequential
+// `Experiment{cfg}.Run()` would have produced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+
+namespace ethsim::core {
+
+struct SweepOptions {
+  // Worker threads; 0 = std::thread::hardware_concurrency() (at least 1).
+  std::size_t threads = 0;
+};
+
+class SeedSweepRunner {
+ public:
+  explicit SeedSweepRunner(SweepOptions options = {});
+
+  // Runs `base` once per seed (base.seed is replaced) and returns the
+  // finished experiments in seed order. Experiments are fully retained so
+  // callers can build per-seed StudyInputs and merge analysis results
+  // deterministically.
+  std::vector<std::unique_ptr<Experiment>> RunExperiments(
+      const ExperimentConfig& base, const std::vector<std::uint64_t>& seeds) const;
+
+  // Generic deterministic fan-out: invokes job(i) for every i in [0, jobs)
+  // across the pool. Jobs must be independent; any exception is rethrown on
+  // the calling thread after all workers join. Result ordering is the
+  // caller's concern (write to pre-sized slot i).
+  void ForEachIndex(std::size_t jobs,
+                    const std::function<void(std::size_t)>& job) const;
+
+  std::size_t threads() const { return threads_; }
+
+ private:
+  std::size_t threads_;
+};
+
+// Convenience: {base_seed, base_seed+1, ..., base_seed+count-1}.
+std::vector<std::uint64_t> ConsecutiveSeeds(std::uint64_t base_seed,
+                                            std::size_t count);
+
+}  // namespace ethsim::core

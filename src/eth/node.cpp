@@ -18,7 +18,14 @@ EthNode::EthNode(sim::Simulator& simulator, net::Network& network,
       config_(config),
       rng_(rng),
       tree_(std::move(genesis)),
-      seen_txs_(config.seen_txs_cap) {}
+      seen_txs_(config.seen_txs_cap) {
+  // Peer slots are bounded by max_peers; reserving up front keeps Connect from
+  // reallocating the vector. That matters more than it looks: BoundedSet holds
+  // a deque, whose libstdc++ move constructor is not noexcept, so vector
+  // growth copies every existing peer's known-block/known-tx sets instead of
+  // moving them.
+  peers_.reserve(config_.max_peers);
+}
 
 net::Region EthNode::region() const { return net_.host(host_).region; }
 
@@ -128,15 +135,20 @@ void EthNode::DeliverGetBlock(EthNode* from, const Hash32& hash) {
             [from, self = this, block] { from->DeliverBlockResponse(self, block); });
 }
 
-void EthNode::DeliverTransactions(
-    EthNode* from, std::shared_ptr<const std::vector<chain::Transaction>> txs) {
+void EthNode::DeliverTransactions(EthNode* from, const TxBatchView& batch) {
   Peer* peer = FindPeer(from);
-  for (const auto& tx : *txs) {
+  const auto process = [&](const chain::Transaction& tx) {
     if (sink_ != nullptr) sink_->OnTransactionMessage(tx);
     if (peer != nullptr) peer->known_txs.Insert(tx.hash);
-    if (!seen_txs_.Insert(tx.hash)) continue;
+    if (!seen_txs_.Insert(tx.hash)) return;
     pool_.Add(tx);
     QueueTxForBroadcast(tx);
+  };
+  const auto& txs = *batch.txs;
+  if (batch.subset) {
+    for (const std::uint32_t i : *batch.subset) process(txs[i]);
+  } else {
+    for (const auto& tx : txs) process(tx);
   }
 }
 
@@ -238,13 +250,19 @@ void EthNode::PushToSqrtPeers(const chain::BlockPtr& block) {
                 std::ceil(std::sqrt(static_cast<double>(peers_.size()))));
 
   // Sample peers without replacement until `want` unaware peers were pushed.
-  std::vector<std::size_t> order(peers_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  for (std::size_t i = order.size(); i > 1; --i)
-    std::swap(order[i - 1], order[rng_.NextBounded(i)]);
+  // The shuffle reuses a member scratch buffer (zero allocations per relay)
+  // and keeps the seed engine's exact Fisher-Yates draw sequence: a partial
+  // shuffle would consume fewer RNG draws and silently change every
+  // downstream random stream, breaking bit-for-bit replay compatibility with
+  // recorded (config, seed) runs. With peers <= max_peers the O(peers) swap
+  // loop is trivial next to the eliminated heap allocation.
+  relay_order_.resize(peers_.size());
+  for (std::uint32_t i = 0; i < relay_order_.size(); ++i) relay_order_[i] = i;
+  for (std::size_t i = relay_order_.size(); i > 1; --i)
+    std::swap(relay_order_[i - 1], relay_order_[rng_.NextBounded(i)]);
 
   std::size_t pushed = 0;
-  for (const std::size_t idx : order) {
+  for (const std::uint32_t idx : relay_order_) {
     if (pushed == want) break;
     Peer& peer = peers_[idx];
     if (peer.known_blocks.Contains(block->hash)) continue;
@@ -290,24 +308,36 @@ void EthNode::QueueTxForBroadcast(const chain::Transaction& tx) {
 void EthNode::FlushTxBroadcast() {
   flush_scheduled_ = false;
   if (tx_broadcast_queue_.empty()) return;
-  const std::vector<chain::Transaction> queue = std::move(tx_broadcast_queue_);
+  // One immutable batch per flush, shared by every peer; per-peer filtering
+  // is an index list (4 bytes/entry) instead of a Transaction copy
+  // (~120 bytes/entry), and the common all-known-to-none case ships with no
+  // per-peer allocation at all.
+  const auto batch = std::make_shared<const std::vector<chain::Transaction>>(
+      std::move(tx_broadcast_queue_));
   tx_broadcast_queue_.clear();
+  const std::vector<chain::Transaction>& queue = *batch;
 
   for (Peer& peer : peers_) {
-    auto batch = std::make_shared<std::vector<chain::Transaction>>();
+    flush_subset_.clear();
     std::size_t bytes = kTxBatchOverhead;
-    for (const auto& tx : queue) {
+    for (std::uint32_t i = 0; i < queue.size(); ++i) {
+      const auto& tx = queue[i];
       if (peer.known_txs.Contains(tx.hash)) continue;
       peer.known_txs.Insert(tx.hash);
-      batch->push_back(tx);
+      flush_subset_.push_back(i);
       bytes += tx.EncodedSize();
     }
-    if (batch->empty()) continue;
+    if (flush_subset_.empty()) continue;
+    TxBatchView view;
+    view.txs = batch;
+    if (flush_subset_.size() != queue.size())
+      view.subset = std::make_shared<const std::vector<std::uint32_t>>(
+          flush_subset_);
     EthNode* target = peer.node;
     net_.Send(host_, target->host(), bytes,
-              [target, self = this,
-               payload = std::shared_ptr<const std::vector<chain::Transaction>>(
-                   batch)] { target->DeliverTransactions(self, payload); });
+              [target, self = this, view = std::move(view)] {
+                target->DeliverTransactions(self, view);
+              });
   }
 }
 

@@ -27,6 +27,18 @@
 
 namespace ethsim::eth {
 
+// A Transactions wire message: one flush-wide immutable batch shared by every
+// receiving peer, plus an optional per-peer index filter. The common case —
+// a peer that needs the whole batch — carries just two shared_ptr copies
+// instead of duplicating every Transaction per peer.
+struct TxBatchView {
+  std::shared_ptr<const std::vector<chain::Transaction>> txs;
+  // Indices into *txs this peer should receive; null means the whole batch.
+  std::shared_ptr<const std::vector<std::uint32_t>> subset;
+
+  std::size_t count() const { return subset ? subset->size() : txs->size(); }
+};
+
 // Block relay strategy — Geth's sqrt-push is the default; the alternatives
 // exist for the ablation benches (bandwidth/latency/redundancy tradeoff).
 enum class RelayMode {
@@ -114,8 +126,7 @@ class EthNode {
                            std::uint64_t number);
   void DeliverGetBlock(EthNode* from, const Hash32& hash);
   void DeliverBlockResponse(EthNode* from, chain::BlockPtr block);
-  void DeliverTransactions(
-      EthNode* from, std::shared_ptr<const std::vector<chain::Transaction>> txs);
+  void DeliverTransactions(EthNode* from, const TxBatchView& batch);
 
  private:
   struct Peer {
@@ -158,6 +169,10 @@ class EthNode {
   std::vector<chain::Transaction> tx_broadcast_queue_;
   bool flush_scheduled_ = false;
   std::uint64_t invalid_blocks_ = 0;
+
+  // Scratch buffers reused across relay rounds (no per-call allocations).
+  std::vector<std::uint32_t> relay_order_;   // PushToSqrtPeers shuffle
+  std::vector<std::uint32_t> flush_subset_;  // FlushTxBroadcast per-peer filter
 
   MessageSink* sink_ = nullptr;
   std::function<void(chain::BlockPtr)> on_new_head_;

@@ -11,6 +11,7 @@ Network::Network(sim::Simulator& simulator, Rng rng, NetworkParams params)
 
 HostId Network::AddHost(HostSpec spec) {
   hosts_.push_back(spec);
+  fifo_last_us_.emplace_back();  // per-destination row, grown on first send
   return static_cast<HostId>(hosts_.size() - 1);
 }
 
@@ -43,14 +44,14 @@ void Network::Send(HostId from, HostId to, std::size_t bytes, sim::EventFn deliv
   const Duration delay = SampleDelay(from, to, bytes);
   TimePoint arrival = sim_.Now() + delay;
 
-  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
-  auto [it, inserted] = fifo_last_.try_emplace(key, arrival);
-  if (!inserted) {
-    // TCP stream semantics: a later send on the same connection can never
-    // arrive before an earlier one.
-    if (arrival < it->second) arrival = it->second;
-    it->second = arrival;
-  }
+  std::vector<std::int64_t>& row = fifo_last_us_[from];
+  if (row.size() <= to) row.resize(hosts_.size(), kNeverSent);
+  std::int64_t& last_us = row[to];
+  // TCP stream semantics: a later send on the same connection can never
+  // arrive before an earlier one.
+  if (last_us != kNeverSent && arrival.micros() < last_us)
+    arrival = TimePoint::FromMicros(last_us);
+  last_us = arrival.micros();
   sim_.ScheduleAt(arrival, std::move(deliver));
 }
 

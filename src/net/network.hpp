@@ -6,8 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.hpp"
@@ -74,8 +72,11 @@ class Network {
   NetworkParams params_;
   std::vector<HostSpec> hosts_;
   // Last scheduled delivery time per directed pair, for FIFO clamping.
-  // Keyed by (from << 32 | to).
-  std::unordered_map<std::uint64_t, TimePoint> fifo_last_;
+  // One dense row per source host, indexed by destination and grown lazily on
+  // first send — a single array load on the hot path instead of a hash-map
+  // probe per message. kNeverSent marks pairs with no traffic yet.
+  static constexpr std::int64_t kNeverSent = INT64_MIN;
+  std::vector<std::vector<std::int64_t>> fifo_last_us_;
 };
 
 // NTP-like clock error. Each host gets a fixed offset sampled from the

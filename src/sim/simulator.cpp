@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace ethsim::sim {
+
+namespace {
+
+[[noreturn]] void DieOnExhaustedCapacity(const char* what) {
+  std::fprintf(stderr, "sim::Simulator: %s exhausted\n", what);
+  std::abort();
+}
+
+}  // namespace
 
 EventHandle Simulator::Schedule(Duration delay, EventFn fn) {
   assert(delay.micros() >= 0);
@@ -12,32 +23,127 @@ EventHandle Simulator::Schedule(Duration delay, EventFn fn) {
 
 EventHandle Simulator::ScheduleAt(TimePoint when, EventFn fn) {
   assert(when >= now_);
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle{id};
+
+  const std::uint64_t seq = next_seq_++;
+  if (seq > kMaxSeq) DieOnExhaustedCapacity("event sequence space");
+
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slot_count_ == (chunks_.size() << kChunkShift)) {
+      if (slot_count_ > kLowMask) DieOnExhaustedCapacity("slot index space");
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    index = static_cast<std::uint32_t>(slot_count_++);
+  }
+  Slot& slot = SlotAt(index);
+  slot.fn = std::move(fn);
+  const std::uint64_t gen = slot.tag & kLowMask;
+  slot.tag = (seq << kLowBits) | gen;
+
+  heap_.push_back(HeapEntry{when.micros(), (seq << kLowBits) | index});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  return EventHandle{index, static_cast<std::uint32_t>(gen)};
 }
 
 void Simulator::Cancel(EventHandle handle) {
-  if (handle.valid()) cancelled_.insert(handle.id_);
+  if (!handle.valid()) return;
+  if (handle.slot_ >= slot_count_) return;
+  Slot& slot = SlotAt(handle.slot_);
+  if (SeqOf(slot.tag) == 0) return;                   // slot is free: stale
+  if ((slot.tag & kLowMask) != handle.gen_) return;   // fired or cancelled
+  RetireSlot(handle.slot_);
+  --live_;
+  // The matching heap entry stays behind as a dead record; Run() drops it
+  // when it surfaces. Dead entries are bounded by the number of Cancel calls
+  // on live events, and each is reclaimed in O(log n) on pop — there is no
+  // unbounded tombstone set.
+}
+
+void Simulator::MarkRetired(Slot& slot) {
+  std::uint64_t gen = ((slot.tag & kLowMask) + 1) & kLowMask;
+  if (gen == 0) gen = 1;  // 0 is the invalid-handle sentinel
+  slot.tag = gen;         // seq part zero: free/stale
+}
+
+void Simulator::RetireSlot(std::uint32_t index) {
+  Slot& slot = SlotAt(index);
+  MarkRetired(slot);
+  slot.fn.reset();
+  free_slots_.push_back(index);
+}
+
+void Simulator::SiftUp(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!Before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::SiftDown(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (Before(heap_[c], heap_[best])) best = c;
+    if (!Before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::PopTop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
 }
 
 std::uint64_t Simulator::Run(TimePoint until, bool bounded) {
   std::uint64_t ran = 0;
+  const std::int64_t limit = until.micros();
   while (!heap_.empty()) {
-    if (bounded && heap_.front().when > until) break;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry e = std::move(heap_.back());
-    heap_.pop_back();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    const HeapEntry top = heap_[0];
+    const auto index = static_cast<std::uint32_t>(top.key & kLowMask);
+    Slot& slot = SlotAt(index);
+    if (SeqOf(slot.tag) != SeqOf(top.key)) {
+      // Cancelled: reclaim the dead entry regardless of its timestamp.
+      PopTop();
       continue;
     }
-    assert(e.when >= now_);
-    now_ = e.when;
+    if (bounded && top.when_us > limit) break;
+
+    // Advance the slot's generation *before* invoking so a handle to this
+    // event goes stale immediately, but run the callback in place — chunk
+    // addresses are stable, so nested Schedule calls cannot move it. The
+    // slot only joins the free list afterwards, so nothing reuses it while
+    // it runs.
+    MarkRetired(slot);
+    PopTop();
+    // The next event's slot is a random index into the arena; start pulling
+    // its line in while we do bookkeeping and run the current callback.
+    if (!heap_.empty())
+      __builtin_prefetch(&SlotAt(static_cast<std::uint32_t>(heap_[0].key & kLowMask)));
+
+    assert(top.when_us >= now_.micros());
+    now_ = TimePoint::FromMicros(top.when_us);
     ++executed_;
     ++ran;
-    e.fn();
+    --live_;
+    slot.fn();
+    slot.fn.reset();
+    free_slots_.push_back(index);
   }
   if (bounded && now_ < until) now_ = until;
   return ran;

@@ -1,0 +1,198 @@
+// SeedSweepRunner + end-to-end determinism regression.
+//
+// The golden values below were captured from a reference build and pin the
+// bit-for-bit reproducibility contract: the same (config, seed) must produce
+// the identical event count, head hash, fork census, and observer logs in
+// every build of the engine, whether the run executes alone, repeated, or as
+// a member of a parallel sweep. If an intentional engine change alters the
+// event schedule, recapture the constants with a sequential run and say so
+// loudly in the PR description.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/forks.hpp"
+#include "analysis/inputs.hpp"
+#include "core/experiment.hpp"
+#include "measure/observer.hpp"
+
+namespace ethsim::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ForEachIndex / ConsecutiveSeeds basics.
+
+TEST(ConsecutiveSeeds, GeneratesExpectedSequence) {
+  const auto seeds = ConsecutiveSeeds(40, 4);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{40, 41, 42, 43}));
+  EXPECT_TRUE(ConsecutiveSeeds(1, 0).empty());
+}
+
+TEST(SeedSweepRunner, ForEachIndexRunsEveryJobExactlyOnce) {
+  SeedSweepRunner runner{{4}};
+  constexpr std::size_t kJobs = 100;
+  std::vector<std::atomic<int>> hits(kJobs);
+  runner.ForEachIndex(kJobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(SeedSweepRunner, ForEachIndexPropagatesWorkerException) {
+  SeedSweepRunner runner{{3}};
+  EXPECT_THROW(
+      runner.ForEachIndex(16,
+                          [&](std::size_t i) {
+                            if (i == 7) throw std::runtime_error{"boom"};
+                          }),
+      std::runtime_error);
+}
+
+TEST(SeedSweepRunner, SingleThreadOptionRunsSerially) {
+  SeedSweepRunner runner{{1}};
+  EXPECT_EQ(runner.threads(), 1u);
+  std::vector<std::size_t> order;
+  runner.ForEachIndex(8, [&](std::size_t i) { order.push_back(i); });
+  // Serial path keeps index order (no data race on `order` either).
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism goldens.
+
+struct Golden {
+  std::uint64_t seed;
+  std::uint64_t events;
+  std::string head_hash;
+  std::uint64_t head_number;
+  std::size_t minted;
+  std::size_t census_total;
+  std::size_t census_main;
+  std::size_t census_fork_events;
+  // FNV-1a digests over each observer's full arrival/import logs, NA/EA/WE/CE.
+  std::array<std::uint64_t, 4> digests;
+};
+
+// Captured from the reference build (sequential run, config below).
+const Golden kGolden42{
+    42,
+    1'285'481,
+    "69412253d182a55e8dbf1a98dd10ba247849b2c23fd4de4bcbcdecf96b1afded",
+    7'479'614,
+    45,
+    45,
+    41,
+    4,
+    {15487372741438699470ULL, 5686311288796148083ULL, 1649895950171149594ULL,
+     1499058538742686342ULL}};
+
+const Golden kGolden43{
+    43,
+    1'351'707,
+    "ea0265c37b27c679d680d3b069067f7476391889ccd524fa99331542cacc38ab",
+    7'479'623,
+    55,
+    55,
+    50,
+    5,
+    {4239035990105717353ULL, 3167667417942849482ULL, 15330041366694900658ULL,
+     17240301593157410737ULL}};
+
+ExperimentConfig GoldenConfig(std::uint64_t seed) {
+  ExperimentConfig cfg = presets::SmallStudy(24);
+  cfg.duration = Duration::Minutes(10);
+  cfg.workload.rate_per_sec = 1.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::uint64_t MixBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t MixU64(std::uint64_t h, std::uint64_t v) {
+  return MixBytes(h, &v, sizeof(v));
+}
+
+std::uint64_t ObserverDigest(const measure::Observer& obs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& a : obs.block_arrivals()) {
+    h = MixBytes(h, a.hash.bytes.data(), a.hash.bytes.size());
+    h = MixU64(h, a.number);
+    h = MixU64(h, static_cast<std::uint64_t>(a.kind));
+    h = MixU64(h, static_cast<std::uint64_t>(a.local_time.micros()));
+  }
+  for (const auto& t : obs.tx_arrivals()) {
+    h = MixBytes(h, t.hash.bytes.data(), t.hash.bytes.size());
+    h = MixBytes(h, t.sender.bytes.data(), t.sender.bytes.size());
+    h = MixU64(h, t.nonce);
+    h = MixU64(h, static_cast<std::uint64_t>(t.local_time.micros()));
+  }
+  for (const auto& e : obs.imports()) {
+    h = MixBytes(h, e.hash.bytes.data(), e.hash.bytes.size());
+    h = MixU64(h, e.number);
+    h = MixU64(h, e.new_head ? 1u : 0u);
+    h = MixU64(h, static_cast<std::uint64_t>(e.local_time.micros()));
+  }
+  return h;
+}
+
+void ExpectMatchesGolden(Experiment& exp, const Golden& golden) {
+  EXPECT_EQ(exp.simulator().events_executed(), golden.events);
+  EXPECT_EQ(ToHex(exp.reference_tree().head_hash()), golden.head_hash);
+  EXPECT_EQ(exp.reference_tree().head_number(), golden.head_number);
+  EXPECT_EQ(exp.minted().size(), golden.minted);
+
+  analysis::StudyInputs inputs;
+  for (const auto& obs : exp.observers()) inputs.observers.push_back(obs.get());
+  inputs.minted = &exp.minted();
+  inputs.pools = &exp.config().pools;
+  inputs.reference = &exp.reference_tree();
+  const auto census = analysis::ComputeForkCensus(inputs);
+  EXPECT_EQ(census.total_blocks, golden.census_total);
+  EXPECT_EQ(census.main_blocks, golden.census_main);
+  EXPECT_EQ(census.fork_events, golden.census_fork_events);
+
+  ASSERT_EQ(exp.observers().size(), golden.digests.size());
+  for (std::size_t i = 0; i < golden.digests.size(); ++i)
+    EXPECT_EQ(ObserverDigest(*exp.observers()[i]), golden.digests[i])
+        << "observer " << exp.observers()[i]->name();
+}
+
+TEST(Determinism, RepeatedRunsMatchGoldenBitForBit) {
+  Experiment first{GoldenConfig(42)};
+  first.Run();
+  ExpectMatchesGolden(first, kGolden42);
+
+  // A second, fresh experiment with the same (config, seed) must replay the
+  // exact same world.
+  Experiment second{GoldenConfig(42)};
+  second.Run();
+  ExpectMatchesGolden(second, kGolden42);
+  EXPECT_EQ(first.reference_tree().head_hash(),
+            second.reference_tree().head_hash());
+}
+
+TEST(Determinism, ParallelSweepMatchesSequentialRuns) {
+  // Two seeds through the thread pool: each member must be bit-for-bit the
+  // run a sequential Experiment would have produced. TSan runs this test in
+  // CI to prove the sweep shares no mutable state.
+  SeedSweepRunner runner{{2}};
+  const auto runs = runner.RunExperiments(GoldenConfig(42), {42, 43});
+  ASSERT_EQ(runs.size(), 2u);
+  ExpectMatchesGolden(*runs[0], kGolden42);
+  ExpectMatchesGolden(*runs[1], kGolden43);
+}
+
+}  // namespace
+}  // namespace ethsim::core

@@ -1,0 +1,144 @@
+#include "sim/callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace ethsim::sim {
+namespace {
+
+TEST(Callback, DefaultConstructedIsEmpty) {
+  Callback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.stored_inline());
+}
+
+TEST(Callback, InvokesSmallLambda) {
+  int ran = 0;
+  Callback cb{[&] { ++ran; }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Callback, SmallCapturesStoredInline) {
+  // The hot relay captures are two pointers + a hash + a counter; all of them
+  // must stay inside the 64-byte buffer or the allocator creeps back into the
+  // gossip profile.
+  int a = 0;
+  std::array<std::byte, 32> hash{};
+  Callback cb{[&a, hash, seq = std::uint64_t{7}] {
+    a += static_cast<int>(seq) + static_cast<int>(hash.size());
+  }};
+  EXPECT_TRUE(cb.stored_inline());
+  cb();
+  EXPECT_EQ(a, 39);
+}
+
+TEST(Callback, OversizedCaptureFallsBackToHeapAndStillRuns) {
+  std::array<std::byte, Callback::kInlineSize + 8> big{};
+  big[0] = std::byte{42};
+  int seen = 0;
+  Callback cb{[big, &seen] { seen = std::to_integer<int>(big[0]); }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.stored_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Callback, MoveTransfersInlinePayload) {
+  int ran = 0;
+  Callback a{[&] { ++ran; }};
+  Callback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Callback, MoveTransfersHeapPayload) {
+  std::array<int, 64> big{};
+  big[63] = 9;
+  int seen = 0;
+  Callback a{[big, &seen] { seen = big[63]; }};
+  ASSERT_FALSE(a.stored_inline());
+  Callback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(Callback, SupportsMoveOnlyCaptures) {
+  auto value = std::make_unique<int>(31);
+  Callback cb{[v = std::move(value)]() { *v += 1; }};
+  EXPECT_TRUE(cb.stored_inline());  // unique_ptr fits easily
+  cb();
+  Callback moved{std::move(cb)};
+  moved();
+}
+
+struct DtorCounter {
+  explicit DtorCounter(int* counter) : counter_(counter) {}
+  DtorCounter(DtorCounter&& other) noexcept
+      : counter_(std::exchange(other.counter_, nullptr)) {}
+  DtorCounter(const DtorCounter&) = delete;
+  ~DtorCounter() {
+    if (counter_ != nullptr) ++*counter_;
+  }
+  void operator()() const {}
+  int* counter_;
+};
+
+TEST(Callback, ResetDestroysPayloadExactlyOnce) {
+  int destroyed = 0;
+  {
+    Callback cb{DtorCounter{&destroyed}};
+    EXPECT_EQ(destroyed, 0);
+    cb.reset();
+    EXPECT_EQ(destroyed, 1);
+    cb.reset();  // idempotent
+    EXPECT_EQ(destroyed, 1);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(Callback, MoveAssignmentDestroysPreviousPayload) {
+  int first = 0;
+  int second = 0;
+  Callback a{DtorCounter{&first}};
+  Callback b{DtorCounter{&second}};
+  a = std::move(b);
+  EXPECT_EQ(first, 1);   // a's original payload destroyed by the assignment
+  EXPECT_EQ(second, 0);  // b's payload now lives in a
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  a.reset();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Callback, DestructorReleasesHeapPayload) {
+  // Run under ASan in CI: a leak here fails the job.
+  int destroyed = 0;
+  struct BigCounter {
+    explicit BigCounter(int* c) : counter(c) {}
+    void operator()() const {}
+    ~BigCounter() {
+      if (counter != nullptr) ++*counter;
+    }
+    BigCounter(BigCounter&& other) noexcept
+        : counter(std::exchange(other.counter, nullptr)) {}
+    int* counter;
+    std::array<std::byte, Callback::kInlineSize + 1> pad{};
+  };
+  {
+    Callback cb{BigCounter{&destroyed}};
+    EXPECT_FALSE(cb.stored_inline());
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace ethsim::sim

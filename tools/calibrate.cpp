@@ -1,6 +1,11 @@
 // Calibration probe: runs a mid-sized study and prints the headline numbers
 // the presets are tuned against. Not part of the shipped benches; kept for
 // re-tuning when model parameters change.
+//
+// Usage: calibrate [hours] [seed] [sweep_seeds]
+// With sweep_seeds > 1 the run fans out over SeedSweepRunner (consecutive
+// seeds) and the headline numbers are merged across seeds; the per-block
+// diagnostics at the bottom always describe the first seed's run.
 #include <array>
 #include <chrono>
 #include <unordered_map>
@@ -9,12 +14,27 @@
 
 #include "analysis/forks.hpp"
 #include "analysis/geo.hpp"
+#include "analysis/merge.hpp"
 #include "analysis/ordering.hpp"
 #include "analysis/propagation.hpp"
 #include "analysis/redundancy.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 using namespace ethsim;
+
+namespace {
+
+analysis::StudyInputs InputsFor(const core::Experiment& exp) {
+  analysis::StudyInputs inputs;
+  for (const auto& obs : exp.observers()) inputs.observers.push_back(obs.get());
+  inputs.minted = &exp.minted();
+  inputs.pools = &exp.config().pools;
+  inputs.reference = &exp.reference_tree();
+  return inputs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   core::ExperimentConfig cfg = core::presets::SmallStudy(150);
@@ -22,44 +42,64 @@ int main(int argc, char** argv) {
   cfg.workload.rate_per_sec = 1.0;
   if (argc > 1) cfg.duration = Duration::Hours(std::atof(argv[1]));
   if (argc > 2) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  std::size_t seed_count = 1;
+  if (argc > 3 && std::atoll(argv[3]) > 0)
+    seed_count = static_cast<std::size_t>(std::atoll(argv[3]));
 
-  core::Experiment exp{cfg};
+  core::SeedSweepRunner runner{};
+  const auto seeds = core::ConsecutiveSeeds(cfg.seed, seed_count);
   const auto t0 = std::chrono::steady_clock::now();
-  exp.Run();
+  const auto runs = runner.RunExperiments(cfg, seeds);
   const auto wall =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - t0).count();
 
-  analysis::StudyInputs inputs;
-  for (const auto& obs : exp.observers()) inputs.observers.push_back(obs.get());
-  inputs.minted = &exp.minted();
-  inputs.pools = &cfg.pools;
-  inputs.reference = &exp.reference_tree();
-
-  std::printf("wall=%lldms events=%llu minted=%zu head=%llu\n",
-              static_cast<long long>(wall),
-              static_cast<unsigned long long>(exp.simulator().events_executed()),
-              exp.minted().size(),
+  std::uint64_t events = 0;
+  std::size_t minted = 0;
+  for (const auto& run : runs) {
+    events += run->simulator().events_executed();
+    minted += run->minted().size();
+  }
+  std::printf("wall=%lldms seeds=%zu threads=%zu events=%llu minted=%zu head=%llu\n",
+              static_cast<long long>(wall), seeds.size(), runner.threads(),
+              static_cast<unsigned long long>(events), minted,
               static_cast<unsigned long long>(
-                  exp.reference_tree().head_number() - cfg.genesis_number));
+                  runs[0]->reference_tree().head_number() - cfg.genesis_number));
 
-  const auto prop = analysis::BlockPropagationDelays(inputs.observers);
+  std::vector<analysis::StudyInputs> all_inputs;
+  for (const auto& run : runs) all_inputs.push_back(InputsFor(*run));
+
+  std::vector<analysis::PropagationResult> prop_parts, txprop_parts;
+  std::vector<analysis::GeoResult> geo_parts;
+  std::vector<analysis::ForkCensus> census_parts;
+  for (const auto& inputs : all_inputs) {
+    prop_parts.push_back(analysis::BlockPropagationDelays(inputs.observers));
+    txprop_parts.push_back(analysis::TxPropagationDelays(inputs.observers));
+    geo_parts.push_back(analysis::FirstObservationShares(inputs.observers));
+    census_parts.push_back(analysis::ComputeForkCensus(inputs));
+  }
+  std::vector<analysis::OneMinerForkCensus> omf_parts;
+  for (std::size_t i = 0; i < all_inputs.size(); ++i)
+    omf_parts.push_back(
+        analysis::ComputeOneMinerForks(all_inputs[i], census_parts[i]));
+
+  const auto prop = analysis::MergePropagation(prop_parts);
   std::printf("fig1 block prop: median=%.1fms mean=%.1fms p95=%.1fms p99=%.1fms n=%zu (paper 74/109/211/317)\n",
               prop.median_ms, prop.mean_ms, prop.p95_ms, prop.p99_ms,
               prop.delays_ms.count());
 
-  const auto txprop = analysis::TxPropagationDelays(inputs.observers);
+  const auto txprop = analysis::MergePropagation(txprop_parts);
   std::printf("tx prop: median=%.1fms mean=%.1fms n=%zu\n", txprop.median_ms,
               txprop.mean_ms, txprop.delays_ms.count());
 
-  const auto geo = analysis::FirstObservationShares(inputs.observers);
+  const auto geo = analysis::MergeGeoResults(geo_parts);
   std::printf("fig2 first-obs:");
   for (const auto& share : geo.shares)
     std::printf(" %s=%.1f%%(±%.1f)", share.vantage.c_str(), share.share * 100,
                 share.uncertain_share * 100);
   std::printf("  (paper EA~40 NA~10)\n");
 
-  const auto census = analysis::ComputeForkCensus(inputs);
+  const auto census = analysis::MergeForkCensus(census_parts);
   std::printf("forks: total_blocks=%zu main=%.2f%% recognized=%.2f%% unrecognized=%.2f%% events=%zu (paper 92.81/6.97/0.22)\n",
               census.total_blocks, census.main_share * 100,
               census.recognized_share * 100, census.unrecognized_share * 100,
@@ -68,13 +108,18 @@ int main(int argc, char** argv) {
     std::printf("  len=%zu total=%zu recognized=%zu\n", row.length, row.total,
                 row.recognized);
 
-  const auto omf = analysis::ComputeOneMinerForks(inputs, census);
+  const auto omf = analysis::MergeOneMinerForks(omf_parts, census);
   std::printf("one-miner forks: events=%zu share_of_forks=%.1f%% recognized=%.0f%% same_txset=%.0f%% (paper 11%%/98%%/56%%)\n",
               omf.events, omf.share_of_all_forks * 100,
               omf.recognized_extra_share * 100, omf.same_txset_share * 100);
 
+  // Ordering has no cross-seed merge (delay sets are per-commit-path); report
+  // the first seed's run, which matches the historical single-run probe.
+  const core::Experiment& exp = *runs[0];
+  const analysis::StudyInputs& inputs = all_inputs[0];
   const auto ordering = analysis::TransactionOrdering(inputs);
-  std::printf("ordering: committed=%zu ooo=%.2f%% med_in=%.0fs med_ooo=%.0fs (paper 11.54%%, 189/192)\n",
+  std::printf("ordering[seed %llu]: committed=%zu ooo=%.2f%% med_in=%.0fs med_ooo=%.0fs (paper 11.54%%, 189/192)\n",
+              static_cast<unsigned long long>(seeds[0]),
               ordering.committed_txs, ordering.out_of_order_share * 100,
               ordering.in_order_delay_s.empty() ? 0 : ordering.in_order_delay_s.Median(),
               ordering.out_of_order_delay_s.empty() ? 0 : ordering.out_of_order_delay_s.Median());
