@@ -9,6 +9,8 @@
 
 #include "analysis/inputs.hpp"
 #include "core/experiment.hpp"
+#include "core/provenance.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ethsim::bench {
 
@@ -18,6 +20,31 @@ inline std::size_t EnvSizeT(const char* name, std::size_t fallback) {
   if (value == nullptr || value[0] == '\0') return fallback;
   const long long parsed = std::atoll(value);
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+// Reads the ETHSIM_METRICS / ETHSIM_TRACE / ETHSIM_PROFILE gates into the
+// bench's config. Off by default; enabling them never changes the numbers a
+// bench prints (the determinism contract, see DESIGN.md § "Telemetry").
+inline void ApplyTelemetryEnv(core::ExperimentConfig& cfg) {
+  cfg.telemetry = obs::TelemetryConfig::FromEnv();
+}
+
+// When any telemetry stream is enabled, writes manifest.json + the stream
+// artifacts beside the bench output (ETHSIM_TELEMETRY_DIR or
+// "<tool>-telemetry"). Silent no-op with telemetry off, warning on I/O
+// failure — a bench's tables should not die because a disk filled up.
+inline void WriteBenchArtifacts(const core::Experiment& exp,
+                                const std::string& tool) {
+  if (exp.telemetry() == nullptr) return;
+  std::string dir = exp.config().telemetry.output_dir;
+  if (dir.empty()) dir = tool + "-telemetry";
+  std::string error;
+  if (!core::WriteRunArtifacts(exp, dir, tool, &error))
+    std::fprintf(stderr, "warning: telemetry artifacts: %s\n", error.c_str());
+  else
+    std::printf("telemetry -> %s/ (config %.16s, seed %llu)\n", dir.c_str(),
+                ToHex(core::ConfigDigest(exp.config())).c_str(),
+                static_cast<unsigned long long>(exp.config().seed));
 }
 
 inline analysis::StudyInputs InputsFor(const core::Experiment& exp) {

@@ -11,9 +11,11 @@ int main() {
   core::ExperimentConfig cfg = core::presets::SmallStudy(150);
   cfg.duration = Duration::Hours(1.5);
   cfg.workload.rate_per_sec = 0.4;  // light tx load for the SIII-A1 claim
+  bench::ApplyTelemetryEnv(cfg);
   core::Experiment exp{cfg};
   exp.Run();
   bench::PrintRunSummary(exp);
+  bench::WriteBenchArtifacts(exp, "fig1_block_propagation");
 
   const auto inputs = bench::InputsFor(exp);
   const auto blocks = analysis::BlockPropagationDelays(inputs.observers);

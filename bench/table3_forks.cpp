@@ -21,6 +21,7 @@ int main() {
   core::ExperimentConfig cfg = core::presets::SmallStudy(60);
   cfg.duration = Duration::Hours(20);  // ~5,400 blocks: enough length-2 forks
   cfg.workload.rate_per_sec = 0.25;
+  bench::ApplyTelemetryEnv(cfg);
 
   const std::size_t seed_count = bench::EnvSizeT("ETHSIM_SWEEP_SEEDS", 4);
   core::SeedSweepRunner runner{{bench::EnvSizeT("ETHSIM_SWEEP_THREADS", 0)}};
@@ -46,5 +47,15 @@ int main() {
   const auto census = analysis::MergeForkCensus(censuses);
   const auto omf = analysis::MergeOneMinerForks(omfs, census);
   std::printf("%s\n", analysis::RenderTable3(census, omf).c_str());
+
+  // Artifact set for the first seed, plus the thread-count-invariant merged
+  // registry when metrics are on.
+  bench::WriteBenchArtifacts(*runs[0], "table3_forks");
+  if (runs[0]->telemetry() != nullptr &&
+      runs[0]->telemetry()->metrics() != nullptr) {
+    const obs::MetricsRegistry merged = core::MergeSweepMetrics(runs);
+    std::printf("merged metrics: %zu instruments over %zu seeds\n",
+                merged.size(), runs.size());
+  }
   return 0;
 }

@@ -3,6 +3,12 @@
 // what the four vantage observers saw.
 //
 //   $ ./quickstart [minutes] [seed]
+//
+// Telemetry (optional, zero perturbation — same blocks either way):
+//   $ ETHSIM_METRICS=1 ETHSIM_TRACE=block,mine ETHSIM_PROFILE=1 \
+//     ETHSIM_TELEMETRY_DIR=out ./quickstart
+// writes out/metrics.jsonl, out/trace.json (load it in
+// https://ui.perfetto.dev), out/profile.jsonl and out/manifest.json.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +16,7 @@
 #include "analysis/geo.hpp"
 #include "analysis/propagation.hpp"
 #include "core/experiment.hpp"
+#include "core/provenance.hpp"
 
 using namespace ethsim;
 
@@ -20,6 +27,7 @@ int main(int argc, char** argv) {
   cfg.duration = Duration::Minutes(argc > 1 ? std::atof(argv[1]) : 30.0);
   cfg.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
   cfg.workload.rate_per_sec = 0.5;  // transactions submitted network-wide
+  cfg.telemetry = obs::TelemetryConfig::FromEnv();
 
   // 2. Run. The experiment wires the overlay, starts the PoW race and the
   //    transaction workload, and collects observer logs.
@@ -63,5 +71,23 @@ int main(int argc, char** argv) {
               "messages\n",
               ea.name().c_str(), ea.block_arrivals().size(),
               ea.tx_arrivals().size());
+
+  // 4. Telemetry artifacts (only when any ETHSIM_* stream is enabled).
+  if (exp.telemetry() != nullptr) {
+    std::string dir = cfg.telemetry.output_dir;
+    if (dir.empty()) dir = "quickstart-telemetry";
+    std::string error;
+    if (!core::WriteRunArtifacts(exp, dir, "quickstart", &error)) {
+      std::fprintf(stderr, "error: telemetry artifacts: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("\ntelemetry written to %s/ (trace.json loads in Perfetto; "
+                "manifest.json pins config digest + seed)\n",
+                dir.c_str());
+    if (const obs::Tracer* tracer = exp.telemetry()->tracer())
+      std::printf("  trace: %llu events emitted, %llu scrolled off the ring\n",
+                  static_cast<unsigned long long>(tracer->emitted()),
+                  static_cast<unsigned long long>(tracer->dropped()));
+  }
   return 0;
 }

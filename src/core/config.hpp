@@ -13,6 +13,7 @@
 #include "miner/pool.hpp"
 #include "net/geo.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ethsim::core {
 
@@ -84,6 +85,12 @@ struct ExperimentConfig {
   std::vector<miner::PoolSpec> pools;
 
   TxWorkloadParams workload;
+
+  // Observability gates (all off by default: hot paths then cost one
+  // predicted branch). Enabling any stream cannot change results — telemetry
+  // records only and is excluded from the config digest for that reason.
+  // Entry points typically seed this from obs::TelemetryConfig::FromEnv().
+  obs::TelemetryConfig telemetry;
 
   // First simulated block gets this number + 1 (the paper's range starts at
   // 7,479,573).

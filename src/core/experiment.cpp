@@ -15,9 +15,17 @@ void Experiment::Build() {
   if (built_) return;
   built_ = true;
 
+  // Telemetry first: every component below attaches to it during
+  // construction. A fully-disabled config keeps the pointer null, so the
+  // attach calls become no-ops and hot paths pay one predicted branch.
+  if (config_.telemetry.any())
+    telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+
   Rng master{config_.seed};
   net_ = std::make_unique<net::Network>(sim_, master.Fork("network"),
                                         config_.net_params);
+  net_->AttachTelemetry(telemetry_.get());
+  if (telemetry_ != nullptr) sim_.set_profiler(telemetry_->profiler());
 
   // Genesis difficulty pins the initial pace to the target interval.
   auto genesis = std::make_shared<chain::Block>();
@@ -37,6 +45,8 @@ void Experiment::Build() {
     nodes_.push_back(std::make_unique<eth::EthNode>(
         sim_, *net_, host, p2p::RandomNodeId(ids), genesis_, node_cfg,
         node_rngs.Fork(nodes_.size())));
+    nodes_.back()->AttachTelemetry(
+        telemetry_.get(), static_cast<std::uint32_t>(nodes_.size() - 1));
     return nodes_.back().get();
   };
 
@@ -44,6 +54,7 @@ void Experiment::Build() {
   //    gateway, in spec order so release weights line up.
   coordinator_ = std::make_unique<miner::MiningCoordinator>(
       sim_, master.Fork("mining"), config_.mining, config_.pools);
+  coordinator_->AttachTelemetry(telemetry_.get());
   for (std::size_t p = 0; p < config_.pools.size(); ++p) {
     for (const auto& gw : config_.pools[p].gateways) {
       eth::EthNode* node = add_node(gw.region, 1e9, config_.gateway_config);
@@ -182,6 +193,22 @@ void Experiment::Run() {
   coordinator_->Start();
   workload_->Start();
   sim_.RunUntil(TimePoint::FromMicros(config_.duration.micros()));
+
+  // One top-level span covering the whole simulated interval, so a loaded
+  // trace shows the run envelope even with aggressive category filters.
+  if (telemetry_ != nullptr) {
+    if (obs::Tracer* tracer = telemetry_->tracer();
+        tracer != nullptr && tracer->enabled(obs::TraceCategory::kSim)) {
+      obs::TraceEvent event;
+      event.name = "experiment.run";
+      event.ts_us = 0;
+      event.dur_us = sim_.Now().micros();
+      event.arg_num = sim_.events_executed();
+      event.cat = obs::TraceCategory::kSim;
+      event.phase = 'X';
+      tracer->Emit(event);
+    }
+  }
 }
 
 }  // namespace ethsim::core

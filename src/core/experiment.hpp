@@ -13,6 +13,7 @@
 #include "measure/observer.hpp"
 #include "miner/mining.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace ethsim::core {
@@ -28,6 +29,7 @@ class Experiment {
 
   const ExperimentConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
 
   const std::vector<std::unique_ptr<measure::Observer>>& observers() const {
     return observers_;
@@ -45,6 +47,12 @@ class Experiment {
     return nodes_;
   }
   chain::BlockPtr genesis() const { return genesis_; }
+  const net::Network& network() const { return *net_; }
+
+  // The run's telemetry facade; null when config().telemetry has every
+  // stream disabled (the normal fast path).
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+  const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
  private:
   void Build();
@@ -52,6 +60,9 @@ class Experiment {
 
   ExperimentConfig config_;
   sim::Simulator sim_;
+  // Constructed before any component so attach calls can hand out stable
+  // instrument pointers; destroyed after them (declaration order).
+  std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<net::Network> net_;
   chain::BlockPtr genesis_;
   // All full nodes: [gateways..., plain..., observers...]. Gateways first so

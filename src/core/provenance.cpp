@@ -1,0 +1,202 @@
+#include "core/provenance.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/keccak.hpp"
+
+namespace ethsim::core {
+
+namespace {
+
+// Canonical config dump: one "key=value\n" line per field, fixed order.
+// Floating-point values are printed with max_digits10 so two configs differ
+// in the dump iff they differ as values.
+class CanonicalDump {
+ public:
+  CanonicalDump() { out_.precision(17); }
+
+  template <typename T>
+  void Field(std::string_view key, const T& value) {
+    out_ << key << '=' << value << '\n';
+  }
+  void Field(std::string_view key, Duration d) {
+    out_ << key << '=' << d.micros() << "us\n";
+  }
+  void Field(std::string_view key, bool b) {
+    out_ << key << '=' << (b ? 1 : 0) << '\n';
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+void DumpNodeConfig(CanonicalDump& dump, std::string_view prefix,
+                    const eth::NodeConfig& cfg) {
+  const std::string p(prefix);
+  dump.Field(p + ".max_peers", cfg.max_peers);
+  dump.Field(p + ".relay_mode", static_cast<int>(cfg.relay_mode));
+  dump.Field(p + ".tx_flush_interval", cfg.tx_flush_interval);
+  dump.Field(p + ".header_check_delay", cfg.header_check_delay);
+  dump.Field(p + ".base_validation", cfg.base_validation);
+  dump.Field(p + ".per_tx_validation", cfg.per_tx_validation);
+  dump.Field(p + ".validation_speed_factor", cfg.validation_speed_factor);
+  dump.Field(p + ".known_txs_cap", cfg.known_txs_cap);
+  dump.Field(p + ".known_blocks_cap", cfg.known_blocks_cap);
+  dump.Field(p + ".seen_txs_cap", cfg.seen_txs_cap);
+  dump.Field(p + ".fetch_retry_timeout", cfg.fetch_retry_timeout);
+}
+
+void UpdateU64(Keccak256& hasher, std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+  hasher.Update(std::span<const std::uint8_t>(buf, 8));
+}
+
+}  // namespace
+
+Hash32 ConfigDigest(const ExperimentConfig& config) {
+  CanonicalDump dump;
+  dump.Field("schema", "ethsim-config-v1");
+  // Seed and telemetry gates deliberately excluded (see header).
+  dump.Field("duration", config.duration);
+  dump.Field("peer_nodes", config.peer_nodes);
+  for (std::size_t i = 0; i < config.node_region_weights.size(); ++i)
+    dump.Field("region_weight." + std::to_string(i),
+               config.node_region_weights[i]);
+  dump.Field("dials_per_node", config.dials_per_node);
+  dump.Field("plain_validation_mu", config.plain_validation_mu);
+  dump.Field("plain_validation_sigma", config.plain_validation_sigma);
+  DumpNodeConfig(dump, "node", config.node_config);
+  DumpNodeConfig(dump, "observer", config.observer_config);
+  DumpNodeConfig(dump, "gateway", config.gateway_config);
+  dump.Field("gateway_dials", config.gateway_dials);
+
+  dump.Field("net.latency_scale", config.net_params.latency_scale);
+  dump.Field("net.jitter_sigma", config.net_params.jitter_sigma);
+  dump.Field("net.per_message_overhead", config.net_params.per_message_overhead);
+  dump.Field("net.slow_path_prob", config.net_params.slow_path_prob);
+  dump.Field("net.slow_path_factor_max", config.net_params.slow_path_factor_max);
+  dump.Field("net.drop_prob", config.net_params.drop_prob);
+
+  for (std::size_t i = 0; i < config.vantages.size(); ++i) {
+    const VantageSpec& v = config.vantages[i];
+    const std::string p = "vantage." + std::to_string(i);
+    dump.Field(p + ".name", v.name);
+    dump.Field(p + ".region", static_cast<int>(v.region));
+    dump.Field(p + ".connect_peers", v.connect_peers);
+  }
+  dump.Field("observers_avoid_gateways", config.observers_avoid_gateways);
+
+  dump.Field("mining.target_interval", config.mining.target_interval);
+  dump.Field("mining.total_hashrate", config.mining.total_hashrate);
+  dump.Field("mining.gas_limit", config.mining.gas_limit);
+  dump.Field("mining.max_block_txs", config.mining.max_block_txs);
+  dump.Field("mining.bomb_delay_blocks",
+             config.mining.difficulty.bomb_delay_blocks);
+  dump.Field("mining.minimum_difficulty",
+             config.mining.difficulty.minimum_difficulty);
+  dump.Field("mining.adjust_difficulty", config.mining.adjust_difficulty);
+  dump.Field("mining.forbid_one_miner_uncles",
+             config.mining.forbid_one_miner_uncles);
+  dump.Field("mining.sibling_release_delay",
+             config.mining.sibling_release_delay);
+
+  for (std::size_t i = 0; i < config.pools.size(); ++i) {
+    const miner::PoolSpec& pool = config.pools[i];
+    const std::string p = "pool." + std::to_string(i);
+    dump.Field(p + ".name", pool.name);
+    dump.Field(p + ".hashrate_share", pool.hashrate_share);
+    dump.Field(p + ".coinbase", ToHex(pool.coinbase));
+    for (std::size_t g = 0; g < pool.gateways.size(); ++g) {
+      const std::string gp = p + ".gateway." + std::to_string(g);
+      dump.Field(gp + ".region", static_cast<int>(pool.gateways[g].region));
+      dump.Field(gp + ".weight", pool.gateways[g].weight);
+    }
+    dump.Field(p + ".empty_block_rate", pool.policy.empty_block_rate);
+    dump.Field(p + ".fork_same_rate",
+               pool.policy.one_miner_fork_same_txset_rate);
+    dump.Field(p + ".fork_distinct_rate",
+               pool.policy.one_miner_fork_distinct_txset_rate);
+    dump.Field(p + ".fork_triple_rate", pool.policy.fork_triple_rate);
+    dump.Field(p + ".job_update_delay", pool.policy.job_update_delay);
+  }
+
+  dump.Field("workload.rate_per_sec", config.workload.rate_per_sec);
+  dump.Field("workload.accounts", config.workload.accounts);
+  dump.Field("workload.burst_prob", config.workload.burst_prob);
+  dump.Field("workload.inversion_prob", config.workload.inversion_prob);
+  dump.Field("workload.inversion_delay_mean_s",
+             config.workload.inversion_delay_mean_s);
+  dump.Field("workload.payload_mean_bytes", config.workload.payload_mean_bytes);
+  dump.Field("genesis_number", config.genesis_number);
+
+  return Keccak256Of(dump.str());
+}
+
+Hash32 DeterminismDigest(const Experiment& experiment) {
+  Keccak256 hasher;
+  const chain::BlockPtr head = experiment.reference_tree().head();
+  hasher.Update(std::span<const std::uint8_t>(head->hash.data(),
+                                              Hash32::size()));
+  UpdateU64(hasher, head->header.number);
+  UpdateU64(hasher, experiment.coordinator().blocks_found());
+  for (const auto& observer : experiment.observers()) {
+    const Hash32 digest = observer->Digest();
+    hasher.Update(std::span<const std::uint8_t>(digest.data(), Hash32::size()));
+  }
+  return hasher.Final();
+}
+
+obs::RunManifest BuildRunManifest(const Experiment& experiment,
+                                  std::string_view tool) {
+  const ExperimentConfig& config = experiment.config();
+  obs::RunManifest manifest;
+  manifest.tool = std::string(tool);
+  manifest.seed = config.seed;
+  manifest.config_digest = ToHex(ConfigDigest(config));
+  manifest.determinism_digest = ToHex(DeterminismDigest(experiment));
+  const chain::BlockPtr head = experiment.reference_tree().head();
+  manifest.events_executed = experiment.simulator().events_executed();
+  manifest.head_number = head->header.number;
+  manifest.head_hash = ToHex(head->hash);
+  manifest.sim_duration_s = config.duration.seconds();
+  manifest.metrics_enabled = config.telemetry.metrics;
+  manifest.trace_enabled = config.telemetry.trace;
+  manifest.profile_enabled = config.telemetry.profile;
+  manifest.extra.emplace_back("peer_nodes", std::to_string(config.peer_nodes));
+  manifest.extra.emplace_back("vantages",
+                              std::to_string(config.vantages.size()));
+  manifest.extra.emplace_back("pools", std::to_string(config.pools.size()));
+  manifest.extra.emplace_back(
+      "blocks_found", std::to_string(experiment.coordinator().blocks_found()));
+  manifest.extra.emplace_back(
+      "messages_dropped",
+      std::to_string(experiment.network().messages_dropped()));
+  return manifest;
+}
+
+bool WriteRunArtifacts(const Experiment& experiment, const std::string& dir,
+                       std::string_view tool, std::string* error) {
+  namespace fs = std::filesystem;
+  obs::RunManifest manifest = BuildRunManifest(experiment, tool);
+  if (const obs::Telemetry* telemetry = experiment.telemetry()) {
+    if (!telemetry->WriteArtifacts(dir, error)) return false;
+  } else {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      if (error != nullptr) *error = dir + ": " + ec.message();
+      return false;
+    }
+  }
+  return obs::WriteManifest((fs::path(dir) / "manifest.json").string(),
+                            manifest, error);
+}
+
+}  // namespace ethsim::core

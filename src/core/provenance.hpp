@@ -1,0 +1,44 @@
+// Run provenance for experiments: canonical config digests, determinism
+// digests over run outputs, and the glue that writes a complete artifact set
+// (manifest + enabled telemetry streams) next to a run's other outputs.
+//
+// The config digest covers every field that can change results and excludes
+// the seed and the telemetry gates: all members of one seed sweep share a
+// digest, and turning tracing on cannot change what run the manifest claims
+// to describe. The determinism digest covers the outputs themselves (head
+// hash, event count, per-vantage observer log digests) — two runs at equal
+// config digest + seed must have equal determinism digests, and the
+// determinism tests assert exactly that.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "obs/provenance.hpp"
+
+namespace ethsim::core {
+
+// Keccak over a canonical key=value dump of the config (seed and telemetry
+// gates excluded; see file comment).
+Hash32 ConfigDigest(const ExperimentConfig& config);
+
+// Keccak over the run's observable outputs: head hash/number, engine event
+// count, and every observer's log digest in build order. Requires Run() to
+// have completed.
+Hash32 DeterminismDigest(const Experiment& experiment);
+
+// Fills a manifest from a finished experiment (digests, head, event count,
+// enabled telemetry streams, build identity).
+obs::RunManifest BuildRunManifest(const Experiment& experiment,
+                                  std::string_view tool);
+
+// Writes manifest.json plus the enabled telemetry streams into `dir`
+// (created if missing). Returns false and fills `error` (when non-null)
+// with the failing path.
+bool WriteRunArtifacts(const Experiment& experiment, const std::string& dir,
+                       std::string_view tool, std::string* error = nullptr);
+
+}  // namespace ethsim::core

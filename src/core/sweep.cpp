@@ -72,4 +72,19 @@ std::vector<std::uint64_t> ConsecutiveSeeds(std::uint64_t base_seed,
   return seeds;
 }
 
+obs::MetricsRegistry MergeSweepMetrics(
+    const std::vector<std::unique_ptr<Experiment>>& experiments) {
+  obs::MetricsRegistry merged;
+  // Strict seed order (= vector order): counter/histogram addition is
+  // commutative but keeping the merge order fixed makes the invariance
+  // obvious and future-proofs non-commutative instruments.
+  for (const auto& experiment : experiments) {
+    if (experiment == nullptr || experiment->telemetry() == nullptr) continue;
+    if (const obs::MetricsRegistry* metrics =
+            experiment->telemetry()->metrics())
+      merged.MergeFrom(*metrics);
+  }
+  return merged;
+}
+
 }  // namespace ethsim::core

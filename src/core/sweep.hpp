@@ -52,4 +52,12 @@ class SeedSweepRunner {
 std::vector<std::uint64_t> ConsecutiveSeeds(std::uint64_t base_seed,
                                             std::size_t count);
 
+// Merges every sweep member's metrics registry into one, strictly in seed
+// order (the vector order RunExperiments guarantees). Each per-seed registry
+// is deterministic and the merge is order-fixed, so the result is invariant
+// under SweepOptions::threads / ETHSIM_SWEEP_THREADS — the merge-invariance
+// test pins this. Members without metrics enabled contribute nothing.
+obs::MetricsRegistry MergeSweepMetrics(
+    const std::vector<std::unique_ptr<Experiment>>& experiments);
+
 }  // namespace ethsim::core

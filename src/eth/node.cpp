@@ -29,6 +29,53 @@ EthNode::EthNode(sim::Simulator& simulator, net::Network& network,
 
 net::Region EthNode::region() const { return net_.host(host_).region; }
 
+void EthNode::AttachTelemetry(obs::Telemetry* telemetry,
+                              std::uint32_t trace_lane) {
+  block_tracer_ = nullptr;
+  tx_tracer_ = nullptr;
+  imported_count_ = nullptr;
+  head_count_ = nullptr;
+  invalid_count_ = nullptr;
+  tx_received_count_ = nullptr;
+  validate_hist_ = nullptr;
+  trace_lane_ = trace_lane;
+  if (telemetry == nullptr) return;
+
+  if (obs::Tracer* tracer = telemetry->tracer()) {
+    if (tracer->enabled(obs::TraceCategory::kBlock)) block_tracer_ = tracer;
+    if (tracer->enabled(obs::TraceCategory::kTx)) tx_tracer_ = tracer;
+  }
+  if (obs::MetricsRegistry* metrics = telemetry->metrics()) {
+    // Counters are shared per region (stable map nodes), so every node in WE
+    // bumps the same "eth.block.imported{region=WE}" cell.
+    const std::string_view region_name = net::RegionShortName(region());
+    imported_count_ = metrics->GetCounter(
+        obs::LabeledName("eth.block.imported", {{"region", region_name}}));
+    head_count_ = metrics->GetCounter(
+        obs::LabeledName("eth.block.head_updates", {{"region", region_name}}));
+    invalid_count_ = metrics->GetCounter(
+        obs::LabeledName("eth.block.invalid", {{"region", region_name}}));
+    tx_received_count_ = metrics->GetCounter(
+        obs::LabeledName("eth.tx.received", {{"region", region_name}}));
+    validate_hist_ =
+        metrics->GetHistogram("eth.block.validate_us", obs::LatencyBucketsUs());
+  }
+}
+
+void EthNode::TraceBlockInstant(const char* name, const char* arg_kind,
+                                const Hash32& hash, std::uint64_t number) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.arg_kind = arg_kind;
+  event.ts_us = sim_.Now().micros();
+  event.arg_hash = hash.prefix_u64();
+  event.arg_num = number;
+  event.pid = trace_lane_;
+  event.cat = obs::TraceCategory::kBlock;
+  event.phase = 'i';
+  block_tracer_->Emit(event);
+}
+
 bool EthNode::Connect(EthNode& a, EthNode& b) {
   if (&a == &b) return false;
   if (a.peers_.size() >= a.config_.max_peers) return false;
@@ -78,16 +125,21 @@ void EthNode::InjectMinedBlock(chain::BlockPtr block) {
   for (const auto& adopted : result.adopted)
     pool_.RemoveIncluded(adopted->transactions);
 
-  if (sink_ != nullptr)
-    sink_->OnBlockImported(
-        block, result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead);
+  const bool new_head =
+      result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead;
+  if (sink_ != nullptr) sink_->OnBlockImported(block, new_head);
+  if (imported_count_ != nullptr) [[unlikely]] {
+    imported_count_->Add();
+    if (new_head) head_count_->Add();
+  }
+  if (block_tracer_ != nullptr) [[unlikely]]
+    TraceBlockInstant("block.import", "mined", block->hash,
+                      block->header.number);
 
   PushToSqrtPeers(block);
   AnnounceToOtherPeers(block);
 
-  if (result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead &&
-      on_new_head_)
-    on_new_head_(tree_.head());
+  if (new_head && on_new_head_) on_new_head_(tree_.head());
 }
 
 // --- wire ingress ------------------------------------------------------------
@@ -96,6 +148,9 @@ void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFullBlock, block->hash,
                           block->header.number, block.get());
+  if (block_tracer_ != nullptr) [[unlikely]]
+    TraceBlockInstant("block.heard", "new_block", block->hash,
+                      block->header.number);
   MarkKnowsBlock(from, block->hash);
   HandleIncomingBlock(from, std::move(block));
 }
@@ -104,6 +159,9 @@ void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFetched, block->hash,
                           block->header.number, block.get());
+  if (block_tracer_ != nullptr) [[unlikely]]
+    TraceBlockInstant("block.heard", "fetched", block->hash,
+                      block->header.number);
   requested_.erase(block->hash);
   MarkKnowsBlock(from, block->hash);
   HandleIncomingBlock(from, std::move(block));
@@ -114,12 +172,14 @@ void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kAnnouncement, hash, number,
                           nullptr);
+  if (block_tracer_ != nullptr) [[unlikely]]
+    TraceBlockInstant("block.heard", "announcement", hash, number);
   MarkKnowsBlock(from, hash);
   if (tree_.Contains(hash) || importing_.contains(hash) ||
       requested_.contains(hash))
     return;
   requested_.insert(hash);
-  net_.Send(host_, from->host(), kGetBlockWireSize,
+  net_.Send(host_, from->host(), kGetBlockWireSize, obs::MsgKind::kGetBlock,
             [from, self = this, hash] { from->DeliverGetBlock(self, hash); });
   // Retry guard: if the fetch (or its response) is lost, forget it so the
   // next announcement re-triggers the request.
@@ -132,11 +192,14 @@ void EthNode::DeliverGetBlock(EthNode* from, const Hash32& hash) {
   if (!block) return;  // pruned/unknown; requester will hear it elsewhere
   if (Peer* p = FindPeer(from)) p->known_blocks.Insert(hash);
   net_.Send(host_, from->host(), block->EncodedSize(),
+            obs::MsgKind::kBlockResponse,
             [from, self = this, block] { from->DeliverBlockResponse(self, block); });
 }
 
 void EthNode::DeliverTransactions(EthNode* from, const TxBatchView& batch) {
   Peer* peer = FindPeer(from);
+  if (tx_received_count_ != nullptr) [[unlikely]]
+    tx_received_count_->Add(batch.count());
   const auto process = [&](const chain::Transaction& tx) {
     if (sink_ != nullptr) sink_->OnTransactionMessage(tx);
     if (peer != nullptr) peer->known_txs.Insert(tx.hash);
@@ -160,7 +223,25 @@ void EthNode::HandleIncomingBlock(EthNode* from, chain::BlockPtr block) {
   importing_.insert(hash);
 
   // Geth relays eagerly after the cheap PoW/header check, then spends the
-  // full validation time before import.
+  // full validation time before import. Both delays are sim-clock values
+  // known here, so the validate span can be traced up front as one complete
+  // ('X') event — no extra bookkeeping at fire time.
+  if (block_tracer_ != nullptr || validate_hist_ != nullptr) [[unlikely]] {
+    const Duration validation = ValidationDelay(*block);
+    if (validate_hist_ != nullptr) validate_hist_->Observe(validation.micros());
+    if (block_tracer_ != nullptr) {
+      obs::TraceEvent event;
+      event.name = "block.validate";
+      event.ts_us = (sim_.Now() + config_.header_check_delay).micros();
+      event.dur_us = validation.micros();
+      event.arg_hash = hash.prefix_u64();
+      event.arg_num = block->header.number;
+      event.pid = trace_lane_;
+      event.cat = obs::TraceCategory::kBlock;
+      event.phase = 'X';
+      block_tracer_->Emit(event);
+    }
+  }
   sim_.Schedule(config_.header_check_delay, [this, block] {
     PushToSqrtPeers(block);
     sim_.Schedule(ValidationDelay(*block),
@@ -190,6 +271,7 @@ void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
     if (chain::ValidateBlock(*block, parent->header) !=
         chain::ValidationError::kNone) {
       ++invalid_blocks_;
+      if (invalid_count_ != nullptr) [[unlikely]] invalid_count_->Add();
       return;
     }
   }
@@ -206,6 +288,7 @@ void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
         requested_.insert(parent);
         Peer& peer = peers_[rng_.NextBounded(peers_.size())];
         net_.Send(host_, peer.node->host(), kGetBlockWireSize,
+                  obs::MsgKind::kGetBlock,
                   [target = peer.node, self = this, parent] {
                     target->DeliverGetBlock(self, parent);
                   });
@@ -229,15 +312,20 @@ void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
   for (const auto& adopted : result.adopted)
     pool_.RemoveIncluded(adopted->transactions);
 
-  if (sink_ != nullptr)
-    sink_->OnBlockImported(
-        block, result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead);
+  const bool new_head =
+      result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead;
+  if (sink_ != nullptr) sink_->OnBlockImported(block, new_head);
+  if (imported_count_ != nullptr) [[unlikely]] {
+    imported_count_->Add();
+    if (new_head) head_count_->Add();
+  }
+  if (block_tracer_ != nullptr) [[unlikely]]
+    TraceBlockInstant("block.import", new_head ? "new_head" : "side",
+                      block->hash, block->header.number);
 
   AnnounceToOtherPeers(block);
 
-  if (result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead &&
-      on_new_head_)
-    on_new_head_(tree_.head());
+  if (new_head && on_new_head_) on_new_head_(tree_.head());
 }
 
 void EthNode::PushToSqrtPeers(const chain::BlockPtr& block) {
@@ -282,6 +370,7 @@ void EthNode::SendNewBlock(Peer& peer, const chain::BlockPtr& block) {
   peer.known_blocks.Insert(block->hash);
   EthNode* target = peer.node;
   net_.Send(host_, target->host(), block->EncodedSize(),
+            obs::MsgKind::kNewBlock,
             [target, self = this, block] { target->DeliverNewBlock(self, block); });
 }
 
@@ -289,6 +378,7 @@ void EthNode::SendAnnouncement(Peer& peer, const chain::BlockPtr& block) {
   peer.known_blocks.Insert(block->hash);
   EthNode* target = peer.node;
   net_.Send(host_, target->host(), kAnnouncementWireSize,
+            obs::MsgKind::kAnnouncement,
             [target, self = this, hash = block->hash,
              number = block->header.number] {
               target->DeliverAnnouncement(self, hash, number);
@@ -317,6 +407,17 @@ void EthNode::FlushTxBroadcast() {
   tx_broadcast_queue_.clear();
   const std::vector<chain::Transaction>& queue = *batch;
 
+  if (tx_tracer_ != nullptr) [[unlikely]] {
+    obs::TraceEvent event;
+    event.name = "tx.flush";
+    event.ts_us = sim_.Now().micros();
+    event.arg_num = queue.size();
+    event.pid = trace_lane_;
+    event.cat = obs::TraceCategory::kTx;
+    event.phase = 'i';
+    tx_tracer_->Emit(event);
+  }
+
   for (Peer& peer : peers_) {
     flush_subset_.clear();
     std::size_t bytes = kTxBatchOverhead;
@@ -334,7 +435,7 @@ void EthNode::FlushTxBroadcast() {
       view.subset = std::make_shared<const std::vector<std::uint32_t>>(
           flush_subset_);
     EthNode* target = peer.node;
-    net_.Send(host_, target->host(), bytes,
+    net_.Send(host_, target->host(), bytes, obs::MsgKind::kTransactions,
               [target, self = this, view = std::move(view)] {
                 target->DeliverTransactions(self, view);
               });

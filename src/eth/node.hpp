@@ -22,6 +22,7 @@
 #include "common/time.hpp"
 #include "eth/sink.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "p2p/node_id.hpp"
 #include "sim/simulator.hpp"
 
@@ -102,6 +103,11 @@ class EthNode {
   std::size_t max_peers() const { return config_.max_peers; }
 
   void set_sink(MessageSink* sink) { sink_ = sink; }
+  // Wires block-lifecycle tracing and per-region import/head counters.
+  // `trace_lane` becomes the Perfetto pid for this node's events (the
+  // experiment uses the node's build index). Telemetry records only: it never
+  // samples rng_ or schedules events, so attaching it cannot change a run.
+  void AttachTelemetry(obs::Telemetry* telemetry, std::uint32_t trace_lane);
   // Invoked whenever the canonical head changes (miners re-target here).
   void set_head_callback(std::function<void(chain::BlockPtr)> cb) {
     on_new_head_ = std::move(cb);
@@ -151,6 +157,11 @@ class EthNode {
   void SendNewBlock(Peer& peer, const chain::BlockPtr& block);
   void SendAnnouncement(Peer& peer, const chain::BlockPtr& block);
 
+  // Emits a block-lifecycle instant on this node's trace lane. Callers check
+  // block_tracer_ != nullptr first (hot-path single-branch contract).
+  void TraceBlockInstant(const char* name, const char* arg_kind,
+                         const Hash32& hash, std::uint64_t number);
+
   sim::Simulator& sim_;
   net::Network& net_;
   net::HostId host_;
@@ -176,6 +187,17 @@ class EthNode {
 
   MessageSink* sink_ = nullptr;
   std::function<void(chain::BlockPtr)> on_new_head_;
+
+  // Telemetry (null = disabled; one predicted branch per hook). Instrument
+  // pointers are resolved once in AttachTelemetry for this node's region.
+  obs::Tracer* block_tracer_ = nullptr;  // kBlock category pre-checked
+  obs::Tracer* tx_tracer_ = nullptr;     // kTx category pre-checked
+  obs::Counter* imported_count_ = nullptr;
+  obs::Counter* head_count_ = nullptr;
+  obs::Counter* invalid_count_ = nullptr;
+  obs::Counter* tx_received_count_ = nullptr;
+  obs::Histogram* validate_hist_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
 };
 
 // Wire-size constants (approximate devp2p framing).

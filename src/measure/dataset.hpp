@@ -48,11 +48,18 @@ struct Dataset {
 VantageLog SnapshotObserver(const Observer& observer);
 
 // Writes the dataset under `directory` (created if missing). Returns false
-// on any I/O failure.
-bool WriteDataset(const std::string& directory, const Dataset& dataset);
+// on any I/O failure; when `error` is non-null it receives the failing path
+// (with reason), and the failure is also logged via obs::LogError. Every
+// stream is checked after its last write, so a full disk or a permissions
+// change mid-write is caught, not just a failed open.
+bool WriteDataset(const std::string& directory, const Dataset& dataset,
+                  std::string* error = nullptr);
 
-// Loads a dataset previously written by WriteDataset.
-bool ReadDataset(const std::string& directory, Dataset& out);
+// Loads a dataset previously written by WriteDataset. Returns false on any
+// I/O or parse failure; `error` (when non-null) receives the failing path,
+// including the line number for malformed records.
+bool ReadDataset(const std::string& directory, Dataset& out,
+                 std::string* error = nullptr);
 
 // Builds the catalog rows from a mint record list + pool roster.
 std::vector<CatalogBlock> BuildCatalog(

@@ -1,6 +1,21 @@
 #include "measure/observer.hpp"
 
+#include "common/keccak.hpp"
+
 namespace ethsim::measure {
+
+namespace {
+
+void UpdateU64(Keccak256& hasher, std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+  hasher.Update(std::span<const std::uint8_t>(buf, 8));
+}
+
+}  // namespace
 
 Observer::Observer(std::string name, net::Region region,
                    sim::Simulator& simulator, Duration clock_offset)
@@ -49,6 +64,33 @@ void Observer::IngestTxArrival(const TxArrival& arrival) {
 
 void Observer::IngestImport(const ImportEvent& event) {
   imports_.push_back(event);
+}
+
+Hash32 Observer::Digest() const {
+  Keccak256 hasher;
+  hasher.Update(name_);
+  UpdateU64(hasher, static_cast<std::uint64_t>(clock_offset_.micros()));
+  UpdateU64(hasher, blocks_.size());
+  for (const BlockArrival& b : blocks_) {
+    hasher.Update(std::span<const std::uint8_t>(b.hash.data(), Hash32::size()));
+    UpdateU64(hasher, b.number);
+    UpdateU64(hasher, static_cast<std::uint64_t>(b.kind));
+    UpdateU64(hasher, static_cast<std::uint64_t>(b.local_time.micros()));
+  }
+  UpdateU64(hasher, txs_.size());
+  for (const TxArrival& t : txs_) {
+    hasher.Update(std::span<const std::uint8_t>(t.hash.data(), Hash32::size()));
+    UpdateU64(hasher, t.nonce);
+    UpdateU64(hasher, static_cast<std::uint64_t>(t.local_time.micros()));
+  }
+  UpdateU64(hasher, imports_.size());
+  for (const ImportEvent& e : imports_) {
+    hasher.Update(std::span<const std::uint8_t>(e.hash.data(), Hash32::size()));
+    UpdateU64(hasher, e.number);
+    UpdateU64(hasher, e.new_head ? 1 : 0);
+    UpdateU64(hasher, static_cast<std::uint64_t>(e.local_time.micros()));
+  }
+  return hasher.Final();
 }
 
 }  // namespace ethsim::measure

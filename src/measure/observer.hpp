@@ -75,6 +75,11 @@ class Observer final : public eth::MessageSink {
   void OnTransactionMessage(const chain::Transaction& tx) override;
   void OnBlockImported(const chain::BlockPtr& block, bool new_head) override;
 
+  // Keccak digest over every record stream in arrival order — the compact
+  // fingerprint the determinism tests and run manifests compare. Two runs
+  // observed the same world iff their vantage digests match.
+  Hash32 Digest() const;
+
   // Replay ingestion: load records captured earlier (dataset playback). The
   // record's own local_time is preserved; first-arrival indices update.
   void IngestBlockArrival(const BlockArrival& arrival);

@@ -11,6 +11,9 @@ MiningCoordinator::MiningCoordinator(sim::Simulator& simulator, Rng rng,
     : sim_(simulator), rng_(rng), params_(params), pools_(std::move(pools)) {
   assert(!pools_.empty());
   states_.resize(pools_.size());
+  minted_count_.assign(pools_.size(), nullptr);
+  fork_count_.assign(pools_.size(), nullptr);
+  empty_count_.assign(pools_.size(), nullptr);
   std::vector<double> shares;
   shares.reserve(pools_.size());
   for (const auto& p : pools_) shares.push_back(p.hashrate_share);
@@ -43,6 +46,30 @@ void MiningCoordinator::OnGatewayHead(std::size_t pool_index,
        head->hash != state.mining_head->hash &&
        head->header.difficulty > state.mining_head->header.difficulty)) {
     state.mining_head = std::move(head);
+  }
+}
+
+void MiningCoordinator::AttachTelemetry(obs::Telemetry* telemetry) {
+  mine_tracer_ = nullptr;
+  minted_count_.assign(pools_.size(), nullptr);
+  fork_count_.assign(pools_.size(), nullptr);
+  empty_count_.assign(pools_.size(), nullptr);
+  if (telemetry == nullptr) return;
+
+  if (obs::Tracer* tracer = telemetry->tracer();
+      tracer != nullptr && tracer->enabled(obs::TraceCategory::kMine)) {
+    mine_tracer_ = tracer;
+  }
+  if (obs::MetricsRegistry* metrics = telemetry->metrics()) {
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
+      const std::string_view pool_name = pools_[i].name;
+      minted_count_[i] = metrics->GetCounter(
+          obs::LabeledName("mine.minted", {{"pool", pool_name}}));
+      fork_count_[i] = metrics->GetCounter(
+          obs::LabeledName("mine.fork_siblings", {{"pool", pool_name}}));
+      empty_count_[i] = metrics->GetCounter(
+          obs::LabeledName("mine.empty_blocks", {{"pool", pool_name}}));
+    }
   }
 }
 
@@ -134,6 +161,19 @@ void MiningCoordinator::Release(std::size_t pool_index,
   PoolState& state = states_[pool_index];
   eth::EthNode* gateway =
       state.gateways[state.gateway_sampler->Sample(rng_)];
+  if (mine_tracer_ != nullptr) [[unlikely]] {
+    obs::TraceEvent event;
+    event.name = "mine.release";
+    event.arg_kind = pools_[pool_index].name.c_str();
+    event.ts_us = sim_.Now().micros();
+    event.arg_hash = block->hash.prefix_u64();
+    event.arg_num = block->header.number;
+    event.pid = static_cast<std::uint32_t>(pool_index);
+    event.tid = gateway->host();
+    event.cat = obs::TraceCategory::kMine;
+    event.phase = 'i';
+    mine_tracer_->Emit(event);
+  }
   gateway->InjectMinedBlock(block);
   // Pool-local propagation is immediate: its own workers switch as soon as
   // their own block is out (no job-update delay for self-mined blocks).
@@ -155,6 +195,22 @@ void MiningCoordinator::OnBlockFound() {
 
   minted_.push_back(MintRecord{primary, winner, sim_.Now(), force_empty, false,
                                Hash32{}, false});
+  if (minted_count_[winner] != nullptr) [[unlikely]] {
+    minted_count_[winner]->Add();
+    if (force_empty) empty_count_[winner]->Add();
+  }
+  if (mine_tracer_ != nullptr) [[unlikely]] {
+    obs::TraceEvent event;
+    event.name = "mine.mint";
+    event.arg_kind = spec.name.c_str();
+    event.ts_us = sim_.Now().micros();
+    event.arg_hash = primary->hash.prefix_u64();
+    event.arg_num = primary->header.number;
+    event.pid = static_cast<std::uint32_t>(winner);
+    event.cat = obs::TraceCategory::kMine;
+    event.phase = 'i';
+    mine_tracer_->Emit(event);
+  }
   Release(winner, primary);
 
   // One-miner forks (§III-C5): the pool emits one (or, rarely, two) extra
@@ -191,6 +247,19 @@ void MiningCoordinator::OnBlockFound() {
           sibling->header.tx_root == primary->header.tx_root;
       minted_.push_back(MintRecord{sibling, winner, sim_.Now(), force_empty,
                                    true, primary->hash, actually_same});
+      if (fork_count_[winner] != nullptr) [[unlikely]] fork_count_[winner]->Add();
+      if (mine_tracer_ != nullptr) [[unlikely]] {
+        obs::TraceEvent event;
+        event.name = "mine.fork_sibling";
+        event.arg_kind = spec.name.c_str();
+        event.ts_us = sim_.Now().micros();
+        event.arg_hash = sibling->hash.prefix_u64();
+        event.arg_num = sibling->header.number;
+        event.pid = static_cast<std::uint32_t>(winner);
+        event.cat = obs::TraceCategory::kMine;
+        event.phase = 'i';
+        mine_tracer_->Emit(event);
+      }
       sim_.Schedule(params_.sibling_release_delay * static_cast<double>(i + 1),
                     [this, winner, sibling] { Release(winner, sibling); });
     }

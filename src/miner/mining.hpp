@@ -18,6 +18,7 @@
 #include "common/time.hpp"
 #include "eth/node.hpp"
 #include "miner/pool.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace ethsim::miner {
@@ -66,6 +67,11 @@ class MiningCoordinator {
   // Begins the PoW race. Every pool must have at least one gateway.
   void Start();
 
+  // Wires mint/release tracing (kMine category; pid = pool index) and
+  // per-pool minted/fork counters. Record-only: never touches rng_ and never
+  // schedules events, so an attached race is identical to a detached one.
+  void AttachTelemetry(obs::Telemetry* telemetry);
+
   const std::vector<PoolSpec>& pools() const { return pools_; }
   const std::vector<MintRecord>& minted() const { return minted_; }
   std::uint64_t blocks_found() const { return blocks_found_; }
@@ -101,6 +107,13 @@ class MiningCoordinator {
   std::vector<MintRecord> minted_;
   std::uint64_t blocks_found_ = 0;
   bool started_ = false;
+
+  // Telemetry (null = disabled). Per-pool counters are resolved once at
+  // attach time; indices line up with pools_.
+  obs::Tracer* mine_tracer_ = nullptr;  // kMine category pre-checked
+  std::vector<obs::Counter*> minted_count_;
+  std::vector<obs::Counter*> fork_count_;
+  std::vector<obs::Counter*> empty_count_;
 };
 
 }  // namespace ethsim::miner

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
 
 namespace ethsim::net {
 
@@ -36,9 +37,63 @@ Duration Network::SampleDelay(HostId from, HostId to, std::size_t bytes) {
          params_.per_message_overhead;
 }
 
-void Network::Send(HostId from, HostId to, std::size_t bytes, sim::EventFn deliver) {
+void Network::AttachTelemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  tracer_ = nullptr;
+  sent_count_.fill(nullptr);
+  sent_bytes_.fill(nullptr);
+  for (auto& row : drop_count_) row.fill(nullptr);
+  delay_hist_ = nullptr;
+  if (telemetry_ == nullptr) return;
+
+  if (obs::Tracer* tracer = telemetry_->tracer();
+      tracer != nullptr && tracer->enabled(obs::TraceCategory::kNet)) {
+    tracer_ = tracer;
+  }
+
+  obs::MetricsRegistry* metrics = telemetry_->metrics();
+  if (metrics == nullptr) {
+    // No registry: keep only the tracer (if any). The always-on census still
+    // records drops.
+    if (tracer_ == nullptr) telemetry_ = nullptr;
+    return;
+  }
+
+  // Register every (kind) and (kind, region) combination up front so the
+  // registry contents — and therefore the metrics.jsonl stream — are a fixed
+  // function of the config, not of which messages happened to flow.
+  for (std::size_t k = 0; k < obs::kMsgKindCount; ++k) {
+    const auto kind = static_cast<obs::MsgKind>(k);
+    const std::string_view kind_name = obs::MsgKindName(kind);
+    sent_count_[k] = metrics->GetCounter(
+        obs::LabeledName("net.msg.sent", {{"kind", kind_name}}));
+    sent_bytes_[k] = metrics->GetCounter(
+        obs::LabeledName("net.msg.sent_bytes", {{"kind", kind_name}}));
+    for (Region region : AllRegions()) {
+      drop_count_[k][static_cast<std::size_t>(region)] = metrics->GetCounter(
+          obs::LabeledName("net.msg.dropped",
+                           {{"kind", kind_name},
+                            {"region", RegionShortName(region)}}));
+    }
+  }
+  delay_hist_ =
+      metrics->GetHistogram("net.delay_us", obs::LatencyBucketsUs());
+}
+
+void Network::Send(HostId from, HostId to, std::size_t bytes,
+                   obs::MsgKind kind, sim::EventFn deliver) {
   if (params_.drop_prob > 0 && rng_.NextBool(params_.drop_prob)) {
+    // Cold path: drops are rare by construction, so the census (and the
+    // optional registry counter) cost nothing on the common path.
     ++dropped_;
+    const Region region = hosts_[from].region;
+    ++drop_census_[static_cast<std::size_t>(kind)]
+                  [static_cast<std::size_t>(region)];
+    if (telemetry_ != nullptr) [[unlikely]] {
+      if (obs::Counter* c = drop_count_[static_cast<std::size_t>(kind)]
+                                       [static_cast<std::size_t>(region)])
+        c->Add();
+    }
     return;
   }
   const Duration delay = SampleDelay(from, to, bytes);
@@ -52,7 +107,60 @@ void Network::Send(HostId from, HostId to, std::size_t bytes, sim::EventFn deliv
   if (last_us != kNeverSent && arrival.micros() < last_us)
     arrival = TimePoint::FromMicros(last_us);
   last_us = arrival.micros();
+
+  // Record-only instrumentation: nothing below samples rng_ or schedules
+  // events, so an attached run replays the detached run exactly.
+  if (telemetry_ != nullptr) [[unlikely]] {
+    const auto k = static_cast<std::size_t>(kind);
+    if (sent_count_[k] != nullptr) {
+      sent_count_[k]->Add();
+      sent_bytes_[k]->Add(bytes);
+      delay_hist_->Observe(arrival.micros() - sim_.Now().micros());
+    }
+    if (tracer_ != nullptr) {
+      obs::TraceEvent event;
+      event.name = "net.send";
+      event.arg_kind = obs::MsgKindName(kind).data();
+      event.ts_us = sim_.Now().micros();
+      event.dur_us = arrival.micros() - sim_.Now().micros();
+      event.arg_num = bytes;
+      event.pid = from;
+      event.tid = to;
+      event.cat = obs::TraceCategory::kNet;
+      event.phase = 'X';
+      tracer_->Emit(event);
+    }
+  }
+
   sim_.ScheduleAt(arrival, std::move(deliver));
+}
+
+std::vector<DropRecord> Network::DropReport() const {
+  std::vector<DropRecord> report;
+  for (std::size_t k = 0; k < obs::kMsgKindCount; ++k) {
+    for (std::size_t r = 0; r < kRegionCount; ++r) {
+      const std::uint64_t count = drop_census_[k][r];
+      if (count == 0) continue;
+      report.push_back(DropRecord{static_cast<obs::MsgKind>(k),
+                                  static_cast<Region>(r), count});
+    }
+  }
+  return report;
+}
+
+std::string Network::RenderDropReport() const {
+  const std::vector<DropRecord> report = DropReport();
+  if (report.empty()) return {};
+  std::ostringstream out;
+  out << "dropped " << dropped_ << " message(s): ";
+  bool first = true;
+  for (const DropRecord& record : report) {
+    if (!first) out << ", ";
+    first = false;
+    out << obs::MsgKindName(record.kind) << '/'
+        << RegionShortName(record.source_region) << ": " << record.count;
+  }
+  return out.str();
 }
 
 Duration ClockModel::SampleOffset() {

@@ -5,12 +5,15 @@
 // (devp2p runs over TCP; reordering on one connection is impossible).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/random.hpp"
 #include "common/time.hpp"
 #include "net/geo.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace ethsim::net {
@@ -47,6 +50,13 @@ struct NetworkParams {
   double drop_prob = 0.0;
 };
 
+// One row of the drop census: who lost how many messages of which kind.
+struct DropRecord {
+  obs::MsgKind kind = obs::MsgKind::kOther;
+  Region source_region = Region::WesternEurope;
+  std::uint64_t count = 0;
+};
+
 class Network {
  public:
   Network(sim::Simulator& simulator, Rng rng, NetworkParams params);
@@ -59,11 +69,35 @@ class Network {
   Duration SampleDelay(HostId from, HostId to, std::size_t bytes);
 
   // Schedules `deliver` to run at the receiver after the sampled delay,
-  // enforcing per-(from,to) FIFO ordering.
-  void Send(HostId from, HostId to, std::size_t bytes, sim::EventFn deliver);
+  // enforcing per-(from,to) FIFO ordering. `kind` labels the message for the
+  // telemetry/drop census; the kind-less overload tags kOther.
+  void Send(HostId from, HostId to, std::size_t bytes, obs::MsgKind kind,
+            sim::EventFn deliver);
+  void Send(HostId from, HostId to, std::size_t bytes, sim::EventFn deliver) {
+    Send(from, to, bytes, obs::MsgKind::kOther, std::move(deliver));
+  }
+
+  // Wires metrics counters and the in-flight tracer. Must be called before
+  // traffic flows (counter registration touches the registry). Telemetry
+  // records only — it never samples the RNG or schedules events, so an
+  // attached run is bit-for-bit identical to a detached one.
+  void AttachTelemetry(obs::Telemetry* telemetry);
 
   sim::Simulator& simulator() { return sim_; }
+
+  // --- drop visibility -------------------------------------------------
+  // The aggregate plus a per-(kind, source-region) census. The census is
+  // always on: drops are rare (off the hot path), and the paper's whole
+  // redundancy argument (Table II) is about who can afford to lose what.
   std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t dropped_by(obs::MsgKind kind, Region region) const {
+    return drop_census_[static_cast<std::size_t>(kind)]
+                       [static_cast<std::size_t>(region)];
+  }
+  // Non-zero census rows, ordered by (kind, region) — for end-of-run reports.
+  std::vector<DropRecord> DropReport() const;
+  // Human-readable census ("announcement/WE: 12, ..."), empty when no drops.
+  std::string RenderDropReport() const;
 
  private:
   std::uint64_t dropped_ = 0;
@@ -77,6 +111,20 @@ class Network {
   // probe per message. kNeverSent marks pairs with no traffic yet.
   static constexpr std::int64_t kNeverSent = INT64_MIN;
   std::vector<std::vector<std::int64_t>> fifo_last_us_;
+
+  // Always-on drop census (cold path: only touched when a message drops).
+  std::array<std::array<std::uint64_t, kRegionCount>, obs::kMsgKindCount>
+      drop_census_{};
+
+  // Telemetry (null = disabled; the Send hot path pays one predicted
+  // branch). Instrument pointers are resolved once in AttachTelemetry.
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::array<obs::Counter*, obs::kMsgKindCount> sent_count_{};
+  std::array<obs::Counter*, obs::kMsgKindCount> sent_bytes_{};
+  std::array<std::array<obs::Counter*, kRegionCount>, obs::kMsgKindCount>
+      drop_count_{};
+  obs::Histogram* delay_hist_ = nullptr;
 };
 
 // NTP-like clock error. Each host gets a fixed offset sampled from the

@@ -1,0 +1,57 @@
+#include "obs/diag.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ethsim::obs {
+
+namespace {
+
+LogLevel ParseLevel() {
+  const char* env = std::getenv("ETHSIM_LOG");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0)
+    return LogLevel::kError;
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+    return LogLevel::kInfo;
+  return LogLevel::kWarn;
+}
+
+void LogV(LogLevel level, const char* tag, const char* component,
+          const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) > static_cast<int>(DiagLevel())) return;
+  std::fprintf(stderr, "[ethsim:%s] %s: ", component, tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+LogLevel DiagLevel() {
+  static const LogLevel level = ParseLevel();
+  return level;
+}
+
+void LogError(const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  LogV(LogLevel::kError, "error", component, fmt, args);
+  va_end(args);
+}
+
+void LogWarn(const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  LogV(LogLevel::kWarn, "warn", component, fmt, args);
+  va_end(args);
+}
+
+void LogInfo(const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  LogV(LogLevel::kInfo, "info", component, fmt, args);
+  va_end(args);
+}
+
+}  // namespace ethsim::obs

@@ -1,0 +1,33 @@
+// Leveled diagnostics logging for error paths and operational reporting.
+// Tools/benches route failure messages (e.g. which dataset file failed to
+// open, and why) through here so every binary reports problems the same way:
+//
+//   obs::LogError("dataset", "cannot open %s: %s", path, reason);
+//     -> "[ethsim:dataset] error: cannot open ...": stderr
+//
+// Verbosity is gated by ETHSIM_LOG (error < warn < info; default warn).
+// This is operator-facing plumbing, not part of the deterministic telemetry
+// streams: never log from simulation hot paths.
+#pragma once
+
+#include <cstdarg>
+
+namespace ethsim::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2 };
+
+// Current threshold (parsed once from ETHSIM_LOG).
+LogLevel DiagLevel();
+
+// printf-style; `component` is a short subsystem tag ("dataset", "telemetry").
+#if defined(__GNUC__)
+#define ETHSIM_PRINTF_ATTR __attribute__((format(printf, 2, 3)))
+#else
+#define ETHSIM_PRINTF_ATTR
+#endif
+void LogError(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
+void LogWarn(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
+void LogInfo(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
+#undef ETHSIM_PRINTF_ATTR
+
+}  // namespace ethsim::obs

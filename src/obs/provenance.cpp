@@ -1,0 +1,105 @@
+#include "obs/provenance.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/diag.hpp"
+
+#ifndef ETHSIM_GIT_SHA
+#define ETHSIM_GIT_SHA "unknown"
+#endif
+#ifndef ETHSIM_BUILD_TYPE
+#define ETHSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace ethsim::obs {
+
+namespace {
+
+std::string CompilerId() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+BuildInfo CurrentBuild() {
+  BuildInfo info;
+  info.git_sha = ETHSIM_GIT_SHA;
+  info.build_type = ETHSIM_BUILD_TYPE;
+  info.compiler = CompilerId();
+  return info;
+}
+
+std::string ManifestToJson(const RunManifest& m) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": ";
+  WriteJsonString(out, m.schema);
+  out << ",\n  \"tool\": ";
+  WriteJsonString(out, m.tool);
+  out << ",\n  \"seed\": " << m.seed;
+  out << ",\n  \"config_digest\": ";
+  WriteJsonString(out, m.config_digest);
+  out << ",\n  \"determinism_digest\": ";
+  WriteJsonString(out, m.determinism_digest);
+  out << ",\n  \"events_executed\": " << m.events_executed;
+  out << ",\n  \"head_number\": " << m.head_number;
+  out << ",\n  \"head_hash\": ";
+  WriteJsonString(out, m.head_hash);
+  out << ",\n  \"sim_duration_s\": " << m.sim_duration_s;
+  out << ",\n  \"telemetry\": {\"metrics\": " << (m.metrics_enabled ? "true" : "false")
+      << ", \"trace\": " << (m.trace_enabled ? "true" : "false")
+      << ", \"profile\": " << (m.profile_enabled ? "true" : "false") << "}";
+  out << ",\n  \"build\": {\"git_sha\": ";
+  WriteJsonString(out, m.build.git_sha);
+  out << ", \"build_type\": ";
+  WriteJsonString(out, m.build.build_type);
+  out << ", \"compiler\": ";
+  WriteJsonString(out, m.build.compiler);
+  out << "}";
+  if (!m.extra.empty()) {
+    out << ",\n  \"extra\": {";
+    bool first = true;
+    for (const auto& [key, value] : m.extra) {
+      if (!first) out << ", ";
+      first = false;
+      WriteJsonString(out, key);
+      out << ": ";
+      WriteJsonString(out, value);
+    }
+    out << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+bool WriteManifest(const std::string& path, const RunManifest& manifest,
+                   std::string* error) {
+  std::ofstream out(path);
+  if (out) out << ManifestToJson(manifest);
+  if (!out.good()) {
+    if (error != nullptr) *error = path;
+    LogError("provenance", "failed writing manifest %s", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ethsim::obs

@@ -1,0 +1,53 @@
+// Run provenance: a manifest written next to every dataset/bench/telemetry
+// output that pins down *exactly* which run produced it — config digest,
+// seed, build identity, and a determinism digest (head hash + observer log
+// digests + event count). Two manifests with equal config/determinism
+// digests describe bit-for-bit identical runs; a determinism mismatch at
+// equal config digests is a reproducibility bug.
+//
+// The manifest content is deterministic for a given (config, seed, build);
+// wall-clock cost lives in the profiler stream, never here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ethsim::obs {
+
+struct BuildInfo {
+  std::string git_sha;     // short sha at configure time ("unknown" outside git)
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string compiler;    // compiler id + version
+};
+
+// Build identity baked in at compile time (see src/obs/CMakeLists.txt).
+BuildInfo CurrentBuild();
+
+struct RunManifest {
+  std::string tool;               // producing binary ("quickstart", ...)
+  std::string schema = "ethsim-run-manifest-v1";
+  std::uint64_t seed = 0;
+  std::string config_digest;      // hex keccak of the canonical config dump
+  std::string determinism_digest; // hex keccak over run outputs (see core)
+  std::uint64_t events_executed = 0;
+  std::uint64_t head_number = 0;
+  std::string head_hash;          // full hex
+  double sim_duration_s = 0.0;
+  bool metrics_enabled = false;
+  bool trace_enabled = false;
+  bool profile_enabled = false;
+  BuildInfo build = CurrentBuild();
+  // Tool-specific annotations (seed lists, node counts, dataset paths...).
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+std::string ManifestToJson(const RunManifest& manifest);
+
+// Writes `path` atomically enough for our purposes (single fstream); returns
+// false and fills `error` (when non-null) with the failing path on error.
+bool WriteManifest(const std::string& path, const RunManifest& manifest,
+                   std::string* error = nullptr);
+
+}  // namespace ethsim::obs

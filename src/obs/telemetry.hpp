@@ -1,0 +1,75 @@
+// Telemetry facade: one object bundling the three instruments —
+//   * MetricsRegistry  (sim-clock, deterministic)      -> metrics.jsonl
+//   * Tracer           (sim-clock, deterministic)      -> trace.json
+//   * EngineProfiler   (wall-clock, nondeterministic)  -> profile.jsonl
+// plus the config that gates them. Components accept a `Telemetry*`; a null
+// pointer (or a facade with everything disabled) costs exactly one predicted
+// branch on hot paths. Telemetry never draws from any Rng and never schedules
+// events, so enabling it cannot perturb a run's event order or results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace ethsim::obs {
+
+struct TelemetryConfig {
+  bool metrics = false;
+  bool trace = false;
+  bool profile = false;
+  std::uint32_t trace_categories = kAllTraceCategories;
+  // Ring capacity in events (64 bytes each): 1M events ≈ 64 MB, enough for
+  // the tail of a month-scale run without OOM.
+  std::size_t trace_capacity = 1u << 20;
+  std::uint64_t profile_sample_every = 1u << 16;
+  // Artifact directory for WriteArtifacts-style helpers; empty = caller's
+  // choice (entry points default next to their other outputs).
+  std::string output_dir;
+
+  bool any() const { return metrics || trace || profile; }
+
+  // Environment gates:
+  //   ETHSIM_METRICS=1            enable the metrics registry
+  //   ETHSIM_TRACE=1|block,net    enable tracing (value = category filter)
+  //   ETHSIM_PROFILE=1            enable the wall-clock engine profiler
+  //   ETHSIM_TRACE_CAPACITY=N     ring capacity in events
+  //   ETHSIM_TELEMETRY_DIR=path   artifact directory
+  static TelemetryConfig FromEnv();
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config);
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const TelemetryConfig& config() const { return config_; }
+
+  // Null when the corresponding stream is disabled — hot paths branch on
+  // these pointers exactly once.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
+  EngineProfiler* profiler() { return profiler_.get(); }
+  const EngineProfiler* profiler() const { return profiler_.get(); }
+
+  // Writes the enabled streams into `dir` (created if missing) as
+  // metrics.jsonl / trace.json / profile.jsonl. Returns false and fills
+  // `error` (when non-null) with the failing path on I/O errors.
+  bool WriteArtifacts(const std::string& dir,
+                      std::string* error = nullptr) const;
+
+ private:
+  TelemetryConfig config_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<EngineProfiler> profiler_;
+};
+
+}  // namespace ethsim::obs

@@ -1,0 +1,99 @@
+// Sim-clock-domain tracing: a fixed-capacity ring buffer of compact trace
+// events serialized as Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing). Timestamps are *simulation* microseconds, so a trace is
+// bit-for-bit reproducible for a given (config, seed); wall-clock data lives
+// in the separate EngineProfiler stream and never mixes into a trace.
+//
+// Design constraints (see DESIGN.md "Telemetry"):
+//   - Event names and kind strings are static `const char*` literals: no
+//     allocation per emitted event, 64-byte POD records only.
+//   - Ring storage overwrites the oldest events, so month-scale runs keep
+//     the *tail* of the story bounded in memory; `dropped()` reports how many
+//     events scrolled off.
+//   - Category bitmask filtering so a capture can follow (say) only block
+//     lifecycle events through a billion-event run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ethsim::obs {
+
+// Trace categories double as bit positions in the tracer's category mask.
+enum class TraceCategory : std::uint8_t {
+  kBlock = 0,  // block lifecycle: heard / validate / import / head
+  kTx,         // transaction relay
+  kNet,        // message transit (Network::Send)
+  kMine,       // PoW race: mint / release
+  kSim,        // engine/experiment phases
+};
+inline constexpr std::size_t kTraceCategoryCount = 5;
+inline constexpr std::uint32_t kAllTraceCategories =
+    (1u << kTraceCategoryCount) - 1;
+
+std::string_view TraceCategoryName(TraceCategory cat);
+
+// Parses a comma-separated category list ("block,net"); empty or "all"
+// yields every category. Unknown names are ignored.
+std::uint32_t ParseTraceCategories(std::string_view csv);
+
+// One Chrome trace event. phase 'X' = complete (uses dur_us), 'i' = instant.
+// pid/tid map to Perfetto's process/thread lanes: we use pid for the entity
+// (node index, pool index, or source host) and tid for a sub-lane.
+struct TraceEvent {
+  const char* name = "";        // static string literal
+  const char* arg_kind = nullptr;  // optional static string arg ("announcement")
+  std::int64_t ts_us = 0;       // sim-clock timestamp
+  std::int64_t dur_us = 0;      // span length for phase 'X'
+  std::uint64_t arg_hash = 0;   // short block/tx identity (prefix_u64); 0=none
+  std::uint64_t arg_num = 0;    // block number or scalar payload
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  TraceCategory cat = TraceCategory::kSim;
+  char phase = 'i';
+};
+
+class Tracer {
+ public:
+  // `capacity` is clamped to at least 1.
+  Tracer(std::uint32_t category_mask, std::size_t capacity);
+
+  // Hot-path gate: callers check this before building a TraceEvent.
+  bool enabled(TraceCategory cat) const {
+    return (mask_ >> static_cast<unsigned>(cat)) & 1u;
+  }
+  std::uint32_t category_mask() const { return mask_; }
+
+  // Records the event if its category is enabled (overwriting the oldest
+  // record once the ring is full).
+  void Emit(const TraceEvent& event);
+
+  std::uint64_t emitted() const { return emitted_; }
+  // Events that scrolled off the ring (emitted - retained).
+  std::uint64_t dropped() const {
+    return emitted_ - static_cast<std::uint64_t>(size());
+  }
+  std::size_t size() const { return full_ ? cap_ : head_; }
+  std::size_t capacity() const { return cap_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event JSON object: {"traceEvents":[...], ...}. Perfetto and
+  // chrome://tracing load this directly.
+  void WriteChromeTrace(std::ostream& out) const;
+  std::string ToChromeTraceJson() const;
+
+ private:
+  std::uint32_t mask_;
+  std::size_t cap_;               // ring capacity (fixed at construction)
+  std::vector<TraceEvent> ring_;  // reserved to cap_ up front
+  std::size_t head_ = 0;          // next write position
+  bool full_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ethsim::obs

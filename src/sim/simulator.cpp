@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -46,6 +47,10 @@ EventHandle Simulator::ScheduleAt(TimePoint when, EventFn fn) {
   heap_.push_back(HeapEntry{when.micros(), (seq << kLowBits) | index});
   SiftUp(heap_.size() - 1);
   ++live_;
+  // Queue-pressure high-water is profiler-gated so the disabled Schedule
+  // path costs exactly this one predicted branch.
+  if (profiler_ != nullptr && heap_.size() > heap_high_water_) [[unlikely]]
+    heap_high_water_ = heap_.size();
   return EventHandle{index, static_cast<std::uint32_t>(gen)};
 }
 
@@ -141,12 +146,39 @@ std::uint64_t Simulator::Run(TimePoint until, bool bounded) {
     ++executed_;
     ++ran;
     --live_;
-    slot.fn();
+    if (profiler_ == nullptr) [[likely]] {
+      slot.fn();
+    } else {
+      InvokeProfiled(slot);
+    }
     slot.fn.reset();
     free_slots_.push_back(index);
   }
   if (bounded && now_ < until) now_ = until;
   return ran;
+}
+
+void Simulator::InvokeProfiled(Slot& slot) {
+  const auto t0 = std::chrono::steady_clock::now();
+  slot.fn();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  profiler_->ObserveCallbackNs(static_cast<std::uint64_t>(elapsed));
+  if ((executed_ & profiler_->sample_mask()) == 0)
+    profiler_->RecordSample(Snapshot());
+}
+
+obs::EngineSnapshot Simulator::Snapshot() const {
+  obs::EngineSnapshot snapshot;
+  snapshot.sim_now_us = now_.micros();
+  snapshot.events_executed = executed_;
+  snapshot.heap_size = heap_.size();
+  snapshot.heap_high_water = heap_high_water_;
+  snapshot.slots_allocated = slot_count_;
+  snapshot.free_slots = free_slots_.size();
+  snapshot.live_events = live_;
+  return snapshot;
 }
 
 std::uint64_t Simulator::RunUntil(TimePoint until) { return Run(until, true); }

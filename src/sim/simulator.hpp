@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/profiler.hpp"
 #include "sim/callback.hpp"
 
 namespace ethsim::sim {
@@ -70,6 +71,16 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   // Number of scheduled, not-yet-fired, not-cancelled events.
   std::size_t pending() const { return live_; }
+
+  // Attaches the wall-clock engine profiler (null detaches). While attached,
+  // the run loop times every callback and emits a periodic EngineSnapshot;
+  // detached, the hot loop pays a single predicted branch. Profiling reads
+  // engine state only — it cannot change event order or results.
+  void set_profiler(obs::EngineProfiler* profiler) { profiler_ = profiler; }
+  obs::EngineProfiler* profiler() const { return profiler_; }
+
+  // Current engine occupancy, for profiler samples and diagnostics.
+  obs::EngineSnapshot Snapshot() const;
 
  private:
   // 4-ary beats binary here: shallower sift paths, and with 16-byte entries
@@ -133,6 +144,8 @@ class Simulator {
   void RetireSlot(std::uint32_t index);
 
   std::uint64_t Run(TimePoint until, bool bounded);
+  // Cold path: invoke one callback under the wall-clock profiler.
+  void InvokeProfiled(Slot& slot);
 
   TimePoint now_;
   std::vector<HeapEntry> heap_;
@@ -142,6 +155,10 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
+  // Wall-clock observability (null = off; high-water only tracked while a
+  // profiler is attached so the disabled Schedule path stays one branch).
+  obs::EngineProfiler* profiler_ = nullptr;
+  std::size_t heap_high_water_ = 0;
 };
 
 }  // namespace ethsim::sim

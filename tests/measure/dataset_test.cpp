@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "analysis/propagation.hpp"
 #include "core/experiment.hpp"
@@ -96,6 +98,59 @@ TEST_F(DatasetFixture, RoundTripPreservesEverything) {
 TEST_F(DatasetFixture, ReadMissingDirectoryFails) {
   Dataset loaded;
   EXPECT_FALSE(ReadDataset((dir_ / "nope").string(), loaded));
+}
+
+TEST_F(DatasetFixture, ReadErrorNamesTheFailingFile) {
+  Dataset loaded;
+  std::string error;
+  EXPECT_FALSE(ReadDataset((dir_ / "nope").string(), loaded, &error));
+  // The diagnostic must carry the failing path and a reason, not just "no".
+  EXPECT_NE(error.find("MANIFEST.tsv"), std::string::npos) << error;
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST_F(DatasetFixture, MalformedRecordReportsFileAndLine) {
+  ASSERT_TRUE(WriteDataset(dir_.string(), SyntheticDataset()));
+  {
+    // Append a truncated record to the block log: line 1 is the header
+    // comment, lines 2-3 are real records, so the damage lands on line 4.
+    std::ofstream out(dir_ / "EA.blocks.tsv", std::ios::app);
+    out << "1234\tnot-enough-fields\n";
+  }
+  Dataset loaded;
+  std::string error;
+  EXPECT_FALSE(ReadDataset(dir_.string(), loaded, &error));
+  EXPECT_NE(error.find("EA.blocks.tsv"), std::string::npos) << error;
+  EXPECT_NE(error.find("malformed record at line 4"), std::string::npos)
+      << error;
+}
+
+TEST_F(DatasetFixture, NonNumericFieldIsAMalformedRecord) {
+  ASSERT_TRUE(WriteDataset(dir_.string(), SyntheticDataset()));
+  {
+    std::ofstream out(dir_ / "EA.txs.tsv", std::ios::app);
+    // Right field count, but the nonce is not a number — must be rejected
+    // with a line diagnostic, not parsed as 0 or thrown through.
+    out << "5000\t"
+        << "00000000000000000000000000000000000000000000000000000000000000cc"
+        << "\t0000000000000000000000000000000000000003\tNaN\n";
+  }
+  Dataset loaded;
+  std::string error;
+  EXPECT_FALSE(ReadDataset(dir_.string(), loaded, &error));
+  EXPECT_NE(error.find("EA.txs.tsv"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST_F(DatasetFixture, WriteIntoUnwritableTargetReportsPath) {
+  // A regular file where the dataset directory should be: create_directories
+  // fails and the error names the offending path.
+  std::filesystem::create_directories(dir_.parent_path());
+  { std::ofstream out(dir_); out << "occupied"; }
+  std::string error;
+  EXPECT_FALSE(WriteDataset((dir_ / "sub").string(), SyntheticDataset(),
+                            &error));
+  EXPECT_NE(error.find((dir_ / "sub").string()), std::string::npos) << error;
 }
 
 TEST_F(DatasetFixture, ReplayObserverServesAnalysisIdentically) {

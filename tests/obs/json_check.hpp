@@ -1,0 +1,160 @@
+// Minimal recursive-descent JSON validator for telemetry tests. Not a
+// parser — it only answers "is this byte sequence well-formed JSON?", which
+// is what the trace/manifest well-formedness tests need without dragging a
+// JSON library into the build. Accepts exactly RFC 8259 grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace ethsim::testing {
+
+class JsonChecker {
+ public:
+  // True when `text` is one complete, well-formed JSON value (surrounded by
+  // optional whitespace). On failure `failed_at()` reports the byte offset.
+  bool Check(std::string_view text) {
+    text_ = text;
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size() || Fail();
+  }
+
+  std::size_t failed_at() const { return failed_at_; }
+
+ private:
+  bool Fail() {
+    failed_at_ = pos_;
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r'))
+      ++pos_;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail();
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Value() {
+    if (AtEnd()) return Fail();
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"' || !String()) return Fail();
+      SkipWs();
+      if (AtEnd() || Peek() != ':') return Fail();
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (AtEnd()) return Fail();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return Fail();
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (AtEnd()) return Fail();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return Fail();
+    }
+  }
+
+  bool String() {
+    ++pos_;  // opening quote
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return Fail();
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Fail();
+        const char esc = Peek();
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek())))
+              return Fail();
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail();
+        }
+      }
+      ++pos_;
+    }
+    return Fail();  // unterminated
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek())))
+      return Fail();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd()) return Fail();
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (!Digits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t failed_at_ = 0;
+};
+
+inline bool IsWellFormedJson(std::string_view text) {
+  return JsonChecker{}.Check(text);
+}
+
+}  // namespace ethsim::testing

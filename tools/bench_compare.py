@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_substrate bench summary against the tracked
+BENCH_engine.json and fail on regressions.
+
+Usage:
+    tools/bench_compare.py CURRENT.json [BASELINE.json]
+                           [--threshold 0.20] [--min-time-ns 10000]
+
+CURRENT is a JSON file with a "benchmarks" section of the shape the
+micro_substrate reporter writes (ETHSIM_BENCH_JSON=...):
+
+    {"benchmarks": {"BM_Name/arg": {"real_time_ns": ..,
+                                    "items_per_second": ..}, ...}}
+
+BASELINE defaults to BENCH_engine.json next to the repo root (one directory
+above this script). Only benchmarks present in BOTH files are compared —
+additions and removals are reported but never fail the run. A benchmark
+regresses when its real_time_ns grew by more than THRESHOLD (default 20%)
+AND the absolute time is above --min-time-ns (sub-10us timings are noise at
+CI's short --benchmark_min_time).
+
+Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"bench_compare: cannot load {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        print(f"bench_compare: {path} has no 'benchmarks' section",
+              file=sys.stderr)
+        sys.exit(2)
+    return benchmarks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated bench JSON")
+    parser.add_argument("baseline", nargs="?",
+                        default=os.path.join(
+                            os.path.dirname(os.path.dirname(
+                                os.path.abspath(__file__))),
+                            "BENCH_engine.json"),
+                        help="tracked baseline (default: repo BENCH_engine.json)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    parser.add_argument("--min-time-ns", type=float, default=10_000,
+                        help="ignore benchmarks faster than this (noise floor)")
+    args = parser.parse_args()
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print("bench_compare: no common benchmarks between "
+              f"{args.current} and {args.baseline}", file=sys.stderr)
+        sys.exit(2)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  note: {name} only in baseline (not run)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  note: {name} only in current (no baseline yet)")
+
+    regressions = []
+    print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for name in common:
+        base_ns = baseline[name].get("real_time_ns")
+        cur_ns = current[name].get("real_time_ns")
+        if not base_ns or not cur_ns:
+            print(f"{name:44s} {'-':>12s} {'-':>12s} {'n/a':>7s}")
+            continue
+        ratio = cur_ns / base_ns
+        flag = ""
+        if ratio > 1.0 + args.threshold and cur_ns >= args.min_time_ns:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        elif ratio < 1.0 - args.threshold:
+            flag = "  (faster)"
+        print(f"{name:44s} {base_ns:12.0f} {cur_ns:12.0f} {ratio:7.2f}{flag}")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} benchmark(s) slower than "
+              f"baseline by >{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        print("If intentional, regenerate BENCH_engine.json on comparable "
+              "hardware and explain in the PR.", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_compare: OK — {len(common)} benchmark(s) within "
+          f"{args.threshold:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@
 #include "analysis/propagation.hpp"
 #include "analysis/redundancy.hpp"
 #include "core/experiment.hpp"
+#include "core/provenance.hpp"
 #include "core/sweep.hpp"
 
 using namespace ethsim;
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
   std::size_t seed_count = 1;
   if (argc > 3 && std::atoll(argv[3]) > 0)
     seed_count = static_cast<std::size_t>(std::atoll(argv[3]));
+  // ETHSIM_METRICS/ETHSIM_TRACE/ETHSIM_PROFILE gate telemetry; sweep members
+  // each own a registry, merged below in seed order.
+  cfg.telemetry = obs::TelemetryConfig::FromEnv();
 
   core::SeedSweepRunner runner{};
   const auto seeds = core::ConsecutiveSeeds(cfg.seed, seed_count);
@@ -65,6 +69,35 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(events), minted,
               static_cast<unsigned long long>(
                   runs[0]->reference_tree().head_number() - cfg.genesis_number));
+  std::printf("config_digest=%.16s determinism_digest[seed %llu]=%.16s\n",
+              ToHex(core::ConfigDigest(cfg)).c_str(),
+              static_cast<unsigned long long>(seeds[0]),
+              ToHex(core::DeterminismDigest(*runs[0])).c_str());
+
+  // Telemetry artifacts: thread-count-invariant merged metrics plus the
+  // first seed's full artifact set.
+  if (runs[0]->telemetry() != nullptr) {
+    std::string dir = cfg.telemetry.output_dir;
+    if (dir.empty()) dir = "calibrate-telemetry";
+    std::string error;
+    if (!core::WriteRunArtifacts(*runs[0], dir, "calibrate", &error)) {
+      std::fprintf(stderr, "error: telemetry artifacts: %s\n", error.c_str());
+      return 1;
+    }
+    if (runs[0]->telemetry()->metrics() != nullptr) {
+      const obs::MetricsRegistry merged = core::MergeSweepMetrics(runs);
+      std::printf("telemetry -> %s/ (merged registry: %zu instruments over "
+                  "%zu seeds)\n",
+                  dir.c_str(), merged.size(), runs.size());
+    }
+  }
+  for (const auto& run : runs) {
+    if (const std::string drops = run->network().RenderDropReport();
+        !drops.empty())
+      std::printf("seed %llu: %s\n",
+                  static_cast<unsigned long long>(run->config().seed),
+                  drops.c_str());
+  }
 
   std::vector<analysis::StudyInputs> all_inputs;
   for (const auto& run : runs) all_inputs.push_back(InputsFor(*run));

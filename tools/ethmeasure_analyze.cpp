@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
   }
 
   measure::Dataset dataset;
-  if (!measure::ReadDataset(argv[1], dataset)) {
-    std::fprintf(stderr, "error: cannot read dataset at %s\n", argv[1]);
+  std::string error;
+  if (!measure::ReadDataset(argv[1], dataset, &error)) {
+    std::fprintf(stderr, "error: cannot read dataset: %s\n", error.c_str());
     return 1;
   }
   std::printf("loaded %zu vantages, catalog of %zu blocks\n\n",

@@ -10,7 +10,9 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/provenance.hpp"
 #include "measure/dataset.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace ethsim;
 
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
   cfg.duration = Duration::Hours(hours);
   cfg.seed = seed;
   cfg.workload.rate_per_sec = tx_rate;
+  // ETHSIM_METRICS / ETHSIM_TRACE / ETHSIM_PROFILE gate the telemetry
+  // streams; artifacts land next to the dataset.
+  cfg.telemetry = obs::TelemetryConfig::FromEnv();
 
   std::printf("collecting: %zu nodes, %.1f h, seed %llu, %.2f tx/s -> %s\n",
               nodes, hours, static_cast<unsigned long long>(seed), tx_rate,
@@ -46,11 +51,21 @@ int main(int argc, char** argv) {
     dataset.vantages.push_back(measure::SnapshotObserver(*obs));
   dataset.catalog = measure::BuildCatalog(exp.minted(), cfg.pools);
 
-  if (!measure::WriteDataset(out_dir, dataset)) {
-    std::fprintf(stderr, "error: failed to write dataset to %s\n",
-                 out_dir.c_str());
+  std::string error;
+  if (!measure::WriteDataset(out_dir, dataset, &error)) {
+    std::fprintf(stderr, "error: failed to write dataset: %s\n", error.c_str());
     return 1;
   }
+  // Provenance manifest (+ any enabled telemetry streams) beside the logs,
+  // so the dataset is self-describing: which config, seed, build wrote it.
+  if (!core::WriteRunArtifacts(exp, out_dir, "ethmeasure_collect", &error)) {
+    std::fprintf(stderr, "error: failed to write run artifacts: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  if (const std::string drops = exp.network().RenderDropReport();
+      !drops.empty())
+    std::printf("%s\n", drops.c_str());
 
   std::size_t block_records = 0, tx_records = 0;
   for (const auto& vantage : dataset.vantages) {

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Schema-check a telemetry artifact directory.
+
+Usage:
+    tools/validate_telemetry.py DIR
+
+Validates whichever artifacts exist in DIR (at least manifest.json must):
+
+  manifest.json   ethsim-run-manifest-v1: required keys, hex digests
+  metrics.jsonl   one JSON object per line; counter/gauge/histogram schemas
+  trace.json      Chrome trace-event JSON: traceEvents list, per-event keys
+  profile.jsonl   sample / callback_histogram / phase records
+
+Exit status: 0 = valid, 1 = validation failure, 2 = usage/IO error.
+"""
+
+import json
+import os
+import string
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"  FAIL: {msg}")
+
+
+def is_hex(value, digits=None):
+    return (isinstance(value, str)
+            and (digits is None or len(value) == digits)
+            and all(c in string.hexdigits for c in value))
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_manifest(path):
+    doc = load_json(path)
+    if doc.get("schema") != "ethsim-run-manifest-v1":
+        fail(f"manifest schema is {doc.get('schema')!r}")
+    for key in ("tool", "seed", "config_digest", "determinism_digest",
+                "events_executed", "head_number", "head_hash",
+                "sim_duration_s", "telemetry", "build"):
+        if key not in doc:
+            fail(f"manifest missing key {key!r}")
+    for key in ("config_digest", "determinism_digest", "head_hash"):
+        if key in doc and not is_hex(doc[key], 64):
+            fail(f"manifest {key} is not a 64-digit hex string: {doc[key]!r}")
+    telemetry = doc.get("telemetry", {})
+    for key in ("metrics", "trace", "profile"):
+        if not isinstance(telemetry.get(key), bool):
+            fail(f"manifest telemetry.{key} is not a bool")
+    build = doc.get("build", {})
+    for key in ("git_sha", "build_type", "compiler"):
+        if not isinstance(build.get(key), str):
+            fail(f"manifest build.{key} is not a string")
+    return doc
+
+
+def check_metrics(path):
+    names = set()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                fail(f"metrics.jsonl:{lineno}: not JSON ({exc})")
+                continue
+            kind = record.get("type")
+            name = record.get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"metrics.jsonl:{lineno}: missing name")
+                continue
+            if name in names:
+                fail(f"metrics.jsonl:{lineno}: duplicate metric {name!r}")
+            names.add(name)
+            if kind == "counter":
+                ok = isinstance(record.get("value"), int)
+            elif kind == "gauge":
+                ok = (isinstance(record.get("value"), int)
+                      and isinstance(record.get("high_water"), int))
+            elif kind == "histogram":
+                buckets = record.get("buckets")
+                ok = (isinstance(record.get("count"), int)
+                      and isinstance(record.get("sum"), int)
+                      and isinstance(buckets, list)
+                      and all(isinstance(b, list) and len(b) == 2
+                              for b in buckets)
+                      and buckets and buckets[-1][0] is None)
+                if ok and sum(b[1] for b in buckets) != record["count"]:
+                    fail(f"metrics.jsonl:{lineno}: bucket counts do not sum "
+                         f"to count for {name!r}")
+            else:
+                ok = False
+            if not ok:
+                fail(f"metrics.jsonl:{lineno}: malformed {kind!r} record")
+    if not names:
+        fail("metrics.jsonl contains no metrics")
+    return names
+
+
+def check_trace(path):
+    doc = load_json(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("trace.json has no traceEvents list")
+        return
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+            continue
+        for key, kind in (("name", str), ("cat", str), ("ph", str),
+                          ("ts", int), ("pid", int), ("tid", int)):
+            if not isinstance(event.get(key), kind):
+                fail(f"traceEvents[{i}] missing/invalid {key!r}")
+                break
+        else:
+            if event["ph"] == "X" and not isinstance(event.get("dur"), int):
+                fail(f"traceEvents[{i}]: complete event without dur")
+            if event["ph"] not in ("X", "i"):
+                fail(f"traceEvents[{i}]: unexpected phase {event['ph']!r}")
+    other = doc.get("otherData", {})
+    if not isinstance(other.get("emitted"), int):
+        fail("trace.json otherData.emitted missing")
+    elif other["emitted"] < len(events):
+        fail("trace.json emitted < retained event count")
+
+
+def check_profile(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        kinds = set()
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                fail(f"profile.jsonl:{lineno}: not JSON ({exc})")
+                continue
+            kind = record.get("type")
+            kinds.add(kind)
+            if kind not in ("sample", "callback_histogram", "phase"):
+                fail(f"profile.jsonl:{lineno}: unknown record type {kind!r}")
+    if "callback_histogram" not in kinds:
+        fail("profile.jsonl has no callback_histogram record")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    directory = sys.argv[1]
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        print(f"validate_telemetry: {manifest_path} not found", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"validating {directory}/")
+    manifest = check_manifest(manifest_path)
+    telemetry = manifest.get("telemetry", {})
+
+    checks = (("metrics.jsonl", telemetry.get("metrics"), check_metrics),
+              ("trace.json", telemetry.get("trace"), check_trace),
+              ("profile.jsonl", telemetry.get("profile"), check_profile))
+    for filename, enabled, check in checks:
+        path = os.path.join(directory, filename)
+        present = os.path.exists(path)
+        if enabled and not present:
+            fail(f"manifest says {filename} enabled but the file is missing")
+        elif present:
+            check(path)
+            print(f"  ok: {filename}")
+    print("  ok: manifest.json" if not FAILURES else "")
+
+    if FAILURES:
+        print(f"validate_telemetry: {len(FAILURES)} failure(s)",
+              file=sys.stderr)
+        sys.exit(1)
+    print("validate_telemetry: all artifacts valid")
+
+
+if __name__ == "__main__":
+    main()
