@@ -1,0 +1,100 @@
+#include "analysis/resilience.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ethsim::analysis {
+
+WindowSlice SliceWindow(const StudyInputs& inputs, TimePoint start,
+                        TimePoint end) {
+  WindowSlice slice;
+  slice.start = start;
+  slice.end = end;
+  if (inputs.minted == nullptr || inputs.reference == nullptr) return slice;
+
+  // In-window mint-catalog entries, classified against the converged tree.
+  std::unordered_set<Hash32> in_window;
+  for (const miner::MintRecord& record : *inputs.minted) {
+    if (record.mined_at < start || record.mined_at >= end) continue;
+    ++slice.blocks_minted;
+    in_window.insert(record.block->hash);
+    if (inputs.reference->IsCanonical(record.block->hash))
+      ++slice.canonical_blocks;
+  }
+  slice.fork_blocks = slice.blocks_minted - slice.canonical_blocks;
+  slice.fork_rate = slice.blocks_minted == 0
+                        ? 0.0
+                        : static_cast<double>(slice.fork_blocks) /
+                              static_cast<double>(slice.blocks_minted);
+
+  // Cross-vantage propagation, restricted to in-window blocks. Same delta
+  // definition as BlockPropagationDelays: arrival minus earliest vantage
+  // arrival, ties contribute nothing.
+  SampleSet delays_ms;
+  std::unordered_map<Hash32, std::vector<TimePoint>> by_hash;
+  for (const measure::Observer* obs : inputs.observers)
+    for (const auto& [hash, when] : obs->first_block_arrival())
+      if (in_window.contains(hash)) by_hash[hash].push_back(when);
+  for (const auto& [hash, times] : by_hash) {
+    if (times.size() < 2) continue;
+    const TimePoint first = *std::min_element(times.begin(), times.end());
+    for (const TimePoint t : times)
+      if (t != first) delays_ms.Add((t - first).millis());
+  }
+  slice.delay_samples = delays_ms.count();
+  if (!delays_ms.empty()) {
+    slice.delay_median_ms = delays_ms.Median();
+    slice.delay_p95_ms = delays_ms.Quantile(0.95);
+  }
+  return slice;
+}
+
+ResilienceReport CompareResilience(const StudyInputs& faulted,
+                                   const StudyInputs& control, TimePoint start,
+                                   TimePoint end) {
+  ResilienceReport report;
+  report.faulted = SliceWindow(faulted, start, end);
+  report.control = SliceWindow(control, start, end);
+  if (report.control.fork_rate > 0)
+    report.fork_rate_inflation =
+        report.faulted.fork_rate / report.control.fork_rate;
+  if (report.control.delay_p95_ms > 0)
+    report.delay_p95_inflation =
+        report.faulted.delay_p95_ms / report.control.delay_p95_ms;
+  return report;
+}
+
+namespace {
+
+void RenderSlice(std::ostringstream& out, const char* label,
+                 const WindowSlice& slice) {
+  out << "  " << label << ": minted " << slice.blocks_minted << ", canonical "
+      << slice.canonical_blocks << ", forked " << slice.fork_blocks
+      << " (fork rate " << std::fixed << std::setprecision(1)
+      << slice.fork_rate * 100.0 << "%), delay median "
+      << std::setprecision(0) << slice.delay_median_ms << " ms / p95 "
+      << slice.delay_p95_ms << " ms (" << slice.delay_samples
+      << " samples)\n";
+}
+
+}  // namespace
+
+std::string RenderResilience(const ResilienceReport& report) {
+  std::ostringstream out;
+  out << "window [" << std::fixed << std::setprecision(0)
+      << report.faulted.start.seconds() << " s, "
+      << report.faulted.end.seconds() << " s)\n";
+  RenderSlice(out, "faulted", report.faulted);
+  RenderSlice(out, "control", report.control);
+  out << "  inflation: fork rate x" << std::setprecision(2)
+      << report.fork_rate_inflation << ", propagation p95 x"
+      << report.delay_p95_inflation << "\n";
+  return out.str();
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,55 @@
+// Resilience analysis: quantifies what an injected fault window (src/fault)
+// did to the chain. A WindowSlice restricts the standard measurements — fork
+// rate from the mint catalog, cross-vantage propagation delay from the
+// observer logs — to blocks minted inside a time window; CompareResilience
+// sets a faulted run's slice against the same window of a fault-free control
+// run with the same seed, yielding the inflation factors the partition bench
+// reports (fork-rate x, propagation-p95 x).
+#pragma once
+
+#include <string>
+
+#include "analysis/inputs.hpp"
+#include "common/time.hpp"
+
+namespace ethsim::analysis {
+
+// Measurements over blocks minted in [start, end).
+struct WindowSlice {
+  TimePoint start;
+  TimePoint end;
+  std::size_t blocks_minted = 0;    // mint-catalog entries in the window
+  std::size_t canonical_blocks = 0; // of those, canonical at end of run
+  std::size_t fork_blocks = 0;      // minted - canonical (lost to forks)
+  double fork_rate = 0;             // fork_blocks / blocks_minted
+  // Cross-vantage propagation delay of in-window blocks (same definition as
+  // BlockPropagationDelays: arrival minus earliest vantage arrival).
+  std::size_t delay_samples = 0;
+  double delay_median_ms = 0;
+  double delay_p95_ms = 0;
+};
+
+// Slices the study against one window. `inputs.minted` and
+// `inputs.reference` must be set; observers may be empty (delay fields then
+// stay zero).
+WindowSlice SliceWindow(const StudyInputs& inputs, TimePoint start,
+                        TimePoint end);
+
+// A faulted run vs its fault-free control over the same window (same seed,
+// same config apart from the fault plan).
+struct ResilienceReport {
+  WindowSlice faulted;
+  WindowSlice control;
+  // faulted / control ratios; 0 when the control denominator is zero.
+  double fork_rate_inflation = 0;
+  double delay_p95_inflation = 0;
+};
+
+ResilienceReport CompareResilience(const StudyInputs& faulted,
+                                   const StudyInputs& control, TimePoint start,
+                                   TimePoint end);
+
+// Human-readable report block for bench output.
+std::string RenderResilience(const ResilienceReport& report);
+
+}  // namespace ethsim::analysis

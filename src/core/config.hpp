@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "eth/node.hpp"
+#include "fault/plan.hpp"
 #include "miner/mining.hpp"
 #include "miner/pool.hpp"
 #include "net/geo.hpp"
@@ -85,6 +86,12 @@ struct ExperimentConfig {
   std::vector<miner::PoolSpec> pools;
 
   TxWorkloadParams workload;
+
+  // Fault-injection timeline (empty by default). An empty plan is bit-for-bit
+  // inert: no controller event is scheduled, no RNG stream shifts, and every
+  // golden/digest matches a build without the fault layer. A non-empty plan
+  // IS part of the experiment identity and enters the config digest.
+  fault::FaultPlan fault_plan;
 
   // Observability gates (all off by default: hot paths then cost one
   // predicted branch). Enabling any stream cannot change results — telemetry

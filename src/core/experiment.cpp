@@ -100,6 +100,30 @@ void Experiment::Build() {
       frontends.push_back(nodes_[i].get());
   workload_ = std::make_unique<TxWorkload>(sim_, master.Fork("workload"),
                                            config_.workload, frontends);
+
+  // 5. Fault controller — only when the plan is non-empty, so a fault-free
+  //    config builds the exact object graph (and RNG stream set) it always
+  //    did. Fork("fault") is keyed off the master seed alone, so armed fault
+  //    schedules are independent of every other stream.
+  if (!config_.fault_plan.empty()) {
+    fault_ = std::make_unique<fault::FaultController>(
+        sim_, master.Fork("fault"), config_.fault_plan);
+    fault::FaultController::Bindings bindings;
+    bindings.network = net_.get();
+    bindings.nodes.reserve(nodes_.size());
+    for (const auto& node : nodes_) bindings.nodes.push_back(node.get());
+    bindings.gateway_count = gateway_count;
+    bindings.observer_start = nodes_.size() - observers_.size();
+    bindings.coordinator = coordinator_.get();
+    for (const auto& observer : observers_)
+      bindings.observers.push_back(observer.get());
+    for (std::size_t p = 0; p < config_.pools.size(); ++p)
+      for (std::size_t g = 0; g < config_.pools[p].gateways.size(); ++g)
+        bindings.gateway_pool.push_back(p);
+    fault_->Bind(std::move(bindings));
+    fault_->AttachTelemetry(telemetry_.get());
+    fault_->Arm();
+  }
 }
 
 void Experiment::BuildTopology(Rng rng) {

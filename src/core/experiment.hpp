@@ -10,6 +10,7 @@
 #include "core/config.hpp"
 #include "core/workload.hpp"
 #include "eth/node.hpp"
+#include "fault/controller.hpp"
 #include "measure/observer.hpp"
 #include "miner/mining.hpp"
 #include "net/network.hpp"
@@ -54,6 +55,10 @@ class Experiment {
   obs::Telemetry* telemetry() { return telemetry_.get(); }
   const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
+  // The fault controller; null when config().fault_plan is empty (the
+  // fault-free fast path — nothing is constructed, nothing scheduled).
+  const fault::FaultController* fault() const { return fault_.get(); }
+
  private:
   void Build();
   void BuildTopology(Rng rng);
@@ -71,6 +76,7 @@ class Experiment {
   std::vector<std::unique_ptr<measure::Observer>> observers_;
   std::unique_ptr<miner::MiningCoordinator> coordinator_;
   std::unique_ptr<TxWorkload> workload_;
+  std::unique_ptr<fault::FaultController> fault_;
   bool ran_ = false;
   bool built_ = false;
 };

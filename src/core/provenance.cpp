@@ -125,6 +125,11 @@ Hash32 ConfigDigest(const ExperimentConfig& config) {
                pool.policy.one_miner_fork_distinct_txset_rate);
     dump.Field(p + ".fork_triple_rate", pool.policy.fork_triple_rate);
     dump.Field(p + ".job_update_delay", pool.policy.job_update_delay);
+    // Appended only when non-default, so digests of pre-existing configs
+    // (which could not express an outage policy) stay bit-identical.
+    if (pool.policy.gateway_outage != miner::GatewayOutagePolicy::kFallback)
+      dump.Field(p + ".gateway_outage",
+                 static_cast<int>(pool.policy.gateway_outage));
   }
 
   dump.Field("workload.rate_per_sec", config.workload.rate_per_sec);
@@ -135,6 +140,30 @@ Hash32 ConfigDigest(const ExperimentConfig& config) {
              config.workload.inversion_delay_mean_s);
   dump.Field("workload.payload_mean_bytes", config.workload.payload_mean_bytes);
   dump.Field("genesis_number", config.genesis_number);
+
+  // Fault timeline: part of the experiment identity, but appended only when
+  // non-empty so that the digest of every fault-free config is bit-identical
+  // to what it was before the fault layer existed.
+  if (!config.fault_plan.empty()) {
+    dump.Field("fault.rejoin_dials", config.fault_plan.rejoin_dials);
+    for (std::size_t i = 0; i < config.fault_plan.events.size(); ++i) {
+      const fault::FaultEvent& event = config.fault_plan.events[i];
+      const std::string p = "fault." + std::to_string(i);
+      dump.Field(p + ".kind", fault::FaultKindName(event.kind));
+      dump.Field(p + ".at", Duration::Micros(event.at.micros()));
+      dump.Field(p + ".duration", event.duration);
+      dump.Field(p + ".count", event.count);
+      dump.Field(p + ".churn_rate_per_min", event.churn_rate_per_min);
+      dump.Field(p + ".churn_downtime_mean", event.churn_downtime_mean);
+      dump.Field(p + ".region_mask", event.region_mask);
+      dump.Field(p + ".latency_factor", event.latency_factor);
+      dump.Field(p + ".bandwidth_factor", event.bandwidth_factor);
+      dump.Field(p + ".extra_drop_prob", event.extra_drop_prob);
+      dump.Field(p + ".pool_index", event.pool_index);
+      dump.Field(p + ".observer_index", event.observer_index);
+      dump.Field(p + ".clock_delta", event.clock_delta);
+    }
+  }
 
   return Keccak256Of(dump.str());
 }
@@ -178,6 +207,18 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
   manifest.extra.emplace_back(
       "messages_dropped",
       std::to_string(experiment.network().messages_dropped()));
+  // Fault extras only when a controller ran: fault-free manifests are
+  // byte-identical to pre-fault-layer output.
+  if (const fault::FaultController* fault = experiment.fault()) {
+    manifest.extra.emplace_back(
+        "fault_events", std::to_string(fault->plan().events.size()));
+    manifest.extra.emplace_back(
+        "fault_injected", std::to_string(fault->stats().total_injected()));
+    manifest.extra.emplace_back("fault_crashes",
+                                std::to_string(fault->stats().crashes));
+    manifest.extra.emplace_back("fault_restarts",
+                                std::to_string(fault->stats().restarts));
+  }
   return manifest;
 }
 

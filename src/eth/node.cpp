@@ -76,15 +76,83 @@ void EthNode::TraceBlockInstant(const char* name, const char* arg_kind,
   block_tracer_->Emit(event);
 }
 
+bool EthNode::AddPeer(EthNode* node) {
+  if (node == nullptr || node == this) return false;
+  if (peers_.size() >= config_.max_peers) return false;
+  if (FindPeer(node) != nullptr) return false;
+  peers_.push_back(Peer{node, BoundedSet<Hash32>(config_.known_blocks_cap),
+                        BoundedSet<Hash32>(config_.known_txs_cap)});
+  return true;
+}
+
+bool EthNode::RemovePeer(const EthNode* node) {
+  for (auto it = peers_.begin(); it != peers_.end(); ++it) {
+    if (it->node != node) continue;
+    // Erase in place (not swap-pop): the surviving peers keep their relative
+    // order, so announcement iteration and the relay shuffle index the same
+    // peer set a fresh call would see.
+    peers_.erase(it);
+    return true;
+  }
+  return false;
+}
+
 bool EthNode::Connect(EthNode& a, EthNode& b) {
   if (&a == &b) return false;
+  if (!a.online_ || !b.online_) return false;
   if (a.peers_.size() >= a.config_.max_peers) return false;
   if (b.peers_.size() >= b.config_.max_peers) return false;
   if (a.ConnectedTo(b)) return false;
-  a.peers_.push_back(Peer{&b, BoundedSet<Hash32>(a.config_.known_blocks_cap),
-                          BoundedSet<Hash32>(a.config_.known_txs_cap)});
-  b.peers_.push_back(Peer{&a, BoundedSet<Hash32>(b.config_.known_blocks_cap),
-                          BoundedSet<Hash32>(b.config_.known_txs_cap)});
+  const bool added_a = a.AddPeer(&b);
+  const bool added_b = b.AddPeer(&a);
+  assert(added_a && added_b);
+  (void)added_a;
+  (void)added_b;
+  return true;
+}
+
+bool EthNode::Disconnect(EthNode& a, EthNode& b) {
+  const bool removed_a = a.RemovePeer(&b);
+  const bool removed_b = b.RemovePeer(&a);
+  assert(removed_a == removed_b && "peer vectors out of sync");
+  return removed_a && removed_b;
+}
+
+std::size_t EthNode::DisconnectAll() {
+  std::size_t severed = 0;
+  while (!peers_.empty()) {
+    EthNode* peer = peers_.back().node;
+    peers_.pop_back();
+    const bool removed = peer->RemovePeer(this);
+    assert(removed && "peer vectors out of sync");
+    (void)removed;
+    ++severed;
+  }
+  return severed;
+}
+
+void EthNode::GoOffline() {
+  if (!online_) return;
+  DisconnectAll();
+  // In-flight relay state is RAM: lost with the process. Chain + pool model
+  // disk state and survive for the restart.
+  importing_.clear();
+  requested_.clear();
+  tx_broadcast_queue_.clear();
+  flush_scheduled_ = false;
+  ++epoch_;  // invalidate every callback scheduled before the crash
+  online_ = false;
+}
+
+void EthNode::GoOnline() {
+  if (online_) return;
+  online_ = true;
+}
+
+bool EthNode::DropIngress(obs::MsgKind kind) {
+  if (online_) [[likely]] return false;
+  ++offline_drops_;
+  net_.NoteOfflineDrop(kind, region());
   return true;
 }
 
@@ -106,12 +174,17 @@ void EthNode::MarkKnowsBlock(EthNode* from, const Hash32& hash) {
 // --- local actions ---------------------------------------------------------
 
 void EthNode::SubmitTransaction(const chain::Transaction& tx) {
+  if (!online_) return;  // a crashed node accepts no local submissions
   if (!seen_txs_.Insert(tx.hash)) return;
   pool_.Add(tx);
   QueueTxForBroadcast(tx);
 }
 
 void EthNode::InjectMinedBlock(chain::BlockPtr block) {
+  // Gateway outage: the pool's release policy (miner layer) decides whether
+  // to fall back to another gateway or stall; a direct call on a crashed
+  // node is simply swallowed here.
+  if (!online_) return;
   // The miner built this block itself: no validation needed. Geth's
   // minedBroadcastLoop pushes the full block to sqrt(peers) and announces
   // the hash to everyone else.
@@ -145,6 +218,7 @@ void EthNode::InjectMinedBlock(chain::BlockPtr block) {
 // --- wire ingress ------------------------------------------------------------
 
 void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
+  if (DropIngress(obs::MsgKind::kNewBlock)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFullBlock, block->hash,
                           block->header.number, block.get());
@@ -156,6 +230,7 @@ void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
 }
 
 void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
+  if (DropIngress(obs::MsgKind::kBlockResponse)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFetched, block->hash,
                           block->header.number, block.get());
@@ -169,6 +244,7 @@ void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
 
 void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
                                   std::uint64_t number) {
+  if (DropIngress(obs::MsgKind::kAnnouncement)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kAnnouncement, hash, number,
                           nullptr);
@@ -182,12 +258,16 @@ void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
   net_.Send(host_, from->host(), kGetBlockWireSize, obs::MsgKind::kGetBlock,
             [from, self = this, hash] { from->DeliverGetBlock(self, hash); });
   // Retry guard: if the fetch (or its response) is lost, forget it so the
-  // next announcement re-triggers the request.
-  sim_.Schedule(config_.fetch_retry_timeout,
-                [this, hash] { requested_.erase(hash); });
+  // next announcement re-triggers the request. Epoch-guarded: after a crash
+  // the restarted session starts with a fresh `requested_` set and a stale
+  // timer must not touch it.
+  sim_.Schedule(config_.fetch_retry_timeout, [this, hash, epoch = epoch_] {
+    if (epoch == epoch_) requested_.erase(hash);
+  });
 }
 
 void EthNode::DeliverGetBlock(EthNode* from, const Hash32& hash) {
+  if (DropIngress(obs::MsgKind::kGetBlock)) [[unlikely]] return;
   const chain::BlockPtr block = tree_.Get(hash);
   if (!block) return;  // pruned/unknown; requester will hear it elsewhere
   if (Peer* p = FindPeer(from)) p->known_blocks.Insert(hash);
@@ -197,6 +277,7 @@ void EthNode::DeliverGetBlock(EthNode* from, const Hash32& hash) {
 }
 
 void EthNode::DeliverTransactions(EthNode* from, const TxBatchView& batch) {
+  if (DropIngress(obs::MsgKind::kTransactions)) [[unlikely]] return;
   Peer* peer = FindPeer(from);
   if (tx_received_count_ != nullptr) [[unlikely]]
     tx_received_count_->Add(batch.count());
@@ -242,10 +323,16 @@ void EthNode::HandleIncomingBlock(EthNode* from, chain::BlockPtr block) {
       block_tracer_->Emit(event);
     }
   }
-  sim_.Schedule(config_.header_check_delay, [this, block] {
+  // Both stages capture the session epoch: a crash between header check and
+  // import must abandon the pipeline (the block was only in RAM), and the
+  // restarted session must not see a ghost import fire.
+  sim_.Schedule(config_.header_check_delay, [this, block, epoch = epoch_] {
+    if (epoch != epoch_) return;
     PushToSqrtPeers(block);
-    sim_.Schedule(ValidationDelay(*block),
-                  [this, block] { ImportBlock(block, nullptr); });
+    sim_.Schedule(ValidationDelay(*block), [this, block, epoch] {
+      if (epoch != epoch_) return;
+      ImportBlock(block, nullptr);
+    });
   });
   (void)from;
 }
@@ -293,7 +380,9 @@ void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
                     target->DeliverGetBlock(self, parent);
                   });
         sim_.Schedule(config_.fetch_retry_timeout,
-                      [this, parent] { requested_.erase(parent); });
+                      [this, parent, epoch = epoch_] {
+                        if (epoch == epoch_) requested_.erase(parent);
+                      });
       }
       return;
     }
@@ -391,7 +480,9 @@ void EthNode::QueueTxForBroadcast(const chain::Transaction& tx) {
   tx_broadcast_queue_.push_back(tx);
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
-    sim_.Schedule(config_.tx_flush_interval, [this] { FlushTxBroadcast(); });
+    sim_.Schedule(config_.tx_flush_interval, [this, epoch = epoch_] {
+      if (epoch == epoch_) FlushTxBroadcast();
+    });
   }
 }
 

@@ -95,12 +95,31 @@ class EthNode {
   const p2p::NodeId& id() const { return id_; }
   net::Region region() const;
 
-  // Establishes a mutual connection. Returns false if either side is full,
-  // they are already connected, or it is a self-dial.
+  // Establishes a mutual connection. Returns false if either side is full
+  // or offline, they are already connected, or it is a self-dial.
   static bool Connect(EthNode& a, EthNode& b);
+  // Tears down a mutual connection; both peer vectors stay consistent (the
+  // churn primitive). Returns false when the two were not connected.
+  static bool Disconnect(EthNode& a, EthNode& b);
+  // Drops every peer link (both sides); returns how many were severed.
+  std::size_t DisconnectAll();
   std::size_t peer_count() const { return peers_.size(); }
   bool ConnectedTo(const EthNode& other) const;
   std::size_t max_peers() const { return config_.max_peers; }
+
+  // --- fault hooks (driven by fault::FaultController) ---------------------
+  // A crashed/churned-out node: all peer links are severed, in-flight relay
+  // state (importing/requested sets, tx broadcast queue) is lost, and the
+  // session epoch advances so callbacks scheduled before the crash become
+  // no-ops. The chain tree and txpool survive — they model disk state — so a
+  // restart resumes from the pre-crash head and back-fills missed blocks via
+  // the orphan parent-fetch path when the next block arrives.
+  bool online() const { return online_; }
+  void GoOffline();
+  void GoOnline();
+  // Messages that reached this node while it was offline (also attributed in
+  // the Network drop census under reason `offline`).
+  std::uint64_t offline_drops() const { return offline_drops_; }
 
   void set_sink(MessageSink* sink) { sink_ = sink; }
   // Wires block-lifecycle tracing and per-region import/head counters.
@@ -144,6 +163,17 @@ class EthNode {
   Peer* FindPeer(const EthNode* node);
   void MarkKnowsBlock(EthNode* from, const Hash32& hash);
 
+  // Single-sided peer-vector maintenance. AddPeer enforces capacity and
+  // duplicate checks; RemovePeer erases in place preserving order, so the
+  // relay shuffle and announcement iteration stay consistent with the
+  // surviving peer set. Both are private: external callers go through
+  // Connect/Disconnect, which keep the two sides symmetric.
+  bool AddPeer(EthNode* node);
+  bool RemovePeer(const EthNode* node);
+  // True when a message arriving now must be discarded (node offline); also
+  // attributes the loss in the Network drop census.
+  bool DropIngress(obs::MsgKind kind);
+
   // Relay pipeline.
   void HandleIncomingBlock(EthNode* from, chain::BlockPtr block);
   void PushToSqrtPeers(const chain::BlockPtr& block);
@@ -180,6 +210,13 @@ class EthNode {
   std::vector<chain::Transaction> tx_broadcast_queue_;
   bool flush_scheduled_ = false;
   std::uint64_t invalid_blocks_ = 0;
+
+  // Fault state. The epoch advances on every crash; internal scheduled
+  // callbacks capture it and fire only when it still matches, so pre-crash
+  // validation/import/flush timers cannot leak into a restarted session.
+  bool online_ = true;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t offline_drops_ = 0;
 
   // Scratch buffers reused across relay rounds (no per-call allocations).
   std::vector<std::uint32_t> relay_order_;   // PushToSqrtPeers shuffle

@@ -1,0 +1,303 @@
+#include "fault/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "p2p/kademlia.hpp"
+
+namespace ethsim::fault {
+
+FaultController::FaultController(sim::Simulator& simulator, Rng rng,
+                                 FaultPlan plan)
+    : sim_(simulator), rng_(rng), plan_(std::move(plan)) {
+  downed_by_event_.resize(plan_.events.size());
+}
+
+void FaultController::Bind(Bindings bindings) {
+  b_ = std::move(bindings);
+  assert(b_.network != nullptr);
+  assert(b_.observer_start <= b_.nodes.size());
+  assert(b_.gateway_count <= b_.observer_start);
+  assert(b_.gateway_pool.size() == b_.gateway_count);
+  bound_ = true;
+}
+
+void FaultController::AttachTelemetry(obs::Telemetry* telemetry) {
+  tracer_ = nullptr;
+  injected_count_.fill(nullptr);
+  if (telemetry == nullptr) return;
+
+  if (obs::Tracer* tracer = telemetry->tracer();
+      tracer != nullptr && tracer->enabled(obs::TraceCategory::kFault)) {
+    tracer_ = tracer;
+  }
+  if (obs::MetricsRegistry* metrics = telemetry->metrics()) {
+    // Eager registration for every kind: the registry contents are a fixed
+    // function of the config, not of which faults happened to fire.
+    for (std::size_t k = 0; k < kFaultKindCount; ++k)
+      injected_count_[k] = metrics->GetCounter(obs::LabeledName(
+          "fault.injected", {{"kind", FaultKindName(static_cast<FaultKind>(k))}}));
+  }
+}
+
+void FaultController::CountInjected(FaultKind kind) {
+  ++stats_.injected[static_cast<std::size_t>(kind)];
+  if (obs::Counter* c = injected_count_[static_cast<std::size_t>(kind)])
+    c->Add();
+}
+
+void FaultController::TraceInstant(const char* name, FaultKind kind,
+                                   std::uint64_t arg_num) {
+  if (tracer_ == nullptr) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.arg_kind = FaultKindName(kind).data();
+  event.ts_us = sim_.Now().micros();
+  event.arg_num = arg_num;
+  event.cat = obs::TraceCategory::kFault;
+  event.phase = 'i';
+  tracer_->Emit(event);
+}
+
+void FaultController::TraceWindow(const char* name, FaultKind kind,
+                                  TimePoint start) {
+  if (tracer_ == nullptr) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.arg_kind = FaultKindName(kind).data();
+  event.ts_us = start.micros();
+  event.dur_us = sim_.Now().micros() - start.micros();
+  event.cat = obs::TraceCategory::kFault;
+  event.phase = 'X';
+  tracer_->Emit(event);
+}
+
+void FaultController::Arm() {
+  assert(bound_ && "Bind() before Arm()");
+  assert(!armed_ && "Arm() is one-shot");
+  armed_ = true;
+  if (plan_.empty()) return;  // bit-for-bit inert: nothing scheduled
+
+  const std::string error = plan_.Validate();
+  assert(error.empty() && "invalid fault plan");
+  (void)error;
+
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    sim_.ScheduleAt(event.at, [this, i] { Inject(i); });
+    // Heals are scheduled up front (deterministic sequence numbers, fixed at
+    // arm time). Injection state they need (which nodes went down) is filled
+    // in by Inject before they fire. Churn windows self-terminate; clock
+    // jumps and zero-duration faults never heal.
+    const bool heals = event.duration.micros() > 0 &&
+                       (event.kind == FaultKind::kNodeCrash ||
+                        event.kind == FaultKind::kRegionalPartition ||
+                        event.kind == FaultKind::kLinkDegradation ||
+                        event.kind == FaultKind::kGatewayOutage);
+    if (heals)
+      sim_.ScheduleAt(event.at + event.duration, [this, i] { Heal(i); });
+  }
+}
+
+std::vector<std::size_t> FaultController::OnlinePlainNodes() const {
+  std::vector<std::size_t> online;
+  for (std::size_t i = b_.gateway_count; i < b_.observer_start; ++i)
+    if (b_.nodes[i]->online()) online.push_back(i);
+  return online;
+}
+
+void FaultController::CrashNode(std::size_t node_index) {
+  eth::EthNode* node = b_.nodes[node_index];
+  if (!node->online()) return;
+  node->GoOffline();
+  ++stats_.crashes;
+  TraceInstant("fault.node_down", FaultKind::kNodeCrash, node_index);
+}
+
+void FaultController::RejoinNode(std::size_t node_index) {
+  eth::EthNode* node = b_.nodes[node_index];
+  if (node->online()) return;
+  node->GoOnline();
+  ++stats_.restarts;
+
+  // Re-discovery against the surviving overlay: a registry table over every
+  // online id stands in for the discovery daemon's steady-state view, and
+  // Closest() lookups on random targets reproduce the geography-blind,
+  // close-to-random neighbor selection of BuildTopology.
+  p2p::RoutingTable registry{node->id()};
+  std::vector<eth::EthNode*> online;
+  std::unordered_map<Hash32, eth::EthNode*> by_id;
+  for (eth::EthNode* other : b_.nodes) {
+    if (other == node || !other->online()) continue;
+    online.push_back(other);
+    by_id.emplace(other->id(), other);
+    registry.Add(other->id());
+  }
+  if (online.empty()) {
+    TraceInstant("fault.node_up", FaultKind::kNodeCrash, node_index);
+    return;
+  }
+
+  std::size_t dialed = 0;
+  const std::size_t want = plan_.rejoin_dials;
+  int lookups = 0;
+  const int max_lookups = static_cast<int>(want) + 8;
+  while (dialed < want && lookups < max_lookups) {
+    ++lookups;
+    const p2p::NodeId target = p2p::RandomNodeId(rng_);
+    for (const p2p::NodeId& candidate :
+         registry.Closest(target, p2p::kBucketSize)) {
+      if (dialed >= want) break;
+      const auto it = by_id.find(candidate);
+      if (it == by_id.end()) continue;
+      if (eth::EthNode::Connect(*node, *it->second)) ++dialed;
+    }
+  }
+  // Fallback for saturated neighborhoods: random dials, bounded attempts.
+  int attempts = 0;
+  const int cap = 10 * static_cast<int>(online.size()) + 10;
+  while (dialed < want && attempts < cap) {
+    ++attempts;
+    eth::EthNode* other = online[rng_.NextBounded(online.size())];
+    if (eth::EthNode::Connect(*node, *other)) ++dialed;
+  }
+  stats_.rejoin_links += dialed;
+  TraceInstant("fault.node_up", FaultKind::kNodeCrash, node_index);
+  // No explicit chain sync: the node resumes from its on-disk head and
+  // back-fills whatever it missed through the orphan parent-fetch path when
+  // the next block reaches it.
+}
+
+void FaultController::ChurnLeave(std::size_t event_index,
+                                 TimePoint window_end) {
+  const FaultEvent& event = plan_.events[event_index];
+  if (sim_.Now() >= window_end) return;  // window closed: process ends
+
+  // One leave now...
+  const std::vector<std::size_t> candidates = OnlinePlainNodes();
+  if (!candidates.empty()) {
+    const std::size_t victim =
+        candidates[rng_.NextBounded(candidates.size())];
+    CrashNode(victim);
+    ++stats_.churn_leaves;
+    TraceInstant("fault.churn_leave", FaultKind::kPeerChurn, victim);
+    const Duration downtime = Duration::Seconds(
+        rng_.NextExponential(event.churn_downtime_mean.seconds()));
+    sim_.Schedule(downtime, [this, victim] { RejoinNode(victim); });
+  }
+  // ...and the next one after an exponential gap.
+  const double mean_gap_s = 60.0 / event.churn_rate_per_min;
+  const Duration gap = Duration::Seconds(rng_.NextExponential(mean_gap_s));
+  sim_.Schedule(gap, [this, event_index, window_end] {
+    ChurnLeave(event_index, window_end);
+  });
+}
+
+void FaultController::Inject(std::size_t event_index) {
+  const FaultEvent& event = plan_.events[event_index];
+  CountInjected(event.kind);
+
+  switch (event.kind) {
+    case FaultKind::kNodeCrash: {
+      // Sample `count` victims without replacement from the online plain
+      // population; remember them for the paired Heal.
+      std::vector<std::size_t> candidates = OnlinePlainNodes();
+      const std::size_t want =
+          std::min<std::size_t>(event.count, candidates.size());
+      for (std::size_t picked = 0; picked < want; ++picked) {
+        const std::size_t j =
+            picked + rng_.NextBounded(candidates.size() - picked);
+        std::swap(candidates[picked], candidates[j]);
+        CrashNode(candidates[picked]);
+        downed_by_event_[event_index].push_back(candidates[picked]);
+      }
+      break;
+    }
+    case FaultKind::kPeerChurn: {
+      const TimePoint window_end = event.at + event.duration;
+      const double mean_gap_s = 60.0 / event.churn_rate_per_min;
+      const Duration gap = Duration::Seconds(rng_.NextExponential(mean_gap_s));
+      sim_.Schedule(gap, [this, event_index, window_end] {
+        ChurnLeave(event_index, window_end);
+      });
+      break;
+    }
+    case FaultKind::kRegionalPartition: {
+      b_.network->SetPartition(event.region_mask);
+      partition_windows_.push_back(
+          PartitionWindow{event.at, event.at, event.region_mask});
+      TraceInstant("fault.partition_start", event.kind, event.region_mask);
+      break;
+    }
+    case FaultKind::kLinkDegradation: {
+      net::LinkDegradation degradation;
+      degradation.region_mask = event.region_mask;
+      degradation.latency_factor = event.latency_factor;
+      degradation.bandwidth_factor = event.bandwidth_factor;
+      degradation.extra_drop_prob = event.extra_drop_prob;
+      b_.network->SetDegradation(degradation);
+      TraceInstant("fault.degradation_start", event.kind, event.region_mask);
+      break;
+    }
+    case FaultKind::kGatewayOutage: {
+      for (std::size_t g = 0; g < b_.gateway_count; ++g) {
+        if (b_.gateway_pool[g] != event.pool_index) continue;
+        if (!b_.nodes[g]->online()) continue;
+        CrashNode(g);
+        downed_by_event_[event_index].push_back(g);
+      }
+      TraceInstant("fault.gateway_outage", event.kind, event.pool_index);
+      break;
+    }
+    case FaultKind::kClockJump: {
+      if (event.observer_index < b_.observers.size()) {
+        b_.observers[event.observer_index]->AdjustClockOffset(
+            event.clock_delta);
+        ++stats_.clock_jumps;
+      }
+      TraceInstant("fault.clock_jump", event.kind, event.observer_index);
+      break;
+    }
+  }
+}
+
+void FaultController::Heal(std::size_t event_index) {
+  const FaultEvent& event = plan_.events[event_index];
+  switch (event.kind) {
+    case FaultKind::kNodeCrash: {
+      for (const std::size_t index : downed_by_event_[event_index])
+        RejoinNode(index);
+      downed_by_event_[event_index].clear();
+      break;
+    }
+    case FaultKind::kRegionalPartition: {
+      b_.network->ClearPartition();
+      if (!partition_windows_.empty())
+        partition_windows_.back().end = sim_.Now();
+      ++stats_.partitions_healed;
+      TraceWindow("fault.partition", event.kind, event.at);
+      break;
+    }
+    case FaultKind::kLinkDegradation: {
+      b_.network->ClearDegradation();
+      ++stats_.degradations_cleared;
+      TraceWindow("fault.degradation", event.kind, event.at);
+      break;
+    }
+    case FaultKind::kGatewayOutage: {
+      for (const std::size_t index : downed_by_event_[event_index])
+        RejoinNode(index);
+      downed_by_event_[event_index].clear();
+      // A kStall pool parked its releases; push them out now.
+      if (b_.coordinator != nullptr)
+        b_.coordinator->NotifyGatewayRestored(event.pool_index);
+      break;
+    }
+    case FaultKind::kPeerChurn:
+    case FaultKind::kClockJump:
+      break;  // self-terminating / nothing to heal
+  }
+}
+
+}  // namespace ethsim::fault

@@ -1,0 +1,136 @@
+// Executes a FaultPlan against a built experiment. The controller owns a
+// dedicated fork of the master seed ("fault"), so two runs with the same
+// (config, plan, seed) inject byte-identical fault schedules, and a run with
+// an EMPTY plan schedules nothing at all — Arm() returns before touching the
+// simulator, keeping empty-plan runs bit-for-bit identical to a build without
+// the controller.
+//
+// Fault processes:
+//   * node crash/restart  — GoOffline severs links and wipes RAM state; the
+//     restart re-discovers peers Kademlia-style against the survivors and
+//     back-fills missed blocks through the orphan parent-fetch path.
+//   * Poisson peer churn  — leave events at a fixed rate over a window, each
+//     followed by an exponential downtime and a rejoin.
+//   * regional partition  — Network::SetPartition for the window (cross-side
+//     sends dropped deterministically, no RNG perturbation), healed at end.
+//   * link degradation    — latency/bandwidth multipliers + extra loss on
+//     links touching the scoped regions.
+//   * pool-gateway outage — every gateway of one pool crashes; on restore the
+//     MiningCoordinator re-releases any blocks a kStall pool parked.
+//   * clock jump          — a vantage observer's NTP offset steps by a delta.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "eth/node.hpp"
+#include "fault/plan.hpp"
+#include "measure/observer.hpp"
+#include "miner/mining.hpp"
+#include "net/network.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/simulator.hpp"
+
+namespace ethsim::fault {
+
+// What the controller did, for end-of-run reports and assertions.
+struct FaultStats {
+  // Timeline events fired, by kind (a churn window counts once).
+  std::array<std::uint64_t, kFaultKindCount> injected{};
+  std::uint64_t crashes = 0;        // node-down transitions (all causes)
+  std::uint64_t restarts = 0;       // node-up transitions (all causes)
+  std::uint64_t churn_leaves = 0;   // down transitions from churn processes
+  std::uint64_t rejoin_links = 0;   // peer links re-established by rejoins
+  std::uint64_t partitions_healed = 0;
+  std::uint64_t degradations_cleared = 0;
+  std::uint64_t clock_jumps = 0;
+
+  std::uint64_t total_injected() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : injected) sum += n;
+    return sum;
+  }
+};
+
+// A partition window as actually executed — the resilience analysis slices
+// observer logs against these.
+struct PartitionWindow {
+  TimePoint start;
+  TimePoint end;  // == start when the partition never healed in-run
+  std::uint32_t side_a_mask = 0;
+};
+
+class FaultController {
+ public:
+  // Everything the controller acts on, resolved once after the experiment is
+  // built. `nodes` is the build-order vector [gateways..., plain...,
+  // observers...]; `gateway_pool[i]` is the owning pool of gateway node i.
+  struct Bindings {
+    net::Network* network = nullptr;
+    std::vector<eth::EthNode*> nodes;
+    std::size_t gateway_count = 0;
+    std::size_t observer_start = 0;  // first observer-node index
+    miner::MiningCoordinator* coordinator = nullptr;  // null: no mining wired
+    std::vector<measure::Observer*> observers;
+    std::vector<std::size_t> gateway_pool;
+  };
+
+  FaultController(sim::Simulator& simulator, Rng rng, FaultPlan plan);
+  FaultController(const FaultController&) = delete;
+  FaultController& operator=(const FaultController&) = delete;
+
+  void Bind(Bindings bindings);
+
+  // Wires fault.injected{kind=...} counters and kFault trace events.
+  // Record-only: never samples rng_ and never schedules events.
+  void AttachTelemetry(obs::Telemetry* telemetry);
+
+  // Schedules every timeline event. Must be called after Bind and before the
+  // simulator runs past the earliest event. An empty plan schedules nothing.
+  // The plan must Validate() cleanly (checked, fatal in debug builds).
+  void Arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  const std::vector<PartitionWindow>& partition_windows() const {
+    return partition_windows_;
+  }
+
+ private:
+  void Inject(std::size_t event_index);
+  void Heal(std::size_t event_index);
+
+  void CrashNode(std::size_t node_index);
+  // Brings a node back and re-discovers peers against the online overlay.
+  void RejoinNode(std::size_t node_index);
+  // Online plain-node indices (the churn/crash candidate pool: gateways and
+  // observers are only taken down by explicit gateway-outage events).
+  std::vector<std::size_t> OnlinePlainNodes() const;
+
+  void ChurnLeave(std::size_t event_index, TimePoint window_end);
+
+  void CountInjected(FaultKind kind);
+  void TraceInstant(const char* name, FaultKind kind, std::uint64_t arg_num);
+  void TraceWindow(const char* name, FaultKind kind, TimePoint start);
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  FaultPlan plan_;
+  Bindings b_;
+  bool bound_ = false;
+  bool armed_ = false;
+
+  FaultStats stats_;
+  std::vector<PartitionWindow> partition_windows_;
+  // Nodes taken down by event i, restored by its heal (crash/outage kinds).
+  std::vector<std::vector<std::size_t>> downed_by_event_;
+
+  // Telemetry (null = disabled; record-only).
+  obs::Tracer* tracer_ = nullptr;  // kFault category pre-checked
+  std::array<obs::Counter*, kFaultKindCount> injected_count_{};
+};
+
+}  // namespace ethsim::fault

@@ -1,0 +1,169 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ethsim::fault {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kPeerChurn: return "peer_churn";
+    case FaultKind::kRegionalPartition: return "regional_partition";
+    case FaultKind::kLinkDegradation: return "link_degradation";
+    case FaultKind::kGatewayOutage: return "gateway_outage";
+    case FaultKind::kClockJump: return "clock_jump";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::NodeCrash(TimePoint at, Duration downtime,
+                                std::uint32_t count) {
+  FaultEvent event;
+  event.kind = FaultKind::kNodeCrash;
+  event.at = at;
+  event.duration = downtime;
+  event.count = count;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::PoissonChurn(TimePoint at, Duration window,
+                                   double leaves_per_min,
+                                   Duration downtime_mean) {
+  FaultEvent event;
+  event.kind = FaultKind::kPeerChurn;
+  event.at = at;
+  event.duration = window;
+  event.churn_rate_per_min = leaves_per_min;
+  event.churn_downtime_mean = downtime_mean;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::RegionalPartition(TimePoint at, Duration window,
+                                        std::uint32_t side_a_region_mask) {
+  FaultEvent event;
+  event.kind = FaultKind::kRegionalPartition;
+  event.at = at;
+  event.duration = window;
+  event.region_mask = side_a_region_mask;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeLinks(TimePoint at, Duration window,
+                                   std::uint32_t region_mask,
+                                   double latency_factor,
+                                   double bandwidth_factor,
+                                   double extra_drop_prob) {
+  FaultEvent event;
+  event.kind = FaultKind::kLinkDegradation;
+  event.at = at;
+  event.duration = window;
+  event.region_mask = region_mask;
+  event.latency_factor = latency_factor;
+  event.bandwidth_factor = bandwidth_factor;
+  event.extra_drop_prob = extra_drop_prob;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::GatewayOutage(TimePoint at, Duration downtime,
+                                    std::uint32_t pool_index) {
+  FaultEvent event;
+  event.kind = FaultKind::kGatewayOutage;
+  event.at = at;
+  event.duration = downtime;
+  event.pool_index = pool_index;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ClockJump(TimePoint at, std::uint32_t observer_index,
+                                Duration delta) {
+  FaultEvent event;
+  event.kind = FaultKind::kClockJump;
+  event.at = at;
+  event.clock_delta = delta;
+  event.observer_index = observer_index;
+  events.push_back(event);
+  return *this;
+}
+
+namespace {
+
+std::string Err(std::size_t index, const FaultEvent& event,
+                std::string_view what) {
+  std::ostringstream out;
+  out << "fault plan event #" << index << " (" << FaultKindName(event.kind)
+      << "): " << what;
+  return out.str();
+}
+
+// Do two half-open windows [a, a+da) and [b, b+db) intersect? Zero-length
+// (never-healing) windows extend to infinity.
+bool WindowsOverlap(const FaultEvent& a, const FaultEvent& b) {
+  const std::int64_t a0 = a.at.micros();
+  const std::int64_t b0 = b.at.micros();
+  const std::int64_t a1 =
+      a.duration.micros() == 0 ? INT64_MAX : a0 + a.duration.micros();
+  const std::int64_t b1 =
+      b.duration.micros() == 0 ? INT64_MAX : b0 + b.duration.micros();
+  return a0 < b1 && b0 < a1;
+}
+
+}  // namespace
+
+std::string FaultPlan::Validate() const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.at.micros() < 0) return Err(i, event, "negative injection time");
+    if (event.duration.micros() < 0) return Err(i, event, "negative duration");
+    switch (event.kind) {
+      case FaultKind::kNodeCrash:
+        if (event.count == 0) return Err(i, event, "count must be >= 1");
+        break;
+      case FaultKind::kPeerChurn:
+        if (event.churn_rate_per_min <= 0.0)
+          return Err(i, event, "churn rate must be positive");
+        if (event.duration.micros() == 0)
+          return Err(i, event, "churn window must have a finite duration");
+        if (event.churn_downtime_mean.micros() <= 0)
+          return Err(i, event, "churn downtime mean must be positive");
+        break;
+      case FaultKind::kRegionalPartition:
+        if (event.region_mask == 0)
+          return Err(i, event, "partition needs a non-empty region mask");
+        break;
+      case FaultKind::kLinkDegradation:
+        if (event.region_mask == 0)
+          return Err(i, event, "degradation needs a non-empty region mask");
+        if (event.latency_factor < 1.0 || event.bandwidth_factor < 1.0)
+          return Err(i, event, "degradation factors must be >= 1");
+        if (event.extra_drop_prob < 0.0 || event.extra_drop_prob >= 1.0)
+          return Err(i, event, "extra_drop_prob must be in [0, 1)");
+        break;
+      case FaultKind::kGatewayOutage:
+        break;
+      case FaultKind::kClockJump:
+        if (event.clock_delta.micros() == 0)
+          return Err(i, event, "clock jump of zero is a no-op");
+        break;
+    }
+    // The net substrate supports one active partition and one active
+    // degradation window at a time.
+    for (std::size_t j = 0; j < i; ++j) {
+      const FaultEvent& prior = events[j];
+      if (prior.kind != event.kind) continue;
+      if (event.kind != FaultKind::kRegionalPartition &&
+          event.kind != FaultKind::kLinkDegradation)
+        continue;
+      if (WindowsOverlap(prior, event))
+        return Err(i, event, "window overlaps an earlier window of same kind");
+    }
+  }
+  return {};
+}
+
+}  // namespace ethsim::fault

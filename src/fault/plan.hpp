@@ -1,0 +1,98 @@
+// Declarative fault timeline. A FaultPlan is part of the experiment config:
+// a list of timestamped FaultEvents — node crashes, Poisson churn windows,
+// regional partitions, link-degradation windows, pool-gateway outages, clock
+// jumps — executed by the FaultController against a fixed fork of the master
+// seed. A run is a pure function of (config, plan, seed); an *empty* plan is
+// guaranteed bit-for-bit inert (no RNG fork consumed against the master is a
+// non-goal — Rng::Fork is pure — but no event is scheduled and no hot-path
+// behavior changes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ethsim::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash = 0,     // `count` plain nodes go down at `at`, restart at end
+  kPeerChurn,         // Poisson leave/rejoin process over the window
+  kRegionalPartition, // regions in `region_mask` split from the rest
+  kLinkDegradation,   // latency/bandwidth multipliers + extra loss in scope
+  kGatewayOutage,     // every gateway of `pool_index` crashes for the window
+  kClockJump,         // vantage `observer_index`'s wall clock steps by delta
+};
+inline constexpr std::size_t kFaultKindCount = 6;
+std::string_view FaultKindName(FaultKind kind);
+
+// One timeline entry. Flat (no variant) so the provenance dump, the builder
+// helpers, and the controller all speak the same trivially-serializable
+// struct; fields irrelevant to a kind keep their inert defaults and are
+// ignored.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  TimePoint at;       // injection instant (simulation clock)
+  Duration duration;  // window length; heal/restart fires at `at + duration`.
+                      // Zero means the fault never heals within the run.
+
+  // kNodeCrash: how many plain nodes crash (sampled from the fault stream).
+  std::uint32_t count = 1;
+
+  // kPeerChurn: expected leave events per minute across the window, and the
+  // mean of the exponential per-node downtime before it rejoins.
+  double churn_rate_per_min = 0.0;
+  Duration churn_downtime_mean = Duration::Seconds(30);
+
+  // kRegionalPartition / kLinkDegradation scope: bit i = net::Region(i).
+  std::uint32_t region_mask = 0;
+
+  // kLinkDegradation knobs (>= 1 stretches latency / shrinks bandwidth).
+  double latency_factor = 1.0;
+  double bandwidth_factor = 1.0;
+  double extra_drop_prob = 0.0;
+
+  // kGatewayOutage: which pool loses its gateways.
+  std::uint32_t pool_index = 0;
+
+  // kClockJump: which vantage, and the signed step applied to its offset.
+  std::uint32_t observer_index = 0;
+  Duration clock_delta;
+};
+
+// The plan: an ordered set of events plus the rejoin policy shared by every
+// restart path (crash restore, churn rejoin, gateway restoration).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  // Out-dials a restarted node performs during re-discovery (Kademlia-style
+  // lookups against the surviving overlay, random-dial fallback).
+  std::size_t rejoin_dials = 8;
+
+  bool empty() const { return events.empty(); }
+
+  // Builder helpers (chainable). Times are injection instants on the
+  // simulation clock; windows heal at `at + window`.
+  FaultPlan& NodeCrash(TimePoint at, Duration downtime, std::uint32_t count = 1);
+  FaultPlan& PoissonChurn(TimePoint at, Duration window, double leaves_per_min,
+                          Duration downtime_mean = Duration::Seconds(30));
+  FaultPlan& RegionalPartition(TimePoint at, Duration window,
+                               std::uint32_t side_a_region_mask);
+  FaultPlan& DegradeLinks(TimePoint at, Duration window,
+                          std::uint32_t region_mask, double latency_factor,
+                          double bandwidth_factor, double extra_drop_prob = 0.0);
+  FaultPlan& GatewayOutage(TimePoint at, Duration downtime,
+                           std::uint32_t pool_index);
+  FaultPlan& ClockJump(TimePoint at, std::uint32_t observer_index,
+                       Duration delta);
+
+  // Structural validation: non-negative times/durations/rates, non-empty
+  // masks where required, and the single-active-window constraints the net
+  // substrate imposes (partitions must not overlap each other; degradation
+  // windows must not overlap each other). Returns an empty string when the
+  // plan is well-formed, else a description of the first violation.
+  std::string Validate() const;
+};
+
+}  // namespace ethsim::fault

@@ -57,6 +57,12 @@ class Observer final : public eth::MessageSink {
   // What this vantage's wall clock reads right now.
   TimePoint LocalNow() const { return sim_.Now() + clock_offset_; }
 
+  // Clock-jump injection (src/fault): shifts this vantage's wall clock by
+  // `delta` from now on — an NTP step or a VM pause/resume skew. Records
+  // already logged keep their original timestamps, exactly like a real log
+  // file written before the jump.
+  void AdjustClockOffset(Duration delta) { clock_offset_ = clock_offset_ + delta; }
+
   const std::vector<BlockArrival>& block_arrivals() const { return blocks_; }
   const std::vector<TxArrival>& tx_arrivals() const { return txs_; }
   const std::vector<ImportEvent>& imports() const { return imports_; }

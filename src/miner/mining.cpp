@@ -159,8 +159,47 @@ chain::BlockPtr MiningCoordinator::AssembleBlock(std::size_t pool_index,
 void MiningCoordinator::Release(std::size_t pool_index,
                                 const chain::BlockPtr& block) {
   PoolState& state = states_[pool_index];
+  // Sample the gateway FIRST, unconditionally: the draw keeps its exact
+  // position in the random stream whether or not the sampled gateway is up,
+  // so arming a gateway outage can never shift an unrelated stream.
   eth::EthNode* gateway =
       state.gateways[state.gateway_sampler->Sample(rng_)];
+  if (!gateway->online()) [[unlikely]] {
+    gateway = nullptr;
+    if (pools_[pool_index].policy.gateway_outage ==
+        GatewayOutagePolicy::kFallback) {
+      // Deterministic failover: first online gateway in registration order.
+      for (eth::EthNode* candidate : state.gateways) {
+        if (candidate->online()) {
+          gateway = candidate;
+          break;
+        }
+      }
+    }
+    if (gateway == nullptr) {
+      // Park the block; NotifyGatewayRestored re-releases it. The pool's own
+      // workers still switch to it — pool-internal propagation does not go
+      // through the public gateway.
+      ++stalled_releases_;
+      state.stalled_blocks.push_back(block);
+      if (mine_tracer_ != nullptr) [[unlikely]] {
+        obs::TraceEvent event;
+        event.name = "mine.release_stalled";
+        event.arg_kind = pools_[pool_index].name.c_str();
+        event.ts_us = sim_.Now().micros();
+        event.arg_hash = block->hash.prefix_u64();
+        event.arg_num = block->header.number;
+        event.pid = static_cast<std::uint32_t>(pool_index);
+        event.cat = obs::TraceCategory::kMine;
+        event.phase = 'i';
+        mine_tracer_->Emit(event);
+      }
+      if (!state.mining_head ||
+          block->header.number > state.mining_head->header.number)
+        state.mining_head = block;
+      return;
+    }
+  }
   if (mine_tracer_ != nullptr) [[unlikely]] {
     obs::TraceEvent event;
     event.name = "mine.release";
@@ -180,6 +219,17 @@ void MiningCoordinator::Release(std::size_t pool_index,
   if (!state.mining_head ||
       block->header.number > state.mining_head->header.number)
     state.mining_head = block;
+}
+
+void MiningCoordinator::NotifyGatewayRestored(std::size_t pool_index) {
+  assert(pool_index < states_.size());
+  PoolState& state = states_[pool_index];
+  if (state.stalled_blocks.empty()) return;
+  // Flush in mint order. Release() may park a block again if the restored
+  // gateway crashed in the meantime, so swap the queue out first.
+  std::vector<chain::BlockPtr> pending;
+  pending.swap(state.stalled_blocks);
+  for (const chain::BlockPtr& block : pending) Release(pool_index, block);
 }
 
 void MiningCoordinator::OnBlockFound() {

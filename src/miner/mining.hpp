@@ -76,6 +76,15 @@ class MiningCoordinator {
   const std::vector<MintRecord>& minted() const { return minted_; }
   std::uint64_t blocks_found() const { return blocks_found_; }
 
+  // --- fault hooks (driven by fault::FaultController) ---------------------
+  // Re-releases any blocks a kStall pool held while its gateways were down.
+  // Called by the fault layer after it brings a gateway back online.
+  void NotifyGatewayRestored(std::size_t pool_index);
+  // Releases that found every gateway offline and were parked (kStall, or
+  // kFallback with zero survivors). Each parked block counts once even if it
+  // is re-released later.
+  std::uint64_t releases_stalled() const { return stalled_releases_; }
+
   // The coordinator's reference view (primary gateway of pool 0), used for
   // difficulty pacing and end-of-run analysis.
   const chain::BlockTree& reference_tree() const;
@@ -88,6 +97,9 @@ class MiningCoordinator {
     // The head the pool's workers are currently mining on (job latency
     // behind the gateway's actual head).
     chain::BlockPtr mining_head;
+    // Blocks parked during a gateway outage, flushed in mint order by
+    // NotifyGatewayRestored.
+    std::vector<chain::BlockPtr> stalled_blocks;
   };
 
   void ScheduleNextBlock();
@@ -106,6 +118,7 @@ class MiningCoordinator {
   std::unique_ptr<AliasSampler> winner_sampler_;
   std::vector<MintRecord> minted_;
   std::uint64_t blocks_found_ = 0;
+  std::uint64_t stalled_releases_ = 0;
   bool started_ = false;
 
   // Telemetry (null = disabled). Per-pool counters are resolved once at

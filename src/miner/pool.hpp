@@ -21,10 +21,24 @@ struct GatewaySpec {
   double weight = 1.0;
 };
 
+// What a pool does when the gateway sampled for a release is offline
+// (crashed / churned out by the fault layer).
+enum class GatewayOutagePolicy {
+  // Re-route through the first online gateway (a multi-homed pool's normal
+  // failover). Falls back to stalling only when *every* gateway is down.
+  kFallback,
+  // Hold the block and re-release when a gateway is restored (a pool whose
+  // release pipeline is hard-wired to one egress point).
+  kStall,
+};
+
 struct PoolPolicy {
   // Probability that a found block is deliberately left empty (no time spent
   // packing/validating transactions — the head-start strategy).
   double empty_block_rate = 0.0;
+
+  // Failover behavior during an injected gateway outage (src/fault).
+  GatewayOutagePolicy gateway_outage = GatewayOutagePolicy::kFallback;
 
   // One-miner forks: probability that, having found a block, the pool emits
   // a second distinct block at the same height.

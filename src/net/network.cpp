@@ -7,6 +7,16 @@
 
 namespace ethsim::net {
 
+std::string_view DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kRandomLoss: return "random_loss";
+    case DropReason::kPartitioned: return "partitioned";
+    case DropReason::kDegraded: return "degraded";
+    case DropReason::kOffline: return "offline";
+  }
+  return "?";
+}
+
 Network::Network(sim::Simulator& simulator, Rng rng, NetworkParams params)
     : sim_(simulator), rng_(rng), params_(params) {}
 
@@ -27,10 +37,22 @@ Duration Network::SampleDelay(HostId from, HostId to, std::size_t bytes) {
   double jitter = rng_.NextLogNormal(0.0, params_.jitter_sigma);
   if (params_.slow_path_prob > 0 && rng_.NextBool(params_.slow_path_prob))
     jitter *= rng_.NextRange(2.0, params_.slow_path_factor_max);
-  const double latency_us = static_cast<double>(base.micros()) *
-                            params_.latency_scale * jitter;
+  double latency_us = static_cast<double>(base.micros()) *
+                      params_.latency_scale * jitter;
 
-  const double bw = std::min(src.bandwidth_bps, dst.bandwidth_bps);
+  double bw = std::min(src.bandwidth_bps, dst.bandwidth_bps);
+  // Degradation window (fault layer): stretch latency / shrink bandwidth on
+  // links touching the scoped regions. Applied after every RNG draw above,
+  // so activating a window never shifts the jitter stream itself.
+  if (degradation_active_) [[unlikely]] {
+    const std::uint32_t touched =
+        (1u << static_cast<unsigned>(src.region)) |
+        (1u << static_cast<unsigned>(dst.region));
+    if ((touched & degradation_.region_mask) != 0) {
+      latency_us *= degradation_.latency_factor;
+      bw /= degradation_.bandwidth_factor;
+    }
+  }
   const double transfer_us = static_cast<double>(bytes) * 8.0 / bw * 1e6;
 
   return Duration::Micros(static_cast<std::int64_t>(latency_us + transfer_us)) +
@@ -76,25 +98,83 @@ void Network::AttachTelemetry(obs::Telemetry* telemetry) {
                             {"region", RegionShortName(region)}}));
     }
   }
+  for (std::size_t r = 0; r < kDropReasonCount; ++r)
+    drop_reason_count_[r] = metrics->GetCounter(obs::LabeledName(
+        "net.msg.dropped_reason",
+        {{"reason", DropReasonName(static_cast<DropReason>(r))}}));
   delay_hist_ =
       metrics->GetHistogram("net.delay_us", obs::LatencyBucketsUs());
 }
 
+void Network::SetPartition(std::uint32_t side_a_region_mask) {
+  partition_active_ = true;
+  partition_mask_ = side_a_region_mask;
+}
+
+void Network::ClearPartition() {
+  partition_active_ = false;
+  partition_mask_ = 0;
+}
+
+void Network::SetDegradation(const LinkDegradation& degradation) {
+  degradation_active_ = true;
+  degradation_ = degradation;
+}
+
+void Network::ClearDegradation() {
+  degradation_active_ = false;
+  degradation_ = LinkDegradation{};
+}
+
+void Network::CountDrop(obs::MsgKind kind, Region region, DropReason reason) {
+  // Cold path: drops are rare by construction, so the census (and the
+  // optional registry counters) cost nothing on the common path.
+  ++dropped_;
+  ++drop_census_[static_cast<std::size_t>(reason)]
+                [static_cast<std::size_t>(kind)]
+                [static_cast<std::size_t>(region)];
+  if (telemetry_ != nullptr) [[unlikely]] {
+    if (obs::Counter* c = drop_count_[static_cast<std::size_t>(kind)]
+                                     [static_cast<std::size_t>(region)])
+      c->Add();
+    if (obs::Counter* c = drop_reason_count_[static_cast<std::size_t>(reason)])
+      c->Add();
+  }
+}
+
+void Network::NoteOfflineDrop(obs::MsgKind kind, Region target_region) {
+  CountDrop(kind, target_region, DropReason::kOffline);
+}
+
 void Network::Send(HostId from, HostId to, std::size_t bytes,
                    obs::MsgKind kind, sim::EventFn deliver) {
-  if (params_.drop_prob > 0 && rng_.NextBool(params_.drop_prob)) {
-    // Cold path: drops are rare by construction, so the census (and the
-    // optional registry counter) cost nothing on the common path.
-    ++dropped_;
-    const Region region = hosts_[from].region;
-    ++drop_census_[static_cast<std::size_t>(kind)]
-                  [static_cast<std::size_t>(region)];
-    if (telemetry_ != nullptr) [[unlikely]] {
-      if (obs::Counter* c = drop_count_[static_cast<std::size_t>(kind)]
-                                       [static_cast<std::size_t>(region)])
-        c->Add();
+  // Partition gate first: deterministic (no RNG), so an armed partition
+  // cannot perturb the jitter/drop streams of surviving intra-side traffic.
+  if (partition_active_) [[unlikely]] {
+    const std::uint32_t side_from =
+        (partition_mask_ >> static_cast<unsigned>(hosts_[from].region)) & 1u;
+    const std::uint32_t side_to =
+        (partition_mask_ >> static_cast<unsigned>(hosts_[to].region)) & 1u;
+    if (side_from != side_to) {
+      CountDrop(kind, hosts_[from].region, DropReason::kPartitioned);
+      return;
     }
+  }
+  if (params_.drop_prob > 0 && rng_.NextBool(params_.drop_prob)) {
+    CountDrop(kind, hosts_[from].region, DropReason::kRandomLoss);
     return;
+  }
+  // Degradation loss draws RNG only while a window is active; outside a
+  // window this branch is bit-for-bit free.
+  if (degradation_active_ && degradation_.extra_drop_prob > 0) [[unlikely]] {
+    const std::uint32_t touched =
+        (1u << static_cast<unsigned>(hosts_[from].region)) |
+        (1u << static_cast<unsigned>(hosts_[to].region));
+    if ((touched & degradation_.region_mask) != 0 &&
+        rng_.NextBool(degradation_.extra_drop_prob)) {
+      CountDrop(kind, hosts_[from].region, DropReason::kDegraded);
+      return;
+    }
   }
   const Duration delay = SampleDelay(from, to, bytes);
   TimePoint arrival = sim_.Now() + delay;
@@ -137,12 +217,15 @@ void Network::Send(HostId from, HostId to, std::size_t bytes,
 
 std::vector<DropRecord> Network::DropReport() const {
   std::vector<DropRecord> report;
-  for (std::size_t k = 0; k < obs::kMsgKindCount; ++k) {
-    for (std::size_t r = 0; r < kRegionCount; ++r) {
-      const std::uint64_t count = drop_census_[k][r];
-      if (count == 0) continue;
-      report.push_back(DropRecord{static_cast<obs::MsgKind>(k),
-                                  static_cast<Region>(r), count});
+  for (std::size_t reason = 0; reason < kDropReasonCount; ++reason) {
+    for (std::size_t k = 0; k < obs::kMsgKindCount; ++k) {
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        const std::uint64_t count = drop_census_[reason][k][r];
+        if (count == 0) continue;
+        report.push_back(DropRecord{static_cast<obs::MsgKind>(k),
+                                    static_cast<Region>(r),
+                                    static_cast<DropReason>(reason), count});
+      }
     }
   }
   return report;
@@ -158,7 +241,8 @@ std::string Network::RenderDropReport() const {
     if (!first) out << ", ";
     first = false;
     out << obs::MsgKindName(record.kind) << '/'
-        << RegionShortName(record.source_region) << ": " << record.count;
+        << RegionShortName(record.source_region) << " ["
+        << DropReasonName(record.reason) << "]: " << record.count;
   }
   return out.str();
 }

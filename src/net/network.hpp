@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.hpp"
@@ -50,11 +51,35 @@ struct NetworkParams {
   double drop_prob = 0.0;
 };
 
-// One row of the drop census: who lost how many messages of which kind.
+// Why a message was lost. kRandomLoss is the baseline `drop_prob` model;
+// the other reasons are produced by the fault layer (src/fault) and make the
+// census answer "was this loss background noise or an injected fault?".
+enum class DropReason : std::uint8_t {
+  kRandomLoss = 0,  // baseline stochastic loss (drop_prob)
+  kPartitioned,     // cross-side send during an active regional partition
+  kDegraded,        // extra loss inside a link-degradation window
+  kOffline,         // delivery attempted at a crashed/churned-out node
+};
+inline constexpr std::size_t kDropReasonCount = 4;
+std::string_view DropReasonName(DropReason reason);
+
+// One row of the drop census: who lost how many messages of which kind, and
+// why (the `faulted` dimension of the always-on census).
 struct DropRecord {
   obs::MsgKind kind = obs::MsgKind::kOther;
   Region source_region = Region::WesternEurope;
+  DropReason reason = DropReason::kRandomLoss;
   std::uint64_t count = 0;
+};
+
+// A latency/bandwidth degradation window applied by the fault layer to every
+// link touching the scoped regions. Factors >= 1 stretch latency / shrink
+// bandwidth; extra_drop_prob adds loss on top of the baseline drop_prob.
+struct LinkDegradation {
+  std::uint32_t region_mask = 0;  // bit i = Region(i) is affected
+  double latency_factor = 1.0;
+  double bandwidth_factor = 1.0;
+  double extra_drop_prob = 0.0;
 };
 
 class Network {
@@ -85,21 +110,62 @@ class Network {
 
   sim::Simulator& simulator() { return sim_; }
 
+  // --- fault substrate (driven by fault::FaultController) ---------------
+  // Regional partition: hosts whose region bit is set in `side_a_mask` form
+  // one side; while active, cross-side sends are dropped deterministically
+  // (reason kPartitioned) without consuming a single RNG draw, so arming a
+  // partition cannot shift any other random stream. Intra-side traffic is
+  // untouched.
+  void SetPartition(std::uint32_t side_a_region_mask);
+  void ClearPartition();
+  bool partition_active() const { return partition_active_; }
+
+  // Link degradation window (one active at a time; the fault layer validates
+  // non-overlap). Latency/bandwidth factors apply inside SampleDelay; the
+  // extra drop draw happens only while a window is active, so an inactive
+  // window is bit-for-bit free.
+  void SetDegradation(const LinkDegradation& degradation);
+  void ClearDegradation();
+  bool degradation_active() const { return degradation_active_; }
+
+  // Attributes a delivery that found its target offline (crashed / churned
+  // out). Called by EthNode ingress guards; kept here so the census stays the
+  // single source of truth for every lost message.
+  void NoteOfflineDrop(obs::MsgKind kind, Region target_region);
+
+  Region region_of(HostId id) const { return hosts_[id].region; }
+
   // --- drop visibility -------------------------------------------------
-  // The aggregate plus a per-(kind, source-region) census. The census is
-  // always on: drops are rare (off the hot path), and the paper's whole
-  // redundancy argument (Table II) is about who can afford to lose what.
+  // The aggregate plus a per-(kind, source-region, reason) census. The
+  // census is always on: drops are rare (off the hot path), and the paper's
+  // whole redundancy argument (Table II) is about who can afford to lose
+  // what.
   std::uint64_t messages_dropped() const { return dropped_; }
   std::uint64_t dropped_by(obs::MsgKind kind, Region region) const {
-    return drop_census_[static_cast<std::size_t>(kind)]
-                       [static_cast<std::size_t>(region)];
+    std::uint64_t total = 0;
+    for (std::size_t r = 0; r < kDropReasonCount; ++r)
+      total += drop_census_[r][static_cast<std::size_t>(kind)]
+                           [static_cast<std::size_t>(region)];
+    return total;
   }
-  // Non-zero census rows, ordered by (kind, region) — for end-of-run reports.
+  std::uint64_t dropped_by(DropReason reason) const {
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < obs::kMsgKindCount; ++k)
+      for (std::size_t g = 0; g < kRegionCount; ++g)
+        total += drop_census_[static_cast<std::size_t>(reason)][k][g];
+    return total;
+  }
+  // Non-zero census rows, ordered by (reason, kind, region) — for
+  // end-of-run reports.
   std::vector<DropRecord> DropReport() const;
-  // Human-readable census ("announcement/WE: 12, ..."), empty when no drops.
+  // Human-readable census ("announcement/WE [partitioned]: 12, ..."), empty
+  // when no drops.
   std::string RenderDropReport() const;
 
  private:
+  // Shared cold-path accounting for every dropped message.
+  void CountDrop(obs::MsgKind kind, Region region, DropReason reason);
+
   std::uint64_t dropped_ = 0;
   sim::Simulator& sim_;
   Rng rng_;
@@ -112,9 +178,19 @@ class Network {
   static constexpr std::int64_t kNeverSent = INT64_MIN;
   std::vector<std::vector<std::int64_t>> fifo_last_us_;
 
-  // Always-on drop census (cold path: only touched when a message drops).
-  std::array<std::array<std::uint64_t, kRegionCount>, obs::kMsgKindCount>
+  // Always-on drop census (cold path: only touched when a message drops),
+  // indexed [reason][kind][source region].
+  std::array<std::array<std::array<std::uint64_t, kRegionCount>,
+                        obs::kMsgKindCount>,
+             kDropReasonCount>
       drop_census_{};
+
+  // Fault substrate state (inactive by default: the Send hot path pays one
+  // predicted branch per gate).
+  bool partition_active_ = false;
+  std::uint32_t partition_mask_ = 0;
+  bool degradation_active_ = false;
+  LinkDegradation degradation_;
 
   // Telemetry (null = disabled; the Send hot path pays one predicted
   // branch). Instrument pointers are resolved once in AttachTelemetry.
@@ -124,6 +200,7 @@ class Network {
   std::array<obs::Counter*, obs::kMsgKindCount> sent_bytes_{};
   std::array<std::array<obs::Counter*, kRegionCount>, obs::kMsgKindCount>
       drop_count_{};
+  std::array<obs::Counter*, kDropReasonCount> drop_reason_count_{};
   obs::Histogram* delay_hist_ = nullptr;
 };
 

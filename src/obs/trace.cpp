@@ -13,6 +13,7 @@ std::string_view TraceCategoryName(TraceCategory cat) {
     case TraceCategory::kNet: return "net";
     case TraceCategory::kMine: return "mine";
     case TraceCategory::kSim: return "sim";
+    case TraceCategory::kFault: return "fault";
   }
   return "?";
 }

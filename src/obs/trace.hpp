@@ -29,8 +29,9 @@ enum class TraceCategory : std::uint8_t {
   kNet,        // message transit (Network::Send)
   kMine,       // PoW race: mint / release
   kSim,        // engine/experiment phases
+  kFault,      // injected faults: crash/churn/partition/degradation windows
 };
-inline constexpr std::size_t kTraceCategoryCount = 5;
+inline constexpr std::size_t kTraceCategoryCount = 6;
 inline constexpr std::uint32_t kAllTraceCategories =
     (1u << kTraceCategoryCount) - 1;
 

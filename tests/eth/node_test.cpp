@@ -394,6 +394,120 @@ TEST(EthNodeValidation, CorruptBlockIsRejectedNotImported) {
   EXPECT_TRUE(c.nodes[1]->tree().Contains(bad->hash));
 }
 
+TEST(EthNodeChurn, DisconnectIsMutualAndIdempotent) {
+  Cluster c{3};
+  c.ConnectAll();
+  EXPECT_TRUE(EthNode::Disconnect(*c.nodes[0], *c.nodes[1]));
+  EXPECT_FALSE(c.nodes[0]->ConnectedTo(*c.nodes[1]));
+  EXPECT_FALSE(c.nodes[1]->ConnectedTo(*c.nodes[0]));
+  EXPECT_FALSE(EthNode::Disconnect(*c.nodes[0], *c.nodes[1]));  // already gone
+  // The surviving link still relays.
+  EXPECT_TRUE(c.nodes[0]->ConnectedTo(*c.nodes[2]));
+  EXPECT_EQ(c.nodes[0]->peer_count(), 1u);
+  EXPECT_EQ(c.nodes[2]->peer_count(), 2u);
+}
+
+TEST(EthNodeChurn, DisconnectFreesCapacityForReconnect) {
+  NodeConfig cfg;
+  cfg.max_peers = 1;
+  Cluster c{3, cfg};
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
+  EXPECT_FALSE(EthNode::Connect(*c.nodes[0], *c.nodes[2]));  // full
+  EXPECT_TRUE(EthNode::Disconnect(*c.nodes[0], *c.nodes[1]));
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[2]));   // slot freed
+}
+
+TEST(EthNodeChurn, DisconnectAllSeversBothSides) {
+  Cluster c{4};
+  c.ConnectAll();
+  EXPECT_EQ(c.nodes[0]->DisconnectAll(), 3u);
+  EXPECT_EQ(c.nodes[0]->peer_count(), 0u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(c.nodes[i]->ConnectedTo(*c.nodes[0])) << i;
+    EXPECT_EQ(c.nodes[i]->peer_count(), 2u) << i;
+  }
+  EXPECT_EQ(c.nodes[0]->DisconnectAll(), 0u);
+  // Gossip among the survivors is unaffected.
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[1]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));
+  EXPECT_TRUE(c.nodes[3]->tree().Contains(b1->hash));
+  EXPECT_FALSE(c.nodes[0]->tree().Contains(b1->hash));
+}
+
+TEST(EthNodeFaults, OfflineNodeDropsIngressAndCensusesIt) {
+  Cluster c{2};
+  c.ConnectAll();
+  c.nodes[1]->GoOffline();
+  EXPECT_FALSE(c.nodes[1]->online());
+  EXPECT_EQ(c.nodes[1]->peer_count(), 0u);  // crash severed the link
+
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[1]->DeliverNewBlock(c.nodes[0].get(), b1);  // in-flight straggler
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(5).micros()));
+  EXPECT_FALSE(c.nodes[1]->tree().Contains(b1->hash));
+  EXPECT_EQ(c.nodes[1]->offline_drops(), 1u);
+  EXPECT_EQ(c.net->dropped_by(net::DropReason::kOffline), 1u);
+
+  // Offline local actions are no-ops too.
+  c.nodes[1]->InjectMinedBlock(Child(c.genesis, 9));
+  c.nodes[1]->SubmitTransaction(
+      chain::MakeTransaction(Addr(5), 0, Addr(6), 10, 1));
+  c.simulator.RunUntil(c.simulator.Now() + 5_s);
+  EXPECT_EQ(c.nodes[1]->tree().head_hash(), c.genesis->hash);
+  EXPECT_EQ(c.nodes[1]->pool().size(), 0u);
+}
+
+TEST(EthNodeFaults, CrashMidValidationNeverImportsIntoTheNewSession) {
+  // The epoch guard: a block is heard, validation is scheduled, and the node
+  // crashes before it completes. After the restart the stale callback must
+  // not fire — the tree stays at genesis until fresh traffic arrives.
+  Cluster c{2};
+  c.ConnectAll();
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[1]->DeliverNewBlock(c.nodes[0].get(), b1);
+  // Past the header check (3 ms), inside full validation (~150 ms).
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Millis(50).micros()));
+  c.nodes[1]->GoOffline();
+  c.nodes[1]->GoOnline();
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));
+  EXPECT_FALSE(c.nodes[1]->tree().Contains(b1->hash));
+  EXPECT_EQ(c.nodes[1]->tree().head_hash(), c.genesis->hash);
+}
+
+TEST(EthNodeFaults, RestartedNodeBackfillsMissedBlocksViaOrphanFetch) {
+  Cluster c{3};
+  c.ConnectAll();
+  c.nodes[2]->GoOffline();
+
+  // Two blocks propagate among the survivors while node 2 is down.
+  const chain::BlockPtr b1 = Child(c.genesis, 1);
+  const chain::BlockPtr b2 = Child(b1, 1);
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(c.simulator.Now() + 5_s);
+  c.nodes[0]->InjectMinedBlock(b2);
+  c.simulator.RunUntil(c.simulator.Now() + 5_s);
+  EXPECT_EQ(c.nodes[2]->tree().head_hash(), c.genesis->hash);
+
+  // Restart, rewire, and deliver the NEXT block: the orphan parent-fetch
+  // path pulls b2 then b1 from the peer and the whole chain heals.
+  c.nodes[2]->GoOnline();
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[2], *c.nodes[0]));
+  const chain::BlockPtr b3 = Child(b2, 1);
+  c.nodes[0]->InjectMinedBlock(b3);
+  c.simulator.RunUntil(c.simulator.Now() + 30_s);
+  EXPECT_EQ(c.nodes[2]->tree().head_hash(), b3->hash);
+  EXPECT_EQ(c.nodes[2]->tree().orphan_count(), 0u);
+}
+
+TEST(EthNodeFaults, ConnectToOfflineNodeIsRefused) {
+  Cluster c{2};
+  c.nodes[1]->GoOffline();
+  EXPECT_FALSE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
+  c.nodes[1]->GoOnline();
+  EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
+}
+
 TEST(EthNodeBlocks, OrphanParentIsFetchedAndChainHeals) {
   // Deliver a block whose parent the receiver never saw: node 1 must fetch
   // the parent and still converge.

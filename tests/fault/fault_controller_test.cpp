@@ -1,0 +1,213 @@
+// FaultController scenarios against full (small) experiments: crash/restart
+// with re-sync, partition drop attribution + heal, gateway outage stalls,
+// clock jumps, and the empty-plan fast path.
+#include "fault/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/experiment.hpp"
+#include "core/provenance.hpp"
+
+namespace ethsim::fault {
+namespace {
+
+using core::Experiment;
+using core::ExperimentConfig;
+
+constexpr std::uint32_t Mask(net::Region r) {
+  return 1u << static_cast<unsigned>(r);
+}
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig cfg = core::presets::SmallStudy(30);
+  cfg.duration = Duration::Minutes(10);
+  cfg.workload.rate_per_sec = 1.0;
+  return cfg;
+}
+
+TimePoint AtMinutes(double m) {
+  return TimePoint::FromMicros(Duration::Minutes(m).micros());
+}
+
+TEST(FaultWiring, EmptyPlanBuildsNoController) {
+  Experiment exp{TinyConfig()};
+  exp.Run();
+  EXPECT_EQ(exp.fault(), nullptr);
+  EXPECT_EQ(exp.network().dropped_by(net::DropReason::kPartitioned), 0u);
+  EXPECT_EQ(exp.network().dropped_by(net::DropReason::kOffline), 0u);
+}
+
+TEST(FaultWiring, ConfigDigestSeesThePlanButNotTelemetry) {
+  const ExperimentConfig base = TinyConfig();
+  ExperimentConfig faulted = TinyConfig();
+  faulted.fault_plan.RegionalPartition(AtMinutes(3), Duration::Minutes(2),
+                                       Mask(net::Region::EasternAsia));
+  EXPECT_NE(core::ConfigDigest(base), core::ConfigDigest(faulted));
+
+  // Same plan, telemetry on: still the same experiment identity.
+  ExperimentConfig traced = faulted;
+  traced.telemetry.metrics = true;
+  traced.telemetry.trace = true;
+  EXPECT_EQ(core::ConfigDigest(faulted), core::ConfigDigest(traced));
+
+  // The gateway-outage *policy* is result-affecting config too.
+  ExperimentConfig stall = TinyConfig();
+  stall.pools[0].policy.gateway_outage = miner::GatewayOutagePolicy::kStall;
+  EXPECT_NE(core::ConfigDigest(base), core::ConfigDigest(stall));
+}
+
+TEST(FaultNodeCrash, CrashedNodesRestartAndResync) {
+  ExperimentConfig cfg = TinyConfig();
+  cfg.fault_plan.NodeCrash(AtMinutes(3), Duration::Minutes(2), 5);
+  Experiment exp{cfg};
+  exp.Run();
+
+  ASSERT_NE(exp.fault(), nullptr);
+  const FaultStats& stats = exp.fault()->stats();
+  EXPECT_EQ(stats.total_injected(), 1u);
+  EXPECT_EQ(stats.injected[static_cast<std::size_t>(FaultKind::kNodeCrash)],
+            1u);
+  EXPECT_EQ(stats.crashes, 5u);
+  EXPECT_EQ(stats.restarts, 5u);
+  EXPECT_GT(stats.rejoin_links, 0u);
+
+  // Everyone is back online and wired into the overlay...
+  for (const auto& node : exp.nodes()) {
+    EXPECT_TRUE(node->online());
+    EXPECT_GE(node->peer_count(), 1u);
+  }
+  // ...and the restarted nodes back-filled what they missed: the overwhelming
+  // majority of nodes sit at (or within a block or two of) the reference head.
+  const std::uint64_t ref_head = exp.reference_tree().head_number();
+  std::size_t caught_up = 0;
+  for (const auto& node : exp.nodes())
+    caught_up += node->tree().head_number() + 3 >= ref_head;
+  EXPECT_GE(caught_up, exp.nodes().size() * 9 / 10);
+}
+
+TEST(FaultPartition, DropsAreAttributedAndWindowHeals) {
+  ExperimentConfig cfg = TinyConfig();
+  const std::uint32_t mask = Mask(net::Region::EasternAsia) |
+                             Mask(net::Region::SoutheastAsia) |
+                             Mask(net::Region::Oceania);
+  cfg.fault_plan.RegionalPartition(AtMinutes(3), Duration::Minutes(3), mask);
+  Experiment exp{cfg};
+  exp.Run();
+
+  ASSERT_NE(exp.fault(), nullptr);
+  const FaultStats& stats = exp.fault()->stats();
+  EXPECT_EQ(stats.partitions_healed, 1u);
+
+  // The executed window matches the plan and was closed by the heal.
+  ASSERT_EQ(exp.fault()->partition_windows().size(), 1u);
+  const PartitionWindow& window = exp.fault()->partition_windows()[0];
+  EXPECT_EQ(window.start.micros(), AtMinutes(3).micros());
+  EXPECT_EQ(window.end.micros(), AtMinutes(6).micros());
+  EXPECT_EQ(window.side_a_mask, mask);
+  EXPECT_FALSE(exp.network().partition_active());
+
+  // Cross-side traffic during the split is censused under `partitioned`.
+  EXPECT_GT(exp.network().dropped_by(net::DropReason::kPartitioned), 0u);
+  const std::string report = exp.network().RenderDropReport();
+  EXPECT_NE(report.find("partitioned"), std::string::npos) << report;
+
+  // After the heal the chain still converges network-wide.
+  std::unordered_map<Hash32, int> heads;
+  for (const auto& node : exp.nodes()) ++heads[node->tree().head_hash()];
+  int best = 0;
+  for (const auto& [hash, count] : heads) best = std::max(best, count);
+  EXPECT_GT(best, static_cast<int>(exp.nodes().size() * 3 / 4));
+}
+
+TEST(FaultDegradation, WindowClearsAndExtraLossIsCensused) {
+  ExperimentConfig cfg = TinyConfig();
+  cfg.fault_plan.DegradeLinks(AtMinutes(3), Duration::Minutes(3),
+                              Mask(net::Region::WesternEurope) |
+                                  Mask(net::Region::CentralEurope),
+                              /*latency_factor=*/4.0,
+                              /*bandwidth_factor=*/4.0,
+                              /*extra_drop_prob=*/0.10);
+  Experiment exp{cfg};
+  exp.Run();
+
+  ASSERT_NE(exp.fault(), nullptr);
+  EXPECT_EQ(exp.fault()->stats().degradations_cleared, 1u);
+  EXPECT_FALSE(exp.network().degradation_active());
+  EXPECT_GT(exp.network().dropped_by(net::DropReason::kDegraded), 0u);
+}
+
+TEST(FaultGatewayOutage, PoolStallsAndReleasesOnRestore) {
+  ExperimentConfig cfg = TinyConfig();
+  // Take out every Ethermine gateway for 4 minutes mid-run: at ~25% of
+  // hashrate and a 13 s cadence the pool finds several blocks in the window.
+  cfg.fault_plan.GatewayOutage(AtMinutes(3), Duration::Minutes(4), 0);
+  Experiment exp{cfg};
+  exp.Run();
+
+  ASSERT_NE(exp.fault(), nullptr);
+  const FaultStats& stats = exp.fault()->stats();
+  EXPECT_EQ(
+      stats.injected[static_cast<std::size_t>(FaultKind::kGatewayOutage)], 1u);
+  EXPECT_GT(stats.crashes, 0u);           // the gateways went down...
+  EXPECT_EQ(stats.crashes, stats.restarts);  // ...and all came back.
+
+  // With the whole gateway roster down, releases park until the restore.
+  EXPECT_GT(exp.coordinator().releases_stalled(), 0u);
+
+  // NotifyGatewayRestored flushed the parked blocks: every pool-0 block
+  // minted during the outage still reached the converged reference tree.
+  for (const auto& record : exp.minted()) {
+    if (record.pool_index != 0) continue;
+    EXPECT_TRUE(exp.reference_tree().Contains(record.block->hash))
+        << "pool-0 block lost at height " << record.block->header.number;
+  }
+  for (const auto& node : exp.nodes()) EXPECT_TRUE(node->online());
+}
+
+TEST(FaultClockJump, SkewsExactlyOneVantage) {
+  ExperimentConfig cfg = TinyConfig();
+  const Duration delta = Duration::Seconds(30);
+  cfg.fault_plan.ClockJump(AtMinutes(5), /*observer_index=*/1, delta);
+  Experiment exp{cfg};
+  exp.Run();
+
+  ASSERT_NE(exp.fault(), nullptr);
+  EXPECT_EQ(exp.fault()->stats().clock_jumps, 1u);
+  ASSERT_GE(exp.observers().size(), 2u);
+
+  // Blocks whose propagation wave completed before the jump show sub-second
+  // cross-vantage skew; blocks after it show the EA vantage ~30 s "late".
+  const auto& jumped = exp.observers()[1]->first_block_arrival();
+  std::size_t before = 0, after = 0;
+  for (const auto& [hash, at_jumped] : jumped) {
+    TimePoint min_other = TimePoint::FromMicros(INT64_MAX);
+    bool seen_elsewhere = false;
+    for (std::size_t i = 0; i < exp.observers().size(); ++i) {
+      if (i == 1) continue;
+      const auto& log = exp.observers()[i]->first_block_arrival();
+      const auto it = log.find(hash);
+      if (it == log.end()) continue;
+      seen_elsewhere = true;
+      min_other = std::min(min_other, it->second);
+    }
+    if (!seen_elsewhere) continue;
+    const double skew_s = (at_jumped - min_other).seconds();
+    // Ignore blocks in flight around the jump instant.
+    if (min_other < AtMinutes(4.5)) {
+      EXPECT_LT(skew_s, 15.0);
+      ++before;
+    } else if (min_other >= TimePoint::FromMicros(AtMinutes(5).micros())) {
+      EXPECT_GT(skew_s, 20.0);
+      EXPECT_LT(skew_s, 45.0);
+      ++after;
+    }
+  }
+  EXPECT_GT(before, 5u);
+  EXPECT_GT(after, 5u);
+}
+
+}  // namespace
+}  // namespace ethsim::fault

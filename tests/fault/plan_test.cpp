@@ -1,0 +1,138 @@
+// FaultPlan builder + validation contract.
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/geo.hpp"
+
+namespace ethsim::fault {
+namespace {
+
+constexpr std::uint32_t Mask(net::Region r) {
+  return 1u << static_cast<unsigned>(r);
+}
+
+TEST(FaultPlanBuilder, EmptyPlanIsEmptyAndValid) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(FaultPlanBuilder, ChainedBuildersAppendInOrder) {
+  FaultPlan plan;
+  plan.NodeCrash(TimePoint::FromMicros(Duration::Seconds(10).micros()),
+                 Duration::Seconds(30), 3)
+      .RegionalPartition(TimePoint::FromMicros(Duration::Seconds(60).micros()),
+                         Duration::Seconds(60),
+                         Mask(net::Region::EasternAsia))
+      .ClockJump(TimePoint::FromMicros(Duration::Seconds(5).micros()), 1,
+                 Duration::Seconds(2));
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[0].count, 3u);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kRegionalPartition);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kClockJump);
+  EXPECT_EQ(plan.Validate(), "");
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanValidate, RejectsZeroCountCrash) {
+  FaultPlan plan;
+  plan.NodeCrash(TimePoint::FromMicros(0), Duration::Seconds(1), 0);
+  EXPECT_NE(plan.Validate(), "");
+}
+
+TEST(FaultPlanValidate, RejectsChurnWithoutRateOrWindow) {
+  FaultPlan no_rate;
+  no_rate.PoissonChurn(TimePoint::FromMicros(0), Duration::Minutes(5), 0.0);
+  EXPECT_NE(no_rate.Validate(), "");
+
+  FaultPlan no_window;
+  no_window.PoissonChurn(TimePoint::FromMicros(0), Duration::Micros(0), 4.0);
+  EXPECT_NE(no_window.Validate(), "");
+
+  FaultPlan ok;
+  ok.PoissonChurn(TimePoint::FromMicros(0), Duration::Minutes(5), 4.0);
+  EXPECT_EQ(ok.Validate(), "");
+}
+
+TEST(FaultPlanValidate, RejectsEmptyRegionMask) {
+  FaultPlan partition;
+  partition.RegionalPartition(TimePoint::FromMicros(0), Duration::Minutes(1),
+                              0);
+  EXPECT_NE(partition.Validate(), "");
+
+  FaultPlan degrade;
+  degrade.DegradeLinks(TimePoint::FromMicros(0), Duration::Minutes(1), 0, 2.0,
+                       2.0);
+  EXPECT_NE(degrade.Validate(), "");
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingPartitionWindows) {
+  const std::uint32_t mask = Mask(net::Region::EasternAsia);
+  FaultPlan overlap;
+  overlap
+      .RegionalPartition(TimePoint::FromMicros(Duration::Seconds(10).micros()),
+                         Duration::Seconds(60), mask)
+      .RegionalPartition(TimePoint::FromMicros(Duration::Seconds(40).micros()),
+                         Duration::Seconds(60), mask);
+  EXPECT_NE(overlap.Validate(), "");
+
+  FaultPlan disjoint;
+  disjoint
+      .RegionalPartition(TimePoint::FromMicros(Duration::Seconds(10).micros()),
+                         Duration::Seconds(20), mask)
+      .RegionalPartition(TimePoint::FromMicros(Duration::Seconds(40).micros()),
+                         Duration::Seconds(20), mask);
+  EXPECT_EQ(disjoint.Validate(), "");
+}
+
+TEST(FaultPlanValidate, NeverHealingPartitionBlocksLaterOnes) {
+  // duration zero = never heals, so any later partition overlaps it.
+  const std::uint32_t mask = Mask(net::Region::Oceania);
+  FaultPlan plan;
+  plan.RegionalPartition(TimePoint::FromMicros(0), Duration::Micros(0), mask)
+      .RegionalPartition(TimePoint::FromMicros(Duration::Hours(1).micros()),
+                         Duration::Seconds(1), mask);
+  EXPECT_NE(plan.Validate(), "");
+}
+
+TEST(FaultPlanValidate, RejectsBadDegradationKnobs) {
+  const std::uint32_t mask = Mask(net::Region::WesternEurope);
+  FaultPlan shrink;  // factors < 1 would *improve* links
+  shrink.DegradeLinks(TimePoint::FromMicros(0), Duration::Minutes(1), mask,
+                      0.5, 1.0);
+  EXPECT_NE(shrink.Validate(), "");
+
+  FaultPlan certain_loss;  // extra drop prob must stay < 1
+  certain_loss.DegradeLinks(TimePoint::FromMicros(0), Duration::Minutes(1),
+                            mask, 1.0, 1.0, 1.0);
+  EXPECT_NE(certain_loss.Validate(), "");
+
+  FaultPlan ok;
+  ok.DegradeLinks(TimePoint::FromMicros(0), Duration::Minutes(1), mask, 3.0,
+                  2.0, 0.05);
+  EXPECT_EQ(ok.Validate(), "");
+}
+
+TEST(FaultPlanValidate, RejectsZeroClockDelta) {
+  FaultPlan plan;
+  plan.ClockJump(TimePoint::FromMicros(0), 0, Duration::Micros(0));
+  EXPECT_NE(plan.Validate(), "");
+
+  FaultPlan negative_ok;  // signed deltas are fine, zero is the no-op
+  negative_ok.ClockJump(TimePoint::FromMicros(0), 0, Duration::Seconds(-2));
+  EXPECT_EQ(negative_ok.Validate(), "");
+}
+
+TEST(FaultKindNames, AllDistinctAndNonEmpty) {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    const std::string_view name = FaultKindName(static_cast<FaultKind>(i));
+    EXPECT_FALSE(name.empty()) << i;
+    for (std::size_t j = i + 1; j < kFaultKindCount; ++j)
+      EXPECT_NE(name, FaultKindName(static_cast<FaultKind>(j)));
+  }
+}
+
+}  // namespace
+}  // namespace ethsim::fault

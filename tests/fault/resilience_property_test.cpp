@@ -1,0 +1,202 @@
+// Property suite over seeds x churn rates x partition schedules:
+//   * liveness  — after every fault heals, the overlay re-converges and no
+//                 canonical progress is lost forever;
+//   * determinism — a fixed (config, plan, seed) reproduces byte-identical
+//                 outputs and byte-identical fault schedules;
+//   * telemetry — observing a faulted run cannot change it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "core/experiment.hpp"
+#include "core/provenance.hpp"
+#include "fault/controller.hpp"
+
+namespace ethsim::fault {
+namespace {
+
+using core::Experiment;
+using core::ExperimentConfig;
+
+constexpr std::uint32_t Mask(net::Region r) {
+  return 1u << static_cast<unsigned>(r);
+}
+
+TimePoint AtMinutes(double m) {
+  return TimePoint::FromMicros(Duration::Minutes(m).micros());
+}
+
+struct Scenario {
+  const char* name;
+  std::uint64_t seed;
+  double churn_per_min;        // 0 = no churn window
+  int partition_schedule;      // 0 = none, 1 = single mid-run, 2 = two splits
+  bool kitchen_sink;           // add degradation + gateway outage on top
+};
+
+// Every schedule heals by minute 7 of a 10-minute run, leaving the overlay
+// three minutes (~14 block intervals) to re-converge.
+ExperimentConfig BuildConfig(const Scenario& s) {
+  ExperimentConfig cfg = core::presets::SmallStudy(30);
+  cfg.duration = Duration::Minutes(10);
+  cfg.workload.rate_per_sec = 1.0;
+  cfg.seed = s.seed;
+  if (s.churn_per_min > 0.0)
+    cfg.fault_plan.PoissonChurn(AtMinutes(2), Duration::Minutes(5),
+                                s.churn_per_min,
+                                /*downtime_mean=*/Duration::Seconds(20));
+  const std::uint32_t apac = Mask(net::Region::EasternAsia) |
+                             Mask(net::Region::SoutheastAsia) |
+                             Mask(net::Region::Oceania);
+  if (s.partition_schedule == 1) {
+    cfg.fault_plan.RegionalPartition(AtMinutes(3), Duration::Minutes(3), apac);
+  } else if (s.partition_schedule == 2) {
+    cfg.fault_plan
+        .RegionalPartition(AtMinutes(2), Duration::Minutes(1.5), apac)
+        .RegionalPartition(AtMinutes(5), Duration::Minutes(1.5),
+                           Mask(net::Region::NorthAmerica) |
+                               Mask(net::Region::SouthAmerica));
+  }
+  if (s.kitchen_sink) {
+    cfg.fault_plan
+        .DegradeLinks(AtMinutes(4), Duration::Minutes(2),
+                      Mask(net::Region::WesternEurope), 3.0, 2.0, 0.05)
+        .GatewayOutage(AtMinutes(4), Duration::Minutes(2), /*pool_index=*/1)
+        .NodeCrash(AtMinutes(3), Duration::Minutes(2), 3);
+  }
+  EXPECT_EQ(cfg.fault_plan.Validate(), "");
+  return cfg;
+}
+
+const Scenario kScenarios[] = {
+    {"churn_only", 11, 4.0, 0, false},
+    {"partition_only", 7, 0.0, 1, false},
+    {"churn_plus_partition", 21, 2.0, 1, false},
+    {"double_partition_heavy_churn", 33, 6.0, 2, false},
+    {"kitchen_sink", 5, 3.0, 1, true},
+};
+
+class ResilienceProperty : public ::testing::TestWithParam<Scenario> {};
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ResilienceProperty,
+                         ::testing::ValuesIn(kScenarios),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST_P(ResilienceProperty, OverlayReconvergesAfterHeal) {
+  Experiment exp{BuildConfig(GetParam())};
+  exp.Run();
+  ASSERT_NE(exp.fault(), nullptr);
+  const FaultStats& stats = exp.fault()->stats();
+  EXPECT_GT(stats.total_injected(), 0u);
+  // Every down transition was matched by an up transition, modulo churn
+  // rejoins whose exponential downtime outlived the run tail.
+  EXPECT_LE(stats.restarts, stats.crashes);
+  EXPECT_GE(stats.restarts + 2, stats.crashes);
+
+  // Canonical progress was never lost: the chain kept growing through the
+  // fault windows (10 min at ~13 s/block ~= 45 blocks; accept half).
+  const std::uint64_t genesis = exp.config().genesis_number;
+  const std::uint64_t ref_head = exp.reference_tree().head_number();
+  EXPECT_GT(ref_head, genesis + 22);
+
+  // No lost-forever blocks: among online nodes, the overwhelming majority
+  // caught back up to the reference head (stragglers that rejoined in the
+  // final seconds may still be back-filling).
+  std::size_t online = 0, caught_up = 0;
+  for (const auto& node : exp.nodes()) {
+    if (!node->online()) continue;
+    ++online;
+    caught_up += node->tree().head_number() + 5 >= ref_head;
+  }
+  EXPECT_GE(online, exp.nodes().size() * 9 / 10);
+  EXPECT_GE(caught_up, online * 8 / 10)
+      << "only " << caught_up << " of " << online
+      << " online nodes near head " << ref_head;
+
+  // And they agree on WHICH head (not just how high it is). A block minted
+  // seconds before cutoff legitimately splits the overlay between head N and
+  // N-1 mid-propagation, so require a two-thirds plurality, not unanimity.
+  std::unordered_map<Hash32, int> heads;
+  for (const auto& node : exp.nodes())
+    if (node->online()) ++heads[node->tree().head_hash()];
+  int best = 0;
+  for (const auto& [hash, count] : heads) best = std::max(best, count);
+  EXPECT_GE(best, static_cast<int>(online * 2 / 3));
+}
+
+TEST_P(ResilienceProperty, ByteIdenticalForFixedSeedAndPlan) {
+  const ExperimentConfig cfg = BuildConfig(GetParam());
+  Experiment a{cfg};
+  Experiment b{cfg};
+  a.Run();
+  b.Run();
+
+  EXPECT_EQ(core::DeterminismDigest(a), core::DeterminismDigest(b));
+  ASSERT_EQ(a.minted().size(), b.minted().size());
+  for (std::size_t i = 0; i < a.minted().size(); ++i)
+    EXPECT_EQ(a.minted()[i].block->hash, b.minted()[i].block->hash);
+
+  // The fault schedule itself replayed identically, down to each injected
+  // process and each re-established link.
+  ASSERT_NE(a.fault(), nullptr);
+  ASSERT_NE(b.fault(), nullptr);
+  const FaultStats& sa = a.fault()->stats();
+  const FaultStats& sb = b.fault()->stats();
+  EXPECT_EQ(sa.injected, sb.injected);
+  EXPECT_EQ(sa.crashes, sb.crashes);
+  EXPECT_EQ(sa.restarts, sb.restarts);
+  EXPECT_EQ(sa.churn_leaves, sb.churn_leaves);
+  EXPECT_EQ(sa.rejoin_links, sb.rejoin_links);
+  EXPECT_EQ(sa.partitions_healed, sb.partitions_healed);
+
+  // Drop censuses match reason-for-reason.
+  for (std::size_t r = 0; r < net::kDropReasonCount; ++r)
+    EXPECT_EQ(
+        a.network().dropped_by(static_cast<net::DropReason>(r)),
+        b.network().dropped_by(static_cast<net::DropReason>(r)))
+        << net::DropReasonName(static_cast<net::DropReason>(r));
+}
+
+TEST(ResilienceTelemetry, ObservingAFaultedRunDoesNotChangeIt) {
+  const Scenario scenario{"telemetry", 13, 3.0, 1, false};
+  Experiment plain{BuildConfig(scenario)};
+  plain.Run();
+
+  ExperimentConfig traced_cfg = BuildConfig(scenario);
+  traced_cfg.telemetry.metrics = true;
+  traced_cfg.telemetry.trace = true;
+  Experiment traced{traced_cfg};
+  traced.Run();
+
+  EXPECT_EQ(core::DeterminismDigest(plain), core::DeterminismDigest(traced));
+  EXPECT_EQ(plain.simulator().events_executed(),
+            traced.simulator().events_executed());
+  EXPECT_EQ(plain.fault()->stats().crashes, traced.fault()->stats().crashes);
+  EXPECT_EQ(plain.fault()->stats().rejoin_links,
+            traced.fault()->stats().rejoin_links);
+
+  // The traced run really recorded fault telemetry — not vacuous.
+  ASSERT_NE(traced.telemetry(), nullptr);
+  ASSERT_NE(traced.telemetry()->metrics(), nullptr);
+  const std::string jsonl = traced.telemetry()->metrics()->ToJsonl();
+  EXPECT_NE(jsonl.find("fault.injected"), std::string::npos);
+}
+
+TEST(ResilienceManifest, FaultStatsEnterTheRunManifest) {
+  const Scenario scenario{"manifest", 3, 0.0, 1, false};
+  Experiment exp{BuildConfig(scenario)};
+  exp.Run();
+  const obs::RunManifest manifest = core::BuildRunManifest(exp, "test");
+  bool saw_events = false;
+  for (const auto& [key, value] : manifest.extra)
+    if (key == "fault_events") saw_events = true;
+  EXPECT_TRUE(saw_events);
+}
+
+}  // namespace
+}  // namespace ethsim::fault

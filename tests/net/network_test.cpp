@@ -177,6 +177,193 @@ TEST(NetworkDrops, ZeroDropDeliversEverything) {
   EXPECT_EQ(net.messages_dropped(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Fault substrate: partitions, degradation windows, reasoned drop census.
+
+TEST_F(NetworkFixture, PartitionDropsCrossSideTrafficOnly) {
+  const HostId we = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId ea = net.AddHost({Region::EasternAsia, 1e9});
+  const HostId we2 = net.AddHost({Region::WesternEurope, 1e9});
+  net.SetPartition(1u << static_cast<unsigned>(Region::EasternAsia));
+  ASSERT_TRUE(net.partition_active());
+
+  int delivered = 0;
+  net.Send(we, ea, 100, obs::MsgKind::kNewBlock, [&] { ++delivered; });
+  net.Send(ea, we, 100, obs::MsgKind::kAnnouncement, [&] { ++delivered; });
+  net.Send(we, we2, 100, obs::MsgKind::kNewBlock, [&] { ++delivered; });
+  simulator.RunAll();
+  EXPECT_EQ(delivered, 1);  // only the intra-side message survived
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  EXPECT_EQ(net.dropped_by(DropReason::kPartitioned), 2u);
+  // Source-region attribution: one WE-sourced, one EA-sourced.
+  EXPECT_EQ(net.dropped_by(obs::MsgKind::kNewBlock, Region::WesternEurope), 1u);
+  EXPECT_EQ(net.dropped_by(obs::MsgKind::kAnnouncement, Region::EasternAsia),
+            1u);
+
+  net.ClearPartition();
+  EXPECT_FALSE(net.partition_active());
+  net.Send(we, ea, 100, obs::MsgKind::kNewBlock, [&] { ++delivered; });
+  simulator.RunAll();
+  EXPECT_EQ(delivered, 2);  // healed
+  EXPECT_EQ(net.messages_dropped(), 2u);
+}
+
+TEST(NetworkPartition, DropsConsumeNoRng) {
+  // The partition gate fires before any RNG draw: a network that dropped a
+  // thousand cross-side messages continues its jitter stream exactly where a
+  // partition-free twin is.
+  sim::Simulator simulator;
+  Network with{simulator, Rng{42}, NeutralParams()};
+  Network without{simulator, Rng{42}, NeutralParams()};
+  for (Network* n : {&with, &without}) {
+    n->AddHost({Region::WesternEurope, 1e9});
+    n->AddHost({Region::EasternAsia, 1e9});
+  }
+  with.SetPartition(1u << static_cast<unsigned>(Region::EasternAsia));
+  for (int i = 0; i < 1000; ++i)
+    with.Send(0, 1, 100, obs::MsgKind::kNewBlock, [] {});
+  EXPECT_EQ(with.dropped_by(DropReason::kPartitioned), 1000u);
+  with.ClearPartition();
+
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(with.SampleDelay(0, 1, 100).micros(),
+              without.SampleDelay(0, 1, 100).micros())
+        << "stream diverged at draw " << i;
+}
+
+TEST(NetworkDegradation, StretchesScopedLatencyExactly) {
+  // Same seed, one degraded: every scoped sample scales by exactly the
+  // latency factor (the factor applies after the jitter draw), and unscoped
+  // links replay the plain network bit-for-bit.
+  sim::Simulator simulator;
+  NetworkParams params = NeutralParams();
+  Network plain{simulator, Rng{42}, params};
+  Network degraded{simulator, Rng{42}, params};
+  for (Network* n : {&plain, &degraded}) {
+    n->AddHost({Region::WesternEurope, 1e9});  // 0
+    n->AddHost({Region::EasternAsia, 1e9});    // 1
+    n->AddHost({Region::WesternEurope, 1e9});  // 2
+  }
+  LinkDegradation window;
+  window.region_mask = 1u << static_cast<unsigned>(Region::EasternAsia);
+  window.latency_factor = 3.0;
+  degraded.SetDegradation(window);
+  ASSERT_TRUE(degraded.degradation_active());
+
+  const double overhead_us =
+      static_cast<double>(params.per_message_overhead.micros());
+  for (int i = 0; i < 200; ++i) {
+    const double p =
+        static_cast<double>(plain.SampleDelay(0, 1, 0).micros()) - overhead_us;
+    const double d =
+        static_cast<double>(degraded.SampleDelay(0, 1, 0).micros()) -
+        overhead_us;
+    EXPECT_NEAR(d, 3.0 * p, 4.0) << "sample " << i;  // int-us truncation
+  }
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(plain.SampleDelay(0, 2, 0).micros(),
+              degraded.SampleDelay(0, 2, 0).micros())
+        << "unscoped link perturbed at draw " << i;
+
+  degraded.ClearDegradation();
+  EXPECT_FALSE(degraded.degradation_active());
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(plain.SampleDelay(0, 1, 0).micros(),
+              degraded.SampleDelay(0, 1, 0).micros());
+}
+
+TEST(NetworkDegradation, ShrinksBandwidthOnScopedLinks) {
+  sim::Simulator simulator;
+  Network net{simulator, Rng{7}, NeutralParams()};
+  const HostId a = net.AddHost({Region::WesternEurope, 8e6});  // 1 MB/s
+  const HostId b = net.AddHost({Region::WesternEurope, 8e6});
+  RunningStats before, after;
+  for (int i = 0; i < 300; ++i)
+    before.Add(net.SampleDelay(a, b, 100'000).millis());
+  LinkDegradation window;
+  window.region_mask = 1u << static_cast<unsigned>(Region::WesternEurope);
+  window.bandwidth_factor = 4.0;
+  net.SetDegradation(window);
+  for (int i = 0; i < 300; ++i)
+    after.Add(net.SampleDelay(a, b, 100'000).millis());
+  // 100 KB at 1 MB/s is ~100 ms of transfer; at a quarter of the bandwidth
+  // it is ~400 ms.
+  EXPECT_GT(after.mean() - before.mean(), 250.0);
+}
+
+TEST(NetworkDegradation, ExtraLossIsCensusedAndScoped) {
+  sim::Simulator simulator;
+  Network net{simulator, Rng{5}, NeutralParams()};
+  const HostId we = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId ea = net.AddHost({Region::EasternAsia, 1e9});
+  const HostId we2 = net.AddHost({Region::WesternEurope, 1e9});
+  LinkDegradation window;
+  window.region_mask = 1u << static_cast<unsigned>(Region::EasternAsia);
+  window.extra_drop_prob = 0.5;
+  net.SetDegradation(window);
+
+  int delivered = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    net.Send(we, ea, 100, obs::MsgKind::kNewBlock, [&] { ++delivered; });
+  for (int i = 0; i < 500; ++i)  // unscoped link: lossless
+    net.Send(we, we2, 100, obs::MsgKind::kNewBlock, [&] { ++delivered; });
+  simulator.RunAll();
+  EXPECT_NEAR(static_cast<double>(net.dropped_by(DropReason::kDegraded)) / n,
+              0.5, 0.04);
+  EXPECT_EQ(net.messages_dropped(), net.dropped_by(DropReason::kDegraded));
+  EXPECT_EQ(delivered + static_cast<int>(net.messages_dropped()), n + 500);
+
+  net.ClearDegradation();
+  const std::uint64_t frozen = net.messages_dropped();
+  for (int i = 0; i < 500; ++i)
+    net.Send(we, ea, 100, obs::MsgKind::kNewBlock, [&] { ++delivered; });
+  simulator.RunAll();
+  EXPECT_EQ(net.messages_dropped(), frozen);
+}
+
+TEST(NetworkDropCensus, ReportsEveryReasonDimension) {
+  sim::Simulator simulator;
+  NetworkParams lossy = NeutralParams();
+  lossy.drop_prob = 1.0;  // every normal send is a random loss
+  Network net{simulator, Rng{3}, lossy};
+  const HostId we = net.AddHost({Region::WesternEurope, 1e9});
+  const HostId ea = net.AddHost({Region::EasternAsia, 1e9});
+
+  net.Send(we, ea, 100, obs::MsgKind::kTransactions, [] {});  // random loss
+  net.SetPartition(1u << static_cast<unsigned>(Region::EasternAsia));
+  net.Send(we, ea, 100, obs::MsgKind::kNewBlock, [] {});      // partitioned
+  net.ClearPartition();
+  net.NoteOfflineDrop(obs::MsgKind::kAnnouncement, Region::EasternAsia);
+
+  EXPECT_EQ(net.messages_dropped(), 3u);
+  EXPECT_EQ(net.dropped_by(DropReason::kRandomLoss), 1u);
+  EXPECT_EQ(net.dropped_by(DropReason::kPartitioned), 1u);
+  EXPECT_EQ(net.dropped_by(DropReason::kOffline), 1u);
+  EXPECT_EQ(net.dropped_by(DropReason::kDegraded), 0u);
+
+  const std::vector<DropRecord> report = net.DropReport();
+  ASSERT_EQ(report.size(), 3u);
+  // Ordered by (reason, kind, region).
+  EXPECT_EQ(report[0].reason, DropReason::kRandomLoss);
+  EXPECT_EQ(report[0].kind, obs::MsgKind::kTransactions);
+  EXPECT_EQ(report[1].reason, DropReason::kPartitioned);
+  EXPECT_EQ(report[1].kind, obs::MsgKind::kNewBlock);
+  EXPECT_EQ(report[2].reason, DropReason::kOffline);
+  EXPECT_EQ(report[2].source_region, Region::EasternAsia);
+
+  const std::string text = net.RenderDropReport();
+  for (const char* needle : {"random_loss", "partitioned", "offline"})
+    EXPECT_NE(text.find(needle), std::string::npos) << text;
+}
+
+TEST(NetworkDropCensus, EmptyCensusRendersEmpty) {
+  sim::Simulator simulator;
+  Network net{simulator, Rng{4}, NeutralParams()};
+  EXPECT_TRUE(net.DropReport().empty());
+  EXPECT_TRUE(net.RenderDropReport().empty());
+}
+
 TEST(ClockModel, OffsetsMatchPaperEnvelope) {
   ClockModel clocks{Rng{7}};
   int under_10 = 0, under_100 = 0;

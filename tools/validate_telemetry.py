@@ -2,7 +2,7 @@
 """Schema-check a telemetry artifact directory.
 
 Usage:
-    tools/validate_telemetry.py DIR
+    tools/validate_telemetry.py DIR [--require METRIC]...
 
 Validates whichever artifacts exist in DIR (at least manifest.json must):
 
@@ -10,6 +10,13 @@ Validates whichever artifacts exist in DIR (at least manifest.json must):
   metrics.jsonl   one JSON object per line; counter/gauge/histogram schemas
   trace.json      Chrome trace-event JSON: traceEvents list, per-event keys
   profile.jsonl   sample / callback_histogram / phase records
+
+--require METRIC (repeatable) additionally asserts that metrics.jsonl
+contains at least one metric whose name equals METRIC or starts with
+"METRIC{" (the labeled form, e.g. --require fault.injected matches
+fault.injected{kind=node_crash}). Used by the fault-smoke CI job to prove
+a faulted run really recorded fault.injected / net.msg.dropped_reason
+counters, not just an empty registry.
 
 Exit status: 0 = valid, 1 = validation failure, 2 = usage/IO error.
 """
@@ -153,11 +160,40 @@ def check_profile(path):
         fail("profile.jsonl has no callback_histogram record")
 
 
-def main():
-    if len(sys.argv) != 2:
+def check_required(names, required):
+    for metric in required:
+        labeled = metric + "{"
+        if not any(n == metric or n.startswith(labeled) for n in names):
+            fail(f"metrics.jsonl has no metric matching {metric!r}")
+        else:
+            print(f"  ok: required metric {metric}")
+
+
+def parse_args(argv):
+    directory, required = None, []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--require":
+            if i + 1 >= len(argv):
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            required.append(argv[i + 1])
+            i += 2
+        elif directory is None:
+            directory = arg
+            i += 1
+        else:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+    if directory is None:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    directory = sys.argv[1]
+    return directory, required
+
+
+def main():
+    directory, required = parse_args(sys.argv[1:])
     manifest_path = os.path.join(directory, "manifest.json")
     if not os.path.exists(manifest_path):
         print(f"validate_telemetry: {manifest_path} not found", file=sys.stderr)
@@ -167,6 +203,7 @@ def main():
     manifest = check_manifest(manifest_path)
     telemetry = manifest.get("telemetry", {})
 
+    metric_names = set()
     checks = (("metrics.jsonl", telemetry.get("metrics"), check_metrics),
               ("trace.json", telemetry.get("trace"), check_trace),
               ("profile.jsonl", telemetry.get("profile"), check_profile))
@@ -176,8 +213,15 @@ def main():
         if enabled and not present:
             fail(f"manifest says {filename} enabled but the file is missing")
         elif present:
-            check(path)
+            result = check(path)
+            if filename == "metrics.jsonl" and result:
+                metric_names = result
             print(f"  ok: {filename}")
+    if required:
+        if not metric_names:
+            fail("--require given but no metrics.jsonl was validated")
+        else:
+            check_required(metric_names, required)
     print("  ok: manifest.json" if not FAILURES else "")
 
     if FAILURES:
