@@ -6,9 +6,10 @@
 //
 // Telemetry (optional, zero perturbation — same blocks either way):
 //   $ ETHSIM_METRICS=1 ETHSIM_TRACE=block,mine ETHSIM_PROFILE=1 \
-//     ETHSIM_TELEMETRY_DIR=out ./quickstart
+//     ETHSIM_PROVENANCE=1 ETHSIM_TELEMETRY_DIR=out ./quickstart
 // writes out/metrics.jsonl, out/trace.json (load it in
-// https://ui.perfetto.dev), out/profile.jsonl and out/manifest.json.
+// https://ui.perfetto.dev), out/profile.jsonl, out/provenance.bin (query it
+// with ethsim_inspect) and out/manifest.json.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -88,6 +89,12 @@ int main(int argc, char** argv) {
       std::printf("  trace: %llu events emitted, %llu scrolled off the ring\n",
                   static_cast<unsigned long long>(tracer->emitted()),
                   static_cast<unsigned long long>(tracer->dropped()));
+    if (const obs::ProvenanceRecorder* prov = exp.telemetry()->provenance())
+      std::printf("  provenance: %llu relay edges, %llu invariant violations "
+                  "(try: ethsim_inspect %s --block head --tree)\n",
+                  static_cast<unsigned long long>(prov->edges_recorded()),
+                  static_cast<unsigned long long>(prov->violations()),
+                  dir.c_str());
   }
   return 0;
 }

@@ -1,0 +1,116 @@
+// Dissemination analysis over the provenance edge log (obs/provenance_dag):
+// reconstructs per-block dissemination trees (Fig. 1's propagation waves as
+// actual trees), hop-depth CDFs, push-vs-announce first-delivery shares, and
+// byte-exact redundancy / wasted-bandwidth attribution.
+//
+// This is the Ethna/DEthna analysis layer: from per-message relay traces we
+// derive how the gossip mechanism actually moved each block through the
+// geo-distributed overlay — which path reached the APAC observer, how many
+// redundant copies burned bandwidth, and (à la Ethna §IV) each node's
+// effective degree from its reception counts.
+//
+// Reconciliation contract: RedundancyFromProvenance over the observer's host
+// equals analysis/redundancy's BlockReceptionRedundancy (Table 2) *bitwise*
+// on the same run. Both count the same delivered messages with the same
+// settle-window exclusion; the observer's clock offset shifts first/last
+// arrival equally, so the exclusion predicate and every count agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/redundancy.hpp"
+#include "common/time.hpp"
+#include "obs/provenance_dag.hpp"
+
+namespace ethsim::analysis {
+
+// One host's entry in a reconstructed dissemination tree: how (and from
+// whom) the host first learned of the block.
+struct TreeNode {
+  std::uint32_t host = 0;
+  std::uint32_t parent_host = 0;  // sender of the first-delivery edge
+  std::int64_t first_arrival_us = 0;
+  std::uint16_t hop = 0;
+  obs::EdgeKind via = obs::EdgeKind::kOrigin;  // first-delivery message kind
+};
+
+// The complete dissemination record of one block.
+struct DisseminationTree {
+  std::uint64_t object = 0;  // hash prefix (prefix_u64)
+  std::uint64_t number = 0;  // block number (0 when unknown)
+  // Reached hosts ordered by (first_arrival_us, host). nodes[0] is the
+  // origin when the log contains the mint record.
+  std::vector<TreeNode> nodes;
+  // Delivered block-message edges beyond each host's first (the copies
+  // gossip redundancy paid for), and their wire bytes.
+  std::uint64_t redundant_edges = 0;
+  std::uint64_t wasted_bytes = 0;
+  // All delivered block-message bytes for this object (origin excluded).
+  std::uint64_t total_bytes = 0;
+  // Edges for this object that the network censored (drop != kNone).
+  std::uint64_t dropped_edges = 0;
+};
+
+// Block objects (hash prefixes) present in the log, ordered by first
+// appearance. Tx-batch edges (object == 0) are excluded.
+std::vector<std::uint64_t> BlockObjects(const obs::ProvenanceLog& log);
+
+// Reconstructs the dissemination tree of one block.
+DisseminationTree BuildDisseminationTree(const obs::ProvenanceLog& log,
+                                         std::uint64_t object);
+
+// First-delivery hop depths over every (block, host) pair — the CDF behind
+// "how deep does the gossip tree go before everyone has the block?".
+struct HopDepthDistribution {
+  std::vector<std::uint16_t> depths;  // sorted ascending
+  double mean = 0;
+  std::uint16_t max = 0;
+
+  // Exact empirical quantile (nearest-rank on the sorted sample).
+  std::uint16_t Quantile(double q) const;
+};
+HopDepthDistribution HopDepths(const obs::ProvenanceLog& log);
+
+// Of all (block, host) first deliveries: how many arrived as an unsolicited
+// full-block push, as a hash announcement, or as a fetched body that beat
+// both. The paper's push-vs-announce mechanism split.
+struct FirstDeliveryShares {
+  std::uint64_t push = 0;      // kNewBlock first
+  std::uint64_t announce = 0;  // kAnnouncement first
+  std::uint64_t fetched = 0;   // kBlockResponse first
+  std::uint64_t total() const { return push + announce + fetched; }
+};
+FirstDeliveryShares FirstDeliveryBreakdown(const obs::ProvenanceLog& log);
+
+// Table 2 reconciliation: per-host announcement / whole-block reception
+// redundancy with the same settle-window exclusion as
+// BlockReceptionRedundancy. Bitwise-equal to the observer-log computation
+// for the observer's host.
+RedundancyResult RedundancyFromProvenance(const obs::ProvenanceLog& log,
+                                          std::uint32_t host,
+                                          Duration settle = Duration::Seconds(60));
+
+// Redundancy attribution per host, sorted by wasted bytes descending — the
+// `ethsim_inspect --redundancy --top N` table.
+struct HostWaste {
+  std::uint32_t host = 0;
+  std::uint64_t receptions = 0;        // delivered block-message edges
+  std::uint64_t redundant_receptions = 0;  // beyond first per block
+  std::uint64_t wasted_bytes = 0;      // bytes of the redundant edges
+};
+std::vector<HostWaste> WasteByHost(const obs::ProvenanceLog& log);
+
+// Ethna-style degree inference: in push+announce gossip every neighbor sends
+// exactly one block message per (settled) block, so a node's receptions per
+// block estimate its degree. Blocks first seen within `settle` of the log
+// cutoff are excluded (copies still in flight would bias the estimate low).
+struct DegreeEstimate {
+  std::uint32_t host = 0;
+  double estimated_degree = 0;  // mean receptions per settled block
+  std::uint64_t blocks = 0;     // settled blocks the host participated in
+};
+std::vector<DegreeEstimate> InferDegrees(
+    const obs::ProvenanceLog& log, Duration settle = Duration::Seconds(60));
+
+}  // namespace ethsim::analysis

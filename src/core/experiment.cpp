@@ -218,6 +218,13 @@ void Experiment::Run() {
   workload_->Start();
   sim_.RunUntil(TimePoint::FromMicros(config_.duration.micros()));
 
+  // Pin the provenance artifact's cutoff: edges scheduled past the end of
+  // the run were still in flight and must not count as delivered.
+  if (telemetry_ != nullptr) {
+    if (obs::ProvenanceRecorder* prov = telemetry_->provenance())
+      prov->SetEndTime(sim_.Now().micros());
+  }
+
   // One top-level span covering the whole simulated interval, so a loaded
   // trace shows the run envelope even with aggressive category filters.
   if (telemetry_ != nullptr) {

@@ -198,6 +198,7 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
   manifest.metrics_enabled = config.telemetry.metrics;
   manifest.trace_enabled = config.telemetry.trace;
   manifest.profile_enabled = config.telemetry.profile;
+  manifest.provenance_enabled = config.telemetry.provenance;
   manifest.extra.emplace_back("peer_nodes", std::to_string(config.peer_nodes));
   manifest.extra.emplace_back("vantages",
                               std::to_string(config.vantages.size()));
@@ -207,6 +208,16 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
   manifest.extra.emplace_back(
       "messages_dropped",
       std::to_string(experiment.network().messages_dropped()));
+  // Provenance extras only when the recorder ran: provenance-off manifests
+  // are byte-identical to pre-provenance output.
+  if (const obs::Telemetry* telemetry = experiment.telemetry()) {
+    if (const obs::ProvenanceRecorder* prov = telemetry->provenance()) {
+      manifest.extra.emplace_back("provenance_edges",
+                                  std::to_string(prov->edges_recorded()));
+      manifest.extra.emplace_back("provenance_violations",
+                                  std::to_string(prov->violations()));
+    }
+  }
   // Fault extras only when a controller ran: fault-free manifests are
   // byte-identical to pre-fault-layer output.
   if (const fault::FaultController* fault = experiment.fault()) {

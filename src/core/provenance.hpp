@@ -2,6 +2,11 @@
 // digests over run outputs, and the glue that writes a complete artifact set
 // (manifest + enabled telemetry streams) next to a run's other outputs.
 //
+// Naming note: this file answers "WHICH run is this?" (digests over config
+// and outputs; the manifest schema itself lives in obs/run_manifest). The
+// similarly named obs/provenance_dag answers "WHAT happened inside the run?"
+// — the per-message dissemination recorder behind ETHSIM_PROVENANCE.
+//
 // The config digest covers every field that can change results and excludes
 // the seed and the telemetry gates: all members of one seed sweep share a
 // digest, and turning tracing on cannot change what run the manifest claims
@@ -17,7 +22,7 @@
 #include "common/types.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
-#include "obs/provenance.hpp"
+#include "obs/run_manifest.hpp"
 
 namespace ethsim::core {
 

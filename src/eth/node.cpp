@@ -31,6 +31,7 @@ net::Region EthNode::region() const { return net_.host(host_).region; }
 
 void EthNode::AttachTelemetry(obs::Telemetry* telemetry,
                               std::uint32_t trace_lane) {
+  prov_ = nullptr;
   block_tracer_ = nullptr;
   tx_tracer_ = nullptr;
   imported_count_ = nullptr;
@@ -40,6 +41,9 @@ void EthNode::AttachTelemetry(obs::Telemetry* telemetry,
   validate_hist_ = nullptr;
   trace_lane_ = trace_lane;
   if (telemetry == nullptr) return;
+
+  if ((prov_ = telemetry->provenance()) != nullptr)
+    prov_->RegisterHost(host_, static_cast<std::uint8_t>(region()));
 
   if (obs::Tracer* tracer = telemetry->tracer()) {
     if (tracer->enabled(obs::TraceCategory::kBlock)) block_tracer_ = tracer;
@@ -190,6 +194,9 @@ void EthNode::InjectMinedBlock(chain::BlockPtr block) {
   // the hash to everyone else.
   const auto result = tree_.Add(block, sim_.Now());
   if (result.outcome == chain::BlockTree::AddOutcome::kDuplicate) return;
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->RecordOrigin(host_, block->hash, block->header.parent_hash,
+                        block->header.number, sim_.Now().micros());
   for (const auto& retired : result.retired)
     for (const auto& tx : retired->transactions) {
       pool_.RollbackAccountNonce(tx.sender, tx.nonce);
@@ -218,6 +225,8 @@ void EthNode::InjectMinedBlock(chain::BlockPtr block) {
 // --- wire ingress ------------------------------------------------------------
 
 void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->ResolveDelivery(from->host(), host_, online_, sim_.Now().micros());
   if (DropIngress(obs::MsgKind::kNewBlock)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFullBlock, block->hash,
@@ -230,6 +239,8 @@ void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
 }
 
 void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->ResolveDelivery(from->host(), host_, online_, sim_.Now().micros());
   if (DropIngress(obs::MsgKind::kBlockResponse)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFetched, block->hash,
@@ -244,6 +255,8 @@ void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
 
 void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
                                   std::uint64_t number) {
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->ResolveDelivery(from->host(), host_, online_, sim_.Now().micros());
   if (DropIngress(obs::MsgKind::kAnnouncement)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kAnnouncement, hash, number,
@@ -255,6 +268,10 @@ void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
       requested_.contains(hash))
     return;
   requested_.insert(hash);
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->StageBlockEdge(host_, from->host(), obs::EdgeKind::kGetBlock, hash,
+                          number, nullptr, kGetBlockWireSize,
+                          sim_.Now().micros());
   net_.Send(host_, from->host(), kGetBlockWireSize, obs::MsgKind::kGetBlock,
             [from, self = this, hash] { from->DeliverGetBlock(self, hash); });
   // Retry guard: if the fetch (or its response) is lost, forget it so the
@@ -267,16 +284,25 @@ void EthNode::DeliverAnnouncement(EthNode* from, const Hash32& hash,
 }
 
 void EthNode::DeliverGetBlock(EthNode* from, const Hash32& hash) {
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->ResolveDelivery(from->host(), host_, online_, sim_.Now().micros());
   if (DropIngress(obs::MsgKind::kGetBlock)) [[unlikely]] return;
   const chain::BlockPtr block = tree_.Get(hash);
   if (!block) return;  // pruned/unknown; requester will hear it elsewhere
   if (Peer* p = FindPeer(from)) p->known_blocks.Insert(hash);
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->StageBlockEdge(host_, from->host(), obs::EdgeKind::kBlockResponse,
+                          block->hash, block->header.number,
+                          &block->header.parent_hash, block->EncodedSize(),
+                          sim_.Now().micros());
   net_.Send(host_, from->host(), block->EncodedSize(),
             obs::MsgKind::kBlockResponse,
             [from, self = this, block] { from->DeliverBlockResponse(self, block); });
 }
 
 void EthNode::DeliverTransactions(EthNode* from, const TxBatchView& batch) {
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->ResolveDelivery(from->host(), host_, online_, sim_.Now().micros());
   if (DropIngress(obs::MsgKind::kTransactions)) [[unlikely]] return;
   Peer* peer = FindPeer(from);
   if (tx_received_count_ != nullptr) [[unlikely]]
@@ -374,6 +400,11 @@ void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
         const Hash32 parent = block->header.parent_hash;
         requested_.insert(parent);
         Peer& peer = peers_[rng_.NextBounded(peers_.size())];
+        if (prov_ != nullptr) [[unlikely]]
+          prov_->StageBlockEdge(host_, peer.node->host(),
+                                obs::EdgeKind::kGetBlock, parent,
+                                block->header.number - 1, nullptr,
+                                kGetBlockWireSize, sim_.Now().micros());
         net_.Send(host_, peer.node->host(), kGetBlockWireSize,
                   obs::MsgKind::kGetBlock,
                   [target = peer.node, self = this, parent] {
@@ -458,6 +489,11 @@ void EthNode::AnnounceToOtherPeers(const chain::BlockPtr& block) {
 void EthNode::SendNewBlock(Peer& peer, const chain::BlockPtr& block) {
   peer.known_blocks.Insert(block->hash);
   EthNode* target = peer.node;
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->StageBlockEdge(host_, target->host(), obs::EdgeKind::kNewBlock,
+                          block->hash, block->header.number,
+                          &block->header.parent_hash, block->EncodedSize(),
+                          sim_.Now().micros());
   net_.Send(host_, target->host(), block->EncodedSize(),
             obs::MsgKind::kNewBlock,
             [target, self = this, block] { target->DeliverNewBlock(self, block); });
@@ -466,6 +502,10 @@ void EthNode::SendNewBlock(Peer& peer, const chain::BlockPtr& block) {
 void EthNode::SendAnnouncement(Peer& peer, const chain::BlockPtr& block) {
   peer.known_blocks.Insert(block->hash);
   EthNode* target = peer.node;
+  if (prov_ != nullptr) [[unlikely]]
+    prov_->StageBlockEdge(host_, target->host(), obs::EdgeKind::kAnnouncement,
+                          block->hash, block->header.number, nullptr,
+                          kAnnouncementWireSize, sim_.Now().micros());
   net_.Send(host_, target->host(), kAnnouncementWireSize,
             obs::MsgKind::kAnnouncement,
             [target, self = this, hash = block->hash,
@@ -526,6 +566,9 @@ void EthNode::FlushTxBroadcast() {
       view.subset = std::make_shared<const std::vector<std::uint32_t>>(
           flush_subset_);
     EthNode* target = peer.node;
+    if (prov_ != nullptr) [[unlikely]]
+      prov_->StageTxEdge(host_, target->host(), flush_subset_.size(), bytes,
+                         sim_.Now().micros());
     net_.Send(host_, target->host(), bytes, obs::MsgKind::kTransactions,
               [target, self = this, view = std::move(view)] {
                 target->DeliverTransactions(self, view);

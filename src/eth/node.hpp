@@ -227,6 +227,10 @@ class EthNode {
 
   // Telemetry (null = disabled; one predicted branch per hook). Instrument
   // pointers are resolved once in AttachTelemetry for this node's region.
+  // prov_ is the dissemination-provenance recorder: every outbound message
+  // stages an edge immediately before net_.Send (the Network finalizes it)
+  // and every ingress resolves its delivery — see obs/provenance_dag.hpp.
+  obs::ProvenanceRecorder* prov_ = nullptr;
   obs::Tracer* block_tracer_ = nullptr;  // kBlock category pre-checked
   obs::Tracer* tx_tracer_ = nullptr;     // kTx category pre-checked
   obs::Counter* imported_count_ = nullptr;

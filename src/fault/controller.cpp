@@ -25,8 +25,10 @@ void FaultController::Bind(Bindings bindings) {
 
 void FaultController::AttachTelemetry(obs::Telemetry* telemetry) {
   tracer_ = nullptr;
+  prov_ = nullptr;
   injected_count_.fill(nullptr);
   if (telemetry == nullptr) return;
+  prov_ = telemetry->provenance();
 
   if (obs::Tracer* tracer = telemetry->tracer();
       tracer != nullptr && tracer->enabled(obs::TraceCategory::kFault)) {
@@ -111,6 +113,7 @@ void FaultController::CrashNode(std::size_t node_index) {
   eth::EthNode* node = b_.nodes[node_index];
   if (!node->online()) return;
   node->GoOffline();
+  if (prov_ != nullptr) prov_->NoteHostOnline(node->host(), false);
   ++stats_.crashes;
   TraceInstant("fault.node_down", FaultKind::kNodeCrash, node_index);
 }
@@ -119,6 +122,7 @@ void FaultController::RejoinNode(std::size_t node_index) {
   eth::EthNode* node = b_.nodes[node_index];
   if (node->online()) return;
   node->GoOnline();
+  if (prov_ != nullptr) prov_->NoteHostOnline(node->host(), true);
   ++stats_.restarts;
 
   // Re-discovery against the surviving overlay: a registry table over every

@@ -131,6 +131,9 @@ class FaultController {
   // Telemetry (null = disabled; record-only).
   obs::Tracer* tracer_ = nullptr;  // kFault category pre-checked
   std::array<obs::Counter*, kFaultKindCount> injected_count_{};
+  // Provenance recorder: crash/restart marks feed the offline-delivery
+  // invariant (obs/provenance_dag).
+  obs::ProvenanceRecorder* prov_ = nullptr;
 };
 
 }  // namespace ethsim::fault

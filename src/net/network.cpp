@@ -17,6 +17,23 @@ std::string_view DropReasonName(DropReason reason) {
   return "?";
 }
 
+namespace {
+
+// DropReason -> EdgeDrop (shifted by one: EdgeDrop reserves 0 for
+// "delivered"). Kept as an explicit map so the obs layer stays free of net
+// includes and a reorder in either enum turns into a compile break here.
+obs::EdgeDrop ToEdgeDrop(DropReason reason) {
+  switch (reason) {
+    case DropReason::kRandomLoss: return obs::EdgeDrop::kRandomLoss;
+    case DropReason::kPartitioned: return obs::EdgeDrop::kPartitioned;
+    case DropReason::kDegraded: return obs::EdgeDrop::kDegraded;
+    case DropReason::kOffline: return obs::EdgeDrop::kOffline;
+  }
+  return obs::EdgeDrop::kNone;
+}
+
+}  // namespace
+
 Network::Network(sim::Simulator& simulator, Rng rng, NetworkParams params)
     : sim_(simulator), rng_(rng), params_(params) {}
 
@@ -62,6 +79,7 @@ Duration Network::SampleDelay(HostId from, HostId to, std::size_t bytes) {
 void Network::AttachTelemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
   tracer_ = nullptr;
+  provenance_ = telemetry != nullptr ? telemetry->provenance() : nullptr;
   sent_count_.fill(nullptr);
   sent_bytes_.fill(nullptr);
   for (auto& row : drop_count_) row.fill(nullptr);
@@ -157,11 +175,17 @@ void Network::Send(HostId from, HostId to, std::size_t bytes,
         (partition_mask_ >> static_cast<unsigned>(hosts_[to].region)) & 1u;
     if (side_from != side_to) {
       CountDrop(kind, hosts_[from].region, DropReason::kPartitioned);
+      if (provenance_ != nullptr) [[unlikely]]
+        provenance_->FinalizeDropped(from, to,
+                                     ToEdgeDrop(DropReason::kPartitioned));
       return;
     }
   }
   if (params_.drop_prob > 0 && rng_.NextBool(params_.drop_prob)) {
     CountDrop(kind, hosts_[from].region, DropReason::kRandomLoss);
+    if (provenance_ != nullptr) [[unlikely]]
+      provenance_->FinalizeDropped(from, to,
+                                   ToEdgeDrop(DropReason::kRandomLoss));
     return;
   }
   // Degradation loss draws RNG only while a window is active; outside a
@@ -173,6 +197,9 @@ void Network::Send(HostId from, HostId to, std::size_t bytes,
     if ((touched & degradation_.region_mask) != 0 &&
         rng_.NextBool(degradation_.extra_drop_prob)) {
       CountDrop(kind, hosts_[from].region, DropReason::kDegraded);
+      if (provenance_ != nullptr) [[unlikely]]
+        provenance_->FinalizeDropped(from, to,
+                                     ToEdgeDrop(DropReason::kDegraded));
       return;
     }
   }
@@ -190,6 +217,8 @@ void Network::Send(HostId from, HostId to, std::size_t bytes,
 
   // Record-only instrumentation: nothing below samples rng_ or schedules
   // events, so an attached run replays the detached run exactly.
+  if (provenance_ != nullptr) [[unlikely]]
+    provenance_->FinalizeScheduled(from, to, arrival.micros());
   if (telemetry_ != nullptr) [[unlikely]] {
     const auto k = static_cast<std::size_t>(kind);
     if (sent_count_[k] != nullptr) {

@@ -196,6 +196,11 @@ class Network {
   // branch). Instrument pointers are resolved once in AttachTelemetry.
   obs::Telemetry* telemetry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  // Dissemination-provenance recorder (null = disabled). The eth layer
+  // stages an edge immediately before each Send; the network finalizes it
+  // here — dropped with the mapped reason, or scheduled with the
+  // FIFO-clamped arrival time.
+  obs::ProvenanceRecorder* provenance_ = nullptr;
   std::array<obs::Counter*, obs::kMsgKindCount> sent_count_{};
   std::array<obs::Counter*, obs::kMsgKindCount> sent_bytes_{};
   std::array<std::array<obs::Counter*, kRegionCount>, obs::kMsgKindCount>

@@ -1,0 +1,334 @@
+// Dissemination provenance: a deterministic, env-gated (ETHSIM_PROVENANCE)
+// recorder that captures every gossip edge of a run — (sender, receiver,
+// object, message kind, hop depth inherited from the sender's first-seen
+// record, send/arrival sim-times, wire bytes, drop reason if the message was
+// censored by loss/partition/outage) — into per-sender ring buffers that
+// spill into an in-memory columnar store and finally into a compact columnar
+// artifact (provenance.bin) alongside manifest.json.
+//
+// This is the primitive Ethna/DEthna derive their propagation-mechanism and
+// topology-inference analyses from: with it, every simulation run doubles as
+// a queryable measurement dataset. The analysis layer
+// (analysis/dissemination) reconstructs per-block dissemination trees,
+// hop-depth CDFs, push-vs-announce first-delivery shares and byte-exact
+// redundancy attribution from the log; tools/ethsim_inspect answers ad-hoc
+// queries against the written artifact.
+//
+// Contract (same as the rest of src/obs): record-only. The recorder never
+// draws from any Rng and never schedules events, so enabling it cannot
+// change a run's results; with it disabled every hook costs one predicted
+// branch on a null pointer.
+//
+// Recording protocol (single-threaded inside one simulation world):
+//   1. The sending EthNode *stages* an edge immediately before calling
+//      Network::Send (StageBlockEdge / StageTxEdge).
+//   2. Network::Send *finalizes* the staged edge exactly once: either
+//      FinalizeDropped(reason) on a censored message or
+//      FinalizeScheduled(arrival) once the delivery is on the event queue.
+//   3. The receiving EthNode *resolves* the delivery at ingress
+//      (ResolveDelivery). Per-(from,to) FIFO delivery (a Network invariant)
+//      makes the resolution a queue pop — no per-message lookup. A delivery
+//      that finds the receiver crashed is re-attributed as an `offline` drop.
+// Origins (a pool gateway injecting a freshly mined block) are recorded as
+// self-edges with hop depth 0; every relayed copy inherits depth
+// sender-first-seen + 1.
+//
+// A runtime InvariantChecker rides the same stream and verifies, per event:
+// no duplicate first-seen, no relay of a never-received block, no fetch
+// without a prior announce (or orphan-parent knowledge), no delivery to a
+// node the fault layer took down, and monotone (causal) hop depths. Each
+// violation increments a `provenance.violation{check=...}` counter in the
+// metrics registry and warns — or aborts when ETHSIM_PROVENANCE=strict.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ethsim::obs {
+
+class MetricsRegistry;
+class Counter;
+
+// Edge kinds. kOrigin is the mint/injection pseudo-edge (from == to); the
+// rest mirror the wire messages of the simplified eth/63 protocol.
+enum class EdgeKind : std::uint8_t {
+  kOrigin = 0,     // block injected by its miner at this host
+  kNewBlock,       // unsolicited full-block push
+  kAnnouncement,   // NewBlockHashes entry
+  kGetBlock,       // block body fetch request (announce- or orphan-triggered)
+  kBlockResponse,  // block body served in response to a GetBlock
+  kTransactions,   // batched tx relay (object = 0, number = batch tx count)
+};
+inline constexpr std::size_t kEdgeKindCount = 6;
+std::string_view EdgeKindName(EdgeKind kind);
+
+// Why an edge never delivered. Mirrors net::DropReason (shifted by one so 0
+// can mean "delivered"); kept separate so obs stays free of net includes.
+enum class EdgeDrop : std::uint8_t {
+  kNone = 0,     // delivered (or still in flight at cutoff; see end_us)
+  kRandomLoss,   // baseline stochastic loss
+  kPartitioned,  // cross-side send during an active regional partition
+  kDegraded,     // extra loss inside a link-degradation window
+  kOffline,      // delivery reached a crashed/churned-out node
+};
+inline constexpr std::size_t kEdgeDropCount = 5;
+std::string_view EdgeDropName(EdgeDrop drop);
+
+// One gossip edge, AoS form — the staging-ring record. The log stores the
+// same fields as columns; `seq` is the global send-order position and is
+// implicit (row index) in the written artifact.
+struct EdgeRecord {
+  std::uint64_t seq = 0;
+  std::int64_t send_us = 0;
+  std::int64_t arrival_us = -1;  // -1: censored inside the network
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint64_t object = 0;  // hash prefix (prefix_u64); 0 for tx batches
+  std::uint64_t parent = 0;  // parent-hash prefix for block bodies, else 0
+  std::uint64_t number = 0;  // block number, or tx count for kTransactions
+  std::uint32_t bytes = 0;   // wire size
+  std::uint16_t hop = 0;     // sender first-seen depth + 1 (origin: 0)
+  EdgeKind kind = EdgeKind::kOrigin;
+  EdgeDrop drop = EdgeDrop::kNone;
+};
+
+// The complete edge log of one run in columnar (struct-of-arrays) form,
+// ordered by send time (ties by send order). This is both the in-memory
+// spill target of the recorder and the deserialized form of the
+// provenance.bin artifact.
+struct ProvenanceLog {
+  std::vector<std::int64_t> send_us;
+  std::vector<std::int64_t> arrival_us;
+  std::vector<std::uint32_t> from;
+  std::vector<std::uint32_t> to;
+  std::vector<std::uint64_t> object;
+  std::vector<std::uint64_t> parent;
+  std::vector<std::uint64_t> number;
+  std::vector<std::uint32_t> bytes;
+  std::vector<std::uint16_t> hop;
+  std::vector<std::uint8_t> kind;
+  std::vector<std::uint8_t> drop;
+
+  // Host id -> region index (net::Region). Hosts register at attach time, so
+  // the table covers every host that *could* appear in an edge.
+  std::vector<std::uint8_t> host_region;
+
+  // Run cutoff: an edge with arrival_us > end_us was still in flight when
+  // the simulation stopped and must not count as delivered.
+  std::int64_t end_us = INT64_MAX;
+
+  std::size_t size() const { return send_us.size(); }
+  bool empty() const { return send_us.empty(); }
+  void Append(const EdgeRecord& record);
+
+  bool delivered(std::size_t i) const {
+    return drop[i] == 0 && arrival_us[i] >= 0 && arrival_us[i] <= end_us;
+  }
+  bool block_payload(std::size_t i) const {  // carries the full block body
+    const auto k = static_cast<EdgeKind>(kind[i]);
+    return k == EdgeKind::kNewBlock || k == EdgeKind::kBlockResponse ||
+           k == EdgeKind::kOrigin;
+  }
+
+  // Compact columnar artifact IO (provenance.bin, magic "ETHPROV1",
+  // little-endian fixed-width columns; see WriteBinary for the layout).
+  // Both return false and fill `error` (when non-null) on failure.
+  bool WriteBinary(const std::string& path, std::string* error = nullptr) const;
+  static bool ReadBinary(const std::string& path, ProvenanceLog* out,
+                         std::string* error = nullptr);
+};
+
+// The invariants checked at runtime on the edge stream.
+enum class InvariantCheck : std::uint8_t {
+  kDuplicateFirstSeen = 0,  // second origin record for the same (host, block)
+  kRelayWithoutReceive,     // push/announce/serve of a never-seen block
+  kFetchWithoutAnnounce,    // GetBlock with no prior announce or orphan parent
+  kDeliveryWhileOffline,    // delivered edge at a host the fault layer downed
+  kNonMonotoneHop,          // relay staged before the sender's copy arrived
+};
+inline constexpr std::size_t kInvariantCheckCount = 5;
+std::string_view InvariantCheckName(InvariantCheck check);
+
+// Policy + counters for stream invariants. The recorder feeds it pre-digested
+// facts (does the sender have a first-seen record? when did it arrive?), so
+// the checker holds no per-object state of its own and can be unit-tested by
+// direct calls. `fatal` escalates every violation to the handler's abort
+// path (ETHSIM_PROVENANCE=strict).
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(bool fatal);
+
+  // Wires provenance.violation{check=...} counters (eagerly, one per check,
+  // so the metrics stream shape is a function of config alone).
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  // Fact hooks (called by the recorder).
+  void OnOrigin(std::uint32_t host, std::uint64_t object, bool already_seen);
+  void OnBlockRelayStage(EdgeKind kind, std::uint32_t from,
+                         std::uint64_t object, bool sender_has_first_seen,
+                         std::int64_t send_us,
+                         std::int64_t sender_first_seen_arrival_us);
+  void OnFetchStage(std::uint32_t from, std::uint64_t object, bool heard,
+                    bool parent_known);
+  void OnDelivery(std::uint32_t to, bool node_online, bool host_marked_down);
+
+  std::uint64_t total() const { return total_; }
+  const std::array<std::uint64_t, kInvariantCheckCount>& by_check() const {
+    return by_check_;
+  }
+
+  // Test hook: replaces the default handler (LogWarn, abort when fatal).
+  using Handler = std::function<void(InvariantCheck, const std::string&)>;
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+ private:
+  void Violate(InvariantCheck check, std::string detail);
+
+  bool fatal_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kInvariantCheckCount> by_check_{};
+  std::array<Counter*, kInvariantCheckCount> counters_{};
+  Handler handler_;
+};
+
+struct ProvenanceConfig {
+  // Per-sender staging-ring capacity in records; a full ring spills into the
+  // columnar store. Small rings bound the AoS staging footprint; the columnar
+  // store grows with the run (it *is* the dataset).
+  std::size_t ring_capacity = 4096;
+  // Abort (after logging) on the first invariant violation.
+  bool fatal_invariants = false;
+};
+
+class ProvenanceRecorder {
+ public:
+  explicit ProvenanceRecorder(ProvenanceConfig config);
+  ProvenanceRecorder(const ProvenanceRecorder&) = delete;
+  ProvenanceRecorder& operator=(const ProvenanceRecorder&) = delete;
+
+  // Wires provenance.edge{kind=...} + violation counters. Optional.
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  // Declares a host and its region (net::Region index). Called from
+  // EthNode::AttachTelemetry; hosts appearing in edges without registration
+  // get region 0xff in the artifact host table.
+  void RegisterHost(std::uint32_t host, std::uint8_t region);
+
+  // --- producer hooks (see file comment for the 3-step protocol) ----------
+  void RecordOrigin(std::uint32_t host, const Hash32& hash,
+                    const Hash32& parent, std::uint64_t number,
+                    std::int64_t now_us);
+  void StageBlockEdge(std::uint32_t from, std::uint32_t to, EdgeKind kind,
+                      const Hash32& hash, std::uint64_t number,
+                      const Hash32* parent, std::size_t bytes,
+                      std::int64_t now_us);
+  void StageTxEdge(std::uint32_t from, std::uint32_t to, std::size_t tx_count,
+                   std::size_t bytes, std::int64_t now_us);
+  void FinalizeScheduled(std::uint32_t from, std::uint32_t to,
+                         std::int64_t arrival_us);
+  void FinalizeDropped(std::uint32_t from, std::uint32_t to, EdgeDrop reason);
+  void ResolveDelivery(std::uint32_t from, std::uint32_t to, bool online,
+                       std::int64_t now_us);
+
+  // Fault-layer attribution: FaultController marks hosts it took down so
+  // the offline invariant can distinguish "correctly dropped at a crashed
+  // node" from "delivered to a node everyone thinks is down".
+  void NoteHostOnline(std::uint32_t host, bool online);
+
+  // Run cutoff for the artifact (edges scheduled past it were in flight).
+  void SetEndTime(std::int64_t end_us) { end_us_ = end_us; }
+
+  // Drains every staging ring, restores global send order, applies late
+  // (ingress-time) drop attributions, and returns the finished log.
+  // Idempotent; recording after Finish is a programming error.
+  const ProvenanceLog& Finish();
+
+  // Finish() + WriteBinary(dir + "/provenance.bin").
+  bool WriteArtifact(const std::string& dir, std::string* error = nullptr);
+
+  std::uint64_t edges_recorded() const { return next_seq_; }
+  std::uint64_t violations() const { return checker_.violations_total(); }
+  InvariantChecker& checker() { return checker_impl_; }
+  const InvariantChecker& checker() const { return checker_impl_; }
+
+  // The depth at which `host` first saw `object` (its first-seen record);
+  // false when the host never heard of it. Exposed for tests.
+  bool FirstSeenDepth(std::uint32_t host, std::uint64_t object,
+                      std::uint16_t* depth_out) const;
+
+ private:
+  struct FirstSeen {
+    std::int64_t arrival_us = 0;
+    std::uint16_t depth = 0;
+  };
+  struct ObjectState {
+    // Per-host first-seen record: earliest (predicted) arrival of any
+    // block-message edge for this object, and the hop depth it carried.
+    std::unordered_map<std::uint32_t, FirstSeen> first_seen;
+  };
+  struct HostState {
+    // Parent prefixes of block bodies this host received — the orphan
+    // parent-fetch justification set.
+    std::unordered_set<std::uint64_t> known_parents;
+    bool marked_down = false;  // fault-layer view (NoteHostOnline)
+  };
+  struct PendingDelivery {
+    std::uint64_t seq;
+    EdgeKind kind;
+  };
+
+  // Small shim so the public violations() accessor reads naturally.
+  struct CheckerHandle {
+    const InvariantChecker* checker = nullptr;
+    std::uint64_t violations_total() const { return checker->total(); }
+  };
+
+  HostState& Host(std::uint32_t host);
+  void CommitStaged(std::int64_t arrival_us, EdgeDrop drop);
+  void AppendRecord(const EdgeRecord& record);
+  void SpillRing(std::uint32_t host);
+  // Updates the receiver's first-seen record from a scheduled block-message
+  // edge (min-arrival wins; deterministic, see .cpp).
+  void NoteFirstSeen(std::uint32_t host, std::uint64_t object,
+                     std::int64_t arrival_us, std::uint16_t depth);
+
+  ProvenanceConfig config_;
+  InvariantChecker checker_impl_;
+  CheckerHandle checker_;
+
+  // Staged-but-unfinalized edge (at most one; stage and finalize bracket a
+  // single Network::Send call).
+  EdgeRecord staged_;
+  bool staged_active_ = false;
+
+  std::uint64_t next_seq_ = 0;
+  bool finished_ = false;
+
+  // Per-sender staging rings (AoS), spilled into `log_` when full.
+  std::vector<std::vector<EdgeRecord>> rings_;
+  ProvenanceLog log_;                // columnar store (spill target)
+  std::vector<std::uint64_t> seqs_;  // per-row seq, parallel to log_ columns
+  std::int64_t end_us_ = INT64_MAX;
+
+  // In-flight deliveries per directed (from,to) pair, popped FIFO at ingress.
+  std::unordered_map<std::uint64_t, std::deque<PendingDelivery>> pending_;
+  // Ingress-time re-attributions (seq -> drop), applied at Finish.
+  std::vector<std::pair<std::uint64_t, EdgeDrop>> late_drops_;
+
+  std::unordered_map<std::uint64_t, ObjectState> objects_;
+  std::vector<HostState> hosts_;
+
+  std::array<Counter*, kEdgeKindCount> edge_count_{};
+  std::uint64_t resync_warnings_ = 0;
+};
+
+}  // namespace ethsim::obs

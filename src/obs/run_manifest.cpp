@@ -1,4 +1,4 @@
-#include "obs/provenance.hpp"
+#include "obs/run_manifest.hpp"
 
 #include <fstream>
 #include <sstream>
@@ -66,7 +66,9 @@ std::string ManifestToJson(const RunManifest& m) {
   out << ",\n  \"sim_duration_s\": " << m.sim_duration_s;
   out << ",\n  \"telemetry\": {\"metrics\": " << (m.metrics_enabled ? "true" : "false")
       << ", \"trace\": " << (m.trace_enabled ? "true" : "false")
-      << ", \"profile\": " << (m.profile_enabled ? "true" : "false") << "}";
+      << ", \"profile\": " << (m.profile_enabled ? "true" : "false")
+      << ", \"provenance\": " << (m.provenance_enabled ? "true" : "false")
+      << "}";
   out << ",\n  \"build\": {\"git_sha\": ";
   WriteJsonString(out, m.build.git_sha);
   out << ", \"build_type\": ";

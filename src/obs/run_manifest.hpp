@@ -1,9 +1,16 @@
-// Run provenance: a manifest written next to every dataset/bench/telemetry
+// Run manifest: a JSON document written next to every dataset/bench/telemetry
 // output that pins down *exactly* which run produced it — config digest,
 // seed, build identity, and a determinism digest (head hash + observer log
 // digests + event count). Two manifests with equal config/determinism
 // digests describe bit-for-bit identical runs; a determinism mismatch at
 // equal config digests is a reproducibility bug.
+//
+// Naming note ("provenance" is used twice in this repo, deliberately split):
+//   * obs/run_manifest  (this file)  — WHICH run produced an artifact set:
+//     the manifest schema + build identity. Digest *computation* lives in
+//     core/provenance (it needs the full ExperimentConfig).
+//   * obs/provenance_dag             — WHAT happened inside a run: the
+//     per-message relay/dissemination recorder behind ETHSIM_PROVENANCE.
 //
 // The manifest content is deterministic for a given (config, seed, build);
 // wall-clock cost lives in the profiler stream, never here.
@@ -38,6 +45,7 @@ struct RunManifest {
   bool metrics_enabled = false;
   bool trace_enabled = false;
   bool profile_enabled = false;
+  bool provenance_enabled = false;
   BuildInfo build = CurrentBuild();
   // Tool-specific annotations (seed lists, node counts, dataset paths...).
   std::vector<std::pair<std::string, std::string>> extra;

@@ -27,6 +27,15 @@ TelemetryConfig TelemetryConfig::FromEnv() {
     cfg.trace_categories = ParseTraceCategories(trace);
   }
   cfg.profile = EnvTruthy(std::getenv("ETHSIM_PROFILE"));
+  if (const char* prov = std::getenv("ETHSIM_PROVENANCE"); EnvTruthy(prov)) {
+    cfg.provenance = true;
+    cfg.provenance_strict = std::string_view(prov) == "strict";
+  }
+  if (const char* ring = std::getenv("ETHSIM_PROVENANCE_RING");
+      ring != nullptr && ring[0] != '\0') {
+    const long long parsed = std::atoll(ring);
+    if (parsed > 0) cfg.provenance_ring = static_cast<std::size_t>(parsed);
+  }
   if (const char* cap = std::getenv("ETHSIM_TRACE_CAPACITY");
       cap != nullptr && cap[0] != '\0') {
     const long long parsed = std::atoll(cap);
@@ -46,6 +55,13 @@ Telemetry::Telemetry(TelemetryConfig config) : config_(std::move(config)) {
                                        config_.trace_capacity);
   if (config_.profile)
     profiler_ = std::make_unique<EngineProfiler>(config_.profile_sample_every);
+  if (config_.provenance) {
+    ProvenanceConfig prov;
+    prov.ring_capacity = config_.provenance_ring;
+    prov.fatal_invariants = config_.provenance_strict;
+    provenance_ = std::make_unique<ProvenanceRecorder>(prov);
+    provenance_->AttachMetrics(metrics_.get());
+  }
 }
 
 bool Telemetry::WriteArtifacts(const std::string& dir,
@@ -82,6 +98,16 @@ bool Telemetry::WriteArtifacts(const std::string& dir,
         profiler_->WriteJsonl(out);
       }))
     return false;
+  if (provenance_) {
+    // unique_ptr does not propagate const: finishing the recorder (a drain,
+    // not a mutation of results) is fine from this const facade.
+    std::string prov_error;
+    if (!provenance_->WriteArtifact(dir, &prov_error)) {
+      if (error != nullptr) *error = prov_error;
+      LogError("telemetry", "failed writing %s", prov_error.c_str());
+      return false;
+    }
+  }
   return true;
 }
 

@@ -1,7 +1,8 @@
-// Telemetry facade: one object bundling the three instruments —
-//   * MetricsRegistry  (sim-clock, deterministic)      -> metrics.jsonl
-//   * Tracer           (sim-clock, deterministic)      -> trace.json
-//   * EngineProfiler   (wall-clock, nondeterministic)  -> profile.jsonl
+// Telemetry facade: one object bundling the four instruments —
+//   * MetricsRegistry     (sim-clock, deterministic)      -> metrics.jsonl
+//   * Tracer              (sim-clock, deterministic)      -> trace.json
+//   * EngineProfiler      (wall-clock, nondeterministic)  -> profile.jsonl
+//   * ProvenanceRecorder  (sim-clock, deterministic)      -> provenance.bin
 // plus the config that gates them. Components accept a `Telemetry*`; a null
 // pointer (or a facade with everything disabled) costs exactly one predicted
 // branch on hot paths. Telemetry never draws from any Rng and never schedules
@@ -14,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/provenance_dag.hpp"
 #include "obs/trace.hpp"
 
 namespace ethsim::obs {
@@ -27,16 +29,25 @@ struct TelemetryConfig {
   // the tail of a month-scale run without OOM.
   std::size_t trace_capacity = 1u << 20;
   std::uint64_t profile_sample_every = 1u << 16;
+  // Dissemination-provenance recorder (obs/provenance_dag): every gossip
+  // edge into provenance.bin, with the runtime invariant checker riding the
+  // stream. `provenance_strict` escalates invariant violations to abort.
+  bool provenance = false;
+  bool provenance_strict = false;
+  std::size_t provenance_ring = 4096;
   // Artifact directory for WriteArtifacts-style helpers; empty = caller's
   // choice (entry points default next to their other outputs).
   std::string output_dir;
 
-  bool any() const { return metrics || trace || profile; }
+  bool any() const { return metrics || trace || profile || provenance; }
 
   // Environment gates:
   //   ETHSIM_METRICS=1            enable the metrics registry
   //   ETHSIM_TRACE=1|block,net    enable tracing (value = category filter)
   //   ETHSIM_PROFILE=1            enable the wall-clock engine profiler
+  //   ETHSIM_PROVENANCE=1|strict  record gossip provenance (strict: abort on
+  //                               invariant violations)
+  //   ETHSIM_PROVENANCE_RING=N    per-sender staging-ring capacity
   //   ETHSIM_TRACE_CAPACITY=N     ring capacity in events
   //   ETHSIM_TELEMETRY_DIR=path   artifact directory
   static TelemetryConfig FromEnv();
@@ -58,10 +69,14 @@ class Telemetry {
   const Tracer* tracer() const { return tracer_.get(); }
   EngineProfiler* profiler() { return profiler_.get(); }
   const EngineProfiler* profiler() const { return profiler_.get(); }
+  ProvenanceRecorder* provenance() { return provenance_.get(); }
+  const ProvenanceRecorder* provenance() const { return provenance_.get(); }
 
   // Writes the enabled streams into `dir` (created if missing) as
-  // metrics.jsonl / trace.json / profile.jsonl. Returns false and fills
-  // `error` (when non-null) with the failing path on I/O errors.
+  // metrics.jsonl / trace.json / profile.jsonl / provenance.bin. Returns
+  // false and fills `error` (when non-null) with the failing path on I/O
+  // errors. Writing provenance finishes the recorder (drains staging rings);
+  // further recording afterwards is a programming error.
   bool WriteArtifacts(const std::string& dir,
                       std::string* error = nullptr) const;
 
@@ -70,6 +85,7 @@ class Telemetry {
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<EngineProfiler> profiler_;
+  std::unique_ptr<ProvenanceRecorder> provenance_;
 };
 
 }  // namespace ethsim::obs

@@ -1,0 +1,231 @@
+// Dissemination-analysis units over hand-built provenance logs with known
+// answers: tree reconstruction (parents, hops, redundancy, drops), hop-depth
+// CDFs, push-vs-announce shares, per-host waste attribution, and Ethna-style
+// degree inference.
+#include "analysis/dissemination.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethsim::analysis {
+namespace {
+
+using obs::EdgeDrop;
+using obs::EdgeKind;
+using obs::EdgeRecord;
+using obs::ProvenanceLog;
+
+EdgeRecord Edge(std::uint32_t from, std::uint32_t to, EdgeKind kind,
+                std::uint64_t object, std::int64_t send_us,
+                std::int64_t arrival_us, std::uint16_t hop,
+                std::uint32_t bytes = 100,
+                EdgeDrop drop = EdgeDrop::kNone) {
+  EdgeRecord e;
+  e.from = from;
+  e.to = to;
+  e.kind = kind;
+  e.object = object;
+  e.number = object;  // block number mirrors the object tag in these tests
+  e.send_us = send_us;
+  e.arrival_us = arrival_us;
+  e.hop = hop;
+  e.bytes = bytes;
+  e.drop = drop;
+  return e;
+}
+
+EdgeRecord Origin(std::uint32_t host, std::uint64_t object,
+                  std::int64_t at_us) {
+  EdgeRecord e = Edge(host, host, EdgeKind::kOrigin, object, at_us, at_us, 0,
+                      /*bytes=*/0);
+  return e;
+}
+
+// A small two-block log:
+//   block 7: minted at 0 (t=0); push 0->1 (arr 100, 600 B); announce 0->2
+//   (arr 150, 40 B); redundant announce 1->2 (arr 250, 40 B); push 1->3
+//   dropped by loss; fetch path 2->0 GetBlock + 0->2 BlockResponse (arr 400,
+//   600 B, redundant — host 2 already counted first at 150).
+//   block 9: minted at 3 (t=1000); push 3->0 (arr 1100).
+ProvenanceLog TwoBlockLog() {
+  ProvenanceLog log;
+  log.host_region = {0, 1, 2, 3};
+  log.Append(Origin(0, 7, 0));
+  log.Append(Edge(0, 1, EdgeKind::kNewBlock, 7, 10, 100, 1, 600));
+  log.Append(Edge(0, 2, EdgeKind::kAnnouncement, 7, 10, 150, 1, 40));
+  log.Append(Edge(1, 2, EdgeKind::kAnnouncement, 7, 120, 250, 2, 40));
+  log.Append(Edge(1, 3, EdgeKind::kNewBlock, 7, 120, -1, 2, 600,
+                  EdgeDrop::kRandomLoss));
+  log.Append(Edge(2, 0, EdgeKind::kGetBlock, 7, 160, 300, 2, 48));
+  log.Append(Edge(0, 2, EdgeKind::kBlockResponse, 7, 310, 400, 1, 600));
+  log.Append(Origin(3, 9, 1000));
+  log.Append(Edge(3, 0, EdgeKind::kNewBlock, 9, 1010, 1100, 1, 600));
+  log.end_us = 2000;
+  return log;
+}
+
+TEST(BlockObjectsTest, OrderedByFirstAppearance) {
+  const ProvenanceLog log = TwoBlockLog();
+  const auto objects = BlockObjects(log);
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[0], 7u);
+  EXPECT_EQ(objects[1], 9u);
+}
+
+TEST(DisseminationTreeTest, ReconstructsParentsHopsAndWaste) {
+  const ProvenanceLog log = TwoBlockLog();
+  const DisseminationTree tree = BuildDisseminationTree(log, 7);
+  EXPECT_EQ(tree.object, 7u);
+  EXPECT_EQ(tree.number, 7u);
+
+  // Reached hosts: 0 (origin), 1 (push), 2 (announce). Host 3's copy was
+  // dropped and never re-sent.
+  ASSERT_EQ(tree.nodes.size(), 3u);
+  EXPECT_EQ(tree.nodes[0].host, 0u);
+  EXPECT_EQ(tree.nodes[0].hop, 0);
+  EXPECT_EQ(tree.nodes[0].via, EdgeKind::kOrigin);
+  EXPECT_EQ(tree.nodes[1].host, 1u);
+  EXPECT_EQ(tree.nodes[1].parent_host, 0u);
+  EXPECT_EQ(tree.nodes[1].hop, 1);
+  EXPECT_EQ(tree.nodes[1].via, EdgeKind::kNewBlock);
+  EXPECT_EQ(tree.nodes[2].host, 2u);
+  EXPECT_EQ(tree.nodes[2].parent_host, 0u);
+  EXPECT_EQ(tree.nodes[2].first_arrival_us, 150);
+  EXPECT_EQ(tree.nodes[2].via, EdgeKind::kAnnouncement);
+
+  // Delivered block messages: push(600) + ann(40) + ann(40) + body(600).
+  // (GetBlock is a request, not a block message.) Redundant: the second
+  // announce and the fetched body.
+  EXPECT_EQ(tree.total_bytes, 1280u);
+  EXPECT_EQ(tree.redundant_edges, 2u);
+  EXPECT_EQ(tree.wasted_bytes, 640u);
+  EXPECT_EQ(tree.dropped_edges, 1u);
+}
+
+TEST(DisseminationTreeTest, TieOnArrivalClaimsExactlyOneFirst) {
+  ProvenanceLog log;
+  log.host_region = {0, 1, 2};
+  log.Append(Origin(0, 5, 0));
+  // Two copies arrive at host 2 at the same instant; the earlier row wins.
+  log.Append(Edge(0, 2, EdgeKind::kNewBlock, 5, 10, 100, 1, 600));
+  log.Append(Edge(1, 2, EdgeKind::kNewBlock, 5, 10, 100, 1, 600));
+  const DisseminationTree tree = BuildDisseminationTree(log, 5);
+  ASSERT_EQ(tree.nodes.size(), 2u);
+  EXPECT_EQ(tree.nodes[1].host, 2u);
+  EXPECT_EQ(tree.nodes[1].parent_host, 0u);  // first row in log order
+  EXPECT_EQ(tree.redundant_edges, 1u);
+  EXPECT_EQ(tree.wasted_bytes, 600u);
+}
+
+TEST(DisseminationTreeTest, InFlightAtCutoffIsNeitherFirstNorRedundant) {
+  ProvenanceLog log;
+  log.host_region = {0, 1};
+  log.Append(Origin(0, 5, 0));
+  log.Append(Edge(0, 1, EdgeKind::kNewBlock, 5, 10, 5000, 1, 600));
+  log.end_us = 1000;  // the copy was still in flight
+  const DisseminationTree tree = BuildDisseminationTree(log, 5);
+  ASSERT_EQ(tree.nodes.size(), 1u);  // only the origin
+  EXPECT_EQ(tree.total_bytes, 0u);
+  EXPECT_EQ(tree.redundant_edges, 0u);
+  EXPECT_EQ(tree.dropped_edges, 0u);  // in flight, not censored
+}
+
+TEST(HopDepthsTest, CdfOverAllBlockHostPairs) {
+  const ProvenanceLog log = TwoBlockLog();
+  const HopDepthDistribution dist = HopDepths(log);
+  // (7,0)=0 (7,1)=1 (7,2)=1 (9,3)=0 (9,0)=1 -> depths {0,0,1,1,1}.
+  ASSERT_EQ(dist.depths.size(), 5u);
+  EXPECT_EQ(dist.depths.front(), 0);
+  EXPECT_EQ(dist.depths.back(), 1);
+  EXPECT_DOUBLE_EQ(dist.mean, 0.6);
+  EXPECT_EQ(dist.max, 1);
+  EXPECT_EQ(dist.Quantile(0.5), 1);
+  EXPECT_EQ(dist.Quantile(1.0), 1);
+  EXPECT_EQ(dist.Quantile(0.0), 0);
+}
+
+TEST(FirstDeliveryBreakdownTest, SplitsPushAnnounceFetched) {
+  const ProvenanceLog log = TwoBlockLog();
+  const FirstDeliveryShares shares = FirstDeliveryBreakdown(log);
+  // Non-origin firsts: (7,1) push, (7,2) announce, (9,0) push.
+  EXPECT_EQ(shares.push, 2u);
+  EXPECT_EQ(shares.announce, 1u);
+  EXPECT_EQ(shares.fetched, 0u);
+  EXPECT_EQ(shares.total(), 3u);
+}
+
+TEST(FirstDeliveryBreakdownTest, FetchedBodyCanBeFirst) {
+  ProvenanceLog log;
+  log.host_region = {0, 1};
+  log.Append(Origin(0, 5, 0));
+  // Announce dropped; the body response is the only delivered copy.
+  log.Append(Edge(0, 1, EdgeKind::kAnnouncement, 5, 10, -1, 1, 40,
+                  EdgeDrop::kPartitioned));
+  log.Append(Edge(1, 0, EdgeKind::kGetBlock, 5, 60, 100, 2, 48));
+  log.Append(Edge(0, 1, EdgeKind::kBlockResponse, 5, 110, 200, 1, 600));
+  const FirstDeliveryShares shares = FirstDeliveryBreakdown(log);
+  EXPECT_EQ(shares.fetched, 1u);
+  EXPECT_EQ(shares.total(), 1u);
+}
+
+TEST(WasteByHostTest, AttributesRedundantBytesPerHost) {
+  const ProvenanceLog log = TwoBlockLog();
+  const auto waste = WasteByHost(log);
+  // Host 2 wasted 640 B (dup announce + fetched body); everyone else 0.
+  ASSERT_FALSE(waste.empty());
+  EXPECT_EQ(waste[0].host, 2u);
+  EXPECT_EQ(waste[0].receptions, 3u);
+  EXPECT_EQ(waste[0].redundant_receptions, 2u);
+  EXPECT_EQ(waste[0].wasted_bytes, 640u);
+  std::uint64_t total_wasted = 0;
+  std::uint64_t total_receptions = 0;
+  for (const auto& w : waste) {
+    total_wasted += w.wasted_bytes;
+    total_receptions += w.receptions;
+  }
+  EXPECT_EQ(total_wasted, 640u);
+  EXPECT_EQ(total_receptions, 5u);  // all delivered block messages
+}
+
+TEST(RedundancyFromProvenanceTest, CountsAndSettleWindowExclusion) {
+  const ProvenanceLog log = TwoBlockLog();
+  // Host 2 hears block 7 at 150/250/400 (2 announces + 1 body); its last
+  // arrival is 400, so with a 100 us settle window the block counts
+  // (150 + 100 <= 400).
+  const RedundancyResult at2 =
+      RedundancyFromProvenance(log, 2, Duration::Micros(100));
+  ASSERT_EQ(at2.blocks, 1u);
+  EXPECT_DOUBLE_EQ(at2.announcements.mean, 2.0);
+  EXPECT_DOUBLE_EQ(at2.whole_blocks.mean, 1.0);
+  EXPECT_DOUBLE_EQ(at2.combined.mean, 3.0);
+
+  // Host 0's only reception IS its last arrival: still settling, excluded —
+  // the same guard BlockReceptionRedundancy applies at the run cutoff.
+  const RedundancyResult at0 =
+      RedundancyFromProvenance(log, 0, Duration::Micros(100));
+  EXPECT_EQ(at0.blocks, 0u);
+}
+
+TEST(InferDegreesTest, ReceptionsPerSettledBlockEstimateDegree) {
+  ProvenanceLog log;
+  log.host_region = {0, 1, 2, 3};
+  // Block 5 settled: host 1 hears 3 copies, host 2 hears 1.
+  log.Append(Origin(0, 5, 0));
+  log.Append(Edge(0, 1, EdgeKind::kNewBlock, 5, 10, 100, 1, 600));
+  log.Append(Edge(2, 1, EdgeKind::kAnnouncement, 5, 150, 200, 2, 40));
+  log.Append(Edge(3, 1, EdgeKind::kAnnouncement, 5, 150, 210, 2, 40));
+  log.Append(Edge(0, 2, EdgeKind::kNewBlock, 5, 10, 120, 1, 600));
+  // Block 6 first appears within the settle window of the end: excluded.
+  log.Append(Origin(0, 6, 9000));
+  log.Append(Edge(0, 1, EdgeKind::kNewBlock, 6, 9010, 9100, 1, 600));
+  log.end_us = 10000;
+  const auto degrees = InferDegrees(log, Duration::Micros(500));
+  ASSERT_EQ(degrees.size(), 2u);
+  EXPECT_EQ(degrees[0].host, 1u);
+  EXPECT_EQ(degrees[0].blocks, 1u);  // block 6 excluded
+  EXPECT_DOUBLE_EQ(degrees[0].estimated_degree, 3.0);
+  EXPECT_EQ(degrees[1].host, 2u);
+  EXPECT_DOUBLE_EQ(degrees[1].estimated_degree, 1.0);
+}
+
+}  // namespace
+}  // namespace ethsim::analysis

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <unordered_map>
 #include <vector>
+
+#include "analysis/dissemination.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ethsim::eth {
 namespace {
@@ -506,6 +511,151 @@ TEST(EthNodeFaults, ConnectToOfflineNodeIsRefused) {
   EXPECT_FALSE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
   c.nodes[1]->GoOnline();
   EXPECT_TRUE(EthNode::Connect(*c.nodes[0], *c.nodes[1]));
+}
+
+// Cluster with the provenance recorder attached: every gossip edge the nodes
+// exchange lands in the edge log, and invariant violations are collected
+// instead of warned.
+struct ProvCluster : Cluster {
+  explicit ProvCluster(std::size_t n, NodeConfig cfg = {}) : Cluster(n, cfg) {
+    obs::TelemetryConfig tc;
+    tc.provenance = true;
+    telemetry = std::make_unique<obs::Telemetry>(tc);
+    net->AttachTelemetry(telemetry.get());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      nodes[i]->AttachTelemetry(telemetry.get(),
+                                static_cast<std::uint32_t>(i));
+    telemetry->provenance()->checker().set_handler(
+        [this](obs::InvariantCheck check, const std::string& detail) {
+          violations.push_back(std::string(obs::InvariantCheckName(check)) +
+                               ": " + detail);
+        });
+  }
+
+  const obs::ProvenanceLog& FinishLog() {
+    telemetry->provenance()->SetEndTime(simulator.Now().micros());
+    return telemetry->provenance()->Finish();
+  }
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::vector<std::string> violations;
+};
+
+TEST(EthNodeProvenance, HopDepthsInheritAlongTheRelayChain) {
+  // A ring forces genuinely multi-hop dissemination; every host's recorded
+  // hop must be exactly its tree parent's hop + 1 (depth inheritance), and
+  // depth must exceed 1 somewhere (the block really was re-relayed).
+  ProvCluster c{8};
+  c.ConnectRing();
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(30).micros()));
+
+  const obs::ProvenanceLog& log = c.FinishLog();
+  const auto tree =
+      analysis::BuildDisseminationTree(log, b1->hash.prefix_u64());
+  ASSERT_EQ(tree.nodes.size(), c.nodes.size()) << "block did not reach all";
+  std::unordered_map<std::uint32_t, std::uint16_t> depth_of;
+  for (const auto& node : tree.nodes) depth_of[node.host] = node.hop;
+  std::uint16_t max_hop = 0;
+  for (const auto& node : tree.nodes) {
+    if (node.via == obs::EdgeKind::kOrigin) {
+      EXPECT_EQ(node.hop, 0);
+      continue;
+    }
+    ASSERT_TRUE(depth_of.contains(node.parent_host)) << node.host;
+    EXPECT_EQ(node.hop, depth_of[node.parent_host] + 1)
+        << "host " << node.host << " via host " << node.parent_host;
+    max_hop = std::max(max_hop, node.hop);
+  }
+  EXPECT_GE(max_hop, 2) << "ring never produced a multi-hop relay";
+  EXPECT_TRUE(c.violations.empty()) << c.violations.front();
+}
+
+TEST(EthNodeProvenance, EveryFetchFollowsADeliveredAnnouncement) {
+  // Announce-only relay: each body must be fetched, and the log must show
+  // the causal order announce(arrival) <= GetBlock(send) for every fetch —
+  // plus a served body for each delivered request.
+  NodeConfig cfg;
+  cfg.relay_mode = RelayMode::kAnnounceOnly;
+  ProvCluster c{8, cfg};
+  c.ConnectAll();
+  chain::BlockPtr tip = c.genesis;
+  for (int i = 0; i < 3; ++i) {
+    tip = Child(tip, static_cast<std::uint64_t>(i));
+    c.nodes[static_cast<std::size_t>(i)]->InjectMinedBlock(tip);
+    c.simulator.RunUntil(c.simulator.Now() + 5_s);
+  }
+  c.simulator.RunUntil(c.simulator.Now() + 10_s);
+
+  const obs::ProvenanceLog& log = c.FinishLog();
+  std::size_t fetches = 0;
+  std::size_t bodies = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto kind = static_cast<obs::EdgeKind>(log.kind[i]);
+    if (kind == obs::EdgeKind::kBlockResponse && log.delivered(i)) ++bodies;
+    if (kind != obs::EdgeKind::kGetBlock) continue;
+    ++fetches;
+    // Find a delivered announcement of the same object to the fetching host
+    // that arrived no later than the fetch was sent.
+    bool announced = false;
+    for (std::size_t j = 0; j < log.size() && !announced; ++j) {
+      if (static_cast<obs::EdgeKind>(log.kind[j]) !=
+          obs::EdgeKind::kAnnouncement)
+        continue;
+      announced = log.object[j] == log.object[i] &&
+                  log.to[j] == log.from[i] && log.delivered(j) &&
+                  log.arrival_us[j] <= log.send_us[i];
+    }
+    EXPECT_TRUE(announced) << "fetch at row " << i << " had no prior announce";
+  }
+  // 7 non-miner nodes x 3 blocks all fetched their bodies.
+  EXPECT_GE(fetches, 21u);
+  EXPECT_GE(bodies, 21u);
+  // The analysis layer agrees: announcements win every first delivery.
+  const auto shares = analysis::FirstDeliveryBreakdown(log);
+  EXPECT_EQ(shares.push, 0u);
+  EXPECT_EQ(shares.announce, shares.total());
+  EXPECT_TRUE(c.violations.empty()) << c.violations.front();
+}
+
+TEST(EthNodeProvenance, PushAnnounceRaceDeduplicatesFirstDelivery) {
+  // Dense mesh: most hosts hear each block several times (a push and many
+  // announcements race). Exactly one edge per (block, host) may claim the
+  // first delivery; every other delivered copy is attributed as redundant.
+  ProvCluster c{10};
+  c.ConnectAll();
+  std::vector<CountingSink> sinks(10);
+  for (std::size_t i = 0; i < 10; ++i) c.nodes[i]->set_sink(&sinks[i]);
+  const chain::BlockPtr b1 = Child(c.genesis);
+  c.nodes[0]->InjectMinedBlock(b1);
+  c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(20).micros()));
+
+  const obs::ProvenanceLog& log = c.FinishLog();
+  const std::uint64_t object = b1->hash.prefix_u64();
+  const auto tree = analysis::BuildDisseminationTree(log, object);
+  ASSERT_EQ(tree.nodes.size(), 10u);
+  std::unordered_map<std::uint32_t, int> seen_hosts;
+  for (const auto& node : tree.nodes) ++seen_hosts[node.host];
+  for (const auto& [host, count] : seen_hosts)
+    EXPECT_EQ(count, 1) << "host " << host << " claimed twice";
+
+  // Accounting identity: delivered block-message edges = 9 firsts + the
+  // redundant rest (the origin self-edge is excluded from both sides).
+  std::uint64_t delivered_block_edges = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto kind = static_cast<obs::EdgeKind>(log.kind[i]);
+    if (kind == obs::EdgeKind::kOrigin || kind == obs::EdgeKind::kGetBlock ||
+        kind == obs::EdgeKind::kTransactions)
+      continue;
+    if (log.object[i] == object && log.delivered(i)) ++delivered_block_edges;
+  }
+  EXPECT_EQ(delivered_block_edges, 9u + tree.redundant_edges);
+  EXPECT_GT(tree.redundant_edges, 0u) << "no race ever happened";
+
+  // And despite the redundant copies, each node imported exactly once.
+  for (const auto& sink : sinks) EXPECT_EQ(sink.imported, 1);
+  EXPECT_TRUE(c.violations.empty()) << c.violations.front();
 }
 
 TEST(EthNodeBlocks, OrphanParentIsFetchedAndChainHeals) {

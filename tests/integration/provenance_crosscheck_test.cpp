@@ -1,0 +1,111 @@
+// The reconciliation contract of the provenance layer, end-to-end: on a full
+// experiment the redundancy statistics derived from the relay-edge log must
+// equal the observer-log computation (analysis/redundancy, Table II)
+// *bitwise* — same delivered messages, same settle-window exclusion, at every
+// vantage — and the stream must be invariant-clean. Checked on a clean run
+// and again under a fault plan that partitions a region and crashes nodes
+// (clock-jump faults are deliberately absent: a mid-run offset change breaks
+// the constant-shift argument that makes the two clocks comparable).
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dissemination.hpp"
+#include "analysis/redundancy.hpp"
+#include "core/experiment.hpp"
+
+namespace ethsim {
+namespace {
+
+core::ExperimentConfig BaseConfig() {
+  core::ExperimentConfig cfg = core::presets::SmallStudy(30);
+  cfg.duration = Duration::Minutes(10);
+  cfg.workload.rate_per_sec = 1.0;
+  cfg.telemetry.provenance = true;
+  return cfg;
+}
+
+void ExpectBitwiseEqual(const analysis::RedundancyStats& a,
+                        const analysis::RedundancyStats& b,
+                        const char* what) {
+  EXPECT_EQ(std::memcmp(&a.mean, &b.mean, sizeof(double)), 0)
+      << what << " mean " << a.mean << " vs " << b.mean;
+  EXPECT_EQ(std::memcmp(&a.median, &b.median, sizeof(double)), 0)
+      << what << " median " << a.median << " vs " << b.median;
+  EXPECT_EQ(std::memcmp(&a.top10, &b.top10, sizeof(double)), 0)
+      << what << " top10 " << a.top10 << " vs " << b.top10;
+  EXPECT_EQ(std::memcmp(&a.top1, &b.top1, sizeof(double)), 0)
+      << what << " top1 " << a.top1 << " vs " << b.top1;
+}
+
+void CheckAllVantages(core::Experiment& exp) {
+  ASSERT_NE(exp.telemetry(), nullptr);
+  ASSERT_NE(exp.telemetry()->provenance(), nullptr);
+  const obs::ProvenanceLog& log = exp.telemetry()->provenance()->Finish();
+  ASSERT_FALSE(log.empty());
+  for (const auto& observer : exp.observers()) {
+    SCOPED_TRACE(observer->name());
+    const auto from_log = analysis::BlockReceptionRedundancy(*observer);
+    const auto from_prov = analysis::RedundancyFromProvenance(
+        log, observer->node()->host());
+    ASSERT_GT(from_log.blocks, 0u);
+    EXPECT_EQ(from_prov.blocks, from_log.blocks);
+    ExpectBitwiseEqual(from_prov.announcements, from_log.announcements,
+                       "announcements");
+    ExpectBitwiseEqual(from_prov.whole_blocks, from_log.whole_blocks,
+                       "whole_blocks");
+    ExpectBitwiseEqual(from_prov.combined, from_log.combined, "combined");
+  }
+}
+
+TEST(ProvenanceCrosscheck, MatchesObserverRedundancyBitwise) {
+  core::Experiment exp{BaseConfig()};
+  exp.Run();
+  CheckAllVantages(exp);
+  EXPECT_EQ(exp.telemetry()->provenance()->violations(), 0u);
+}
+
+TEST(ProvenanceCrosscheck, HoldsUnderPartitionAndCrashFaults) {
+  core::ExperimentConfig cfg = BaseConfig();
+  cfg.fault_plan
+      .RegionalPartition(TimePoint::FromMicros(Duration::Minutes(3).micros()),
+                         Duration::Minutes(2),
+                         1u << static_cast<unsigned>(net::Region::EasternAsia))
+      .NodeCrash(TimePoint::FromMicros(Duration::Minutes(2).micros()),
+                 Duration::Minutes(1), /*count=*/3);
+  core::Experiment exp{cfg};
+  exp.Run();
+  CheckAllVantages(exp);
+  // The fault layer must not manufacture invariant violations: censored
+  // edges carry their drop reason, crashed-node ingress is re-attributed as
+  // offline, and hop depths stay causal throughout.
+  EXPECT_EQ(exp.telemetry()->provenance()->violations(), 0u);
+  // The partition actually censored traffic, and the log knows.
+  const obs::ProvenanceLog& log = exp.telemetry()->provenance()->Finish();
+  std::uint64_t partitioned = 0;
+  for (std::size_t i = 0; i < log.size(); ++i)
+    if (static_cast<obs::EdgeDrop>(log.drop[i]) ==
+        obs::EdgeDrop::kPartitioned)
+      ++partitioned;
+  EXPECT_GT(partitioned, 0u);
+  EXPECT_EQ(partitioned,
+            exp.network().dropped_by(net::DropReason::kPartitioned));
+}
+
+TEST(ProvenanceCrosscheck, RecordingDoesNotPerturbTheRun) {
+  core::ExperimentConfig off = BaseConfig();
+  off.telemetry = obs::TelemetryConfig{};
+  core::Experiment a{off};
+  core::Experiment b{BaseConfig()};
+  a.Run();
+  b.Run();
+  EXPECT_EQ(a.reference_tree().head_hash(), b.reference_tree().head_hash());
+  EXPECT_EQ(a.minted().size(), b.minted().size());
+  ASSERT_EQ(a.observers().size(), b.observers().size());
+  for (std::size_t i = 0; i < a.observers().size(); ++i)
+    EXPECT_EQ(a.observers()[i]->block_arrivals().size(),
+              b.observers()[i]->block_arrivals().size());
+}
+
+}  // namespace
+}  // namespace ethsim

@@ -19,7 +19,16 @@ regresses when its real_time_ns grew by more than THRESHOLD (default 20%)
 AND the absolute time is above --min-time-ns (sub-10us timings are noise at
 CI's short --benchmark_min_time).
 
-Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+The baseline additionally carries record-only-telemetry parity sections
+(`telemetry_off_parity`, `provenance_off_parity`): interleaved ratios of the
+instrumented engine with the gate OFF against the pre-instrumentation engine.
+Those ratios are this repo's "observability is free when disabled" contract,
+so they are gated too — any tracked ratio above --parity-limit (default 1.05)
+fails the run. Regenerating the baseline with a slow disabled path is not a
+way around the contract.
+
+Exit status: 0 = within threshold, 1 = regression or parity violation,
+2 = usage/IO error.
 """
 
 import argparse
@@ -28,13 +37,18 @@ import os
 import sys
 
 
-def load_benchmarks(path):
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+            return json.load(fh)
     except (OSError, ValueError) as exc:
         print(f"bench_compare: cannot load {path}: {exc}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_benchmarks(path, doc=None):
+    if doc is None:
+        doc = load_doc(path)
     benchmarks = doc.get("benchmarks")
     if not isinstance(benchmarks, dict) or not benchmarks:
         # The resilience bench writes a "resilience" section instead of
@@ -51,6 +65,37 @@ def load_benchmarks(path):
     return benchmarks
 
 
+def check_parity(doc, path, limit):
+    """Gate the tracked *_off_parity sections against the parity limit.
+
+    Each section maps benchmark names to the ratio (gate OFF / engine without
+    the instrumentation at all). Strings like "method"/"note" are annotation,
+    not measurements. Returns the number of violations after printing them.
+    """
+    violations = 0
+    for section in sorted(k for k in doc if k.endswith("_off_parity")):
+        entries = doc[section]
+        if not isinstance(entries, dict):
+            continue
+        measured = {k: v for k, v in entries.items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)}
+        if not measured:
+            print(f"bench_compare: {section} in {path} has no numeric "
+                  "ratios", file=sys.stderr)
+            violations += 1
+            continue
+        worst = max(measured.values())
+        status = "ok" if worst <= limit else "VIOLATION"
+        print(f"  parity: {section:24s} worst {worst:.3f} "
+              f"(limit {limit:.2f}) {status}")
+        for name, ratio in sorted(measured.items()):
+            if ratio > limit:
+                print(f"bench_compare: {section}[{name}] = {ratio:.3f} "
+                      f"exceeds --parity-limit {limit:.2f}", file=sys.stderr)
+                violations += 1
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly generated bench JSON")
@@ -64,10 +109,16 @@ def main():
                         help="allowed fractional slowdown (default 0.20)")
     parser.add_argument("--min-time-ns", type=float, default=10_000,
                         help="ignore benchmarks faster than this (noise floor)")
+    parser.add_argument("--parity-limit", type=float, default=1.05,
+                        help="max allowed tracked *_off_parity ratio "
+                             "(default 1.05)")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current)
-    baseline = load_benchmarks(args.baseline)
+    baseline_doc = load_doc(args.baseline)
+    baseline = load_benchmarks(args.baseline, baseline_doc)
+    parity_violations = check_parity(baseline_doc, args.baseline,
+                                     args.parity_limit)
 
     common = sorted(set(current) & set(baseline))
     if not common:
@@ -103,6 +154,11 @@ def main():
             print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
         print("If intentional, regenerate BENCH_engine.json on comparable "
               "hardware and explain in the PR.", file=sys.stderr)
+        sys.exit(1)
+    if parity_violations:
+        print(f"\nbench_compare: {parity_violations} tracked parity ratio(s) "
+              f"above --parity-limit {args.parity_limit:.2f} — the disabled "
+              "telemetry/provenance path must stay near-free", file=sys.stderr)
         sys.exit(1)
     print(f"\nbench_compare: OK — {len(common)} benchmark(s) within "
           f"{args.threshold:.0%} of baseline")

@@ -1,0 +1,391 @@
+// ethsim_inspect: query tool over a run directory's provenance artifact.
+//
+// A run executed with ETHSIM_PROVENANCE=1 writes provenance.bin (the full
+// gossip edge log) next to manifest.json. This tool loads that directory and
+// answers the questions the aggregate telemetry cannot:
+//
+//   ethsim_inspect <run-dir> --block <hash|head> --tree
+//       Reconstruct the block's dissemination tree: who heard it when, at
+//       what hop depth, from whom, via which mechanism (push / announce /
+//       fetch) — a Fig. 1 propagation wave as an actual tree.
+//   ethsim_inspect <run-dir> --node <id> --timeline
+//       Every edge touching a host, in time order.
+//   ethsim_inspect <run-dir> --redundancy [--top N]
+//       Per-host redundant receptions + wasted bytes, worst offenders first
+//       (the per-node attribution behind Table 2).
+//   ethsim_inspect <run-dir> --hops
+//       First-delivery hop-depth distribution + push-vs-announce shares.
+//   ethsim_inspect <run-dir> --infer-degree [--top N]
+//       Ethna-style degree inference from reception counts.
+//   ethsim_inspect <run-dir> --summary   (default when no query given)
+//
+// `--block head` resolves the head hash from manifest.json, so the common
+// "show me the head block's tree" needs no copy-pasted hash.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dissemination.hpp"
+#include "common/types.hpp"
+#include "net/geo.hpp"
+#include "obs/provenance_dag.hpp"
+
+namespace {
+
+using ethsim::Hash32;
+using ethsim::analysis::BlockObjects;
+using ethsim::analysis::BuildDisseminationTree;
+using ethsim::analysis::DisseminationTree;
+using ethsim::analysis::FirstDeliveryBreakdown;
+using ethsim::analysis::HopDepths;
+using ethsim::analysis::InferDegrees;
+using ethsim::analysis::WasteByHost;
+using ethsim::obs::EdgeDrop;
+using ethsim::obs::EdgeDropName;
+using ethsim::obs::EdgeKind;
+using ethsim::obs::EdgeKindName;
+using ethsim::obs::ProvenanceLog;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ethsim_inspect <run-dir> [query]\n"
+      "  --summary                 artifact overview (default)\n"
+      "  --block <hash|head> --tree   dissemination tree of one block\n"
+      "  --node <id> --timeline    every edge touching a host\n"
+      "  --redundancy [--top N]    per-host waste attribution\n"
+      "  --hops                    hop-depth CDF + first-delivery shares\n"
+      "  --infer-degree [--top N]  Ethna-style degree estimates\n");
+}
+
+std::string RegionName(const ProvenanceLog& log, std::uint32_t host) {
+  if (host < log.host_region.size() && log.host_region[host] != 0xff) {
+    return std::string(ethsim::net::RegionShortName(
+        static_cast<ethsim::net::Region>(log.host_region[host])));
+  }
+  return "?";
+}
+
+// Pulls "head_hash": "..." out of manifest.json without a JSON library —
+// the manifest writer emits exactly this shape.
+bool HeadHashFromManifest(const std::string& dir, std::string* hex) {
+  std::ifstream in(dir + "/manifest.json");
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto key = line.find("\"head_hash\"");
+    if (key == std::string::npos) continue;
+    const auto open = line.find('"', key + 11);
+    if (open == std::string::npos) continue;
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    *hex = line.substr(open + 1, close - open - 1);
+    return !hex->empty();
+  }
+  return false;
+}
+
+// Accepts a full 32-byte hex hash, a shorter hex prefix (>= 8 bytes / 16
+// chars resolves directly; shorter prefixes match against the log), or the
+// literal "head".
+bool ResolveObject(const std::string& dir, const ProvenanceLog& log,
+                   std::string token, std::uint64_t* object) {
+  if (token == "head") {
+    std::string hex;
+    if (!HeadHashFromManifest(dir, &hex)) {
+      std::fprintf(stderr,
+                   "ethsim_inspect: cannot resolve 'head': no head_hash in "
+                   "%s/manifest.json\n",
+                   dir.c_str());
+      return false;
+    }
+    token = hex;
+  }
+  if (token.rfind("0x", 0) == 0) token = token.substr(2);
+  if (token.size() > 16) token = token.substr(0, 16);  // prefix_u64 covers 8B
+  if (token.empty() || token.size() % 2 != 0) {
+    std::fprintf(stderr, "ethsim_inspect: bad block hash '%s'\n",
+                 token.c_str());
+    return false;
+  }
+  std::uint64_t prefix = 0;
+  for (char c : token) {
+    int nibble;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+    else {
+      std::fprintf(stderr, "ethsim_inspect: bad hex in '%s'\n", token.c_str());
+      return false;
+    }
+    prefix = (prefix << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  if (token.size() == 16) {
+    *object = prefix;
+    return true;
+  }
+  // Short prefix: shift into the high bits and scan the log for one match.
+  const unsigned bits = static_cast<unsigned>(token.size()) * 4;
+  const std::uint64_t wanted = prefix << (64 - bits);
+  std::uint64_t found = 0;
+  for (const std::uint64_t candidate : BlockObjects(log)) {
+    if ((candidate >> (64 - bits)) << (64 - bits) == wanted) {
+      if (found != 0 && found != candidate) {
+        std::fprintf(stderr, "ethsim_inspect: ambiguous prefix '%s'\n",
+                     token.c_str());
+        return false;
+      }
+      found = candidate;
+    }
+  }
+  if (found == 0) {
+    std::fprintf(stderr, "ethsim_inspect: no block matches '%s'\n",
+                 token.c_str());
+    return false;
+  }
+  *object = found;
+  return true;
+}
+
+int PrintSummary(const ProvenanceLog& log) {
+  std::uint64_t delivered = 0, dropped = 0;
+  std::uint64_t by_kind[ethsim::obs::kEdgeKindCount] = {};
+  std::uint64_t by_drop[ethsim::obs::kEdgeDropCount] = {};
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    ++by_kind[log.kind[i]];
+    bytes += log.bytes[i];
+    if (log.drop[i] != 0) {
+      ++dropped;
+      ++by_drop[log.drop[i]];
+    } else if (log.delivered(i)) {
+      ++delivered;
+    }
+  }
+  std::printf("edges: %zu  delivered: %" PRIu64 "  dropped: %" PRIu64
+              "  wire bytes: %" PRIu64 "\n",
+              log.size(), delivered, dropped, bytes);
+  std::printf("hosts: %zu  blocks: %zu  end_us: %" PRId64 "\n",
+              log.host_region.size(), BlockObjects(log).size(), log.end_us);
+  for (std::size_t k = 0; k < ethsim::obs::kEdgeKindCount; ++k)
+    if (by_kind[k] != 0)
+      std::printf("  kind %-14s %" PRIu64 "\n",
+                  std::string(EdgeKindName(static_cast<EdgeKind>(k))).c_str(),
+                  by_kind[k]);
+  for (std::size_t d = 1; d < ethsim::obs::kEdgeDropCount; ++d)
+    if (by_drop[d] != 0)
+      std::printf("  drop %-14s %" PRIu64 "\n",
+                  std::string(EdgeDropName(static_cast<EdgeDrop>(d))).c_str(),
+                  by_drop[d]);
+  return 0;
+}
+
+int PrintTree(const ProvenanceLog& log, std::uint64_t object) {
+  const DisseminationTree tree = BuildDisseminationTree(log, object);
+  if (tree.nodes.empty()) {
+    std::fprintf(stderr, "ethsim_inspect: block %016" PRIx64
+                         " has no edges in this log\n", object);
+    return 1;
+  }
+  std::printf("block %016" PRIx64 " (number %" PRIu64 "): reached %zu hosts\n",
+              tree.object, tree.number, tree.nodes.size());
+  std::printf("redundant edges: %" PRIu64 "  wasted bytes: %" PRIu64
+              " / %" PRIu64 "  dropped: %" PRIu64 "\n",
+              tree.redundant_edges, tree.wasted_bytes, tree.total_bytes,
+              tree.dropped_edges);
+  std::printf("%10s %6s %4s %-14s %6s  %s\n", "t_us", "host", "hop", "via",
+              "from", "region");
+  for (const auto& node : tree.nodes) {
+    std::printf("%10" PRId64 " %6u %4u %-14s %6u  %s\n",
+                node.first_arrival_us, node.host, node.hop,
+                std::string(EdgeKindName(node.via)).c_str(), node.parent_host,
+                RegionName(log, node.host).c_str());
+  }
+  return 0;
+}
+
+int PrintTimeline(const ProvenanceLog& log, std::uint32_t host) {
+  struct Row {
+    std::int64_t t;
+    std::size_t i;
+    bool outbound;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log.from[i] == host)
+      rows.push_back({log.send_us[i], i, true});
+    else if (log.to[i] == host)
+      rows.push_back({log.arrival_us[i] >= 0 ? log.arrival_us[i]
+                                             : log.send_us[i],
+                      i, false});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.i < b.i;
+  });
+  std::printf("host %u (%s): %zu edges\n", host,
+              RegionName(log, host).c_str(), rows.size());
+  for (const Row& row : rows) {
+    const std::size_t i = row.i;
+    const char* dir = row.outbound ? "->" : "<-";
+    const std::uint32_t peer = row.outbound ? log.to[i] : log.from[i];
+    std::printf("%10" PRId64 " %s %6u %-14s obj %016" PRIx64 " hop %u %7u B",
+                row.t, dir, peer,
+                std::string(EdgeKindName(static_cast<EdgeKind>(log.kind[i])))
+                    .c_str(),
+                log.object[i], log.hop[i], log.bytes[i]);
+    if (log.drop[i] != 0)
+      std::printf("  [%s]",
+                  std::string(EdgeDropName(static_cast<EdgeDrop>(log.drop[i])))
+                      .c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int PrintRedundancy(const ProvenanceLog& log, std::size_t top) {
+  const auto waste = WasteByHost(log);
+  std::printf("%6s %8s %10s %10s %12s  %s\n", "host", "recv", "redundant",
+              "redun %", "wasted B", "region");
+  std::size_t shown = 0;
+  std::uint64_t total_wasted = 0, total_recv = 0;
+  for (const auto& entry : waste) {
+    total_wasted += entry.wasted_bytes;
+    total_recv += entry.receptions;
+  }
+  for (const auto& entry : waste) {
+    if (shown++ >= top) break;
+    const double pct =
+        entry.receptions > 0
+            ? 100.0 * static_cast<double>(entry.redundant_receptions) /
+                  static_cast<double>(entry.receptions)
+            : 0.0;
+    std::printf("%6u %8" PRIu64 " %10" PRIu64 " %9.1f%% %12" PRIu64 "  %s\n",
+                entry.host, entry.receptions, entry.redundant_receptions, pct,
+                entry.wasted_bytes, RegionName(log, entry.host).c_str());
+  }
+  std::printf("total: %zu hosts, %" PRIu64 " receptions, %" PRIu64
+              " wasted bytes\n",
+              waste.size(), total_recv, total_wasted);
+  return 0;
+}
+
+int PrintHops(const ProvenanceLog& log) {
+  const auto dist = HopDepths(log);
+  const auto shares = FirstDeliveryBreakdown(log);
+  std::printf("first-delivery hop depths over %zu (block, host) pairs\n",
+              dist.depths.size());
+  std::printf("mean %.2f  p50 %u  p90 %u  p99 %u  max %u\n", dist.mean,
+              dist.Quantile(0.50), dist.Quantile(0.90), dist.Quantile(0.99),
+              dist.max);
+  const double total = static_cast<double>(shares.total());
+  if (total > 0) {
+    std::printf("first delivery via: push %" PRIu64 " (%.1f%%)  announce %"
+                PRIu64 " (%.1f%%)  fetched %" PRIu64 " (%.1f%%)\n",
+                shares.push, 100.0 * shares.push / total, shares.announce,
+                100.0 * shares.announce / total, shares.fetched,
+                100.0 * shares.fetched / total);
+  }
+  return 0;
+}
+
+int PrintDegrees(const ProvenanceLog& log, std::size_t top) {
+  auto estimates = InferDegrees(log);
+  std::sort(estimates.begin(), estimates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.estimated_degree != b.estimated_degree)
+                return a.estimated_degree > b.estimated_degree;
+              return a.host < b.host;
+            });
+  std::printf("%6s %10s %8s  %s\n", "host", "est.deg", "blocks", "region");
+  std::size_t shown = 0;
+  for (const auto& estimate : estimates) {
+    if (shown++ >= top) break;
+    std::printf("%6u %10.2f %8" PRIu64 "  %s\n", estimate.host,
+                estimate.estimated_degree, estimate.blocks,
+                RegionName(log, estimate.host).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::string block_token;
+  std::string node_token;
+  bool want_tree = false, want_timeline = false, want_redundancy = false;
+  bool want_hops = false, want_degree = false, want_summary = false;
+  std::size_t top = 20;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ethsim_inspect: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--block") block_token = next("--block");
+    else if (arg == "--node") node_token = next("--node");
+    else if (arg == "--tree") want_tree = true;
+    else if (arg == "--timeline") want_timeline = true;
+    else if (arg == "--redundancy") want_redundancy = true;
+    else if (arg == "--hops") want_hops = true;
+    else if (arg == "--infer-degree") want_degree = true;
+    else if (arg == "--summary") want_summary = true;
+    else if (arg == "--top") top = static_cast<std::size_t>(
+        std::strtoull(next("--top"), nullptr, 10));
+    else {
+      std::fprintf(stderr, "ethsim_inspect: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  ProvenanceLog log;
+  std::string error;
+  if (!ProvenanceLog::ReadBinary(dir + "/provenance.bin", &log, &error)) {
+    std::fprintf(stderr,
+                 "ethsim_inspect: %s\n(run the producing tool with "
+                 "ETHSIM_PROVENANCE=1 to record the edge log)\n",
+                 error.c_str());
+    return 1;
+  }
+
+  // `--block X` implies --tree; `--node X` implies --timeline.
+  if (!block_token.empty() && !want_timeline) want_tree = true;
+  if (!node_token.empty() && !want_tree) want_timeline = true;
+
+  if (want_tree) {
+    if (block_token.empty()) {
+      std::fprintf(stderr, "ethsim_inspect: --tree needs --block <hash|head>\n");
+      return 2;
+    }
+    std::uint64_t object = 0;
+    if (!ResolveObject(dir, log, block_token, &object)) return 1;
+    return PrintTree(log, object);
+  }
+  if (want_timeline) {
+    if (node_token.empty()) {
+      std::fprintf(stderr, "ethsim_inspect: --timeline needs --node <id>\n");
+      return 2;
+    }
+    return PrintTimeline(log, static_cast<std::uint32_t>(
+                                  std::strtoul(node_token.c_str(), nullptr, 10)));
+  }
+  if (want_redundancy) return PrintRedundancy(log, top);
+  if (want_hops) return PrintHops(log);
+  if (want_degree) return PrintDegrees(log, top);
+  (void)want_summary;
+  return PrintSummary(log);
+}

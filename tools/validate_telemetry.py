@@ -2,7 +2,8 @@
 """Schema-check a telemetry artifact directory.
 
 Usage:
-    tools/validate_telemetry.py DIR [--require METRIC]...
+    tools/validate_telemetry.py DIR [--require METRIC]... \
+                                    [--forbid-nonzero PREFIX]...
 
 Validates whichever artifacts exist in DIR (at least manifest.json must):
 
@@ -10,6 +11,8 @@ Validates whichever artifacts exist in DIR (at least manifest.json must):
   metrics.jsonl   one JSON object per line; counter/gauge/histogram schemas
   trace.json      Chrome trace-event JSON: traceEvents list, per-event keys
   profile.jsonl   sample / callback_histogram / phase records
+  provenance.bin  ETHPROV1 columnar relay-edge log: header, column sizes,
+                  enum ranges, arrival/drop consistency
 
 --require METRIC (repeatable) additionally asserts that metrics.jsonl
 contains at least one metric whose name equals METRIC or starts with
@@ -18,12 +21,18 @@ fault.injected{kind=node_crash}). Used by the fault-smoke CI job to prove
 a faulted run really recorded fault.injected / net.msg.dropped_reason
 counters, not just an empty registry.
 
+--forbid-nonzero PREFIX (repeatable) fails when any counter whose name
+equals PREFIX or starts with "PREFIX{" has a non-zero value. The
+provenance-smoke CI job uses --forbid-nonzero provenance.violation to
+assert the run was invariant-clean.
+
 Exit status: 0 = valid, 1 = validation failure, 2 = usage/IO error.
 """
 
 import json
 import os
 import string
+import struct
 import sys
 
 FAILURES = []
@@ -58,7 +67,7 @@ def check_manifest(path):
         if key in doc and not is_hex(doc[key], 64):
             fail(f"manifest {key} is not a 64-digit hex string: {doc[key]!r}")
     telemetry = doc.get("telemetry", {})
-    for key in ("metrics", "trace", "profile"):
+    for key in ("metrics", "trace", "profile", "provenance"):
         if not isinstance(telemetry.get(key), bool):
             fail(f"manifest telemetry.{key} is not a bool")
     build = doc.get("build", {})
@@ -70,6 +79,7 @@ def check_manifest(path):
 
 def check_metrics(path):
     names = set()
+    counters = {}
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
@@ -90,6 +100,8 @@ def check_metrics(path):
             names.add(name)
             if kind == "counter":
                 ok = isinstance(record.get("value"), int)
+                if ok:
+                    counters[name] = record["value"]
             elif kind == "gauge":
                 ok = (isinstance(record.get("value"), int)
                       and isinstance(record.get("high_water"), int))
@@ -110,7 +122,7 @@ def check_metrics(path):
                 fail(f"metrics.jsonl:{lineno}: malformed {kind!r} record")
     if not names:
         fail("metrics.jsonl contains no metrics")
-    return names
+    return names, counters
 
 
 def check_trace(path):
@@ -160,6 +172,67 @@ def check_profile(path):
         fail("profile.jsonl has no callback_histogram record")
 
 
+PROV_MAGIC = b"ETHPROV1"
+# Per-edge column widths in layout order (see ProvenanceLog::WriteBinary):
+# send_us i64, arrival_us i64, from u32, to u32, object u64, parent u64,
+# number u64, bytes u32, hop u16, kind u8, drop u8.
+PROV_COLUMNS = (("send_us", 8), ("arrival_us", 8), ("from", 4), ("to", 4),
+                ("object", 8), ("parent", 8), ("number", 8), ("bytes", 4),
+                ("hop", 2), ("kind", 1), ("drop", 1))
+PROV_KIND_COUNT = 6
+PROV_DROP_COUNT = 5
+
+
+def check_provenance(path):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    header = struct.calcsize("<8sIIqq")
+    if len(blob) < header:
+        fail("provenance.bin shorter than its header")
+        return
+    magic, version, host_count, edge_count, end_us = struct.unpack_from(
+        "<8sIIqq", blob)
+    if magic != PROV_MAGIC:
+        fail(f"provenance.bin bad magic {magic!r}")
+        return
+    if version != 1:
+        fail(f"provenance.bin unsupported version {version}")
+        return
+    expected = header + host_count + edge_count * sum(
+        width for _, width in PROV_COLUMNS)
+    if len(blob) != expected:
+        fail(f"provenance.bin is {len(blob)} bytes, expected {expected} "
+             f"({edge_count} edges, {host_count} hosts)")
+        return
+    offset = header + host_count  # skip the host-region table
+    columns = {}
+    for name, width in PROV_COLUMNS:
+        fmt = {8: "q", 4: "I", 2: "H", 1: "B"}[width]
+        if name in ("from", "to", "bytes"):
+            fmt = "I"
+        columns[name] = struct.unpack_from(f"<{edge_count}{fmt}", blob, offset)
+        offset += edge_count * width
+    bad_kind = sum(1 for k in columns["kind"] if k >= PROV_KIND_COUNT)
+    bad_drop = sum(1 for d in columns["drop"] if d >= PROV_DROP_COUNT)
+    if bad_kind:
+        fail(f"provenance.bin has {bad_kind} out-of-range kind bytes")
+    if bad_drop:
+        fail(f"provenance.bin has {bad_drop} out-of-range drop bytes")
+    # A censored edge must not carry an arrival; a scheduled one must.
+    inconsistent = sum(
+        1 for a, d in zip(columns["arrival_us"], columns["drop"])
+        if (d != 0 and a != -1) or (d == 0 and a < -1))
+    if inconsistent:
+        fail(f"provenance.bin has {inconsistent} edges with inconsistent "
+             "arrival/drop")
+    # Rows are globally ordered by send sequence (send_us non-decreasing).
+    send = columns["send_us"]
+    if any(send[i - 1] > send[i] for i in range(1, edge_count)):
+        fail("provenance.bin rows are not in send order")
+    print(f"  ok: provenance.bin ({edge_count} edges, {host_count} hosts, "
+          f"end_us {end_us})")
+
+
 def check_required(names, required):
     for metric in required:
         labeled = metric + "{"
@@ -169,16 +242,32 @@ def check_required(names, required):
             print(f"  ok: required metric {metric}")
 
 
+def check_forbidden(counters, forbidden):
+    for prefix in forbidden:
+        labeled = prefix + "{"
+        hits = {n: v for n, v in counters.items()
+                if n == prefix or n.startswith(labeled)}
+        if not hits:
+            fail(f"--forbid-nonzero {prefix}: no matching counter recorded")
+            continue
+        nonzero = {n: v for n, v in hits.items() if v != 0}
+        for name, value in sorted(nonzero.items()):
+            fail(f"counter {name} = {value} (required zero)")
+        if not nonzero:
+            print(f"  ok: {len(hits)} counter(s) matching {prefix!r} "
+                  "are all zero")
+
+
 def parse_args(argv):
-    directory, required = None, []
+    directory, required, forbidden = None, [], []
     i = 0
     while i < len(argv):
         arg = argv[i]
-        if arg == "--require":
+        if arg in ("--require", "--forbid-nonzero"):
             if i + 1 >= len(argv):
                 print(__doc__, file=sys.stderr)
                 sys.exit(2)
-            required.append(argv[i + 1])
+            (required if arg == "--require" else forbidden).append(argv[i + 1])
             i += 2
         elif directory is None:
             directory = arg
@@ -189,11 +278,11 @@ def parse_args(argv):
     if directory is None:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    return directory, required
+    return directory, required, forbidden
 
 
 def main():
-    directory, required = parse_args(sys.argv[1:])
+    directory, required, forbidden = parse_args(sys.argv[1:])
     manifest_path = os.path.join(directory, "manifest.json")
     if not os.path.exists(manifest_path):
         print(f"validate_telemetry: {manifest_path} not found", file=sys.stderr)
@@ -204,9 +293,12 @@ def main():
     telemetry = manifest.get("telemetry", {})
 
     metric_names = set()
+    counter_values = {}
     checks = (("metrics.jsonl", telemetry.get("metrics"), check_metrics),
               ("trace.json", telemetry.get("trace"), check_trace),
-              ("profile.jsonl", telemetry.get("profile"), check_profile))
+              ("profile.jsonl", telemetry.get("profile"), check_profile),
+              ("provenance.bin", telemetry.get("provenance"),
+               check_provenance))
     for filename, enabled, check in checks:
         path = os.path.join(directory, filename)
         present = os.path.exists(path)
@@ -215,13 +307,19 @@ def main():
         elif present:
             result = check(path)
             if filename == "metrics.jsonl" and result:
-                metric_names = result
-            print(f"  ok: {filename}")
+                metric_names, counter_values = result
+            if filename != "provenance.bin":  # prints its own summary line
+                print(f"  ok: {filename}")
     if required:
         if not metric_names:
             fail("--require given but no metrics.jsonl was validated")
         else:
             check_required(metric_names, required)
+    if forbidden:
+        if not counter_values:
+            fail("--forbid-nonzero given but no metrics.jsonl was validated")
+        else:
+            check_forbidden(counter_values, forbidden)
     print("  ok: manifest.json" if not FAILURES else "")
 
     if FAILURES:
