@@ -68,6 +68,13 @@ struct Block {
  public:
 };
 
+// Borrowed 8-byte handle to an immutable, arena-owned block. Blocks live in
+// a chain::BlockArena that outlives every holder (nodes, gossip closures,
+// mint records, trees), so there is no ownership to share — a plain pointer
+// replaces the shared_ptr<const Block> this alias used to be, and relay
+// hot paths stop paying atomic refcount traffic per hop.
+using BlockPtr = const Block*;
+
 // Commitment over an ordered list of transaction hashes (simplified
 // Merkle root: keccak of the concatenation; order-sensitive).
 Hash32 ComputeTxRoot(const std::vector<Transaction>& txs);

@@ -1,0 +1,46 @@
+// Shared storage for immutable block bodies. The simulator keeps exactly one
+// copy of every block ever assembled; nodes, gossip closures, mint records
+// and analysis all refer to it through an 8-byte BlockPtr. Before the arena,
+// that sharing ran on shared_ptr<const Block> — every relay hop, scheduled
+// callback and tree node bumped an atomic refcount even though no block is
+// ever freed before the world it belongs to. Adopt() pins a block at a
+// stable address for the arena's lifetime (a deque never moves elements), so
+// the refcount traffic disappears and a BlockPtr is a plain pointer.
+//
+// Lifetime contract: the arena outlives every component holding BlockPtrs
+// into it — core::Experiment declares it before the node/miner layers, tests
+// and benches declare it first in their scopes.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "chain/block.hpp"
+
+namespace ethsim::chain {
+
+class BlockArena {
+ public:
+  BlockArena() = default;
+  BlockArena(const BlockArena&) = delete;
+  BlockArena& operator=(const BlockArena&) = delete;
+
+  // Takes ownership of a fully assembled block. The caller establishes the
+  // block's hash identity first — by Seal() or by assigning a persisted /
+  // synthetic hash; Adopt never mutates what it stores (tests legitimately
+  // adopt blocks with an all-zero synthetic hash).
+  BlockPtr Adopt(Block&& block) {
+    blocks_.push_back(std::move(block));
+    return &blocks_.back();
+  }
+
+  // Copy-adopt convenience for sibling/fork variants built from a template.
+  BlockPtr Adopt(const Block& block) { return Adopt(Block{block}); }
+
+  std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::deque<Block> blocks_;
+};
+
+}  // namespace ethsim::chain

@@ -1,24 +1,33 @@
 // The block tree: every block a node has ever accepted, with total-difficulty
 // fork choice (heaviest chain wins, ties broken by first-seen, as in Geth),
 // canonical-chain maintenance with reorg reporting, orphan buffering, and
-// Ethereum's uncle-candidate rules. Blocks are immutable and shared between
-// all simulated nodes via shared_ptr — the simulator keeps one copy of each.
+// Ethereum's uncle-candidate rules.
+//
+// Memory layout (DESIGN.md §12): block hashes are interned to dense uint32
+// ids and nodes live in a contiguous arena indexed by id — the hash-keyed
+// unordered_maps the tree used to carry (nodes/by_height/canonical) are now
+// one open-addressing probe into the interner followed by vector indexing.
+// Tree shape is explicit via parent/first-child/next-sibling links, and the
+// per-height and canonical indexes are id vectors keyed by height offset.
+// Block bodies themselves are owned by a chain::BlockArena elsewhere; the
+// tree holds borrowed BlockPtr handles.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "chain/block.hpp"
+#include "chain/interner.hpp"
 #include "common/time.hpp"
 
 namespace ethsim::chain {
 
-using BlockPtr = std::shared_ptr<const Block>;
-
 class BlockTree {
  public:
+  using BlockId = HashInterner::Id;
+  static constexpr BlockId kNoId = HashInterner::kNoId;
+
   // The tree is rooted at a genesis block (number may be nonzero so runs can
   // start at paper-era heights like 7,479,573).
   explicit BlockTree(BlockPtr genesis);
@@ -45,7 +54,7 @@ class BlockTree {
   TimePoint FirstSeen(const Hash32& hash) const;
 
   const Hash32& head_hash() const { return head_; }
-  BlockPtr head() const { return Get(head_); }
+  BlockPtr head() const { return nodes_[head_id_].block; }
   std::uint64_t head_number() const;
   std::uint64_t TotalDifficulty(const Hash32& hash) const;
 
@@ -67,33 +76,59 @@ class BlockTree {
   // All known block hashes at a height (canonical and forks).
   std::vector<Hash32> HashesAtHeight(std::uint64_t number) const;
 
-  std::size_t block_count() const { return nodes_.size(); }
+  std::size_t block_count() const { return attached_; }
   std::size_t orphan_count() const { return orphans_.size(); }
   const Hash32& genesis_hash() const { return genesis_; }
   std::uint64_t genesis_number() const { return genesis_number_; }
 
-  // Enumeration for the analysis pipeline.
+  // Enumeration for the analysis pipeline (attach order).
   std::vector<BlockPtr> AllBlocks() const;
   std::vector<BlockPtr> CanonicalChain() const;  // genesis..head
 
+  // Structural audit: arena links form a tree rooted at genesis (acyclic,
+  // parent/child mutually consistent), total difficulty and heights
+  // telescope along parent links, the canonical index walks
+  // parent-to-parent from head down to genesis, and every height-bucket
+  // entry is attached. Returns false (after naming the violated condition
+  // on stderr) instead of asserting so the property tests can exercise it
+  // under any build type.
+  bool CheckInvariants() const;
+
  private:
   struct Node {
-    BlockPtr block;
+    BlockPtr block = nullptr;  // nullptr: id reserved (orphan parent ref)
     std::uint64_t total_difficulty = 0;
     TimePoint first_seen;
+    BlockId parent = kNoId;
+    BlockId first_child = kNoId;
+    BlockId next_sibling = kNoId;
   };
 
-  void Attach(BlockPtr block, TimePoint received, AddResult& result);
-  void MaybeReorg(const Hash32& candidate, AddResult& result);
+  // Interns `hash`, growing the node arena so ids always index into it.
+  BlockId InternNode(const Hash32& hash);
+  // kNoId when unknown OR known only as an orphan's missing parent.
+  BlockId FindAttached(const Hash32& hash) const;
 
-  std::unordered_map<Hash32, Node> nodes_;
-  // parent hash -> blocks waiting for that parent.
-  std::unordered_map<Hash32, std::vector<std::pair<BlockPtr, TimePoint>>> orphans_;
-  std::unordered_map<std::uint64_t, std::vector<Hash32>> by_height_;
-  std::unordered_map<std::uint64_t, Hash32> canonical_;
+  std::vector<BlockId>& HeightBucket(std::uint64_t number);
+  BlockId& CanonicalSlot(std::uint64_t number);
+
+  void Attach(BlockPtr block, TimePoint received, AddResult& result);
+  void MaybeReorg(BlockId candidate, AddResult& result);
+
+  HashInterner interner_;
+  std::vector<Node> nodes_;  // indexed by interned id
+  // interned parent id -> blocks waiting for that parent.
+  std::unordered_map<BlockId, std::vector<std::pair<BlockPtr, TimePoint>>>
+      orphans_;
+  // Indexed by number - genesis_number_.
+  std::vector<std::vector<BlockId>> by_height_;
+  std::vector<BlockId> canonical_;  // kNoId = no canonical block (retired)
+  std::size_t attached_ = 0;        // nodes with a block (excludes reserved)
   Hash32 genesis_;
   std::uint64_t genesis_number_ = 0;
   Hash32 head_;
+  BlockId genesis_id_ = kNoId;
+  BlockId head_id_ = kNoId;
 };
 
 }  // namespace ethsim::chain

@@ -1,18 +1,48 @@
 #include "chain/txpool.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <cstdio>
 
 namespace ethsim::chain {
 
-std::size_t TxPool::Account::ExecutableCount() const {
-  std::size_t n = 0;
-  auto it = txs.find(next_nonce);
-  while (it != txs.end() && it->first == next_nonce + n) {
+namespace {
+
+// First position in a nonce-sorted run whose nonce is >= `nonce`.
+std::vector<Transaction>::iterator NonceSlot(std::vector<Transaction>& txs,
+                                             std::uint64_t nonce) {
+  return std::lower_bound(
+      txs.begin(), txs.end(), nonce,
+      [](const Transaction& t, std::uint64_t n) { return t.nonce < n; });
+}
+
+}  // namespace
+
+std::uint32_t TxPool::CountExecutable(const Account& account) {
+  auto it = std::lower_bound(
+      account.txs.begin(), account.txs.end(), account.next_nonce,
+      [](const Transaction& t, std::uint64_t n) { return t.nonce < n; });
+  std::uint32_t n = 0;
+  while (it != account.txs.end() && it->nonce == account.next_nonce + n) {
     ++n;
     ++it;
   }
   return n;
+}
+
+void TxPool::SetExecCount(Account& account, std::uint32_t exec) {
+  pending_total_ += exec;
+  pending_total_ -= account.exec_count;
+  account.exec_count = exec;
+  if (exec > 0 && account.head_slot == kNoSlot) {
+    account.head_slot = static_cast<std::uint32_t>(heads_.size());
+    heads_.push_back(&account);
+  } else if (exec == 0 && account.head_slot != kNoSlot) {
+    const std::uint32_t slot = account.head_slot;
+    heads_[slot] = heads_.back();
+    heads_[slot]->head_slot = slot;
+    heads_.pop_back();
+    account.head_slot = kNoSlot;
+  }
 }
 
 TxPool::AddOutcome TxPool::Add(const Transaction& tx) {
@@ -21,25 +51,36 @@ TxPool::AddOutcome TxPool::Add(const Transaction& tx) {
   Account& account = accounts_[tx.sender];
   if (tx.nonce < account.next_nonce) return AddOutcome::kStale;
 
-  const auto it = account.txs.find(tx.nonce);
-  if (it != account.txs.end()) {
+  const auto it = NonceSlot(account.txs, tx.nonce);
+  if (it != account.txs.end() && it->nonce == tx.nonce) {
     // Same-slot replacement requires a strictly better price (Geth demands a
     // 10% bump; strict improvement is the behaviour that matters here).
-    if (tx.gas_price <= it->second.gas_price) return AddOutcome::kRejected;
-    known_.erase(it->second.hash);
-    it->second = tx;
+    // The executable prefix is untouched: the slot stays occupied.
+    if (tx.gas_price <= it->gas_price) return AddOutcome::kRejected;
+    known_.erase(it->hash);
+    *it = tx;
     known_.insert(tx.hash);
     return AddOutcome::kReplaced;
   }
 
-  account.txs.emplace(tx.nonce, tx);
+  account.txs.insert(it, tx);
   known_.insert(tx.hash);
-  return tx.nonce < account.next_nonce + account.ExecutableCount()
+  if (tx.nonce == account.next_nonce + account.exec_count) {
+    // Filled the first gap: the run extends over the new tx and then over
+    // any queued txs the gap was holding back (promotion cascade).
+    std::uint32_t exec = account.exec_count + 1;
+    while (exec < account.txs.size() &&
+           account.txs[exec].nonce == account.next_nonce + exec)
+      ++exec;
+    SetExecCount(account, exec);
+  }
+  return tx.nonce < account.next_nonce + account.exec_count
              ? AddOutcome::kPending
              : AddOutcome::kQueued;
 }
 
-void TxPool::SetAccountNonce(const Address& account_addr, std::uint64_t nonce) {
+void TxPool::SetAccountNonce(const Address& account_addr,
+                             std::uint64_t nonce) {
   Account& account = accounts_[account_addr];
   if (nonce <= account.next_nonce) {
     account.next_nonce = std::max(account.next_nonce, nonce);
@@ -47,16 +88,25 @@ void TxPool::SetAccountNonce(const Address& account_addr, std::uint64_t nonce) {
   }
   account.next_nonce = nonce;
   // Drop transactions made stale by the nonce jump.
-  while (!account.txs.empty() && account.txs.begin()->first < nonce) {
-    known_.erase(account.txs.begin()->second.hash);
-    account.txs.erase(account.txs.begin());
+  auto it = account.txs.begin();
+  while (it != account.txs.end() && it->nonce < nonce) {
+    known_.erase(it->hash);
+    ++it;
   }
+  account.txs.erase(account.txs.begin(), it);
+  SetExecCount(account, CountExecutable(account));
 }
 
 void TxPool::RollbackAccountNonce(const Address& account_addr,
                                   std::uint64_t nonce) {
   Account& account = accounts_[account_addr];
-  if (nonce < account.next_nonce) account.next_nonce = nonce;
+  if (nonce < account.next_nonce) {
+    account.next_nonce = nonce;
+    // Pooled nonces all sit at or above the old next_nonce, so the rewind
+    // opens a gap and the executable run collapses until the retired
+    // transactions are re-added.
+    SetExecCount(account, CountExecutable(account));
+  }
 }
 
 std::uint64_t TxPool::AccountNonce(const Address& account) const {
@@ -68,56 +118,105 @@ void TxPool::RemoveIncluded(const std::vector<Transaction>& txs) {
   for (const auto& tx : txs) {
     known_.erase(tx.hash);
     Account& account = accounts_[tx.sender];
-    account.txs.erase(tx.nonce);
-    if (tx.nonce >= account.next_nonce) SetAccountNonce(tx.sender, tx.nonce + 1);
+    const auto it = NonceSlot(account.txs, tx.nonce);
+    // If the pooled tx at this (sender, nonce) is a replacement with a
+    // different hash, only the pool slot is dropped here — its hash stays
+    // in known_ (long-standing quirk, kept bit-for-bit: dedup against a
+    // replaced-then-included tx still answers "known").
+    if (it != account.txs.end() && it->nonce == tx.nonce)
+      account.txs.erase(it);
+    if (tx.nonce >= account.next_nonce)
+      SetAccountNonce(tx.sender, tx.nonce + 1);
   }
 }
 
 std::vector<Transaction> TxPool::SelectForBlock(std::uint64_t gas_limit,
                                                 std::size_t max_txs) const {
   // Price-and-nonce selection: a heap of per-account cursors keyed by the
-  // gas price of the account's lowest executable nonce.
+  // gas price of the account's lowest executable nonce. Seeded from the
+  // persistent heads_ index — only accounts with executable work, no
+  // full-pool sweep. (gas_price, hash) keys are strictly distinct, so the
+  // pop order is the same whatever the seed order.
   struct Cursor {
     const Account* account;
-    std::map<std::uint64_t, Transaction>::const_iterator it;
-    std::size_t remaining;  // executable txs left for this account
+    std::uint32_t pos;        // index into account->txs
+    std::uint32_t remaining;  // executable txs left for this account
   };
   auto price_less = [](const Cursor& a, const Cursor& b) {
-    if (a.it->second.gas_price != b.it->second.gas_price)
-      return a.it->second.gas_price < b.it->second.gas_price;
+    const Transaction& ta = a.account->txs[a.pos];
+    const Transaction& tb = b.account->txs[b.pos];
+    if (ta.gas_price != tb.gas_price) return ta.gas_price < tb.gas_price;
     // Deterministic tie-break on tx hash.
-    return a.it->second.hash < b.it->second.hash;
+    return ta.hash < tb.hash;
   };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(price_less)> heap{
-      price_less};
 
-  for (const auto& [addr, account] : accounts_) {
-    const std::size_t executable = account.ExecutableCount();
-    if (executable == 0) continue;
-    heap.push({&account, account.txs.find(account.next_nonce), executable});
-  }
+  std::vector<Cursor> heap;
+  heap.reserve(heads_.size());
+  for (const Account* account : heads_)
+    heap.push_back({account, 0, account->exec_count});
+  std::make_heap(heap.begin(), heap.end(), price_less);
 
   std::vector<Transaction> out;
   std::uint64_t gas_used = 0;
   while (!heap.empty() && out.size() < max_txs) {
-    Cursor cur = heap.top();
-    heap.pop();
-    const Transaction& tx = cur.it->second;
+    std::pop_heap(heap.begin(), heap.end(), price_less);
+    const Cursor cur = heap.back();
+    heap.pop_back();
+    const Transaction& tx = cur.account->txs[cur.pos];
     if (gas_used + tx.gas_limit > gas_limit) continue;  // account blocked on gas
     gas_used += tx.gas_limit;
     out.push_back(tx);
-    if (cur.remaining > 1) heap.push({cur.account, std::next(cur.it),
-                                      cur.remaining - 1});
+    if (cur.remaining > 1) {
+      heap.push_back({cur.account, cur.pos + 1, cur.remaining - 1});
+      std::push_heap(heap.begin(), heap.end(), price_less);
+    }
   }
   return out;
 }
 
-std::size_t TxPool::pending_count() const {
-  std::size_t n = 0;
-  for (const auto& [addr, account] : accounts_) n += account.ExecutableCount();
-  return n;
-}
+bool TxPool::CheckInvariants() const {
+#define ETHSIM_POOL_CHECK(cond)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TxPool invariant violated: %s (%s:%d)\n",      \
+                   #cond, __FILE__, __LINE__);                             \
+      return false;                                                        \
+    }                                                                      \
+  } while (0)
 
-std::size_t TxPool::queued_count() const { return known_.size() - pending_count(); }
+  std::size_t pending_sum = 0;
+  std::size_t pooled = 0;
+  std::size_t with_heads = 0;
+  for (const auto& [addr, account] : accounts_) {
+    for (std::size_t i = 0; i < account.txs.size(); ++i) {
+      const Transaction& tx = account.txs[i];
+      ETHSIM_POOL_CHECK(tx.sender == addr);
+      ETHSIM_POOL_CHECK(tx.nonce >= account.next_nonce);
+      if (i > 0) ETHSIM_POOL_CHECK(account.txs[i - 1].nonce < tx.nonce);
+      ETHSIM_POOL_CHECK(known_.contains(tx.hash));
+    }
+    // The cached run length must equal a from-scratch recount, and a
+    // non-empty run always starts at the vector front.
+    ETHSIM_POOL_CHECK(account.exec_count == CountExecutable(account));
+    if (account.exec_count > 0) {
+      ETHSIM_POOL_CHECK(account.txs.front().nonce == account.next_nonce);
+      ETHSIM_POOL_CHECK(account.head_slot != kNoSlot &&
+                        account.head_slot < heads_.size());
+      ETHSIM_POOL_CHECK(heads_[account.head_slot] == &account);
+      ++with_heads;
+    } else {
+      ETHSIM_POOL_CHECK(account.head_slot == kNoSlot);
+    }
+    pending_sum += account.exec_count;
+    pooled += account.txs.size();
+  }
+  ETHSIM_POOL_CHECK(pending_sum == pending_total_);
+  ETHSIM_POOL_CHECK(with_heads == heads_.size());
+  // known_ can run ahead of the pooled set (RemoveIncluded replacement
+  // quirk) but never behind it.
+  ETHSIM_POOL_CHECK(known_.size() >= pooled);
+#undef ETHSIM_POOL_CHECK
+  return true;
+}
 
 }  // namespace ethsim::chain

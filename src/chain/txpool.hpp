@@ -2,14 +2,23 @@
 // executable ("pending") only when every lower nonce from the same sender is
 // known; higher-nonce arrivals wait in "queued". This is the mechanism that
 // turns out-of-order propagation into extra commit latency (§III-C2).
+//
+// Memory layout (DESIGN.md §12): each account keeps its transactions in a
+// nonce-sorted vector (accounts hold a handful of txs, so a shifted insert
+// beats a std::map node allocation by a wide margin) with the length of the
+// executable prefix maintained incrementally across every mutation. Accounts
+// with a non-empty executable run are tracked in `heads_`, a persistent
+// unsorted index with O(1) swap-erase membership — SelectForBlock heapifies
+// a copy of it instead of rescanning every account, and pending/queued
+// counts are running totals instead of full-pool sweeps.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "chain/interner.hpp"
 #include "chain/transaction.hpp"
 
 namespace ethsim::chain {
@@ -49,21 +58,41 @@ class TxPool {
                                           std::size_t max_txs) const;
 
   bool Contains(const Hash32& hash) const { return known_.contains(hash); }
-  std::size_t pending_count() const;
-  std::size_t queued_count() const;
+  std::size_t pending_count() const { return pending_total_; }
+  std::size_t queued_count() const { return known_.size() - pending_total_; }
   std::size_t size() const { return known_.size(); }
 
+  // Audits the incremental state against a from-scratch rebuild: per-account
+  // nonce runs sorted and duplicate-free, cached executable-prefix lengths
+  // equal to a recount, the heads_ index holding exactly the accounts with a
+  // non-empty run (slot back-references consistent), the pending total
+  // matching the per-account sum, and every pooled hash present in known_.
+  // Returns false (after naming the violated condition on stderr) so the
+  // property tests can exercise it under any build type.
+  bool CheckInvariants() const;
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   struct Account {
     std::uint64_t next_nonce = 0;
-    std::map<std::uint64_t, Transaction> txs;  // nonce -> tx
-
-    // Number of consecutively executable txs starting at next_nonce.
-    std::size_t ExecutableCount() const;
+    std::vector<Transaction> txs;  // sorted by nonce, unique
+    // Length of the executable prefix: txs[i].nonce == next_nonce + i for
+    // all i < exec_count. Maintained incrementally by every mutation.
+    std::uint32_t exec_count = 0;
+    std::uint32_t head_slot = kNoSlot;  // index into heads_, or kNoSlot
   };
 
+  // Recounts the executable prefix from the sorted run.
+  static std::uint32_t CountExecutable(const Account& account);
+  // Applies a new exec_count: fixes pending_total_ and heads_ membership.
+  void SetExecCount(Account& account, std::uint32_t exec);
+
   std::unordered_map<Address, Account> accounts_;
-  std::unordered_set<Hash32> known_;
+  std::unordered_set<Hash32, Hash32IdentityHash, std::equal_to<>> known_;
+  // Accounts with exec_count > 0; unsorted, swap-erase maintained.
+  std::vector<Account*> heads_;
+  std::size_t pending_total_ = 0;
 };
 
 }  // namespace ethsim::chain

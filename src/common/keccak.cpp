@@ -21,41 +21,105 @@ constexpr std::uint64_t kRoundConstants[kRounds] = {
     0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
 };
 
-constexpr int kRotations[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
-                                25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
-
 constexpr std::uint64_t Rotl(std::uint64_t x, int n) {
   return n == 0 ? x : (x << n) | (x >> (64 - n));
 }
 
+// Fully unrolled permutation. The looped reference version spends most of
+// its time on the b[25] spill and the %5 index arithmetic; with the state in
+// 25 named locals the compiler keeps the round function in registers and the
+// whole permutation runs ~2x faster — which matters here because every
+// block, transaction and config digest identity is keccak256(rlp(x)).
+// Bit-identical to the reference implementation (the keccak test vectors
+// and every tracked run digest pin this down).
 void KeccakF1600(std::uint64_t a[25]) {
+  std::uint64_t a00 = a[0], a01 = a[1], a02 = a[2], a03 = a[3], a04 = a[4];
+  std::uint64_t a05 = a[5], a06 = a[6], a07 = a[7], a08 = a[8], a09 = a[9];
+  std::uint64_t a10 = a[10], a11 = a[11], a12 = a[12], a13 = a[13],
+                a14 = a[14];
+  std::uint64_t a15 = a[15], a16 = a[16], a17 = a[17], a18 = a[18],
+                a19 = a[19];
+  std::uint64_t a20 = a[20], a21 = a[21], a22 = a[22], a23 = a[23],
+                a24 = a[24];
+
   for (int round = 0; round < kRounds; ++round) {
     // Theta
-    std::uint64_t c[5];
-    for (int x = 0; x < 5; ++x)
-      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
-    std::uint64_t d[5];
-    for (int x = 0; x < 5; ++x) d[x] = c[(x + 4) % 5] ^ Rotl(c[(x + 1) % 5], 1);
-    for (int i = 0; i < 25; ++i) a[i] ^= d[i % 5];
+    const std::uint64_t c0 = a00 ^ a05 ^ a10 ^ a15 ^ a20;
+    const std::uint64_t c1 = a01 ^ a06 ^ a11 ^ a16 ^ a21;
+    const std::uint64_t c2 = a02 ^ a07 ^ a12 ^ a17 ^ a22;
+    const std::uint64_t c3 = a03 ^ a08 ^ a13 ^ a18 ^ a23;
+    const std::uint64_t c4 = a04 ^ a09 ^ a14 ^ a19 ^ a24;
+    const std::uint64_t d0 = c4 ^ Rotl(c1, 1);
+    const std::uint64_t d1 = c0 ^ Rotl(c2, 1);
+    const std::uint64_t d2 = c1 ^ Rotl(c3, 1);
+    const std::uint64_t d3 = c2 ^ Rotl(c4, 1);
+    const std::uint64_t d4 = c3 ^ Rotl(c0, 1);
+    a00 ^= d0; a05 ^= d0; a10 ^= d0; a15 ^= d0; a20 ^= d0;
+    a01 ^= d1; a06 ^= d1; a11 ^= d1; a16 ^= d1; a21 ^= d1;
+    a02 ^= d2; a07 ^= d2; a12 ^= d2; a17 ^= d2; a22 ^= d2;
+    a03 ^= d3; a08 ^= d3; a13 ^= d3; a18 ^= d3; a23 ^= d3;
+    a04 ^= d4; a09 ^= d4; a14 ^= d4; a19 ^= d4; a24 ^= d4;
 
-    // Rho + Pi
-    std::uint64_t b[25];
-    for (int x = 0; x < 5; ++x)
-      for (int y = 0; y < 5; ++y) {
-        const int src = x + 5 * y;
-        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
-        b[dst] = Rotl(a[src], kRotations[src]);
-      }
+    // Rho + Pi: b[y + 5*((2x+3y)%5)] = rotl(a[x+5y], r[x+5y])
+    const std::uint64_t b00 = a00;
+    const std::uint64_t b10 = Rotl(a01, 1);
+    const std::uint64_t b20 = Rotl(a02, 62);
+    const std::uint64_t b05 = Rotl(a03, 28);
+    const std::uint64_t b15 = Rotl(a04, 27);
+    const std::uint64_t b16 = Rotl(a05, 36);
+    const std::uint64_t b01 = Rotl(a06, 44);
+    const std::uint64_t b11 = Rotl(a07, 6);
+    const std::uint64_t b21 = Rotl(a08, 55);
+    const std::uint64_t b06 = Rotl(a09, 20);
+    const std::uint64_t b07 = Rotl(a10, 3);
+    const std::uint64_t b17 = Rotl(a11, 10);
+    const std::uint64_t b02 = Rotl(a12, 43);
+    const std::uint64_t b12 = Rotl(a13, 25);
+    const std::uint64_t b22 = Rotl(a14, 39);
+    const std::uint64_t b23 = Rotl(a15, 41);
+    const std::uint64_t b08 = Rotl(a16, 45);
+    const std::uint64_t b18 = Rotl(a17, 15);
+    const std::uint64_t b03 = Rotl(a18, 21);
+    const std::uint64_t b13 = Rotl(a19, 8);
+    const std::uint64_t b14 = Rotl(a20, 18);
+    const std::uint64_t b24 = Rotl(a21, 2);
+    const std::uint64_t b09 = Rotl(a22, 61);
+    const std::uint64_t b19 = Rotl(a23, 56);
+    const std::uint64_t b04 = Rotl(a24, 14);
 
-    // Chi
-    for (int y = 0; y < 5; ++y)
-      for (int x = 0; x < 5; ++x)
-        a[x + 5 * y] =
-            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
-
-    // Iota
-    a[0] ^= kRoundConstants[round];
+    // Chi + Iota
+    a00 = b00 ^ (~b01 & b02) ^ kRoundConstants[round];
+    a01 = b01 ^ (~b02 & b03);
+    a02 = b02 ^ (~b03 & b04);
+    a03 = b03 ^ (~b04 & b00);
+    a04 = b04 ^ (~b00 & b01);
+    a05 = b05 ^ (~b06 & b07);
+    a06 = b06 ^ (~b07 & b08);
+    a07 = b07 ^ (~b08 & b09);
+    a08 = b08 ^ (~b09 & b05);
+    a09 = b09 ^ (~b05 & b06);
+    a10 = b10 ^ (~b11 & b12);
+    a11 = b11 ^ (~b12 & b13);
+    a12 = b12 ^ (~b13 & b14);
+    a13 = b13 ^ (~b14 & b10);
+    a14 = b14 ^ (~b10 & b11);
+    a15 = b15 ^ (~b16 & b17);
+    a16 = b16 ^ (~b17 & b18);
+    a17 = b17 ^ (~b18 & b19);
+    a18 = b18 ^ (~b19 & b15);
+    a19 = b19 ^ (~b15 & b16);
+    a20 = b20 ^ (~b21 & b22);
+    a21 = b21 ^ (~b22 & b23);
+    a22 = b22 ^ (~b23 & b24);
+    a23 = b23 ^ (~b24 & b20);
+    a24 = b24 ^ (~b20 & b21);
   }
+
+  a[0] = a00; a[1] = a01; a[2] = a02; a[3] = a03; a[4] = a04;
+  a[5] = a05; a[6] = a06; a[7] = a07; a[8] = a08; a[9] = a09;
+  a[10] = a10; a[11] = a11; a[12] = a12; a[13] = a13; a[14] = a14;
+  a[15] = a15; a[16] = a16; a[17] = a17; a[18] = a18; a[19] = a19;
+  a[20] = a20; a[21] = a21; a[22] = a22; a[23] = a23; a[24] = a24;
 }
 
 }  // namespace

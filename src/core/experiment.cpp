@@ -28,12 +28,12 @@ void Experiment::Build() {
   if (telemetry_ != nullptr) sim_.set_profiler(telemetry_->profiler());
 
   // Genesis difficulty pins the initial pace to the target interval.
-  auto genesis = std::make_shared<chain::Block>();
-  genesis->header.number = config_.genesis_number;
-  genesis->header.difficulty = static_cast<std::uint64_t>(
+  chain::Block genesis;
+  genesis.header.number = config_.genesis_number;
+  genesis.header.difficulty = static_cast<std::uint64_t>(
       config_.mining.total_hashrate * config_.mining.target_interval.seconds());
-  genesis->Seal();
-  genesis_ = genesis;
+  genesis.Seal();
+  genesis_ = arena_.Adopt(std::move(genesis));
 
   Rng ids = master.Fork("node-ids");
   Rng placement = master.Fork("placement");
@@ -53,7 +53,7 @@ void Experiment::Build() {
   // 1. Pool gateways (well-provisioned hosts), one node per declared
   //    gateway, in spec order so release weights line up.
   coordinator_ = std::make_unique<miner::MiningCoordinator>(
-      sim_, master.Fork("mining"), config_.mining, config_.pools);
+      sim_, arena_, master.Fork("mining"), config_.mining, config_.pools);
   coordinator_->AttachTelemetry(telemetry_.get());
   for (std::size_t p = 0; p < config_.pools.size(); ++p) {
     for (const auto& gw : config_.pools[p].gateways) {

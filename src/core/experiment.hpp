@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "chain/block_arena.hpp"
 #include "core/config.hpp"
 #include "core/workload.hpp"
 #include "eth/node.hpp"
@@ -69,7 +70,11 @@ class Experiment {
   // instrument pointers; destroyed after them (declaration order).
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<net::Network> net_;
-  chain::BlockPtr genesis_;
+  // Owns every block body of the run (genesis + everything minted). Declared
+  // before the node/miner/observer layers so the handles they hold stay
+  // valid throughout teardown.
+  chain::BlockArena arena_;
+  chain::BlockPtr genesis_ = nullptr;
   // All full nodes: [gateways..., plain..., observers...]. Gateways first so
   // pool p's gateways are contiguous and discoverable by index.
   std::vector<std::unique_ptr<eth::EthNode>> nodes_;

@@ -230,7 +230,7 @@ void EthNode::DeliverNewBlock(EthNode* from, chain::BlockPtr block) {
   if (DropIngress(obs::MsgKind::kNewBlock)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFullBlock, block->hash,
-                          block->header.number, block.get());
+                          block->header.number, block);
   if (block_tracer_ != nullptr) [[unlikely]]
     TraceBlockInstant("block.heard", "new_block", block->hash,
                       block->header.number);
@@ -244,7 +244,7 @@ void EthNode::DeliverBlockResponse(EthNode* from, chain::BlockPtr block) {
   if (DropIngress(obs::MsgKind::kBlockResponse)) [[unlikely]] return;
   if (sink_ != nullptr)
     sink_->OnBlockMessage(MessageSink::BlockMsgKind::kFetched, block->hash,
-                          block->header.number, block.get());
+                          block->header.number, block);
   if (block_tracer_ != nullptr) [[unlikely]]
     TraceBlockInstant("block.heard", "fetched", block->hash,
                       block->header.number);

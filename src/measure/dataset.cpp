@@ -109,7 +109,7 @@ std::unique_ptr<Observer> ReplayObserver(const VantageLog& log,
 }
 
 std::vector<miner::MintRecord> ReconstructMintRecords(
-    const std::vector<CatalogBlock>& catalog,
+    chain::BlockArena& arena, const std::vector<CatalogBlock>& catalog,
     const std::vector<miner::PoolSpec>& pools) {
   std::unordered_map<std::string, std::size_t> pool_by_name;
   for (std::size_t i = 0; i < pools.size(); ++i)
@@ -120,12 +120,12 @@ std::vector<miner::MintRecord> ReconstructMintRecords(
   for (const auto& row : catalog) {
     const auto it = pool_by_name.find(row.pool);
     if (it == pool_by_name.end()) continue;
-    auto block = std::make_shared<chain::Block>();
-    block->header.number = row.number;
-    block->header.parent_hash = row.parent;
-    block->hash = row.hash;  // persisted identity overrides the recomputed one
+    chain::Block block;
+    block.header.number = row.number;
+    block.header.parent_hash = row.parent;
+    block.hash = row.hash;  // persisted identity overrides the recomputed one
     miner::MintRecord record;
-    record.block = std::move(block);
+    record.block = arena.Adopt(std::move(block));
     record.pool_index = it->second;
     record.mined_at = row.mined_at;
     record.deliberate_empty = row.empty;

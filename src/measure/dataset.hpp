@@ -73,10 +73,11 @@ std::unique_ptr<Observer> ReplayObserver(const VantageLog& log,
                                          sim::Simulator& simulator);
 
 // Reconstructs mint records from the catalog (minimal blocks carrying hash,
-// number, parent and the pool index resolved against `pools` by name).
+// number, parent and the pool index resolved against `pools` by name; bodies
+// are adopted into `arena`, which must outlive the returned records).
 // Enables the catalog-joined analyses (Fig 3) on stored datasets.
 std::vector<miner::MintRecord> ReconstructMintRecords(
-    const std::vector<CatalogBlock>& catalog,
+    chain::BlockArena& arena, const std::vector<CatalogBlock>& catalog,
     const std::vector<miner::PoolSpec>& pools);
 
 }  // namespace ethsim::measure

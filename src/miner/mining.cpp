@@ -5,10 +5,15 @@
 
 namespace ethsim::miner {
 
-MiningCoordinator::MiningCoordinator(sim::Simulator& simulator, Rng rng,
+MiningCoordinator::MiningCoordinator(sim::Simulator& simulator,
+                                     chain::BlockArena& arena, Rng rng,
                                      MiningParams params,
                                      std::vector<PoolSpec> pools)
-    : sim_(simulator), rng_(rng), params_(params), pools_(std::move(pools)) {
+    : sim_(simulator),
+      arena_(arena),
+      rng_(rng),
+      params_(params),
+      pools_(std::move(pools)) {
   assert(!pools_.empty());
   states_.resize(pools_.size());
   minted_count_.assign(pools_.size(), nullptr);
@@ -121,39 +126,39 @@ chain::BlockPtr MiningCoordinator::AssembleBlock(std::size_t pool_index,
   PoolState& state = states_[pool_index];
   eth::EthNode* primary = state.gateways.front();
 
-  auto block = std::make_shared<chain::Block>();
-  block->header.parent_hash = parent->hash;
-  block->header.number = parent->header.number + 1;
-  block->header.miner = spec.coinbase;
-  block->header.gas_limit = params_.gas_limit;
-  block->header.mix_seed = rng_.Next() ^ extra_seed;
+  chain::Block block;
+  block.header.parent_hash = parent->hash;
+  block.header.number = parent->header.number + 1;
+  block.header.miner = spec.coinbase;
+  block.header.gas_limit = params_.gas_limit;
+  block.header.mix_seed = rng_.Next() ^ extra_seed;
 
   // Timestamp in whole seconds, strictly increasing along the chain.
-  block->header.timestamp =
+  block.header.timestamp =
       std::max<std::uint64_t>(parent->header.timestamp + 1,
                               static_cast<std::uint64_t>(sim_.Now().seconds()));
 
   if (params_.adjust_difficulty) {
-    block->header.difficulty = chain::NextDifficulty(
+    block.header.difficulty = chain::NextDifficulty(
         parent->header.difficulty, parent->header.timestamp,
-        !parent->uncles.empty(), block->header.timestamp, block->header.number,
+        !parent->uncles.empty(), block.header.timestamp, block.header.number,
         params_.difficulty);
   } else {
-    block->header.difficulty = parent->header.difficulty;
+    block.header.difficulty = parent->header.difficulty;
   }
 
   if (!force_empty) {
-    block->transactions =
+    block.transactions =
         primary->pool().SelectForBlock(params_.gas_limit, params_.max_block_txs);
   }
   // Uncle references come from the primary gateway's tree, which may not yet
   // contain the (stale) mining head — in that case skip uncles.
   if (primary->tree().Contains(parent->hash))
-    block->uncles = primary->tree().UncleCandidates(
+    block.uncles = primary->tree().UncleCandidates(
         parent->hash, 2, params_.forbid_one_miner_uncles);
 
-  block->Seal();
-  return block;
+  block.Seal();
+  return arena_.Adopt(std::move(block));
 }
 
 void MiningCoordinator::Release(std::size_t pool_index,
@@ -272,26 +277,26 @@ void MiningCoordinator::OnBlockFound() {
     const bool want_same = roll < p_same;
     const int extra = rng_.NextBool(spec.policy.fork_triple_rate) ? 2 : 1;
     for (int i = 0; i < extra; ++i) {
-      chain::BlockPtr sibling;
+      chain::BlockPtr sibling = nullptr;
       if (want_same) {
         // Partition/server race: identical content, new PoW identity.
-        auto copy = std::make_shared<chain::Block>(*primary);
-        copy->header.mix_seed = rng_.Next();
-        copy->Seal();
-        sibling = copy;
+        chain::Block copy{*primary};
+        copy.header.mix_seed = rng_.Next();
+        copy.Seal();
+        sibling = arena_.Adopt(std::move(copy));
       } else {
         // Intentional double-mining with a different transaction set.
-        auto copy = std::make_shared<chain::Block>(*primary);
-        copy->header.mix_seed = rng_.Next();
-        if (!copy->transactions.empty()) {
-          copy->transactions.pop_back();
+        chain::Block copy{*primary};
+        copy.header.mix_seed = rng_.Next();
+        if (!copy.transactions.empty()) {
+          copy.transactions.pop_back();
         } else {
           // Nothing to vary: flip emptiness if the pool has anything queued.
-          copy->transactions = state.gateways.front()->pool().SelectForBlock(
+          copy.transactions = state.gateways.front()->pool().SelectForBlock(
               params_.gas_limit, 1);
         }
-        copy->Seal();
-        sibling = copy;
+        copy.Seal();
+        sibling = arena_.Adopt(std::move(copy));
       }
       const bool actually_same =
           sibling->header.tx_root == primary->header.tx_root;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "chain/block.hpp"
+#include "chain/block_arena.hpp"
 #include "chain/blocktree.hpp"
 #include "chain/difficulty.hpp"
 #include "common/random.hpp"
@@ -27,7 +28,7 @@ namespace ethsim::miner {
 // analysis pipeline joins observer logs against this catalog (the paper used
 // Etherscan/Etherchain for the same purpose).
 struct MintRecord {
-  chain::BlockPtr block;
+  chain::BlockPtr block = nullptr;
   std::size_t pool_index = 0;
   TimePoint mined_at;
   bool deliberate_empty = false;
@@ -57,8 +58,10 @@ struct MiningParams {
 
 class MiningCoordinator {
  public:
-  MiningCoordinator(sim::Simulator& simulator, Rng rng, MiningParams params,
-                    std::vector<PoolSpec> pools);
+  // Every block the coordinator mints is adopted into `arena`, which must
+  // outlive the coordinator and every node holding handles to its blocks.
+  MiningCoordinator(sim::Simulator& simulator, chain::BlockArena& arena,
+                    Rng rng, MiningParams params, std::vector<PoolSpec> pools);
 
   // Registers a gateway node for a pool. The first gateway added for a pool
   // becomes its primary (tx source and default release point).
@@ -96,7 +99,7 @@ class MiningCoordinator {
     std::unique_ptr<AliasSampler> sampler_storage;
     // The head the pool's workers are currently mining on (job latency
     // behind the gateway's actual head).
-    chain::BlockPtr mining_head;
+    chain::BlockPtr mining_head = nullptr;
     // Blocks parked during a gateway outage, flushed in mint order by
     // NotifyGatewayRestored.
     std::vector<chain::BlockPtr> stalled_blocks;
@@ -111,6 +114,7 @@ class MiningCoordinator {
   void OnGatewayHead(std::size_t pool_index, chain::BlockPtr head);
 
   sim::Simulator& sim_;
+  chain::BlockArena& arena_;
   Rng rng_;
   MiningParams params_;
   std::vector<PoolSpec> pools_;

@@ -5,11 +5,17 @@
 #include <memory>
 
 #include "analysis/ordering.hpp"
+#include "chain/block_arena.hpp"
 
 namespace ethsim::analysis {
 namespace {
 
 using namespace ethsim::literals;
+
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
 
 Address Sender(std::uint8_t tag) {
   Address a;
@@ -21,10 +27,10 @@ Address Sender(std::uint8_t tag) {
 // logs with exact arrival times.
 struct CommitFixture : ::testing::Test {
   CommitFixture() {
-    auto g = std::make_shared<chain::Block>();
-    g->header.difficulty = 1;
-    g->Seal();
-    genesis = g;
+    chain::Block g;
+    g.header.difficulty = 1;
+    g.Seal();
+    genesis = Arena().Adopt(std::move(g));
     tree = std::make_unique<chain::BlockTree>(genesis);
     tip = genesis;
     observer = std::make_unique<measure::Observer>(
@@ -33,17 +39,18 @@ struct CommitFixture : ::testing::Test {
 
   // Appends a canonical block at `when` containing txs; logs its arrival.
   chain::BlockPtr Block(Duration when, std::vector<chain::Transaction> txs) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = tip->hash;
-    b->header.number = tip->header.number + 1;
-    b->header.difficulty = 1;
-    b->transactions = std::move(txs);
-    b->Seal();
+    chain::Block body;
+    body.header.parent_hash = tip->hash;
+    body.header.number = tip->header.number + 1;
+    body.header.difficulty = 1;
+    body.transactions = std::move(txs);
+    body.Seal();
+    const chain::BlockPtr b = Arena().Adopt(std::move(body));
     tree->Add(b, TimePoint::FromMicros(when.micros()));
     tip = b;
     simulator.Schedule(when, [this, b] {
       observer->OnBlockMessage(eth::MessageSink::BlockMsgKind::kFullBlock,
-                               b->hash, b->header.number, b.get());
+                               b->hash, b->header.number, b);
     });
     return b;
   }
@@ -130,7 +137,7 @@ TEST_F(CommitFixture, CanonicalBlockFirstSeenUsesEarliestVantage) {
   // Second observer sees it earlier (e.g. closer to the miner).
   simulator.Schedule(9_s, [&obs2, b1] {
     obs2->OnBlockMessage(eth::MessageSink::BlockMsgKind::kFullBlock, b1->hash,
-                         b1->header.number, b1.get());
+                         b1->header.number, b1);
   });
   simulator.RunAll();
 

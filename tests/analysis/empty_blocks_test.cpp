@@ -4,8 +4,16 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
+
 namespace ethsim::analysis {
 namespace {
+
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
 
 struct EmptyBlockFixture : ::testing::Test {
   EmptyBlockFixture() {
@@ -18,26 +26,27 @@ struct EmptyBlockFixture : ::testing::Test {
     b.coinbase = miner::PoolCoinbase("Skipper");
     pools = {a, b};
 
-    auto g = std::make_shared<chain::Block>();
-    g->header.difficulty = 1;
-    g->Seal();
-    tree = std::make_unique<chain::BlockTree>(g);
-    tip = g;
+    chain::Block g;
+    g.header.difficulty = 1;
+    g.Seal();
+    tip = Arena().Adopt(std::move(g));
+    tree = std::make_unique<chain::BlockTree>(tip);
   }
 
   void Append(std::size_t pool, bool empty) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = tip->hash;
-    b->header.number = tip->header.number + 1;
-    b->header.difficulty = 1;
-    b->header.miner = pools[pool].coinbase;
+    chain::Block body;
+    body.header.parent_hash = tip->hash;
+    body.header.number = tip->header.number + 1;
+    body.header.difficulty = 1;
+    body.header.miner = pools[pool].coinbase;
     if (!empty) {
       Address sender;
       sender.bytes[0] = static_cast<std::uint8_t>(tick + 1);
-      b->transactions.push_back(
+      body.transactions.push_back(
           chain::MakeTransaction(sender, 0, sender, 1, 1));
     }
-    b->Seal();
+    body.Seal();
+    const chain::BlockPtr b = Arena().Adopt(std::move(body));
     tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
     tip = b;
   }
@@ -87,13 +96,14 @@ TEST_F(EmptyBlockFixture, ScalingToPaperFrame) {
 TEST_F(EmptyBlockFixture, OnlyCanonicalBlocksCounted) {
   Append(0, true);
   // A forked empty block by pool 1 at the same height must not count.
-  auto fork = std::make_shared<chain::Block>();
-  fork->header.parent_hash = tree->genesis_hash();
-  fork->header.number = 1;
-  fork->header.difficulty = 1;
-  fork->header.miner = pools[1].coinbase;
-  fork->header.mix_seed = 99;
-  fork->Seal();
+  chain::Block fork_body;
+  fork_body.header.parent_hash = tree->genesis_hash();
+  fork_body.header.number = 1;
+  fork_body.header.difficulty = 1;
+  fork_body.header.miner = pools[1].coinbase;
+  fork_body.header.mix_seed = 99;
+  fork_body.Seal();
+  const chain::BlockPtr fork = Arena().Adopt(std::move(fork_body));
   tree->Add(fork, TimePoint::FromMicros(1000));
 
   const auto result = EmptyBlockCensus(Inputs());

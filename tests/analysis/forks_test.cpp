@@ -4,8 +4,16 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
+
 namespace ethsim::analysis {
 namespace {
+
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
 
 Address Miner(std::uint8_t tag) {
   Address a;
@@ -15,10 +23,10 @@ Address Miner(std::uint8_t tag) {
 
 struct ForkFixture : ::testing::Test {
   ForkFixture() {
-    auto g = std::make_shared<chain::Block>();
-    g->header.difficulty = 1000;
-    g->Seal();
-    genesis = g;
+    chain::Block g;
+    g.header.difficulty = 1000;
+    g.Seal();
+    genesis = Arena().Adopt(std::move(g));
     tree = std::make_unique<chain::BlockTree>(genesis);
   }
 
@@ -26,15 +34,16 @@ struct ForkFixture : ::testing::Test {
                       std::uint64_t mix = 0,
                       std::vector<chain::BlockHeader> uncles = {},
                       std::vector<chain::Transaction> txs = {}) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = parent->hash;
-    b->header.number = parent->header.number + 1;
-    b->header.difficulty = 1000;
-    b->header.miner = miner;
-    b->header.mix_seed = mix;
-    b->uncles = std::move(uncles);
-    b->transactions = std::move(txs);
-    b->Seal();
+    chain::Block body;
+    body.header.parent_hash = parent->hash;
+    body.header.number = parent->header.number + 1;
+    body.header.difficulty = 1000;
+    body.header.miner = miner;
+    body.header.mix_seed = mix;
+    body.uncles = std::move(uncles);
+    body.transactions = std::move(txs);
+    body.Seal();
+    const chain::BlockPtr b = Arena().Adopt(std::move(body));
     tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++ticks)));
     return b;
   }

@@ -1,5 +1,7 @@
 #include "analysis/geo.hpp"
 
+#include "chain/block_arena.hpp"
+
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -113,6 +115,7 @@ TEST_F(GeoFixture, SharesSumToOne) {
 
 struct PoolGeoFixture : GeoFixture {
   std::vector<miner::PoolSpec> pools;
+  chain::BlockArena arena;
   std::vector<miner::MintRecord> minted;
 
   void AddPool(const std::string& name, double share) {
@@ -124,12 +127,13 @@ struct PoolGeoFixture : GeoFixture {
   }
 
   void Mint(std::size_t pool, const Hash32& hash) {
-    auto block = std::make_shared<chain::Block>();
-    block->header.miner = pools[pool].coinbase;
-    block->Seal();
-    block->hash = hash;  // synthetic identity for joining with arrivals
-    minted.push_back(miner::MintRecord{block, pool, TimePoint{}, false, false,
-                                       Hash32{}, false});
+    chain::Block body;
+    body.header.miner = pools[pool].coinbase;
+    body.Seal();
+    body.hash = hash;  // synthetic identity for joining with arrivals
+    minted.push_back(miner::MintRecord{arena.Adopt(std::move(body)), pool,
+                                       TimePoint{}, false, false, Hash32{},
+                                       false});
   }
 };
 

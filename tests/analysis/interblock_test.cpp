@@ -4,25 +4,34 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
+
 namespace ethsim::analysis {
 namespace {
 
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
+
 struct InterBlockFixture : ::testing::Test {
   InterBlockFixture() {
-    auto g = std::make_shared<chain::Block>();
-    g->header.difficulty = 1000;
-    g->Seal();
-    tree = std::make_unique<chain::BlockTree>(g);
-    tip = g;
+    chain::Block g;
+    g.header.difficulty = 1000;
+    g.Seal();
+    tip = Arena().Adopt(std::move(g));
+    tree = std::make_unique<chain::BlockTree>(tip);
   }
 
   void Append(std::uint64_t interval_s, std::uint64_t difficulty = 1000) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = tip->hash;
-    b->header.number = tip->header.number + 1;
-    b->header.timestamp = tip->header.timestamp + interval_s;
-    b->header.difficulty = difficulty;
-    b->Seal();
+    chain::Block body;
+    body.header.parent_hash = tip->hash;
+    body.header.number = tip->header.number + 1;
+    body.header.timestamp = tip->header.timestamp + interval_s;
+    body.header.difficulty = difficulty;
+    body.Seal();
+    const chain::BlockPtr b = Arena().Adopt(std::move(body));
     tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
     tip = b;
   }

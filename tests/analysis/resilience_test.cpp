@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
 #include "chain/blocktree.hpp"
 #include "miner/mining.hpp"
 
@@ -12,15 +13,20 @@ namespace {
 
 using namespace ethsim::literals;
 
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
 chain::BlockPtr MakeBlock(const Hash32& parent, std::uint64_t number,
                           std::uint64_t mix) {
-  auto b = std::make_shared<chain::Block>();
-  b->header.parent_hash = parent;
-  b->header.number = number;
-  b->header.difficulty = 1000;
-  b->header.mix_seed = mix;
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.parent_hash = parent;
+  b.header.number = number;
+  b.header.difficulty = 1000;
+  b.header.mix_seed = mix;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 // A tiny ground-truth world: a canonical chain g-a-b plus a fork block f off

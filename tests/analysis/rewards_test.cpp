@@ -4,8 +4,16 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
+
 namespace ethsim::analysis {
 namespace {
+
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
 
 struct RewardsFixture : ::testing::Test {
   RewardsFixture() {
@@ -18,24 +26,25 @@ struct RewardsFixture : ::testing::Test {
     b.coinbase = miner::PoolCoinbase("Beta");
     pools = {a, b};
 
-    auto g = std::make_shared<chain::Block>();
-    g->header.difficulty = 1;
-    g->Seal();
-    tree = std::make_unique<chain::BlockTree>(g);
-    tip = g;
+    chain::Block g;
+    g.header.difficulty = 1;
+    g.Seal();
+    tip = Arena().Adopt(std::move(g));
+    tree = std::make_unique<chain::BlockTree>(tip);
   }
 
   chain::BlockPtr Append(std::size_t pool,
                          std::vector<chain::Transaction> txs = {},
                          std::vector<chain::BlockHeader> uncles = {}) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = tip->hash;
-    b->header.number = tip->header.number + 1;
-    b->header.difficulty = 1;
-    b->header.miner = pools[pool].coinbase;
-    b->transactions = std::move(txs);
-    b->uncles = std::move(uncles);
-    b->Seal();
+    chain::Block body;
+    body.header.parent_hash = tip->hash;
+    body.header.number = tip->header.number + 1;
+    body.header.difficulty = 1;
+    body.header.miner = pools[pool].coinbase;
+    body.transactions = std::move(txs);
+    body.uncles = std::move(uncles);
+    body.Seal();
+    const chain::BlockPtr b = Arena().Adopt(std::move(body));
     tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
     tip = b;
     return b;
@@ -43,13 +52,14 @@ struct RewardsFixture : ::testing::Test {
 
   chain::BlockPtr Fork(const chain::BlockPtr& parent, std::size_t pool,
                        std::uint64_t mix) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = parent->hash;
-    b->header.number = parent->header.number + 1;
-    b->header.difficulty = 1;
-    b->header.miner = pools[pool].coinbase;
-    b->header.mix_seed = mix;
-    b->Seal();
+    chain::Block body;
+    body.header.parent_hash = parent->hash;
+    body.header.number = parent->header.number + 1;
+    body.header.difficulty = 1;
+    body.header.miner = pools[pool].coinbase;
+    body.header.mix_seed = mix;
+    body.Seal();
+    const chain::BlockPtr b = Arena().Adopt(std::move(body));
     tree->Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
     return b;
   }

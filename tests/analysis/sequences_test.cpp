@@ -1,5 +1,7 @@
 #include "analysis/sequences.hpp"
 
+#include "chain/block_arena.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -99,20 +101,23 @@ TEST(Sequences, WholeHistoryScaleSamplerIsFastEnough) {
 
 TEST(Sequences, FromReferenceTreeUsesCoinbases) {
   const auto pools = TwoPools();
-  auto genesis = std::make_shared<chain::Block>();
-  genesis->header.difficulty = 1;
-  genesis->Seal();
+  chain::BlockArena arena;
+  chain::Block g;
+  g.header.difficulty = 1;
+  g.Seal();
+  const chain::BlockPtr genesis = arena.Adopt(std::move(g));
   chain::BlockTree tree{genesis};
   chain::BlockPtr tip = genesis;
   const std::vector<std::size_t> pattern{0, 0, 1, 0};
   std::uint64_t tick = 0;
   for (const std::size_t p : pattern) {
-    auto b = std::make_shared<chain::Block>();
-    b->header.parent_hash = tip->hash;
-    b->header.number = tip->header.number + 1;
-    b->header.difficulty = 1;
-    b->header.miner = pools[p].coinbase;
-    b->Seal();
+    chain::Block body;
+    body.header.parent_hash = tip->hash;
+    body.header.number = tip->header.number + 1;
+    body.header.difficulty = 1;
+    body.header.miner = pools[p].coinbase;
+    body.Seal();
+    const chain::BlockPtr b = arena.Adopt(std::move(body));
     tree.Add(b, TimePoint::FromMicros(static_cast<std::int64_t>(++tick)));
     tip = b;
   }

@@ -4,10 +4,17 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
+
 namespace ethsim::chain {
 namespace {
 
 using namespace ethsim::literals;
+
+BlockArena& Arena() {
+  static BlockArena arena;  // outlives every tree in the suite
+  return arena;
+}
 
 Address Addr(std::uint8_t tag) {
   Address a;
@@ -16,25 +23,25 @@ Address Addr(std::uint8_t tag) {
 }
 
 BlockPtr MakeGenesis(std::uint64_t number = 0) {
-  auto b = std::make_shared<Block>();
-  b->header.number = number;
-  b->header.difficulty = 1000;
-  b->Seal();
-  return b;
+  Block b;
+  b.header.number = number;
+  b.header.difficulty = 1000;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 // Child with explicit difficulty and a mix_seed to force unique hashes.
 BlockPtr Child(const BlockPtr& parent, std::uint64_t difficulty,
                std::uint64_t mix_seed = 0, Address miner = Addr(1)) {
-  auto b = std::make_shared<Block>();
-  b->header.parent_hash = parent->hash;
-  b->header.number = parent->header.number + 1;
-  b->header.difficulty = difficulty;
-  b->header.timestamp = parent->header.timestamp + 13;
-  b->header.miner = miner;
-  b->header.mix_seed = mix_seed;
-  b->Seal();
-  return b;
+  Block b;
+  b.header.parent_hash = parent->hash;
+  b.header.number = parent->header.number + 1;
+  b.header.difficulty = difficulty;
+  b.header.timestamp = parent->header.timestamp + 13;
+  b.header.miner = miner;
+  b.header.mix_seed = mix_seed;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 TimePoint At(std::int64_t ms) { return TimePoint::FromMicros(ms * 1000); }
@@ -169,12 +176,13 @@ TEST_F(BlockTreeFixture, AlreadyReferencedUnclesAreExcluded) {
   tree.Add(b, At(2));
 
   // a2 references b as an uncle.
-  auto a2 = std::make_shared<Block>();
-  a2->header.parent_hash = a->hash;
-  a2->header.number = 2;
-  a2->header.difficulty = 1000;
-  a2->uncles.push_back(b->header);
-  a2->Seal();
+  Block a2_body;
+  a2_body.header.parent_hash = a->hash;
+  a2_body.header.number = 2;
+  a2_body.header.difficulty = 1000;
+  a2_body.uncles.push_back(b->header);
+  a2_body.Seal();
+  const BlockPtr a2 = Arena().Adopt(std::move(a2_body));
   tree.Add(a2, At(3));
 
   EXPECT_TRUE(tree.UncleCandidates(a2->hash).empty());

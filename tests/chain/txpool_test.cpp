@@ -168,5 +168,69 @@ TEST(TxPool, LargeAccountStreamStaysConsistent) {
   for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(selected[i].nonce, i);
 }
 
+
+// --- Incremental-index edge cases ------------------------------------------
+
+TEST(TxPool, ReplacementSurvivesRollback) {
+  TxPool pool;
+  const Transaction cheap = Tx(1, 0, 10);
+  const Transaction rich = Tx(1, 0, 20, 4);
+  ASSERT_EQ(pool.Add(cheap), TxPool::AddOutcome::kPending);
+  ASSERT_EQ(pool.Add(rich), TxPool::AddOutcome::kReplaced);
+
+  // Mine the replacement, then reorg the block away.
+  pool.RemoveIncluded({rich});
+  EXPECT_EQ(pool.AccountNonce(Addr(1)), 1u);
+  EXPECT_EQ(pool.size(), 0u);
+  pool.RollbackAccountNonce(Addr(1), 0);
+  EXPECT_EQ(pool.AccountNonce(Addr(1)), 0u);
+  ASSERT_TRUE(pool.CheckInvariants());
+
+  // The replacement's hash must be re-addable (it left the pool when it was
+  // mined); the replaced tx's price bar is gone with it.
+  EXPECT_EQ(pool.Add(rich), TxPool::AddOutcome::kPending);
+  const auto selected = pool.SelectForBlock(8'000'000, 10);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].gas_price, 20u);
+  ASSERT_TRUE(pool.CheckInvariants());
+}
+
+TEST(TxPool, GapFillPromotesWholeTail) {
+  TxPool pool;
+  // Queued tail at nonces 2..5, then 0, leaving exactly one gap at 1.
+  for (std::uint64_t n = 2; n <= 5; ++n)
+    ASSERT_EQ(pool.Add(Tx(1, n)), TxPool::AddOutcome::kQueued);
+  ASSERT_EQ(pool.Add(Tx(1, 0)), TxPool::AddOutcome::kPending);
+  EXPECT_EQ(pool.pending_count(), 1u);
+  EXPECT_EQ(pool.queued_count(), 4u);
+
+  // Filling the gap must cascade: 1 becomes pending AND drags 2..5 along.
+  EXPECT_EQ(pool.Add(Tx(1, 1)), TxPool::AddOutcome::kPending);
+  EXPECT_EQ(pool.pending_count(), 6u);
+  EXPECT_EQ(pool.queued_count(), 0u);
+  const auto selected = pool.SelectForBlock(8'000'000, 10);
+  ASSERT_EQ(selected.size(), 6u);
+  for (std::uint64_t n = 0; n < 6; ++n) EXPECT_EQ(selected[n].nonce, n);
+  ASSERT_TRUE(pool.CheckInvariants());
+}
+
+TEST(TxPool, RemoveIncludedOfQueuedOnlyTx) {
+  TxPool pool;
+  // Nonce 3 is queued (gap at 0..2) — it was never pending here, but another
+  // node mined the sender's 0..3 and the block includes this very tx.
+  const Transaction queued = Tx(1, 3);
+  ASSERT_EQ(pool.Add(queued), TxPool::AddOutcome::kQueued);
+  EXPECT_EQ(pool.queued_count(), 1u);
+
+  pool.RemoveIncluded({queued});
+  // Inclusion advances the account past the queued nonce and evicts the tx.
+  EXPECT_EQ(pool.AccountNonce(Addr(1)), 4u);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.pending_count(), 0u);
+  EXPECT_EQ(pool.queued_count(), 0u);
+  EXPECT_TRUE(pool.SelectForBlock(8'000'000, 10).empty());
+  ASSERT_TRUE(pool.CheckInvariants());
+}
+
 }  // namespace
 }  // namespace ethsim::chain

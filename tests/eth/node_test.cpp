@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/dissemination.hpp"
+#include "chain/block_arena.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ethsim::eth {
@@ -15,12 +16,17 @@ namespace {
 
 using namespace ethsim::literals;
 
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every cluster in the suite
+  return arena;
+}
+
 chain::BlockPtr MakeGenesis() {
-  auto b = std::make_shared<chain::Block>();
-  b->header.number = 0;
-  b->header.difficulty = 1000;
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.number = 0;
+  b.header.difficulty = 1000;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 Address Addr(std::uint8_t tag) {
@@ -31,16 +37,16 @@ Address Addr(std::uint8_t tag) {
 
 chain::BlockPtr Child(const chain::BlockPtr& parent, std::uint64_t mix = 0,
                       std::vector<chain::Transaction> txs = {}) {
-  auto b = std::make_shared<chain::Block>();
-  b->header.parent_hash = parent->hash;
-  b->header.number = parent->header.number + 1;
-  b->header.timestamp = parent->header.timestamp + 13;
-  b->header.difficulty = 1000;
-  b->header.miner = Addr(1);
-  b->header.mix_seed = mix;
-  b->transactions = std::move(txs);
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.parent_hash = parent->hash;
+  b.header.number = parent->header.number + 1;
+  b.header.timestamp = parent->header.timestamp + 13;
+  b.header.difficulty = 1000;
+  b.header.miner = Addr(1);
+  b.header.mix_seed = mix;
+  b.transactions = std::move(txs);
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 // A small fully-wired test cluster.
@@ -378,15 +384,18 @@ TEST(EthNodeValidation, CorruptBlockIsRejectedNotImported) {
   Cluster c{3};
   c.ConnectAll();
   // A block whose gas_used header field lies about the body.
-  auto bad = std::make_shared<chain::Block>();
-  bad->header.parent_hash = c.genesis->hash;
-  bad->header.number = c.genesis->header.number + 1;
-  bad->header.difficulty = 1000;
-  bad->header.timestamp = c.genesis->header.timestamp + 13;
-  bad->Seal();
-  auto tampered = std::make_shared<chain::Block>(*bad);
-  tampered->header.gas_used = 999;        // inconsistent with empty body
-  tampered->hash = tampered->header.Hash();  // re-sealed, still structurally bad
+  chain::Block bad_body;
+  bad_body.header.parent_hash = c.genesis->hash;
+  bad_body.header.number = c.genesis->header.number + 1;
+  bad_body.header.difficulty = 1000;
+  bad_body.header.timestamp = c.genesis->header.timestamp + 13;
+  bad_body.Seal();
+  chain::Block tampered_body{bad_body};
+  tampered_body.header.gas_used = 999;  // inconsistent with empty body
+  tampered_body.hash =
+      tampered_body.header.Hash();  // re-sealed, still structurally bad
+  const chain::BlockPtr bad = Arena().Adopt(std::move(bad_body));
+  const chain::BlockPtr tampered = Arena().Adopt(std::move(tampered_body));
 
   c.nodes[1]->DeliverNewBlock(c.nodes[0].get(), tampered);
   c.simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(10).micros()));

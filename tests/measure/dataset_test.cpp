@@ -1,5 +1,7 @@
 #include "measure/dataset.hpp"
 
+#include "chain/block_arena.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -198,7 +200,8 @@ TEST_F(DatasetFixture, CatalogBuildAndReconstruction) {
   const auto catalog = BuildCatalog(exp.minted(), cfg.pools);
   ASSERT_EQ(catalog.size(), exp.minted().size());
 
-  const auto minted = ReconstructMintRecords(catalog, cfg.pools);
+  chain::BlockArena arena;
+  const auto minted = ReconstructMintRecords(arena, catalog, cfg.pools);
   ASSERT_EQ(minted.size(), exp.minted().size());
   for (std::size_t i = 0; i < minted.size(); ++i) {
     EXPECT_EQ(minted[i].block->hash, exp.minted()[i].block->hash);

@@ -4,26 +4,34 @@
 
 #include <memory>
 
+#include "chain/block_arena.hpp"
+
 namespace ethsim::measure {
 namespace {
+
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
 
 using namespace ethsim::literals;
 
 chain::BlockPtr MakeGenesis() {
-  auto b = std::make_shared<chain::Block>();
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 chain::BlockPtr Child(const chain::BlockPtr& parent, std::uint64_t mix = 0) {
-  auto b = std::make_shared<chain::Block>();
-  b->header.parent_hash = parent->hash;
-  b->header.number = parent->header.number + 1;
-  b->header.timestamp = parent->header.timestamp + 13;
-  b->header.difficulty = 100;
-  b->header.mix_seed = mix;
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.parent_hash = parent->hash;
+  b.header.number = parent->header.number + 1;
+  b.header.timestamp = parent->header.timestamp + 13;
+  b.header.difficulty = 100;
+  b.header.mix_seed = mix;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 struct ObserverFixture : ::testing::Test {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "chain/block_arena.hpp"
 #include "net/network.hpp"
 
 namespace ethsim::miner {
@@ -12,12 +13,17 @@ namespace {
 
 using namespace ethsim::literals;
 
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every fixture in the suite
+  return arena;
+}
+
 chain::BlockPtr MakeGenesis(std::uint64_t difficulty) {
-  auto b = std::make_shared<chain::Block>();
-  b->header.number = 0;
-  b->header.difficulty = difficulty;
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.number = 0;
+  b.header.difficulty = difficulty;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 // Two pools with very different shares, one gateway each, fully meshed with
@@ -79,7 +85,7 @@ struct MiningFixture : ::testing::Test {
 
 TEST_F(MiningFixture, ProducesBlocksAtRoughlyTargetInterval) {
   auto pools = TwoPools();
-  MiningCoordinator coordinator{simulator, Rng{1}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{1}, params, pools};
   coordinator.AddGateway(0, AddNode(net::Region::EasternAsia));
   coordinator.AddGateway(1, AddNode(net::Region::WesternEurope));
   MeshAll();
@@ -96,7 +102,7 @@ TEST_F(MiningFixture, ProducesBlocksAtRoughlyTargetInterval) {
 
 TEST_F(MiningFixture, WinnerDistributionFollowsShares) {
   auto pools = TwoPools(0.8);
-  MiningCoordinator coordinator{simulator, Rng{2}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{2}, params, pools};
   coordinator.AddGateway(0, AddNode(net::Region::EasternAsia));
   coordinator.AddGateway(1, AddNode(net::Region::WesternEurope));
   MeshAll();
@@ -112,7 +118,7 @@ TEST_F(MiningFixture, WinnerDistributionFollowsShares) {
 
 TEST_F(MiningFixture, MinersBuildOnEachOthersBlocks) {
   auto pools = TwoPools(0.5);
-  MiningCoordinator coordinator{simulator, Rng{3}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{3}, params, pools};
   coordinator.AddGateway(0, AddNode(net::Region::EasternAsia));
   coordinator.AddGateway(1, AddNode(net::Region::WesternEurope));
   for (int i = 0; i < 4; ++i) AddNode(net::Region::CentralEurope);
@@ -132,7 +138,7 @@ TEST_F(MiningFixture, EmptyBlockPolicyProducesEmptyBlocks) {
   PoolPolicy always_empty;
   always_empty.empty_block_rate = 1.0;
   auto pools = TwoPools(0.5, always_empty, PoolPolicy{});
-  MiningCoordinator coordinator{simulator, Rng{4}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{4}, params, pools};
   eth::EthNode* gw_a = AddNode(net::Region::EasternAsia);
   eth::EthNode* gw_b = AddNode(net::Region::WesternEurope);
   coordinator.AddGateway(0, gw_a);
@@ -167,7 +173,7 @@ TEST_F(MiningFixture, OneMinerForkPolicyEmitsSiblings) {
   forky.one_miner_fork_same_txset_rate = 0.5;
   forky.one_miner_fork_distinct_txset_rate = 0.0;
   auto pools = TwoPools(0.9, forky, PoolPolicy{});
-  MiningCoordinator coordinator{simulator, Rng{6}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{6}, params, pools};
   coordinator.AddGateway(0, AddNode(net::Region::EasternAsia));
   coordinator.AddGateway(0, AddNode(net::Region::NorthAmerica));  // 2nd gateway
   coordinator.AddGateway(1, AddNode(net::Region::WesternEurope));
@@ -201,7 +207,7 @@ TEST_F(MiningFixture, DifficultyAdjustmentKeepsPace) {
   // up toward the target.
   auto pools = TwoPools();
   genesis = MakeGenesis(static_cast<std::uint64_t>(kHashrate * 13.3 / 4.0));
-  MiningCoordinator coordinator{simulator, Rng{8}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{8}, params, pools};
   coordinator.AddGateway(0, AddNode(net::Region::EasternAsia));
   coordinator.AddGateway(1, AddNode(net::Region::WesternEurope));
   MeshAll();
@@ -223,7 +229,7 @@ TEST_F(MiningFixture, DifficultyAdjustmentKeepsPace) {
 
 TEST_F(MiningFixture, MintRecordsCoverEveryReferenceTreeBlock) {
   auto pools = TwoPools(0.6);
-  MiningCoordinator coordinator{simulator, Rng{9}, params, pools};
+  MiningCoordinator coordinator{simulator, Arena(), Rng{9}, params, pools};
   coordinator.AddGateway(0, AddNode(net::Region::EasternAsia));
   coordinator.AddGateway(1, AddNode(net::Region::WesternEurope));
   MeshAll();

@@ -5,11 +5,17 @@
 #include <algorithm>
 #include <memory>
 
+#include "chain/block_arena.hpp"
 #include "chain/blocktree.hpp"
 #include "common/random.hpp"
 
 namespace ethsim::chain {
 namespace {
+
+BlockArena& Arena() {
+  static BlockArena arena;  // outlives every tree in the suite
+  return arena;
+}
 
 struct GeneratedDag {
   BlockPtr genesis;
@@ -20,12 +26,12 @@ struct GeneratedDag {
 // biased toward recent ones (like real mining on near-head forks).
 GeneratedDag RandomDag(Rng& rng, std::size_t count) {
   GeneratedDag dag;
-  auto g = std::make_shared<Block>();
-  g->header.difficulty = 1'000'000;
-  g->Seal();
-  dag.genesis = g;
+  Block g;
+  g.header.difficulty = 1'000'000;
+  g.Seal();
+  dag.genesis = Arena().Adopt(std::move(g));
 
-  std::vector<BlockPtr> all{g};
+  std::vector<BlockPtr> all{dag.genesis};
   for (std::size_t i = 0; i < count; ++i) {
     // Bias: parent from the last 8 blocks 80% of the time.
     const std::size_t window = std::min<std::size_t>(all.size(), 8);
@@ -34,16 +40,17 @@ GeneratedDag RandomDag(Rng& rng, std::size_t count) {
                           : rng.NextBounded(all.size());
     const BlockPtr& parent = all[parent_index];
 
-    auto b = std::make_shared<Block>();
-    b->header.parent_hash = parent->hash;
-    b->header.number = parent->header.number + 1;
-    b->header.difficulty = 900'000 + rng.NextBounded(200'000);
-    b->header.timestamp = parent->header.timestamp + 1 + rng.NextBounded(30);
-    b->header.miner.bytes[0] = static_cast<std::uint8_t>(rng.NextBounded(5));
-    b->header.mix_seed = rng.Next();
-    b->Seal();
-    all.push_back(b);
-    dag.blocks.push_back(b);
+    Block b;
+    b.header.parent_hash = parent->hash;
+    b.header.number = parent->header.number + 1;
+    b.header.difficulty = 900'000 + rng.NextBounded(200'000);
+    b.header.timestamp = parent->header.timestamp + 1 + rng.NextBounded(30);
+    b.header.miner.bytes[0] = static_cast<std::uint8_t>(rng.NextBounded(5));
+    b.header.mix_seed = rng.Next();
+    b.Seal();
+    const BlockPtr ptr = Arena().Adopt(std::move(b));
+    all.push_back(ptr);
+    dag.blocks.push_back(ptr);
   }
   return dag;
 }
@@ -62,8 +69,12 @@ TEST_P(BlockTreeInvariants, HoldUnderArbitraryDeliveryOrder) {
 
   BlockTree tree{dag.genesis};
   std::int64_t tick = 0;
-  for (const auto& block : order)
+  for (const auto& block : order) {
     tree.Add(block, TimePoint::FromMicros(++tick));
+    // Structural invariants after every insert: arena links acyclic, height
+    // buckets consistent, canonical slots parent-linked, orphans pending.
+    ASSERT_TRUE(tree.CheckInvariants()) << "after insert " << tick;
+  }
 
   // 1. Every block was eventually attached (parents all exist in the DAG).
   EXPECT_EQ(tree.block_count(), dag.blocks.size() + 1);
@@ -117,6 +128,8 @@ TEST_P(BlockTreeInvariants, DeliveryOrderDoesNotChangeFinalHeadTd) {
   std::int64_t tick = 0;
   for (const auto& b : order1) tree1.Add(b, TimePoint::FromMicros(++tick));
   for (const auto& b : order2) tree2.Add(b, TimePoint::FromMicros(++tick));
+  ASSERT_TRUE(tree1.CheckInvariants());
+  ASSERT_TRUE(tree2.CheckInvariants());
 
   EXPECT_EQ(tree1.TotalDifficulty(tree1.head_hash()),
             tree2.TotalDifficulty(tree2.head_hash()));
@@ -129,6 +142,7 @@ TEST_P(BlockTreeInvariants, UncleCandidatesAlwaysValid) {
   BlockTree tree{dag.genesis};
   std::int64_t tick = 0;
   for (const auto& b : dag.blocks) tree.Add(b, TimePoint::FromMicros(++tick));
+  ASSERT_TRUE(tree.CheckInvariants());
 
   const auto uncles = tree.UncleCandidates(tree.head_hash());
   EXPECT_LE(uncles.size(), 2u);

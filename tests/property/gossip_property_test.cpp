@@ -6,27 +6,33 @@
 #include <tuple>
 #include <vector>
 
+#include "chain/block_arena.hpp"
 #include "eth/node.hpp"
 
 namespace ethsim::eth {
 namespace {
 
+chain::BlockArena& Arena() {
+  static chain::BlockArena arena;  // outlives every cluster in the suite
+  return arena;
+}
+
 chain::BlockPtr MakeGenesis() {
-  auto b = std::make_shared<chain::Block>();
-  b->header.difficulty = 1000;
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.difficulty = 1000;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 chain::BlockPtr Child(const chain::BlockPtr& parent, std::uint64_t mix) {
-  auto b = std::make_shared<chain::Block>();
-  b->header.parent_hash = parent->hash;
-  b->header.number = parent->header.number + 1;
-  b->header.timestamp = parent->header.timestamp + 13;
-  b->header.difficulty = 1000;
-  b->header.mix_seed = mix;
-  b->Seal();
-  return b;
+  chain::Block b;
+  b.header.parent_hash = parent->hash;
+  b.header.number = parent->header.number + 1;
+  b.header.timestamp = parent->header.timestamp + 13;
+  b.header.difficulty = 1000;
+  b.header.mix_seed = mix;
+  b.Seal();
+  return Arena().Adopt(std::move(b));
 }
 
 struct World {

@@ -51,6 +51,10 @@ TEST_P(TxPoolInvariants, CountsAndSelectionStayConsistent) {
     // Invariant 1: pending + queued == size.
     EXPECT_EQ(pool.pending_count() + pool.queued_count(), pool.size());
 
+    // Structural invariants: sorted nonce runs, incremental executable
+    // counts matching a from-scratch recount, price-index membership.
+    ASSERT_TRUE(pool.CheckInvariants()) << "step " << step;
+
     // Invariant 2: selection respects per-sender nonce sequencing starting
     // exactly at the account nonce.
     const auto selected = pool.SelectForBlock(8'000'000, 100);
@@ -79,6 +83,7 @@ TEST_P(TxPoolInvariants, SelectionIsPriceMonotoneAcrossIndependentHeads) {
                                        rng.NextBounded(2),
                              addr, 1, 1 + rng.NextBounded(100)));
   }
+  ASSERT_TRUE(pool.CheckInvariants());
   const auto selected = pool.SelectForBlock(8'000'000, 100);
   std::set<Address> seen;
   std::uint64_t last_head_price = UINT64_MAX;
@@ -113,6 +118,7 @@ TEST_P(TxPoolInvariants, InclusionThenRollbackRestoresExecutability) {
     pool.Add(tx);
   }
   EXPECT_EQ(pool.pending_count(), 10u);
+  ASSERT_TRUE(pool.CheckInvariants());
   const auto selected = pool.SelectForBlock(8'000'000, 20);
   ASSERT_EQ(selected.size(), 10u);
   for (std::uint64_t n = 0; n < 10; ++n) EXPECT_EQ(selected[n].nonce, n);

@@ -112,6 +112,12 @@ def main():
     parser.add_argument("--parity-limit", type=float, default=1.05,
                         help="max allowed tracked *_off_parity ratio "
                              "(default 1.05)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="BENCH",
+                        help="benchmark that must be present in BOTH files; "
+                             "missing-from-either normally only prints a "
+                             "note, which would silently un-gate a tracked "
+                             "benchmark that stopped running (repeatable)")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current)
@@ -119,6 +125,19 @@ def main():
     baseline = load_benchmarks(args.baseline, baseline_doc)
     parity_violations = check_parity(baseline_doc, args.baseline,
                                      args.parity_limit)
+
+    missing_required = [name for name in args.require
+                        if name not in current or name not in baseline]
+    if missing_required:
+        for name in missing_required:
+            where = []
+            if name not in current:
+                where.append(args.current)
+            if name not in baseline:
+                where.append(args.baseline)
+            print(f"bench_compare: required benchmark {name} missing from "
+                  f"{' and '.join(where)}", file=sys.stderr)
+        sys.exit(1)
 
     common = sorted(set(current) & set(baseline))
     if not common:

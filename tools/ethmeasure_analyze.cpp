@@ -49,7 +49,9 @@ int main(int argc, char** argv) {
 
   // Catalog-joined analysis: per-pool first observation.
   const auto pools = miner::PaperPools();
-  const auto minted = measure::ReconstructMintRecords(dataset.catalog, pools);
+  chain::BlockArena arena;  // owns the reconstructed catalog blocks
+  const auto minted =
+      measure::ReconstructMintRecords(arena, dataset.catalog, pools);
   if (!minted.empty()) {
     analysis::StudyInputs inputs;
     inputs.observers = observer_set;
