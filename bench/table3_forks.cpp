@@ -49,13 +49,20 @@ int main() {
   std::printf("%s\n", analysis::RenderTable3(census, omf).c_str());
 
   // Artifact set for the first seed, plus the thread-count-invariant merged
-  // registry when metrics are on.
+  // registry / time-series when the matching gates are on.
   bench::WriteBenchArtifacts(*runs[0], "table3_forks");
   if (runs[0]->telemetry() != nullptr &&
       runs[0]->telemetry()->metrics() != nullptr) {
     const obs::MetricsRegistry merged = core::MergeSweepMetrics(runs);
     std::printf("merged metrics: %zu instruments over %zu seeds\n",
                 merged.size(), runs.size());
+  }
+  if (runs[0]->telemetry() != nullptr &&
+      runs[0]->telemetry()->sampler() != nullptr) {
+    const obs::TimeSeriesLog merged = core::MergeSweepTimeSeries(runs);
+    std::printf("merged time-series: %zu series x %zu samples over %zu "
+                "seeds\n",
+                merged.series_count(), merged.sample_count(), runs.size());
   }
   return 0;
 }

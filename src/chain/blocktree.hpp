@@ -78,6 +78,14 @@ class BlockTree {
 
   std::size_t block_count() const { return attached_; }
   std::size_t orphan_count() const { return orphans_.size(); }
+  // Hash-interner occupancy in permille (size * 1000 / slots), for the
+  // state sampler's arena-health series. 750 is the grow threshold.
+  std::size_t interner_load_permille() const {
+    return interner_.slot_count() == 0
+               ? 0
+               : interner_.size() * 1000 / interner_.slot_count();
+  }
+  std::size_t interned_hashes() const { return interner_.size(); }
   const Hash32& genesis_hash() const { return genesis_; }
   std::uint64_t genesis_number() const { return genesis_number_; }
 

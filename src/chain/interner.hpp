@@ -65,6 +65,9 @@ class HashInterner {
   bool Contains(const Hash32& hash) const { return Find(hash) != kNoId; }
   const Hash32& Resolve(Id id) const { return hashes_[id]; }
   std::size_t size() const { return hashes_.size(); }
+  // Open-addressing table capacity; size()/slot_count() is the load factor
+  // (kept under 3/4 by Grow) that the state sampler tracks over a run.
+  std::size_t slot_count() const { return slots_.size(); }
 
   void Reserve(std::size_t ids) {
     hashes_.reserve(ids);

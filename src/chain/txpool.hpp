@@ -61,6 +61,9 @@ class TxPool {
   std::size_t pending_count() const { return pending_total_; }
   std::size_t queued_count() const { return known_.size() - pending_total_; }
   std::size_t size() const { return known_.size(); }
+  // Accounts with a non-empty executable run (the heads_ index) — a backlog
+  // shape the state sampler records over time.
+  std::size_t heads_count() const { return heads_.size(); }
 
   // Audits the incremental state against a from-scratch rebuild: per-account
   // nonce runs sorted and duplicate-free, cached executable-prefix lengths

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "net/geo.hpp"
+#include "obs/progress.hpp"
 #include "p2p/kademlia.hpp"
 
 namespace ethsim::core {
@@ -124,6 +125,129 @@ void Experiment::Build() {
     fault_->AttachTelemetry(telemetry_.get());
     fault_->Arm();
   }
+
+  // 6. State-sampler probes, registered last so every probed component
+  //    exists. Registration fixes the series table (a function of config
+  //    alone); nothing is scheduled until Run.
+  if (telemetry_ != nullptr && telemetry_->sampler() != nullptr)
+    RegisterSamplerProbes();
+}
+
+void Experiment::RegisterSamplerProbes() {
+  obs::StateSampler* s = telemetry_->sampler();
+  const auto i64 = [](auto v) { return static_cast<std::int64_t>(v); };
+
+  // Engine: event-queue depth and slot-arena occupancy.
+  s->AddProbe("sim.queue.pending", [this, i64] { return i64(sim_.pending()); });
+  s->AddProbe("sim.arena.slots",
+              [this, i64] { return i64(sim_.Snapshot().slots_allocated); });
+  s->AddProbe("sim.arena.free",
+              [this, i64] { return i64(sim_.Snapshot().free_slots); });
+
+  // Network: transit backlog plus per-reason drop deltas (the mutable `last`
+  // capture turns the cumulative census into per-interval deltas; probe
+  // state, not simulation state).
+  net::Network* net = net_.get();
+  s->AddProbe("net.inflight.msgs",
+              [net, i64] { return i64(net->inflight_messages()); });
+  s->AddProbe("net.inflight.bytes",
+              [net, i64] { return i64(net->inflight_bytes()); });
+  for (std::size_t r = 0; r < net::kDropReasonCount; ++r) {
+    const auto reason = static_cast<net::DropReason>(r);
+    s->AddProbe("net.drops." + std::string(net::DropReasonName(reason)),
+                [net, reason, last = std::int64_t{0}]() mutable {
+                  const auto now =
+                      static_cast<std::int64_t>(net->dropped_by(reason));
+                  const std::int64_t delta = now - last;
+                  last = now;
+                  return delta;
+                });
+  }
+
+  // Chain + eth state, aggregated over the node fleet (sum for backlog mass,
+  // max for the worst straggler).
+  const auto* nodes = &nodes_;
+  const auto fleet = [nodes, i64](auto&& per_node, bool want_max) {
+    std::int64_t sum = 0, peak = 0;
+    for (const auto& node : *nodes) {
+      const std::int64_t v = i64(per_node(*node));
+      sum += v;
+      peak = std::max(peak, v);
+    }
+    return want_max ? peak : sum;
+  };
+  s->AddProbe("txpool.pending.sum", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.pool().pending_count(); },
+                 false);
+  });
+  s->AddProbe("txpool.pending.max", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.pool().pending_count(); },
+                 true);
+  });
+  s->AddProbe("txpool.queued.sum", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.pool().queued_count(); },
+                 false);
+  });
+  s->AddProbe("txpool.heads.sum", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.pool().heads_count(); },
+                 false);
+  });
+  s->AddProbe("chain.blocks.max", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.tree().block_count(); },
+                 true);
+  });
+  s->AddProbe("chain.orphans.sum", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.tree().orphan_count(); },
+                 false);
+  });
+  s->AddProbe("chain.interner.load_permille.max", [fleet] {
+    return fleet(
+        [](const eth::EthNode& n) { return n.tree().interner_load_permille(); },
+        true);
+  });
+  s->AddProbe("eth.peers.sum", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.peer_count(); }, false);
+  });
+  s->AddProbe("eth.known.sum", [fleet] {
+    return fleet(
+        [](const eth::EthNode& n) { return n.known_cache_entries(); }, false);
+  });
+  s->AddProbe("eth.offline.nodes", [fleet] {
+    return fleet([](const eth::EthNode& n) { return n.online() ? 0 : 1; },
+                 false);
+  });
+
+  // Mining-pool gateway state.
+  const miner::MiningCoordinator* coord = coordinator_.get();
+  s->AddProbe("miner.blocks_found",
+              [coord, i64] { return i64(coord->blocks_found()); });
+  s->AddProbe("miner.gateways.online",
+              [coord, i64] { return i64(coord->online_gateways()); });
+  s->AddProbe("miner.releases.parked",
+              [coord, i64] { return i64(coord->parked_releases()); });
+
+  // Fault-window markers, present exactly when a fault plan is (so the
+  // series table stays a pure function of config). These let the inspect
+  // tool line a partition window up against the backlog series.
+  if (fault_ != nullptr) {
+    s->AddProbe("net.partition.active",
+                [net] { return net->partition_active() ? 1 : 0; });
+    s->AddProbe("net.degradation.active",
+                [net] { return net->degradation_active() ? 1 : 0; });
+    const fault::FaultController* fc = fault_.get();
+    s->AddProbe("fault.injected",
+                [fc, i64] { return i64(fc->stats().total_injected()); });
+  }
+}
+
+void Experiment::ScheduleSamplerTick(obs::StateSampler* sampler,
+                                     TimePoint end) {
+  const TimePoint next = sim_.Now() + Duration::Micros(sampler->interval_us());
+  if (next.micros() > end.micros()) return;
+  sim_.ScheduleAt(next, [this, sampler, end] {
+    sampler->SampleNow(sim_.Now().micros());
+    ScheduleSamplerTick(sampler, end);
+  });
 }
 
 void Experiment::BuildTopology(Rng rng) {
@@ -214,9 +338,40 @@ void Experiment::Run() {
   ran_ = true;
   Build();
 
+  const TimePoint end = TimePoint::FromMicros(config_.duration.micros());
+
+  // Sampling cadence: one baseline row at t=0 (before any event fires), then
+  // a self-rescheduling tick every interval. Gate off -> nothing scheduled,
+  // zero RNG draws, goldens byte-identical.
+  obs::StateSampler* sampler =
+      telemetry_ != nullptr ? telemetry_->sampler() : nullptr;
+  if (sampler != nullptr) {
+    sampler->SampleNow(0);
+    ScheduleSamplerTick(sampler, end);
+  }
+
   coordinator_->Start();
   workload_->Start();
-  sim_.RunUntil(TimePoint::FromMicros(config_.duration.micros()));
+
+  const obs::ProgressConfig progress_cfg = obs::ProgressConfig::FromEnv();
+  if (progress_cfg.enabled) {
+    // Chunked RunUntil is execution-order-identical to a single call (events
+    // with ts <= boundary fire, the clock snaps to the boundary, and nothing
+    // runs between chunks), but the silent path below stays one call so the
+    // default configuration is trivially untouched.
+    obs::ProgressReporter progress(progress_cfg, "experiment",
+                                   config_.duration.micros());
+    const std::int64_t total = config_.duration.micros();
+    const std::int64_t chunk = std::max<std::int64_t>(total / 128, 1);
+    for (std::int64_t t = chunk; t < total; t += chunk) {
+      sim_.RunUntil(TimePoint::FromMicros(t));
+      progress.Report(sim_.Now().micros(), sim_.events_executed());
+    }
+    sim_.RunUntil(end);
+    progress.Finish(sim_.Now().micros(), sim_.events_executed());
+  } else {
+    sim_.RunUntil(end);
+  }
 
   // Pin the provenance artifact's cutoff: edges scheduled past the end of
   // the run were still in flight and must not count as delivered.

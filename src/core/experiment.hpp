@@ -63,6 +63,12 @@ class Experiment {
  private:
   void Build();
   void BuildTopology(Rng rng);
+  // State-sampling flight recorder glue (ETHSIM_SAMPLE). The sampler itself
+  // lives in obs and cannot schedule events (obs never includes sim), so the
+  // experiment registers the probes and drives the cadence with a
+  // self-rescheduling sim event. Neither runs when the gate is off.
+  void RegisterSamplerProbes();
+  void ScheduleSamplerTick(obs::StateSampler* sampler, TimePoint end);
 
   ExperimentConfig config_;
   sim::Simulator sim_;

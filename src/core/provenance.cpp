@@ -217,6 +217,16 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
       manifest.extra.emplace_back("provenance_violations",
                                   std::to_string(prov->violations()));
     }
+    // Sampler watermarks only when the recorder ran: sampler-off manifests
+    // are byte-identical to pre-sampler output.
+    if (const obs::StateSampler* sampler = telemetry->sampler()) {
+      manifest.sample_enabled = true;
+      manifest.watermarks = sampler->Watermarks();
+      manifest.extra.emplace_back(
+          "sample_interval_us", std::to_string(sampler->interval_us()));
+      manifest.extra.emplace_back("samples",
+                                  std::to_string(sampler->sample_count()));
+    }
   }
   // Fault extras only when a controller ran: fault-free manifests are
   // byte-identical to pre-fault-layer output.
@@ -229,6 +239,17 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
                                 std::to_string(fault->stats().crashes));
     manifest.extra.emplace_back("fault_restarts",
                                 std::to_string(fault->stats().restarts));
+    // Executed partition windows, so offline analysis (ethsim_inspect
+    // --timeseries) can slice sampler series against the fault timeline
+    // without re-deriving it from the plan.
+    const std::vector<fault::PartitionWindow>& windows =
+        fault->partition_windows();
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      manifest.extra.emplace_back(
+          "partition_window." + std::to_string(i),
+          std::to_string(windows[i].start.micros()) + ".." +
+              std::to_string(windows[i].end.micros()));
+    }
   }
   return manifest;
 }

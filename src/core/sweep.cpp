@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/diag.hpp"
+
 namespace ethsim::core {
 
 SeedSweepRunner::SeedSweepRunner(SweepOptions options)
@@ -55,12 +57,24 @@ void SeedSweepRunner::ForEachIndex(
 std::vector<std::unique_ptr<Experiment>> SeedSweepRunner::RunExperiments(
     const ExperimentConfig& base, const std::vector<std::uint64_t>& seeds) const {
   std::vector<std::unique_ptr<Experiment>> results(seeds.size());
+  // Per-seed completion reporting (ETHSIM_PROGRESS): completion order is
+  // wall-clock nondeterministic, which is why this is stderr operator output
+  // and never part of an artifact.
+  const bool report = obs::ProgressEnabled();
+  std::atomic<std::size_t> completed{0};
   ForEachIndex(seeds.size(), [&](std::size_t i) {
     ExperimentConfig cfg = base;
     cfg.seed = seeds[i];
     auto exp = std::make_unique<Experiment>(std::move(cfg));
     exp->Run();
     results[i] = std::move(exp);  // distinct slot per job: no synchronization
+    if (report) {
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      obs::LogProgress("sweep", "seed %llu finished (%zu/%zu)",
+                       static_cast<unsigned long long>(seeds[i]), done,
+                       seeds.size());
+    }
   });
   return results;
 }
@@ -83,6 +97,32 @@ obs::MetricsRegistry MergeSweepMetrics(
     if (const obs::MetricsRegistry* metrics =
             experiment->telemetry()->metrics())
       merged.MergeFrom(*metrics);
+  }
+  return merged;
+}
+
+obs::TimeSeriesLog MergeSweepTimeSeries(
+    const std::vector<std::unique_ptr<Experiment>>& experiments) {
+  obs::TimeSeriesLog merged;
+  bool have_base = false;
+  // Strict seed order, same rationale as MergeSweepMetrics: element-wise
+  // addition commutes, but a fixed order keeps the thread-count invariance
+  // self-evident.
+  for (const auto& experiment : experiments) {
+    if (experiment == nullptr || experiment->telemetry() == nullptr) continue;
+    const obs::StateSampler* sampler = experiment->telemetry()->sampler();
+    if (sampler == nullptr) continue;
+    if (!have_base) {
+      merged = sampler->log();
+      have_base = true;
+    } else if (!merged.Accumulate(sampler->log())) {
+      // Unreachable for a well-formed sweep (one config => one shape);
+      // surfaced instead of silently mis-merging.
+      obs::LogWarn("sweep", "time-series shape mismatch at seed %llu; "
+                   "member skipped in merge",
+                   static_cast<unsigned long long>(
+                       experiment->config().seed));
+    }
   }
   return merged;
 }

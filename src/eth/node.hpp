@@ -142,6 +142,16 @@ class EthNode {
   const chain::BlockTree& tree() const { return tree_; }
   const chain::TxPool& pool() const { return pool_; }
   chain::TxPool& mutable_pool() { return pool_; }
+  // Total entries across the dedup caches (seen_txs_ plus every peer's
+  // known_blocks/known_txs) — the node's gossip working-set size, recorded
+  // by the state sampler. Bounded by config caps; a plateau at the cap is
+  // the expected steady state.
+  std::size_t known_cache_entries() const {
+    std::size_t total = seen_txs_.size();
+    for (const Peer& peer : peers_)
+      total += peer.known_blocks.size() + peer.known_txs.size();
+    return total;
+  }
   // Blocks rejected by consensus validation at import.
   std::uint64_t invalid_blocks() const { return invalid_blocks_; }
 

@@ -237,6 +237,20 @@ void MiningCoordinator::NotifyGatewayRestored(std::size_t pool_index) {
   for (const chain::BlockPtr& block : pending) Release(pool_index, block);
 }
 
+std::size_t MiningCoordinator::online_gateways() const {
+  std::size_t online = 0;
+  for (const PoolState& state : states_)
+    for (const eth::EthNode* gateway : state.gateways)
+      if (gateway->online()) ++online;
+  return online;
+}
+
+std::size_t MiningCoordinator::parked_releases() const {
+  std::size_t parked = 0;
+  for (const PoolState& state : states_) parked += state.stalled_blocks.size();
+  return parked;
+}
+
 void MiningCoordinator::OnBlockFound() {
   ++blocks_found_;
   const std::size_t winner = winner_sampler_->Sample(rng_);

@@ -88,6 +88,12 @@ class MiningCoordinator {
   // is re-released later.
   std::uint64_t releases_stalled() const { return stalled_releases_; }
 
+  // Pool-gateway health for the state sampler: declared gateways whose node
+  // is currently online, and freshly mined blocks parked behind a kStall
+  // outage (flushed by NotifyGatewayRestored).
+  std::size_t online_gateways() const;
+  std::size_t parked_releases() const;
+
   // The coordinator's reference view (primary gateway of pool 0), used for
   // difficulty pacing and end-of-run analysis.
   const chain::BlockTree& reference_tree() const;

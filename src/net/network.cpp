@@ -79,6 +79,9 @@ Duration Network::SampleDelay(HostId from, HostId to, std::size_t bytes) {
 void Network::AttachTelemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
   tracer_ = nullptr;
+  // In-flight accounting exists for the sampler's probes alone; without one
+  // Send schedules the raw callback and the counters stay untouched.
+  track_inflight_ = telemetry != nullptr && telemetry->sampler() != nullptr;
   provenance_ = telemetry != nullptr ? telemetry->provenance() : nullptr;
   sent_count_.fill(nullptr);
   sent_bytes_.fill(nullptr);
@@ -241,6 +244,21 @@ void Network::Send(HostId from, HostId to, std::size_t bytes,
     }
   }
 
+  if (track_inflight_) [[unlikely]] {
+    ++inflight_msgs_;
+    inflight_bytes_ += bytes;
+    // The wrapper exceeds the Callback SBO and heap-allocates — acceptable
+    // on the sampled path, never taken on the default one. Decrement happens
+    // before the payload runs so a probe firing at the same instant sees the
+    // message as delivered, matching the engine's (time, seq) order.
+    sim_.ScheduleAt(arrival, sim::EventFn(
+        [this, bytes, fn = std::move(deliver)]() mutable {
+          --inflight_msgs_;
+          inflight_bytes_ -= bytes;
+          fn();
+        }));
+    return;
+  }
   sim_.ScheduleAt(arrival, std::move(deliver));
 }
 

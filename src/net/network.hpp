@@ -162,6 +162,15 @@ class Network {
   // when no drops.
   std::string RenderDropReport() const;
 
+  // --- in-flight accounting (state-sampler probes) ----------------------
+  // Messages scheduled but not yet delivered, and their wire bytes. Tracked
+  // only while a sampler is attached: Send wraps the deliver callback with
+  // the decrement. Detached runs schedule the callback unwrapped — zero
+  // overhead and an unchanged event graph, so the probe's existence cannot
+  // perturb an unsampled run.
+  std::uint64_t inflight_messages() const { return inflight_msgs_; }
+  std::uint64_t inflight_bytes() const { return inflight_bytes_; }
+
  private:
   // Shared cold-path accounting for every dropped message.
   void CountDrop(obs::MsgKind kind, Region region, DropReason reason);
@@ -184,6 +193,12 @@ class Network {
                         obs::kMsgKindCount>,
              kDropReasonCount>
       drop_census_{};
+
+  // In-flight accounting, live only while a sampler is attached (see
+  // inflight_messages()).
+  bool track_inflight_ = false;
+  std::uint64_t inflight_msgs_ = 0;
+  std::uint64_t inflight_bytes_ = 0;
 
   // Fault substrate state (inactive by default: the Send hot path pays one
   // predicted branch per gate).

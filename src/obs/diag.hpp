@@ -11,13 +11,26 @@
 #pragma once
 
 #include <cstdarg>
+#include <string>
 
 namespace ethsim::obs {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2 };
 
-// Current threshold (parsed once from ETHSIM_LOG).
+// Maps an ETHSIM_LOG value to a threshold: "error"/"0" -> kError,
+// "info"/"2" -> kInfo, anything else (including unset/empty/malformed)
+// -> kWarn. Pure — unit-testable without touching the environment.
+LogLevel ParseLogLevel(const char* value);
+
+// Current threshold (ParseLogLevel of ETHSIM_LOG, cached on first use).
 LogLevel DiagLevel();
+
+// The exact line LogError/LogWarn/LogInfo print (sans trailing newline):
+// "[ethsim:<component>] <tag>: <formatted message>". Exposed for tests.
+std::string FormatDiagMessage(LogLevel level, const char* component,
+                              const char* fmt, ...);
+std::string FormatDiagMessageV(LogLevel level, const char* component,
+                               const char* fmt, std::va_list args);
 
 // printf-style; `component` is a short subsystem tag ("dataset", "telemetry").
 #if defined(__GNUC__)
@@ -28,6 +41,14 @@ LogLevel DiagLevel();
 void LogError(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
 void LogWarn(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
 void LogInfo(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
+
+// Operator-facing run-health reporting, gated by ETHSIM_PROGRESS instead of
+// the diagnostics threshold (progress is opt-in status output, not a
+// warning). Same stderr "[ethsim:<component>] progress: ..." shape so every
+// binary reports health uniformly; wall-clock pacing lives in
+// obs::ProgressReporter, never in simulation state.
+bool ProgressEnabled();
+void LogProgress(const char* component, const char* fmt, ...) ETHSIM_PRINTF_ATTR;
 #undef ETHSIM_PRINTF_ATTR
 
 }  // namespace ethsim::obs

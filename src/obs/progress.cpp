@@ -1,0 +1,75 @@
+#include "obs/progress.hpp"
+
+#include <cstdlib>
+
+#include "obs/diag.hpp"
+
+namespace ethsim::obs {
+
+ProgressConfig ProgressConfig::FromEnv() {
+  ProgressConfig cfg;
+  const char* env = std::getenv("ETHSIM_PROGRESS");
+  if (env == nullptr || env[0] == '\0' || (env[0] == '0' && env[1] == '\0'))
+    return cfg;
+  cfg.enabled = true;
+  char* end = nullptr;
+  const double seconds = std::strtod(env, &end);
+  if (end != env && *end == '\0' && seconds > 0) cfg.min_wall_interval_s = seconds;
+  return cfg;
+}
+
+ProgressReporter::ProgressReporter(ProgressConfig config, std::string label,
+                                   std::int64_t total_sim_us)
+    : config_(config),
+      label_(std::move(label)),
+      total_sim_us_(total_sim_us),
+      start_(std::chrono::steady_clock::now()),
+      last_report_(start_) {}
+
+void ProgressReporter::Report(std::int64_t sim_us, std::uint64_t events) {
+  if (!config_.enabled) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double since_last =
+      std::chrono::duration<double>(now - last_report_).count();
+  if (since_last < config_.min_wall_interval_s) return;
+  last_report_ = now;
+  Emit(sim_us, events, false);
+}
+
+void ProgressReporter::Finish(std::int64_t sim_us, std::uint64_t events) {
+  if (!config_.enabled) return;
+  Emit(sim_us, events, true);
+}
+
+void ProgressReporter::Emit(std::int64_t sim_us, std::uint64_t events,
+                            bool final_line) {
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+  const double sim_s = static_cast<double>(sim_us) / 1e6;
+  const double events_per_s =
+      wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  const double sim_per_wall = wall_s > 0 ? sim_s / wall_s : 0.0;
+  if (final_line) {
+    LogProgress("run", "%s done: %.0f sim-s in %.1f wall-s (%.2g events/s, "
+                "%.1fx real time)",
+                label_.c_str(), sim_s, wall_s, events_per_s, sim_per_wall);
+    return;
+  }
+  double pct = 0.0;
+  double eta_s = 0.0;
+  if (total_sim_us_ > 0 && sim_us > 0) {
+    pct = 100.0 * static_cast<double>(sim_us) /
+          static_cast<double>(total_sim_us_);
+    const double remaining_sim_s =
+        static_cast<double>(total_sim_us_ - sim_us) / 1e6;
+    if (sim_per_wall > 0) eta_s = remaining_sim_s / sim_per_wall;
+  }
+  LogProgress("run", "%s %5.1f%%: sim-t %.0f s, %llu events (%.2g events/s, "
+              "%.1fx real time), eta %.0f s",
+              label_.c_str(), pct, sim_s,
+              static_cast<unsigned long long>(events), events_per_s,
+              sim_per_wall, eta_s);
+}
+
+}  // namespace ethsim::obs

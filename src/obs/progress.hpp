@@ -1,0 +1,55 @@
+// Live run-health reporting (ETHSIM_PROGRESS): periodic stderr lines with
+// percent complete, events/sec, sim-time per wall-second and an ETA, so a
+// month-scale run on a loaded box is observable without attaching a
+// debugger. Strictly operator-facing and wall-clock paced: the reporter
+// never touches simulation state, RNG streams, or the artifact set, so a
+// progress-enabled run prints byte-identical *stdout* (and identical
+// digests) to a silent one — only stderr gains lines.
+//
+//   ETHSIM_PROGRESS=1        report every ~2 wall-seconds (default cadence)
+//   ETHSIM_PROGRESS=10       report every ~10 wall-seconds
+//
+// The driving loop lives in core::Experiment::Run (it chunks RunUntil only
+// when reporting is on) and core::SeedSweepRunner (per-seed completion).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ethsim::obs {
+
+struct ProgressConfig {
+  bool enabled = false;
+  double min_wall_interval_s = 2.0;
+
+  // ETHSIM_PROGRESS unset/empty/"0" -> disabled; a positive number -> that
+  // cadence in wall-seconds; any other truthy value -> default cadence.
+  static ProgressConfig FromEnv();
+};
+
+class ProgressReporter {
+ public:
+  // `label` tags the lines ("run", "sweep seed 3", ...); `total_sim_us` is
+  // the run's horizon for percent/ETA (0 disables both).
+  ProgressReporter(ProgressConfig config, std::string label,
+                   std::int64_t total_sim_us);
+
+  // Called from the driving loop at sim-chunk boundaries. Prints at most
+  // once per configured wall interval; cheap no-op otherwise.
+  void Report(std::int64_t sim_us, std::uint64_t events);
+
+  // Final summary line (always printed when enabled).
+  void Finish(std::int64_t sim_us, std::uint64_t events);
+
+ private:
+  void Emit(std::int64_t sim_us, std::uint64_t events, bool final_line);
+
+  ProgressConfig config_;
+  std::string label_;
+  std::int64_t total_sim_us_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_report_;
+};
+
+}  // namespace ethsim::obs

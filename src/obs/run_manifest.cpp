@@ -67,8 +67,21 @@ std::string ManifestToJson(const RunManifest& m) {
   out << ",\n  \"telemetry\": {\"metrics\": " << (m.metrics_enabled ? "true" : "false")
       << ", \"trace\": " << (m.trace_enabled ? "true" : "false")
       << ", \"profile\": " << (m.profile_enabled ? "true" : "false")
-      << ", \"provenance\": " << (m.provenance_enabled ? "true" : "false")
-      << "}";
+      << ", \"provenance\": " << (m.provenance_enabled ? "true" : "false");
+  if (m.sample_enabled) out << ", \"sample\": true";
+  out << "}";
+  if (!m.watermarks.empty()) {
+    out << ",\n  \"watermarks\": {";
+    bool first = true;
+    for (const SeriesWatermark& mark : m.watermarks) {
+      if (!first) out << ", ";
+      first = false;
+      WriteJsonString(out, mark.series);
+      out << ": {\"peak\": " << mark.peak << ", \"at_us\": " << mark.at_us
+          << "}";
+    }
+    out << "}";
+  }
   out << ",\n  \"build\": {\"git_sha\": ";
   WriteJsonString(out, m.build.git_sha);
   out << ", \"build_type\": ";

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/sampler.hpp"
+
 namespace ethsim::obs {
 
 struct BuildInfo {
@@ -46,6 +48,11 @@ struct RunManifest {
   bool trace_enabled = false;
   bool profile_enabled = false;
   bool provenance_enabled = false;
+  // Rendered as telemetry.sample only when true, and the watermarks object
+  // only when non-empty, so sampler-off manifests stay byte-identical to
+  // pre-sampler output (same rule as the provenance/fault extras).
+  bool sample_enabled = false;
+  std::vector<SeriesWatermark> watermarks;
   BuildInfo build = CurrentBuild();
   // Tool-specific annotations (seed lists, node counts, dataset paths...).
   std::vector<std::pair<std::string, std::string>> extra;

@@ -31,6 +31,15 @@ TelemetryConfig TelemetryConfig::FromEnv() {
     cfg.provenance = true;
     cfg.provenance_strict = std::string_view(prov) == "strict";
   }
+  if (const char* sample = std::getenv("ETHSIM_SAMPLE"); EnvTruthy(sample)) {
+    cfg.sample = true;
+    // "1" means "on, default cadence"; any other positive number is an
+    // interval override in sim-milliseconds.
+    char* end = nullptr;
+    const long long parsed_ms = std::strtoll(sample, &end, 10);
+    if (end != sample && *end == '\0' && parsed_ms > 1)
+      cfg.sample_interval_us = parsed_ms * 1000;
+  }
   if (const char* ring = std::getenv("ETHSIM_PROVENANCE_RING");
       ring != nullptr && ring[0] != '\0') {
     const long long parsed = std::atoll(ring);
@@ -62,6 +71,8 @@ Telemetry::Telemetry(TelemetryConfig config) : config_(std::move(config)) {
     provenance_ = std::make_unique<ProvenanceRecorder>(prov);
     provenance_->AttachMetrics(metrics_.get());
   }
+  if (config_.sample)
+    sampler_ = std::make_unique<StateSampler>(config_.sample_interval_us);
 }
 
 bool Telemetry::WriteArtifacts(const std::string& dir,
@@ -105,6 +116,14 @@ bool Telemetry::WriteArtifacts(const std::string& dir,
     if (!provenance_->WriteArtifact(dir, &prov_error)) {
       if (error != nullptr) *error = prov_error;
       LogError("telemetry", "failed writing %s", prov_error.c_str());
+      return false;
+    }
+  }
+  if (sampler_) {
+    std::string sample_error;
+    if (!sampler_->WriteArtifact(dir, &sample_error)) {
+      if (error != nullptr) *error = sample_error;
+      LogError("telemetry", "failed writing %s", sample_error.c_str());
       return false;
     }
   }

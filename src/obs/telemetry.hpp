@@ -1,8 +1,9 @@
-// Telemetry facade: one object bundling the four instruments —
+// Telemetry facade: one object bundling the five instruments —
 //   * MetricsRegistry     (sim-clock, deterministic)      -> metrics.jsonl
 //   * Tracer              (sim-clock, deterministic)      -> trace.json
 //   * EngineProfiler      (wall-clock, nondeterministic)  -> profile.jsonl
 //   * ProvenanceRecorder  (sim-clock, deterministic)      -> provenance.bin
+//   * StateSampler        (sim-clock, deterministic)      -> timeseries.bin
 // plus the config that gates them. Components accept a `Telemetry*`; a null
 // pointer (or a facade with everything disabled) costs exactly one predicted
 // branch on hot paths. Telemetry never draws from any Rng and never schedules
@@ -16,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/provenance_dag.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace ethsim::obs {
@@ -35,11 +37,20 @@ struct TelemetryConfig {
   bool provenance = false;
   bool provenance_strict = false;
   std::size_t provenance_ring = 4096;
+  // State-sampling flight recorder (obs/sampler): engine/backlog probes
+  // sampled on a sim-clock cadence into timeseries.bin, watermarks folded
+  // into the manifest. The cadence default (250 ms sim) gives ~5k rows per
+  // simulated 20-minute smoke — fine-grained enough to see a partition
+  // window, small enough to never dominate the artifact set.
+  bool sample = false;
+  std::int64_t sample_interval_us = 250'000;
   // Artifact directory for WriteArtifacts-style helpers; empty = caller's
   // choice (entry points default next to their other outputs).
   std::string output_dir;
 
-  bool any() const { return metrics || trace || profile || provenance; }
+  bool any() const {
+    return metrics || trace || profile || provenance || sample;
+  }
 
   // Environment gates:
   //   ETHSIM_METRICS=1            enable the metrics registry
@@ -49,6 +60,8 @@ struct TelemetryConfig {
   //                               invariant violations)
   //   ETHSIM_PROVENANCE_RING=N    per-sender staging-ring capacity
   //   ETHSIM_TRACE_CAPACITY=N     ring capacity in events
+  //   ETHSIM_SAMPLE=1|interval_ms state-sampling flight recorder (a numeric
+  //                               value overrides the 250 ms cadence)
   //   ETHSIM_TELEMETRY_DIR=path   artifact directory
   static TelemetryConfig FromEnv();
 };
@@ -71,9 +84,12 @@ class Telemetry {
   const EngineProfiler* profiler() const { return profiler_.get(); }
   ProvenanceRecorder* provenance() { return provenance_.get(); }
   const ProvenanceRecorder* provenance() const { return provenance_.get(); }
+  StateSampler* sampler() { return sampler_.get(); }
+  const StateSampler* sampler() const { return sampler_.get(); }
 
   // Writes the enabled streams into `dir` (created if missing) as
-  // metrics.jsonl / trace.json / profile.jsonl / provenance.bin. Returns
+  // metrics.jsonl / trace.json / profile.jsonl / provenance.bin /
+  // timeseries.bin. Returns
   // false and fills `error` (when non-null) with the failing path on I/O
   // errors. Writing provenance finishes the recorder (drains staging rings);
   // further recording afterwards is a programming error.
@@ -86,6 +102,7 @@ class Telemetry {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<EngineProfiler> profiler_;
   std::unique_ptr<ProvenanceRecorder> provenance_;
+  std::unique_ptr<StateSampler> sampler_;
 };
 
 }  // namespace ethsim::obs

@@ -99,6 +99,30 @@ TEST(ChainGoldenReplay, Table3SmokeProvenanceOnUnchanged) {
   ExpectGolden(cfg, golden, "table3_smoke_provenance");
 }
 
+// The state sampler must be read-only: its self-rescheduling tick adds
+// events of its own (so events_executed grows), but the chain outcome and
+// the determinism digest — which deliberately excludes the event count —
+// must match the sampler-off golden bit for bit.
+TEST(ChainGoldenReplay, Table3SmokeSamplerOnReadOnly) {
+  const Golden golden = {
+      "7d1a24c6e4e4248c7b283663cfd45e93b5b16357bda2be4624d96b1e0e84c16c",
+      7479658, 816109,
+      "719e032f18716168e85fba3ba04f57f7505efad748bbd020f57bfced7a226dd7"};
+  core::ExperimentConfig cfg = Table3Smoke();
+  cfg.telemetry.sample = true;
+  core::Experiment exp{cfg};
+  exp.Run();
+  EXPECT_EQ(ToHex(exp.reference_tree().head_hash()), golden.head_hash);
+  EXPECT_EQ(exp.reference_tree().head_number(), golden.head_number);
+  EXPECT_GT(exp.simulator().events_executed(), golden.events_executed)
+      << "sampler ticks should add events";
+  EXPECT_EQ(ToHex(core::DeterminismDigest(exp)), golden.determinism_digest);
+  ASSERT_NE(exp.telemetry(), nullptr);
+  ASSERT_NE(exp.telemetry()->sampler(), nullptr);
+  // 20 sim-minutes at the default 250 ms cadence: baseline row + 4800 ticks.
+  EXPECT_EQ(exp.telemetry()->sampler()->sample_count(), 4801u);
+}
+
 TEST(ChainGoldenReplay, ResilienceControlUnchanged) {
   const Golden golden = {
       "506d213676bf82783902ed64bf4af15aff79bf765c898f34fbdf71c86076c2f3",

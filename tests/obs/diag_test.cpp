@@ -1,0 +1,60 @@
+// ETHSIM_LOG parsing and diagnostic-line formatting. ParseLogLevel and
+// FormatDiagMessage are pure, so the tests never touch the environment (the
+// cached DiagLevel/ProgressEnabled getters are process-wide and not
+// re-testable per-case).
+#include "obs/diag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using ethsim::obs::FormatDiagMessage;
+using ethsim::obs::LogLevel;
+using ethsim::obs::ParseLogLevel;
+
+TEST(ParseLogLevel, RecognizedNames) {
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kInfo);
+}
+
+TEST(ParseLogLevel, UnsetDefaultsToWarn) {
+  EXPECT_EQ(ParseLogLevel(nullptr), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kWarn);
+}
+
+TEST(ParseLogLevel, MalformedDefaultsToWarn) {
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kWarn);  // case-sensitive
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("-1"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("1"), LogLevel::kWarn);  // "1" == default tier
+  EXPECT_EQ(ParseLogLevel(" info"), LogLevel::kWarn);
+}
+
+TEST(FormatDiagMessage, TagAndComponentShape) {
+  EXPECT_EQ(FormatDiagMessage(LogLevel::kError, "dataset", "cannot open %s",
+                              "logs.bin"),
+            "[ethsim:dataset] error: cannot open logs.bin");
+  EXPECT_EQ(FormatDiagMessage(LogLevel::kWarn, "sweep", "seed %d skipped", 7),
+            "[ethsim:sweep] warn: seed 7 skipped");
+  EXPECT_EQ(FormatDiagMessage(LogLevel::kInfo, "telemetry", "flushed"),
+            "[ethsim:telemetry] info: flushed");
+}
+
+TEST(FormatDiagMessage, FormatsNumericArguments) {
+  EXPECT_EQ(FormatDiagMessage(LogLevel::kWarn, "net", "%u drops (%.1f%%)",
+                              42u, 3.25),
+            "[ethsim:net] warn: 42 drops (3.2%)");
+}
+
+TEST(FormatDiagMessage, NoTrailingNewline) {
+  const std::string line =
+      FormatDiagMessage(LogLevel::kError, "x", "message");
+  ASSERT_FALSE(line.empty());
+  EXPECT_NE(line.back(), '\n');
+}
+
+}  // namespace

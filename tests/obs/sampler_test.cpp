@@ -1,0 +1,171 @@
+// StateSampler unit coverage: probe sampling, watermark derivation, the
+// ETHTS1 binary round trip (including failure on truncation), and the
+// element-wise Accumulate used by the cross-seed sweep merge.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+using ethsim::obs::ComputeWatermarks;
+using ethsim::obs::SeriesWatermark;
+using ethsim::obs::StateSampler;
+using ethsim::obs::TimeSeriesLog;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("ethsim_sampler_test_") + name))
+      .string();
+}
+
+StateSampler MakeSampled() {
+  StateSampler sampler{250'000};
+  std::int64_t depth = 0;
+  sampler.AddProbe("queue.depth", [depth]() mutable { return depth += 3; });
+  sampler.AddProbe("constant", [] { return std::int64_t{7}; });
+  // Delta probe: mutable capture keeps the previous reading, the recorded
+  // value is the per-interval increment.
+  std::int64_t total = 0, last = 0;
+  sampler.AddProbe("drops.delta", [total, last]() mutable {
+    total += 5;
+    const std::int64_t delta = total - last;
+    last = total;
+    return delta;
+  });
+  for (std::int64_t t = 0; t <= 1'000'000; t += 250'000) sampler.SampleNow(t);
+  return sampler;
+}
+
+TEST(StateSampler, RecordsOneRowPerSampleInProbeOrder) {
+  const StateSampler sampler = MakeSampled();
+  EXPECT_EQ(sampler.series_count(), 3u);
+  EXPECT_EQ(sampler.sample_count(), 5u);
+  const TimeSeriesLog& log = sampler.log();
+  EXPECT_EQ(log.interval_us, 250'000);
+  EXPECT_EQ(log.t_us, (std::vector<std::int64_t>{0, 250'000, 500'000,
+                                                 750'000, 1'000'000}));
+  ASSERT_EQ(log.Find("queue.depth"), 0u);
+  EXPECT_EQ(log.values[0], (std::vector<std::int64_t>{3, 6, 9, 12, 15}));
+  ASSERT_EQ(log.Find("constant"), 1u);
+  EXPECT_EQ(log.values[1], (std::vector<std::int64_t>{7, 7, 7, 7, 7}));
+  ASSERT_EQ(log.Find("drops.delta"), 2u);
+  EXPECT_EQ(log.values[2], (std::vector<std::int64_t>{5, 5, 5, 5, 5}));
+  EXPECT_EQ(log.Find("missing"), TimeSeriesLog::npos);
+}
+
+TEST(StateSampler, WatermarksPickPeakAndFirstPeakTime) {
+  StateSampler sampler{1000};
+  std::size_t i = 0;
+  const std::int64_t spiky[] = {1, 9, 4, 9, 2};
+  sampler.AddProbe("spiky", [&] { return spiky[i]; });
+  sampler.AddProbe("flat", [] { return std::int64_t{0}; });
+  for (; i < 5; ++i) sampler.SampleNow(static_cast<std::int64_t>(i) * 1000);
+  const auto marks = sampler.Watermarks();
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_EQ(marks[0].series, "spiky");
+  EXPECT_EQ(marks[0].peak, 9);
+  EXPECT_EQ(marks[0].at_us, 1000);  // first time the peak was reached
+  EXPECT_EQ(marks[1].series, "flat");
+  EXPECT_EQ(marks[1].peak, 0);
+  EXPECT_EQ(marks[1].at_us, 0);
+}
+
+TEST(TimeSeriesLog, BinaryRoundTrip) {
+  const StateSampler sampler = MakeSampled();
+  const std::string path = TempPath("roundtrip.bin");
+  std::string error;
+  ASSERT_TRUE(sampler.log().WriteBinary(path, &error)) << error;
+  TimeSeriesLog loaded;
+  ASSERT_TRUE(TimeSeriesLog::ReadBinary(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.interval_us, sampler.log().interval_us);
+  EXPECT_EQ(loaded.names, sampler.log().names);
+  EXPECT_EQ(loaded.t_us, sampler.log().t_us);
+  EXPECT_EQ(loaded.values, sampler.log().values);
+  // Round-tripped watermarks match the producer's (manifest cross-check).
+  const auto produced = sampler.Watermarks();
+  const auto recomputed = ComputeWatermarks(loaded);
+  ASSERT_EQ(recomputed.size(), produced.size());
+  for (std::size_t s = 0; s < produced.size(); ++s) {
+    EXPECT_EQ(recomputed[s].series, produced[s].series);
+    EXPECT_EQ(recomputed[s].peak, produced[s].peak);
+    EXPECT_EQ(recomputed[s].at_us, produced[s].at_us);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesLog, ReadFailsOnMissingBadMagicAndTruncation) {
+  TimeSeriesLog out;
+  std::string error;
+  EXPECT_FALSE(
+      TimeSeriesLog::ReadBinary(TempPath("does_not_exist.bin"), &out, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+  const std::string bad = TempPath("bad_magic.bin");
+  { std::ofstream(bad, std::ios::binary) << "NOTETHTS-GARBAGE"; }
+  EXPECT_FALSE(TimeSeriesLog::ReadBinary(bad, &out, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+  std::remove(bad.c_str());
+
+  // Truncate a valid artifact at every interesting boundary: header, name
+  // table, time column, value columns. Every cut must fail cleanly.
+  const StateSampler sampler = MakeSampled();
+  const std::string full = TempPath("full.bin");
+  ASSERT_TRUE(sampler.log().WriteBinary(full, &error)) << error;
+  std::ifstream in(full, std::ios::binary);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  for (const std::size_t keep :
+       {std::size_t{12}, std::size_t{30}, std::size_t{70}, blob.size() - 1}) {
+    ASSERT_LT(keep, blob.size());
+    const std::string cut = TempPath("truncated.bin");
+    { std::ofstream(cut, std::ios::binary) << blob.substr(0, keep); }
+    EXPECT_FALSE(TimeSeriesLog::ReadBinary(cut, &out, &error))
+        << "kept " << keep << " bytes";
+    EXPECT_NE(error.find("truncated"), std::string::npos)
+        << "kept " << keep << " bytes: " << error;
+    std::remove(cut.c_str());
+  }
+  std::remove(full.c_str());
+}
+
+TEST(TimeSeriesLog, AccumulateSumsElementWise) {
+  const StateSampler a = MakeSampled();
+  const StateSampler b = MakeSampled();
+  TimeSeriesLog merged = a.log();
+  ASSERT_TRUE(merged.Accumulate(b.log()));
+  for (std::size_t s = 0; s < merged.series_count(); ++s)
+    for (std::size_t i = 0; i < merged.sample_count(); ++i)
+      EXPECT_EQ(merged.values[s][i], 2 * a.log().values[s][i]);
+  // Time column and names are shared shape, not data: unchanged.
+  EXPECT_EQ(merged.t_us, a.log().t_us);
+  EXPECT_EQ(merged.names, a.log().names);
+}
+
+TEST(TimeSeriesLog, AccumulateRejectsShapeMismatch) {
+  const StateSampler a = MakeSampled();
+  TimeSeriesLog merged = a.log();
+  const TimeSeriesLog snapshot = merged;
+
+  TimeSeriesLog other = a.log();
+  other.names[0] = "renamed";
+  EXPECT_FALSE(merged.Accumulate(other));
+
+  other = a.log();
+  other.interval_us += 1;
+  EXPECT_FALSE(merged.Accumulate(other));
+
+  other = a.log();
+  other.t_us.back() += 1;
+  EXPECT_FALSE(merged.Accumulate(other));
+
+  // A failed Accumulate must leave the target untouched.
+  EXPECT_EQ(merged.values, snapshot.values);
+  EXPECT_EQ(merged.t_us, snapshot.t_us);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@ BENCH_engine.json and fail on regressions.
 Usage:
     tools/bench_compare.py CURRENT.json [BASELINE.json]
                            [--threshold 0.20] [--min-time-ns 10000]
+                           [--json SUMMARY.json]
 
 CURRENT is a JSON file with a "benchmarks" section of the shape the
 micro_substrate reporter writes (ETHSIM_BENCH_JSON=...):
@@ -70,9 +71,11 @@ def check_parity(doc, path, limit):
 
     Each section maps benchmark names to the ratio (gate OFF / engine without
     the instrumentation at all). Strings like "method"/"note" are annotation,
-    not measurements. Returns the number of violations after printing them.
+    not measurements. Returns (violation count, per-section summary) after
+    printing the violations.
     """
     violations = 0
+    summary = {}
     for section in sorted(k for k in doc if k.endswith("_off_parity")):
         entries = doc[section]
         if not isinstance(entries, dict):
@@ -83,17 +86,21 @@ def check_parity(doc, path, limit):
             print(f"bench_compare: {section} in {path} has no numeric "
                   "ratios", file=sys.stderr)
             violations += 1
+            summary[section] = {"worst": None, "violations": 1}
             continue
         worst = max(measured.values())
         status = "ok" if worst <= limit else "VIOLATION"
         print(f"  parity: {section:24s} worst {worst:.3f} "
               f"(limit {limit:.2f}) {status}")
+        section_violations = 0
         for name, ratio in sorted(measured.items()):
             if ratio > limit:
                 print(f"bench_compare: {section}[{name}] = {ratio:.3f} "
                       f"exceeds --parity-limit {limit:.2f}", file=sys.stderr)
                 violations += 1
-    return violations
+                section_violations += 1
+        summary[section] = {"worst": worst, "violations": section_violations}
+    return violations, summary
 
 
 def main():
@@ -118,13 +125,18 @@ def main():
                              "missing-from-either normally only prints a "
                              "note, which would silently un-gate a tracked "
                              "benchmark that stopped running (repeatable)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write a machine-readable comparison "
+                             "summary to PATH (written on failure too, so CI "
+                             "can upload it as an artifact either way)")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current)
     baseline_doc = load_doc(args.baseline)
     baseline = load_benchmarks(args.baseline, baseline_doc)
-    parity_violations = check_parity(baseline_doc, args.baseline,
-                                     args.parity_limit)
+    parity_violations, parity_summary = check_parity(baseline_doc,
+                                                     args.baseline,
+                                                     args.parity_limit)
 
     missing_required = [name for name in args.require
                         if name not in current or name not in baseline]
@@ -150,6 +162,7 @@ def main():
         print(f"  note: {name} only in current (no baseline yet)")
 
     regressions = []
+    comparisons = {}
     print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
     for name in common:
         base_ns = baseline[name].get("real_time_ns")
@@ -165,6 +178,41 @@ def main():
         elif ratio < 1.0 - args.threshold:
             flag = "  (faster)"
         print(f"{name:44s} {base_ns:12.0f} {cur_ns:12.0f} {ratio:7.2f}{flag}")
+        comparisons[name] = {"baseline_ns": base_ns, "current_ns": cur_ns,
+                             "ratio": round(ratio, 4),
+                             "regression": bool(flag == "  << REGRESSION")}
+
+    if regressions:
+        status = "regression"
+    elif parity_violations:
+        status = "parity_violation"
+    else:
+        status = "ok"
+    if args.json:
+        summary = {
+            "schema": "ethsim-bench-compare-v1",
+            "status": status,
+            "current": args.current,
+            "baseline": args.baseline,
+            "threshold": args.threshold,
+            "min_time_ns": args.min_time_ns,
+            "parity_limit": args.parity_limit,
+            "benchmarks": comparisons,
+            "regressions": [{"name": n, "ratio": round(r, 4)}
+                            for n, r in regressions],
+            "only_in_baseline": sorted(set(baseline) - set(current)),
+            "only_in_current": sorted(set(current) - set(baseline)),
+            "parity": parity_summary,
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"bench_compare: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            sys.exit(2)
+        print(f"  summary written to {args.json}")
 
     if regressions:
         print(f"\nbench_compare: {len(regressions)} benchmark(s) slower than "

@@ -21,6 +21,7 @@
 #include "core/experiment.hpp"
 #include "core/provenance.hpp"
 #include "core/sweep.hpp"
+#include "obs/diag.hpp"
 
 using namespace ethsim;
 
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
     if (dir.empty()) dir = "calibrate-telemetry";
     std::string error;
     if (!core::WriteRunArtifacts(*runs[0], dir, "calibrate", &error)) {
-      std::fprintf(stderr, "error: telemetry artifacts: %s\n", error.c_str());
+      obs::LogError("calibrate", "telemetry artifacts: %s", error.c_str());
       return 1;
     }
     if (runs[0]->telemetry()->metrics() != nullptr) {

@@ -11,6 +11,7 @@
 #include "analysis/report.hpp"
 #include "measure/dataset.hpp"
 #include "miner/pool.hpp"
+#include "obs/diag.hpp"
 #include "sim/simulator.hpp"
 
 using namespace ethsim;
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   measure::Dataset dataset;
   std::string error;
   if (!measure::ReadDataset(argv[1], dataset, &error)) {
-    std::fprintf(stderr, "error: cannot read dataset: %s\n", error.c_str());
+    obs::LogError("measure", "cannot read dataset: %s", error.c_str());
     return 1;
   }
   std::printf("loaded %zu vantages, catalog of %zu blocks\n\n",

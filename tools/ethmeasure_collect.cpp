@@ -12,6 +12,7 @@
 #include "core/experiment.hpp"
 #include "core/provenance.hpp"
 #include "measure/dataset.hpp"
+#include "obs/diag.hpp"
 #include "obs/telemetry.hpp"
 
 using namespace ethsim;
@@ -53,14 +54,14 @@ int main(int argc, char** argv) {
 
   std::string error;
   if (!measure::WriteDataset(out_dir, dataset, &error)) {
-    std::fprintf(stderr, "error: failed to write dataset: %s\n", error.c_str());
+    obs::LogError("measure", "failed to write dataset: %s", error.c_str());
     return 1;
   }
   // Provenance manifest (+ any enabled telemetry streams) beside the logs,
   // so the dataset is self-describing: which config, seed, build wrote it.
   if (!core::WriteRunArtifacts(exp, out_dir, "ethmeasure_collect", &error)) {
-    std::fprintf(stderr, "error: failed to write run artifacts: %s\n",
-                 error.c_str());
+    obs::LogError("measure", "failed to write run artifacts: %s",
+                  error.c_str());
     return 1;
   }
   if (const std::string drops = exp.network().RenderDropReport();

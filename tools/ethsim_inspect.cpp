@@ -1,8 +1,10 @@
-// ethsim_inspect: query tool over a run directory's provenance artifact.
+// ethsim_inspect: query tool over a run directory's binary artifacts.
 //
 // A run executed with ETHSIM_PROVENANCE=1 writes provenance.bin (the full
-// gossip edge log) next to manifest.json. This tool loads that directory and
-// answers the questions the aggregate telemetry cannot:
+// gossip edge log) and one with ETHSIM_SAMPLE=1 writes timeseries.bin (the
+// sampled engine-state columns) next to manifest.json. This tool loads the
+// artifact each query needs — and only that one — and answers the questions
+// the aggregate telemetry cannot:
 //
 //   ethsim_inspect <run-dir> --block <hash|head> --tree
 //       Reconstruct the block's dissemination tree: who heard it when, at
@@ -17,23 +19,40 @@
 //       First-delivery hop-depth distribution + push-vs-announce shares.
 //   ethsim_inspect <run-dir> --infer-degree [--top N]
 //       Ethna-style degree inference from reception counts.
+//   ethsim_inspect <run-dir> --timeseries [--series S] [--from A] [--to B]
+//       Per-series stats (min / mean / max / last) over the sampled columns,
+//       optionally sliced to a sim-time window in seconds — pass a fault
+//       window from the manifest's partition_window extras to see queue and
+//       backlog inflation line up with the outage. --csv dumps the selected
+//       window as CSV for plotting.
+//   ethsim_inspect <run-dir> --watermarks
+//       Per-series peak + the sim time it was first hit (same values the
+//       producing run folded into manifest.json).
 //   ethsim_inspect <run-dir> --summary   (default when no query given)
 //
 // `--block head` resolves the head hash from manifest.json, so the common
 // "show me the head block's tree" needs no copy-pasted hash.
+//
+// Artifact errors (missing, truncated, wrong magic) are a one-line
+// diagnostic and a nonzero exit — never a partial report.
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/dissemination.hpp"
 #include "common/types.hpp"
 #include "net/geo.hpp"
+#include "obs/diag.hpp"
 #include "obs/provenance_dag.hpp"
+#include "obs/sampler.hpp"
 
 namespace {
 
@@ -45,22 +64,31 @@ using ethsim::analysis::FirstDeliveryBreakdown;
 using ethsim::analysis::HopDepths;
 using ethsim::analysis::InferDegrees;
 using ethsim::analysis::WasteByHost;
+using ethsim::obs::ComputeWatermarks;
 using ethsim::obs::EdgeDrop;
 using ethsim::obs::EdgeDropName;
 using ethsim::obs::EdgeKind;
 using ethsim::obs::EdgeKindName;
+using ethsim::obs::LogError;
 using ethsim::obs::ProvenanceLog;
+using ethsim::obs::SeriesWatermark;
+using ethsim::obs::TimeSeriesLog;
 
 void Usage() {
   std::fprintf(
       stderr,
       "usage: ethsim_inspect <run-dir> [query]\n"
-      "  --summary                 artifact overview (default)\n"
+      "  --summary                 provenance overview (default)\n"
       "  --block <hash|head> --tree   dissemination tree of one block\n"
       "  --node <id> --timeline    every edge touching a host\n"
       "  --redundancy [--top N]    per-host waste attribution\n"
       "  --hops                    hop-depth CDF + first-delivery shares\n"
-      "  --infer-degree [--top N]  Ethna-style degree estimates\n");
+      "  --infer-degree [--top N]  Ethna-style degree estimates\n"
+      "  --timeseries              sampled state-series stats (ETHSIM_SAMPLE)\n"
+      "    [--series <substr>]     restrict to matching series names\n"
+      "    [--from <s>] [--to <s>] slice to a sim-time window in seconds\n"
+      "    [--csv]                 dump the selected window as CSV\n"
+      "  --watermarks              per-series peak value + sim time of peak\n");
 }
 
 std::string RegionName(const ProvenanceLog& log, std::uint32_t host) {
@@ -90,6 +118,35 @@ bool HeadHashFromManifest(const std::string& dir, std::string* hex) {
   return false;
 }
 
+// Executed partition windows ("partition_window.N": "start_us..end_us")
+// from the manifest extras, same line-scraping approach as the head hash.
+// Missing manifest or no windows is not an error — just empty context.
+std::vector<std::pair<std::int64_t, std::int64_t>> PartitionWindowsFromManifest(
+    const std::string& dir) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+  std::ifstream in(dir + "/manifest.json");
+  if (!in) return windows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t pos = 0;
+    while ((pos = line.find("\"partition_window.", pos)) != std::string::npos) {
+      const auto key_end = line.find('"', pos + 1);
+      if (key_end == std::string::npos) break;
+      const auto open = line.find('"', key_end + 1);
+      if (open == std::string::npos) break;
+      const auto close = line.find('"', open + 1);
+      if (close == std::string::npos) break;
+      const std::string value = line.substr(open + 1, close - open - 1);
+      char* rest = nullptr;
+      const std::int64_t start = std::strtoll(value.c_str(), &rest, 10);
+      if (rest != nullptr && rest[0] == '.' && rest[1] == '.')
+        windows.emplace_back(start, std::strtoll(rest + 2, nullptr, 10));
+      pos = close + 1;
+    }
+  }
+  return windows;
+}
+
 // Accepts a full 32-byte hex hash, a shorter hex prefix (>= 8 bytes / 16
 // chars resolves directly; shorter prefixes match against the log), or the
 // literal "head".
@@ -98,10 +155,9 @@ bool ResolveObject(const std::string& dir, const ProvenanceLog& log,
   if (token == "head") {
     std::string hex;
     if (!HeadHashFromManifest(dir, &hex)) {
-      std::fprintf(stderr,
-                   "ethsim_inspect: cannot resolve 'head': no head_hash in "
-                   "%s/manifest.json\n",
-                   dir.c_str());
+      LogError("inspect",
+               "cannot resolve 'head': no head_hash in %s/manifest.json",
+               dir.c_str());
       return false;
     }
     token = hex;
@@ -109,8 +165,7 @@ bool ResolveObject(const std::string& dir, const ProvenanceLog& log,
   if (token.rfind("0x", 0) == 0) token = token.substr(2);
   if (token.size() > 16) token = token.substr(0, 16);  // prefix_u64 covers 8B
   if (token.empty() || token.size() % 2 != 0) {
-    std::fprintf(stderr, "ethsim_inspect: bad block hash '%s'\n",
-                 token.c_str());
+    LogError("inspect", "bad block hash '%s'", token.c_str());
     return false;
   }
   std::uint64_t prefix = 0;
@@ -120,7 +175,7 @@ bool ResolveObject(const std::string& dir, const ProvenanceLog& log,
     else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
     else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
     else {
-      std::fprintf(stderr, "ethsim_inspect: bad hex in '%s'\n", token.c_str());
+      LogError("inspect", "bad hex in '%s'", token.c_str());
       return false;
     }
     prefix = (prefix << 4) | static_cast<std::uint64_t>(nibble);
@@ -136,16 +191,14 @@ bool ResolveObject(const std::string& dir, const ProvenanceLog& log,
   for (const std::uint64_t candidate : BlockObjects(log)) {
     if ((candidate >> (64 - bits)) << (64 - bits) == wanted) {
       if (found != 0 && found != candidate) {
-        std::fprintf(stderr, "ethsim_inspect: ambiguous prefix '%s'\n",
-                     token.c_str());
+        LogError("inspect", "ambiguous prefix '%s'", token.c_str());
         return false;
       }
       found = candidate;
     }
   }
   if (found == 0) {
-    std::fprintf(stderr, "ethsim_inspect: no block matches '%s'\n",
-                 token.c_str());
+    LogError("inspect", "no block matches '%s'", token.c_str());
     return false;
   }
   *object = found;
@@ -188,8 +241,8 @@ int PrintSummary(const ProvenanceLog& log) {
 int PrintTree(const ProvenanceLog& log, std::uint64_t object) {
   const DisseminationTree tree = BuildDisseminationTree(log, object);
   if (tree.nodes.empty()) {
-    std::fprintf(stderr, "ethsim_inspect: block %016" PRIx64
-                         " has no edges in this log\n", object);
+    LogError("inspect", "block %016" PRIx64 " has no edges in this log",
+             object);
     return 1;
   }
   std::printf("block %016" PRIx64 " (number %" PRIu64 "): reached %zu hosts\n",
@@ -313,6 +366,100 @@ int PrintDegrees(const ProvenanceLog& log, std::size_t top) {
   return 0;
 }
 
+// --- timeseries.bin queries -------------------------------------------------
+
+struct TimeSeriesQuery {
+  std::string series;  // substring filter; empty = all series
+  double from_s = -1.0;
+  double to_s = -1.0;  // < 0 = unbounded
+  bool csv = false;
+};
+
+int PrintWatermarks(const TimeSeriesLog& ts) {
+  std::printf("%-30s %14s %14s\n", "series", "peak", "at sim-s");
+  for (const SeriesWatermark& mark : ComputeWatermarks(ts))
+    std::printf("%-30s %14" PRId64 " %14.1f\n", mark.series.c_str(), mark.peak,
+                static_cast<double>(mark.at_us) / 1e6);
+  return 0;
+}
+
+int PrintTimeSeries(const std::string& dir, const TimeSeriesLog& ts,
+                    const TimeSeriesQuery& query) {
+  const std::int64_t from_us =
+      query.from_s < 0 ? std::numeric_limits<std::int64_t>::min()
+                       : static_cast<std::int64_t>(query.from_s * 1e6);
+  const std::int64_t to_us =
+      query.to_s < 0 ? std::numeric_limits<std::int64_t>::max()
+                     : static_cast<std::int64_t>(query.to_s * 1e6);
+  // The shared time column is nondecreasing by construction, so the window
+  // is a contiguous sample range.
+  std::size_t lo = 0, hi = ts.sample_count();
+  while (lo < hi && ts.t_us[lo] < from_us) ++lo;
+  while (hi > lo && ts.t_us[hi - 1] > to_us) --hi;
+
+  std::vector<std::size_t> selected;
+  for (std::size_t s = 0; s < ts.series_count(); ++s)
+    if (query.series.empty() ||
+        ts.names[s].find(query.series) != std::string::npos)
+      selected.push_back(s);
+  if (selected.empty()) {
+    LogError("inspect", "no series matches '%s'", query.series.c_str());
+    return 1;
+  }
+
+  if (query.csv) {
+    std::printf("t_us");
+    for (const std::size_t s : selected)
+      std::printf(",%s", ts.names[s].c_str());
+    std::printf("\n");
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::printf("%" PRId64, ts.t_us[i]);
+      for (const std::size_t s : selected)
+        std::printf(",%" PRId64, ts.values[s][i]);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::printf("timeseries: %zu series, %zu samples, interval %" PRId64
+              " us\n",
+              ts.series_count(), ts.sample_count(), ts.interval_us);
+  if (lo > 0 || hi < ts.sample_count()) {
+    const double start =
+        lo < hi ? static_cast<double>(ts.t_us[lo]) / 1e6 : 0.0;
+    const double end =
+        lo < hi ? static_cast<double>(ts.t_us[hi - 1]) / 1e6 : 0.0;
+    std::printf("window: %.1f .. %.1f sim-s (%zu samples)\n", start, end,
+                hi - lo);
+  }
+  // Print the executed fault windows next to the stats so an operator can
+  // see at a glance whether a peak falls inside an outage.
+  const auto windows = PartitionWindowsFromManifest(dir);
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    std::printf("partition window %zu: %.1f .. %.1f sim-s\n", i,
+                static_cast<double>(windows[i].first) / 1e6,
+                static_cast<double>(windows[i].second) / 1e6);
+
+  std::printf("%-30s %12s %12s %12s %12s\n", "series", "min", "mean", "max",
+              "last");
+  for (const std::size_t s : selected) {
+    std::int64_t min = 0, max = 0;
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::int64_t v = ts.values[s][i];
+      if (i == lo || v < min) min = v;
+      if (i == lo || v > max) max = v;
+      sum += static_cast<double>(v);
+    }
+    const std::size_t n = hi - lo;
+    std::printf("%-30s %12" PRId64 " %12.1f %12" PRId64 " %12" PRId64 "\n",
+                ts.names[s].c_str(), n > 0 ? min : 0,
+                n > 0 ? sum / static_cast<double>(n) : 0.0, n > 0 ? max : 0,
+                n > 0 ? ts.values[s][hi - 1] : 0);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -325,12 +472,14 @@ int main(int argc, char** argv) {
   std::string node_token;
   bool want_tree = false, want_timeline = false, want_redundancy = false;
   bool want_hops = false, want_degree = false, want_summary = false;
+  bool want_timeseries = false, want_watermarks = false;
+  TimeSeriesQuery ts_query;
   std::size_t top = 20;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "ethsim_inspect: %s needs a value\n", flag);
+        LogError("inspect", "%s needs a value", flag);
         std::exit(2);
       }
       return argv[++i];
@@ -343,22 +492,45 @@ int main(int argc, char** argv) {
     else if (arg == "--hops") want_hops = true;
     else if (arg == "--infer-degree") want_degree = true;
     else if (arg == "--summary") want_summary = true;
+    else if (arg == "--timeseries") want_timeseries = true;
+    else if (arg == "--watermarks") want_watermarks = true;
+    else if (arg == "--series") ts_query.series = next("--series");
+    else if (arg == "--from") ts_query.from_s = std::strtod(next("--from"),
+                                                            nullptr);
+    else if (arg == "--to") ts_query.to_s = std::strtod(next("--to"), nullptr);
+    else if (arg == "--csv") ts_query.csv = true;
     else if (arg == "--top") top = static_cast<std::size_t>(
         std::strtoull(next("--top"), nullptr, 10));
     else {
-      std::fprintf(stderr, "ethsim_inspect: unknown flag %s\n", arg.c_str());
+      LogError("inspect", "unknown flag %s", arg.c_str());
       Usage();
       return 2;
     }
   }
 
+  // Time-series queries read only timeseries.bin: a run sampled without
+  // provenance recording is fully inspectable.
+  if (want_timeseries || want_watermarks) {
+    TimeSeriesLog ts;
+    std::string error;
+    if (!TimeSeriesLog::ReadBinary(dir + "/timeseries.bin", &ts, &error)) {
+      LogError("inspect",
+               "%s (run the producing tool with ETHSIM_SAMPLE=1 to record "
+               "state series)",
+               error.c_str());
+      return 1;
+    }
+    if (want_watermarks) return PrintWatermarks(ts);
+    return PrintTimeSeries(dir, ts, ts_query);
+  }
+
   ProvenanceLog log;
   std::string error;
   if (!ProvenanceLog::ReadBinary(dir + "/provenance.bin", &log, &error)) {
-    std::fprintf(stderr,
-                 "ethsim_inspect: %s\n(run the producing tool with "
-                 "ETHSIM_PROVENANCE=1 to record the edge log)\n",
-                 error.c_str());
+    LogError("inspect",
+             "%s (run the producing tool with ETHSIM_PROVENANCE=1 to record "
+             "the edge log)",
+             error.c_str());
     return 1;
   }
 
@@ -368,7 +540,7 @@ int main(int argc, char** argv) {
 
   if (want_tree) {
     if (block_token.empty()) {
-      std::fprintf(stderr, "ethsim_inspect: --tree needs --block <hash|head>\n");
+      LogError("inspect", "--tree needs --block <hash|head>");
       return 2;
     }
     std::uint64_t object = 0;
@@ -377,7 +549,7 @@ int main(int argc, char** argv) {
   }
   if (want_timeline) {
     if (node_token.empty()) {
-      std::fprintf(stderr, "ethsim_inspect: --timeline needs --node <id>\n");
+      LogError("inspect", "--timeline needs --node <id>");
       return 2;
     }
     return PrintTimeline(log, static_cast<std::uint32_t>(

@@ -13,6 +13,8 @@ Validates whichever artifacts exist in DIR (at least manifest.json must):
   profile.jsonl   sample / callback_histogram / phase records
   provenance.bin  ETHPROV1 columnar relay-edge log: header, column sizes,
                   enum ranges, arrival/drop consistency
+  timeseries.bin  ETHTS1 columnar state-sample log: header, name table,
+                  exact file size, nondecreasing time column
 
 --require METRIC (repeatable) additionally asserts that metrics.jsonl
 contains at least one metric whose name equals METRIC or starts with
@@ -70,6 +72,23 @@ def check_manifest(path):
     for key in ("metrics", "trace", "profile", "provenance"):
         if not isinstance(telemetry.get(key), bool):
             fail(f"manifest telemetry.{key} is not a bool")
+    # telemetry.sample and the watermarks object are rendered only for
+    # sampled runs (byte-compat with pre-sampler manifests), so both are
+    # optional -- but must be well-formed when present.
+    if "sample" in telemetry and not isinstance(telemetry["sample"], bool):
+        fail("manifest telemetry.sample is not a bool")
+    if "watermarks" in doc:
+        marks = doc["watermarks"]
+        if not isinstance(marks, dict) or not marks:
+            fail("manifest watermarks is not a non-empty object")
+        else:
+            for name, mark in marks.items():
+                if (not isinstance(mark, dict)
+                        or not isinstance(mark.get("peak"), int)
+                        or not isinstance(mark.get("at_us"), int)):
+                    fail(f"manifest watermarks[{name!r}] is malformed")
+        if not telemetry.get("sample"):
+            fail("manifest has watermarks but telemetry.sample is not true")
     build = doc.get("build", {})
     for key in ("git_sha", "build_type", "compiler"):
         if not isinstance(build.get(key), str):
@@ -233,6 +252,59 @@ def check_provenance(path):
           f"end_us {end_us})")
 
 
+TS_MAGIC = b"ETHTS1\x00\x00"
+
+
+def check_timeseries(path):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    header = struct.calcsize("<8sIIQq")
+    if len(blob) < header:
+        fail("timeseries.bin shorter than its header")
+        return
+    magic, version, series_count, sample_count, interval_us = (
+        struct.unpack_from("<8sIIQq", blob))
+    if magic != TS_MAGIC:
+        fail(f"timeseries.bin bad magic {magic!r}")
+        return
+    if version != 1:
+        fail(f"timeseries.bin unsupported version {version}")
+        return
+    if interval_us <= 0:
+        fail(f"timeseries.bin interval_us {interval_us} is not positive")
+    names = []
+    offset = header
+    for _ in range(series_count):
+        if offset + 4 > len(blob):
+            fail("timeseries.bin truncated in the series name table")
+            return
+        (length,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        if offset + length > len(blob):
+            fail("timeseries.bin truncated in the series name table")
+            return
+        names.append(blob[offset:offset + length].decode("utf-8"))
+        offset += length
+    if len(set(names)) != len(names):
+        fail("timeseries.bin has duplicate series names")
+    if any(not n for n in names):
+        fail("timeseries.bin has an empty series name")
+    # One shared time column + one value column per series, all i64.
+    expected = offset + 8 * sample_count * (1 + series_count)
+    if len(blob) != expected:
+        fail(f"timeseries.bin is {len(blob)} bytes, expected {expected} "
+             f"({series_count} series, {sample_count} samples)")
+        return
+    t_us = struct.unpack_from(f"<{sample_count}q", blob, offset)
+    if any(t_us[i - 1] > t_us[i] for i in range(1, sample_count)):
+        fail("timeseries.bin time column is not nondecreasing")
+    if sample_count and t_us[0] != 0:
+        fail(f"timeseries.bin first sample at t={t_us[0]}, expected the "
+             "t=0 baseline row")
+    print(f"  ok: timeseries.bin ({series_count} series, {sample_count} "
+          f"samples, every {interval_us} us)")
+
+
 def check_required(names, required):
     for metric in required:
         labeled = metric + "{"
@@ -298,7 +370,8 @@ def main():
               ("trace.json", telemetry.get("trace"), check_trace),
               ("profile.jsonl", telemetry.get("profile"), check_profile),
               ("provenance.bin", telemetry.get("provenance"),
-               check_provenance))
+               check_provenance),
+              ("timeseries.bin", telemetry.get("sample"), check_timeseries))
     for filename, enabled, check in checks:
         path = os.path.join(directory, filename)
         present = os.path.exists(path)
@@ -308,8 +381,8 @@ def main():
             result = check(path)
             if filename == "metrics.jsonl" and result:
                 metric_names, counter_values = result
-            if filename != "provenance.bin":  # prints its own summary line
-                print(f"  ok: {filename}")
+            if filename not in ("provenance.bin", "timeseries.bin"):
+                print(f"  ok: {filename}")  # .bin checks print their own line
     if required:
         if not metric_names:
             fail("--require given but no metrics.jsonl was validated")
