@@ -25,6 +25,7 @@
 #include "net/network.hpp"
 #include "p2p/kademlia.hpp"
 #include "sim/simulator.hpp"
+#include "workload/generator.hpp"
 
 namespace {
 
@@ -278,6 +279,56 @@ void BM_GossipBlockBroadcast(benchmark::State& state) {
   state.SetItemsProcessed(total_events);
 }
 BENCHMARK(BM_GossipBlockBroadcast)->Unit(benchmark::kMillisecond);
+
+// Plan-mode workload generation end to end: a mixed plan (Poisson with
+// replace-by-fee, Zipf hot accounts, flash crowd, closed-loop clients) runs
+// 60 sim-seconds against an 8-node fleet with no miners. items/sec ==
+// submitted transactions/sec; guards the per-submission cost of account
+// selection, gas-price draws, nonce bookkeeping, and inclusion tracking.
+void BM_WorkloadSubmit(benchmark::State& state) {
+  std::int64_t total_submitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    net::Network network{simulator, Rng{7}, net::NetworkParams{}};
+    chain::BlockArena arena;
+    chain::Block g;
+    g.header.difficulty = 1000;
+    g.Seal();
+    const chain::BlockPtr genesis = arena.Adopt(std::move(g));
+    Rng ids{11};
+    std::vector<std::unique_ptr<eth::EthNode>> nodes;
+    std::vector<eth::EthNode*> frontends;
+    for (int i = 0; i < 8; ++i) {
+      const net::HostId host =
+          network.AddHost({net::Region::WesternEurope, 1e9});
+      nodes.push_back(std::make_unique<eth::EthNode>(
+          simulator, network, host, p2p::RandomNodeId(ids), genesis,
+          eth::NodeConfig{}, ids.Fork(static_cast<std::uint64_t>(i))));
+      frontends.push_back(nodes.back().get());
+    }
+    workload::WorkloadPlan plan;
+    plan.Poisson("base", 400.0, 500);
+    plan.last().zipf_exponent = 1.1;
+    plan.last().fee.replacement_deadline = Duration::Seconds(5);
+    plan.FlashCrowd("surge", 100.0, 100,
+                    TimePoint::FromMicros(Duration::Seconds(20).micros()),
+                    Duration::Seconds(20), 4.0);
+    plan.last().account_offset = 500;
+    plan.ClosedLoop("users", 50, Duration::Seconds(5));
+    plan.last().account_offset = 600;
+    auto generator = std::make_unique<workload::WorkloadGenerator>(
+        simulator, Rng{42}, workload::TxWorkloadParams{}, plan, frontends);
+    state.ResumeTiming();
+
+    generator->Start();
+    simulator.RunUntil(TimePoint::FromMicros(Duration::Seconds(60).micros()));
+    benchmark::DoNotOptimize(generator->total_submitted());
+    total_submitted += static_cast<std::int64_t>(generator->total_submitted());
+  }
+  state.SetItemsProcessed(total_submitted);
+}
+BENCHMARK(BM_WorkloadSubmit)->Unit(benchmark::kMillisecond);
 
 // Schedule/cancel churn: half the scheduled events are cancelled before they
 // fire. Guards the O(1) generation-based Cancel (the seed engine kept a

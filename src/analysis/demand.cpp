@@ -1,0 +1,233 @@
+#include "analysis/demand.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/commit.hpp"
+#include "common/render.hpp"
+
+namespace ethsim::analysis {
+
+namespace {
+
+using render::Fmt;
+using render::Table;
+
+struct ReplacementGroup {
+  bool replaced = false;
+  bool included_original = false;
+  bool included_replacement = false;
+};
+
+}  // namespace
+
+DemandResult AnalyzeDemand(const StudyInputs& inputs,
+                           const std::vector<workload::SubmittedTx>& submitted,
+                           const workload::WorkloadPlan& plan,
+                           std::vector<std::uint64_t> confirmation_depths) {
+  assert(inputs.reference != nullptr);
+  DemandResult result;
+
+  // Source table: the plan's sources, or one synthetic row for the legacy
+  // default workload (every record then carries source 0).
+  if (plan.empty()) {
+    SourceDemand legacy;
+    legacy.name = "legacy";
+    legacy.kind = "poisson+burst";
+    result.per_source.push_back(std::move(legacy));
+  } else {
+    for (const workload::TrafficSource& src : plan.sources) {
+      SourceDemand row;
+      row.name = src.name;
+      row.kind = std::string(workload::SourceKindName(src.kind));
+      result.per_source.push_back(std::move(row));
+    }
+  }
+
+  // Offered side, straight off the submission log.
+  std::unordered_map<Hash32, const workload::SubmittedTx*> by_hash;
+  by_hash.reserve(submitted.size());
+  std::unordered_map<Address, std::unordered_map<std::uint64_t,
+                                                 ReplacementGroup>> groups;
+  for (const workload::SubmittedTx& rec : submitted) {
+    ++result.offered_total;
+    if (rec.source < result.per_source.size()) {
+      ++result.per_source[rec.source].offered;
+      if (rec.replacement > 0) ++result.per_source[rec.source].replacements;
+    }
+    if (rec.region < net::kRegionCount) ++result.per_region[rec.region].offered;
+    by_hash.emplace(rec.hash, &rec);
+    if (rec.replacement > 0) {
+      ++result.replacement.replacements_issued;
+      groups[rec.sender][rec.nonce].replaced = true;
+    } else {
+      groups[rec.sender][rec.nonce];  // ensure the group exists
+    }
+  }
+
+  // Included side: every canonical transaction of the reference chain,
+  // attributed back to its submission record. Inclusion latency is measured
+  // the way a client experiences it: first network observation of the
+  // including block minus the submission instant.
+  const auto block_seen = CanonicalBlockFirstSeen(inputs);
+  const auto tx_seen = TxFirstSeen(inputs.observers);
+  const std::uint64_t max_depth =
+      confirmation_depths.empty()
+          ? 0
+          : *std::max_element(confirmation_depths.begin(),
+                              confirmation_depths.end());
+
+  std::vector<std::pair<std::uint64_t, double>> price_delay;  // (gwei, s)
+  for (const auto& block : inputs.reference->CanonicalChain()) {
+    const std::uint64_t height = block->header.number;
+    bool covered = block_seen.contains(height + max_depth);
+    for (const std::uint64_t depth : confirmation_depths)
+      if (!block_seen.contains(height + depth)) covered = false;
+
+    for (const auto& tx : block->transactions) {
+      const auto rec_it = by_hash.find(tx.hash);
+      const workload::SubmittedTx* rec =
+          rec_it == by_hash.end() ? nullptr : rec_it->second;
+
+      if (rec != nullptr) {
+        ++result.included_total;
+        if (rec->source < result.per_source.size())
+          ++result.per_source[rec->source].included;
+        if (rec->region < net::kRegionCount)
+          ++result.per_region[rec->region].included;
+        auto group_it = groups.find(rec->sender);
+        if (group_it != groups.end()) {
+          auto nonce_it = group_it->second.find(rec->nonce);
+          if (nonce_it != group_it->second.end()) {
+            if (rec->replacement > 0)
+              nonce_it->second.included_replacement = true;
+            else
+              nonce_it->second.included_original = true;
+          }
+        }
+        const auto seen_it = block_seen.find(height);
+        if (seen_it != block_seen.end()) {
+          const double delay_s =
+              std::max(0.0, (seen_it->second - rec->submitted_at).seconds());
+          if (rec->source < result.per_source.size())
+            result.per_source[rec->source].inclusion_delay_s.Add(delay_s);
+          price_delay.emplace_back(tx.gas_price, delay_s);
+        }
+      }
+
+      // Commit eligibility: identical rule to TransactionCommitTimes, so the
+      // per-source sum (plus unattributed) reconciles with committed_txs.
+      if (covered && tx_seen.contains(tx.hash)) {
+        ++result.committed_total;
+        if (rec == nullptr) {
+          ++result.unattributed_committed;
+        } else {
+          if (rec->source < result.per_source.size())
+            ++result.per_source[rec->source].committed;
+          if (rec->region < net::kRegionCount)
+            ++result.per_region[rec->region].committed;
+        }
+      }
+    }
+  }
+
+  // Gas-price deciles over the included population: equal-count buckets of
+  // the price-sorted sample, each carrying its own latency distribution.
+  std::sort(price_delay.begin(), price_delay.end());
+  if (!price_delay.empty()) {
+    const std::size_t buckets =
+        std::min<std::size_t>(10, price_delay.size());
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::size_t lo = b * price_delay.size() / buckets;
+      const std::size_t hi = (b + 1) * price_delay.size() / buckets;
+      if (lo >= hi) continue;
+      PriceDecileStat stat;
+      stat.price_lo = price_delay[lo].first;
+      stat.price_hi = price_delay[hi - 1].first;
+      for (std::size_t i = lo; i < hi; ++i)
+        stat.inclusion_delay_s.Add(price_delay[i].second);
+      result.price_deciles.push_back(std::move(stat));
+    }
+  }
+
+  // Replace-by-fee outcomes per (sender, nonce) group.
+  for (const auto& [sender, per_nonce] : groups) {
+    for (const auto& [nonce, group] : per_nonce) {
+      if (!group.replaced) continue;
+      ++result.replacement.groups_replaced;
+      if (group.included_replacement)
+        ++result.replacement.included_replacement;
+      else if (group.included_original)
+        ++result.replacement.included_original;
+      else
+        ++result.replacement.unresolved;
+    }
+  }
+  return result;
+}
+
+std::string RenderDemand(const DemandResult& result) {
+  std::ostringstream os;
+  os << "Demand analysis - offered vs included vs committed load\n"
+     << "=======================================================\n";
+
+  Table sources{{"source", "kind", "offered", "included", "committed",
+                 "incl p50", "incl p90"}};
+  for (const SourceDemand& row : result.per_source) {
+    const bool any = row.inclusion_delay_s.count() > 0;
+    sources.AddRow({row.name, row.kind, std::to_string(row.offered),
+                    std::to_string(row.included), std::to_string(row.committed),
+                    any ? Fmt(row.inclusion_delay_s.Quantile(0.50), 1) + " s"
+                        : "-",
+                    any ? Fmt(row.inclusion_delay_s.Quantile(0.90), 1) + " s"
+                        : "-"});
+  }
+  sources.AddRow({"total", "", std::to_string(result.offered_total),
+                  std::to_string(result.included_total),
+                  std::to_string(result.committed_total), "", ""});
+  os << sources.ToString() << '\n';
+
+  Table regions{{"region", "offered", "included", "committed"}};
+  for (std::size_t r = 0; r < net::kRegionCount; ++r) {
+    const RegionDemand& row = result.per_region[r];
+    if (row.offered == 0 && row.included == 0) continue;
+    regions.AddRow({std::string(net::RegionShortName(
+                        static_cast<net::Region>(r))),
+                    std::to_string(row.offered), std::to_string(row.included),
+                    std::to_string(row.committed)});
+  }
+  os << regions.ToString() << '\n';
+
+  if (!result.price_deciles.empty()) {
+    os << "Inclusion latency by gas-price decile:\n";
+    Table deciles{{"decile", "gwei range", "n", "p50", "p90"}};
+    for (std::size_t b = 0; b < result.price_deciles.size(); ++b) {
+      const PriceDecileStat& stat = result.price_deciles[b];
+      deciles.AddRow({std::to_string(b + 1),
+                      std::to_string(stat.price_lo) + ".." +
+                          std::to_string(stat.price_hi),
+                      std::to_string(stat.inclusion_delay_s.count()),
+                      Fmt(stat.inclusion_delay_s.Quantile(0.50), 1) + " s",
+                      Fmt(stat.inclusion_delay_s.Quantile(0.90), 1) + " s"});
+    }
+    os << deciles.ToString() << '\n';
+  }
+
+  const ReplacementAccounting& rep = result.replacement;
+  if (rep.groups_replaced > 0 || rep.replacements_issued > 0) {
+    os << "Replace-by-fee outcomes: " << rep.groups_replaced
+       << " txs escalated (" << rep.replacements_issued << " re-submissions); "
+       << rep.included_replacement << " landed as the replacement, "
+       << rep.included_original << " as the original, " << rep.unresolved
+       << " unresolved at run end\n";
+  }
+  if (result.unattributed_committed > 0)
+    os << "warning: " << result.unattributed_committed
+       << " committed txs had no submission record\n";
+  return os.str();
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,76 @@
+// Demand-side analysis: offered vs included vs committed load per traffic
+// source and per submission region, inclusion latency sliced by gas-price
+// decile, and replace-by-fee outcome accounting. The "committed" column uses
+// the exact eligibility rule of analysis/commit (observation coverage at
+// every confirmation height, tx seen by a vantage), so the per-source totals
+// reconcile with TransactionCommitTimes().committed_txs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+#include "common/stats.hpp"
+#include "net/geo.hpp"
+#include "workload/generator.hpp"
+#include "workload/plan.hpp"
+
+namespace ethsim::analysis {
+
+struct SourceDemand {
+  std::string name;
+  std::string kind;
+  std::uint64_t offered = 0;       // submissions, replacements included
+  std::uint64_t replacements = 0;  // escalated re-submissions
+  std::uint64_t included = 0;      // landed on the reference canonical chain
+  std::uint64_t committed = 0;     // commit-eligible (analysis/commit rule)
+  SampleSet inclusion_delay_s;     // first block observation - submission
+};
+
+struct RegionDemand {
+  std::uint64_t offered = 0;
+  std::uint64_t included = 0;
+  std::uint64_t committed = 0;
+};
+
+struct PriceDecileStat {
+  std::uint64_t price_lo = 0;  // gwei bounds of this decile (inclusive)
+  std::uint64_t price_hi = 0;
+  SampleSet inclusion_delay_s;
+};
+
+struct ReplacementAccounting {
+  std::uint64_t groups_replaced = 0;       // (sender, nonce) with >=1 escalation
+  std::uint64_t replacements_issued = 0;   // escalated submissions
+  std::uint64_t included_original = 0;     // group landed as the first tx
+  std::uint64_t included_replacement = 0;  // group landed as an escalation
+  std::uint64_t unresolved = 0;            // never included within the run
+};
+
+struct DemandResult {
+  std::vector<SourceDemand> per_source;  // plan order; one "legacy" row when
+                                         // the run used the default workload
+  std::array<RegionDemand, net::kRegionCount> per_region{};
+  std::uint64_t offered_total = 0;
+  std::uint64_t included_total = 0;
+  std::uint64_t committed_total = 0;  // == TransactionCommitTimes committed_txs
+  // Commit-eligible canonical txs with no submission record (0 by
+  // construction when `submitted` covers the whole run).
+  std::uint64_t unattributed_committed = 0;
+  std::vector<PriceDecileStat> price_deciles;  // up to 10, by gas price
+  ReplacementAccounting replacement;
+};
+
+// `confirmation_depths` must match the TransactionCommitTimes call the result
+// is reconciled against.
+DemandResult AnalyzeDemand(
+    const StudyInputs& inputs,
+    const std::vector<workload::SubmittedTx>& submitted,
+    const workload::WorkloadPlan& plan,
+    std::vector<std::uint64_t> confirmation_depths = {0, 3, 12, 15, 36});
+
+std::string RenderDemand(const DemandResult& result);
+
+}  // namespace ethsim::analysis

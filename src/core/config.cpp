@@ -1,5 +1,37 @@
 #include "core/config.hpp"
 
+namespace ethsim::core {
+
+std::string ExperimentConfig::Validate() const {
+  // Probabilities feed Rng::NextBool unchecked: a negative value silently
+  // never fires, > 1 always fires — both are config bugs, not models.
+  if (workload.burst_prob < 0 || workload.burst_prob > 1)
+    return "workload.burst_prob must be in [0, 1]";
+  if (workload.inversion_prob < 0 || workload.inversion_prob > 1)
+    return "workload.inversion_prob must be in [0, 1]";
+  if (workload.inversion_delay_mean_s < 0)
+    return "workload.inversion_delay_mean_s must be >= 0";
+  if (workload.payload_mean_bytes < 0)
+    return "workload.payload_mean_bytes must be >= 0";
+  if (workload_plan.empty() && workload.accounts == 0)
+    return "workload.accounts must be >= 1";
+  if (net_params.drop_prob < 0 || net_params.drop_prob > 1)
+    return "net.drop_prob must be in [0, 1]";
+  if (net_params.slow_path_prob < 0 || net_params.slow_path_prob > 1)
+    return "net.slow_path_prob must be in [0, 1]";
+  if (!workload_plan.empty()) {
+    if (std::string problem = workload_plan.Validate(); !problem.empty())
+      return "workload_plan: " + problem;
+  }
+  if (!fault_plan.empty()) {
+    if (std::string problem = fault_plan.Validate(); !problem.empty())
+      return "fault_plan: " + problem;
+  }
+  return {};
+}
+
+}  // namespace ethsim::core
+
 namespace ethsim::core::presets {
 
 namespace {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "net/geo.hpp"
+#include "obs/diag.hpp"
 #include "obs/progress.hpp"
 #include "p2p/kademlia.hpp"
 
@@ -15,6 +17,19 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
 void Experiment::Build() {
   if (built_) return;
   built_ = true;
+
+  // Reject structurally invalid configs up front (negative probabilities
+  // would otherwise flow into Rng::NextBool unchecked), and surface the one
+  // legal-but-surprising setting: rate 0 with no plan means no transactions
+  // are ever submitted.
+  if (const std::string problem = config_.Validate(); !problem.empty()) {
+    obs::LogError("config", "invalid experiment config: %s", problem.c_str());
+    throw std::invalid_argument("ExperimentConfig: " + problem);
+  }
+  if (config_.workload_plan.empty() && config_.workload.rate_per_sec <= 0)
+    obs::LogWarn("config",
+                 "workload.rate_per_sec <= 0 with an empty workload plan: "
+                 "no transactions will be submitted this run");
 
   // Telemetry first: every component below attaches to it during
   // construction. A fully-disabled config keeps the pointer null, so the
@@ -99,8 +114,10 @@ void Experiment::Build() {
   if (frontends.empty())  // degenerate configs: fall back to gateways
     for (std::size_t i = 0; i < gateway_count; ++i)
       frontends.push_back(nodes_[i].get());
-  workload_ = std::make_unique<TxWorkload>(sim_, master.Fork("workload"),
-                                           config_.workload, frontends);
+  workload_ = std::make_unique<workload::WorkloadGenerator>(
+      sim_, master.Fork("workload"), config_.workload, config_.workload_plan,
+      frontends);
+  workload_->AttachTelemetry(telemetry_.get());
 
   // 5. Fault controller — only when the plan is non-empty, so a fault-free
   //    config builds the exact object graph (and RNG stream set) it always
@@ -216,6 +233,28 @@ void Experiment::RegisterSamplerProbes() {
     return fleet([](const eth::EthNode& n) { return n.online() ? 0 : 1; },
                  false);
   });
+
+  // Demand side: cumulative offered load plus a per-interval delta. The
+  // closed-loop/replacement series exist exactly when a traffic plan does
+  // (series table = pure function of config, like the fault markers below).
+  const workload::WorkloadGenerator* wl = workload_.get();
+  s->AddProbe("workload.submitted.total",
+              [wl, i64] { return i64(wl->total_submitted()); });
+  s->AddProbe("workload.offered.delta",
+              [wl, last = std::int64_t{0}]() mutable {
+                const auto now = static_cast<std::int64_t>(wl->total_submitted());
+                const std::int64_t delta = now - last;
+                last = now;
+                return delta;
+              });
+  if (!config_.workload_plan.empty()) {
+    s->AddProbe("workload.closed_loop.in_flight",
+                [wl, i64] { return i64(wl->closed_loop_in_flight()); });
+    s->AddProbe("workload.tracked.in_flight",
+                [wl, i64] { return i64(wl->tracked_in_flight()); });
+    s->AddProbe("workload.replacements.total",
+                [wl, i64] { return i64(wl->replacements_issued()); });
+  }
 
   // Mining-pool gateway state.
   const miner::MiningCoordinator* coord = coordinator_.get();

@@ -9,7 +9,6 @@
 
 #include "chain/block_arena.hpp"
 #include "core/config.hpp"
-#include "core/workload.hpp"
 #include "eth/node.hpp"
 #include "fault/controller.hpp"
 #include "measure/observer.hpp"
@@ -17,6 +16,7 @@
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
+#include "workload/generator.hpp"
 
 namespace ethsim::core {
 
@@ -40,7 +40,7 @@ class Experiment {
   const std::vector<miner::MintRecord>& minted() const {
     return coordinator_->minted();
   }
-  const TxWorkload& workload() const { return *workload_; }
+  const workload::WorkloadGenerator& workload() const { return *workload_; }
   // A converged full node's view of the chain at the end of the run.
   const chain::BlockTree& reference_tree() const {
     return coordinator_->reference_tree();
@@ -86,7 +86,7 @@ class Experiment {
   std::vector<std::unique_ptr<eth::EthNode>> nodes_;
   std::vector<std::unique_ptr<measure::Observer>> observers_;
   std::unique_ptr<miner::MiningCoordinator> coordinator_;
-  std::unique_ptr<TxWorkload> workload_;
+  std::unique_ptr<workload::WorkloadGenerator> workload_;
   std::unique_ptr<fault::FaultController> fault_;
   bool ran_ = false;
   bool built_ = false;

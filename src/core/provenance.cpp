@@ -141,6 +141,39 @@ Hash32 ConfigDigest(const ExperimentConfig& config) {
   dump.Field("workload.payload_mean_bytes", config.workload.payload_mean_bytes);
   dump.Field("genesis_number", config.genesis_number);
 
+  // Traffic plan: part of the experiment identity, but appended only when
+  // non-empty so that the digest of every default-workload config is
+  // bit-identical to what it was before the workload subsystem existed.
+  if (!config.workload_plan.empty()) {
+    for (std::size_t i = 0; i < config.workload_plan.sources.size(); ++i) {
+      const workload::TrafficSource& src = config.workload_plan.sources[i];
+      const std::string p = "workload_plan." + std::to_string(i);
+      dump.Field(p + ".kind", workload::SourceKindName(src.kind));
+      dump.Field(p + ".name", src.name);
+      dump.Field(p + ".rate_per_sec", src.rate_per_sec);
+      dump.Field(p + ".accounts", src.accounts);
+      dump.Field(p + ".account_offset", src.account_offset);
+      dump.Field(p + ".zipf_exponent", src.zipf_exponent);
+      dump.Field(p + ".region", src.region);
+      dump.Field(p + ".diurnal_amplitude", src.diurnal_amplitude);
+      dump.Field(p + ".peak_hour", src.peak_hour);
+      dump.Field(p + ".surge_at", Duration::Micros(src.surge_at.micros()));
+      dump.Field(p + ".surge_window", src.surge_window);
+      dump.Field(p + ".surge_multiplier", src.surge_multiplier);
+      dump.Field(p + ".clients", src.clients);
+      dump.Field(p + ".think_time_mean", src.think_time_mean);
+      dump.Field(p + ".commit_depth", src.commit_depth);
+      dump.Field(p + ".poll_interval", src.poll_interval);
+      dump.Field(p + ".payload_mean_bytes", src.payload_mean_bytes);
+      dump.Field(p + ".fee.gas_price_mu", src.fee.gas_price_mu);
+      dump.Field(p + ".fee.gas_price_sigma", src.fee.gas_price_sigma);
+      dump.Field(p + ".fee.replacement_deadline",
+                 src.fee.replacement_deadline);
+      dump.Field(p + ".fee.escalation_factor", src.fee.escalation_factor);
+      dump.Field(p + ".fee.max_replacements", src.fee.max_replacements);
+    }
+  }
+
   // Fault timeline: part of the experiment identity, but appended only when
   // non-empty so that the digest of every fault-free config is bit-identical
   // to what it was before the fault layer existed.
@@ -228,6 +261,31 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
                                   std::to_string(sampler->sample_count()));
     }
   }
+  // Workload-plan extras only when a plan ran: default-workload manifests
+  // are byte-identical to pre-workload-subsystem output.
+  const workload::WorkloadGenerator& wl = experiment.workload();
+  if (!wl.plan().empty()) {
+    manifest.extra.emplace_back(
+        "workload_sources", std::to_string(wl.plan().sources.size()));
+    manifest.extra.emplace_back("workload_submitted",
+                                std::to_string(wl.total_submitted()));
+    manifest.extra.emplace_back("workload_replacements",
+                                std::to_string(wl.replacements_issued()));
+    manifest.extra.emplace_back(
+        "workload_closed_loop_completed",
+        std::to_string(wl.closed_loop_completed()));
+    manifest.extra.emplace_back("workload_in_flight_end",
+                                std::to_string(wl.tracked_in_flight()));
+    for (std::size_t i = 0; i < wl.plan().sources.size(); ++i) {
+      const workload::TrafficSource& src = wl.plan().sources[i];
+      manifest.extra.emplace_back(
+          "workload_source." + std::to_string(i),
+          src.name + ":" + std::string(workload::SourceKindName(src.kind)) +
+              ":" + std::to_string(wl.source_submitted(i)) + ":" +
+              std::to_string(wl.source_included(i)));
+    }
+  }
+
   // Fault extras only when a controller ran: fault-free manifests are
   // byte-identical to pre-fault-layer output.
   if (const fault::FaultController* fault = experiment.fault()) {

@@ -1,0 +1,168 @@
+#include "workload/plan.hpp"
+
+#include <unordered_set>
+
+#include "common/keccak.hpp"
+
+namespace ethsim::workload {
+
+std::string_view SourceKindName(SourceKind kind) {
+  switch (kind) {
+    case SourceKind::kPoisson: return "poisson";
+    case SourceKind::kDiurnal: return "diurnal";
+    case SourceKind::kFlashCrowd: return "flash_crowd";
+    case SourceKind::kClosedLoop: return "closed_loop";
+  }
+  return "unknown";
+}
+
+double RegionUtcOffsetHours(net::Region region) {
+  switch (region) {
+    case net::Region::NorthAmerica: return -6.0;   // central US
+    case net::Region::SouthAmerica: return -4.0;
+    case net::Region::WesternEurope: return 0.0;
+    case net::Region::CentralEurope: return 1.0;
+    case net::Region::EasternEurope: return 2.0;
+    case net::Region::EasternAsia: return 8.0;
+    case net::Region::SoutheastAsia: return 7.0;
+    case net::Region::Oceania: return 10.0;
+  }
+  return 0.0;
+}
+
+Address AccountAddress(std::uint64_t index) {
+  const Hash32 digest = Keccak256Of("account-" + std::to_string(index));
+  Address addr;
+  for (std::size_t i = 0; i < 20; ++i) addr.bytes[i] = digest.bytes[i];
+  return addr;
+}
+
+WorkloadPlan& WorkloadPlan::Poisson(std::string name, double rate_per_sec,
+                                    std::size_t accounts) {
+  TrafficSource src;
+  src.kind = SourceKind::kPoisson;
+  src.name = std::move(name);
+  src.rate_per_sec = rate_per_sec;
+  src.accounts = accounts;
+  sources.push_back(std::move(src));
+  return *this;
+}
+
+WorkloadPlan& WorkloadPlan::Diurnal(std::string name, double rate_per_sec,
+                                    std::size_t accounts, net::Region region,
+                                    double amplitude, double peak_hour) {
+  TrafficSource src;
+  src.kind = SourceKind::kDiurnal;
+  src.name = std::move(name);
+  src.rate_per_sec = rate_per_sec;
+  src.accounts = accounts;
+  src.region = static_cast<std::int32_t>(region);
+  src.diurnal_amplitude = amplitude;
+  src.peak_hour = peak_hour;
+  sources.push_back(std::move(src));
+  return *this;
+}
+
+WorkloadPlan& WorkloadPlan::FlashCrowd(std::string name, double rate_per_sec,
+                                       std::size_t accounts, TimePoint at,
+                                       Duration window, double multiplier) {
+  TrafficSource src;
+  src.kind = SourceKind::kFlashCrowd;
+  src.name = std::move(name);
+  src.rate_per_sec = rate_per_sec;
+  src.accounts = accounts;
+  src.surge_at = at;
+  src.surge_window = window;
+  src.surge_multiplier = multiplier;
+  sources.push_back(std::move(src));
+  return *this;
+}
+
+WorkloadPlan& WorkloadPlan::ClosedLoop(std::string name, std::size_t clients,
+                                       Duration think_time_mean,
+                                       std::uint64_t commit_depth) {
+  TrafficSource src;
+  src.kind = SourceKind::kClosedLoop;
+  src.name = std::move(name);
+  src.rate_per_sec = 0.0;  // rate emerges from the inclusion feedback loop
+  src.clients = clients;
+  src.accounts = clients;  // one account per client
+  src.think_time_mean = think_time_mean;
+  src.commit_depth = commit_depth;
+  sources.push_back(std::move(src));
+  return *this;
+}
+
+TrafficSource& WorkloadPlan::last() { return sources.back(); }
+
+namespace {
+std::string Err(std::size_t index, const TrafficSource& src,
+                const std::string& what) {
+  return "source " + std::to_string(index) + " (" +
+         std::string(SourceKindName(src.kind)) +
+         (src.name.empty() ? "" : " '" + src.name + "'") + "): " + what;
+}
+}  // namespace
+
+std::string WorkloadPlan::Validate() const {
+  std::unordered_set<std::string> names;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const TrafficSource& src = sources[i];
+    if (src.name.empty()) return Err(i, src, "name must be non-empty");
+    if (!names.insert(src.name).second)
+      return Err(i, src, "duplicate source name");
+    if (src.rate_per_sec < 0)
+      return Err(i, src, "rate_per_sec must be >= 0");
+    if (src.region != kAnyRegion &&
+        (src.region < 0 ||
+         src.region >= static_cast<std::int32_t>(net::kRegionCount)))
+      return Err(i, src, "region out of range");
+    if (src.zipf_exponent < 0)
+      return Err(i, src, "zipf_exponent must be >= 0");
+    if (src.payload_mean_bytes < 0)
+      return Err(i, src, "payload_mean_bytes must be >= 0");
+
+    if (src.kind == SourceKind::kClosedLoop) {
+      if (src.clients == 0) return Err(i, src, "clients must be >= 1");
+      if (src.accounts < src.clients)
+        return Err(i, src, "accounts must cover one account per client");
+      if (src.think_time_mean.micros() <= 0)
+        return Err(i, src, "think_time_mean must be > 0");
+      if (src.poll_interval.micros() <= 0)
+        return Err(i, src, "poll_interval must be > 0");
+    } else {
+      if (src.accounts == 0) return Err(i, src, "accounts must be >= 1");
+    }
+
+    if (src.kind == SourceKind::kDiurnal) {
+      if (src.diurnal_amplitude < 0 || src.diurnal_amplitude > 1)
+        return Err(i, src, "diurnal_amplitude must be in [0, 1]");
+      if (src.peak_hour < 0 || src.peak_hour >= 24)
+        return Err(i, src, "peak_hour must be in [0, 24)");
+      if (src.region == kAnyRegion)
+        return Err(i, src, "diurnal sources need a region (local clock)");
+    }
+
+    if (src.kind == SourceKind::kFlashCrowd) {
+      if (src.surge_window.micros() <= 0)
+        return Err(i, src, "surge_window must be > 0");
+      if (src.surge_multiplier < 1)
+        return Err(i, src, "surge_multiplier must be >= 1");
+    }
+
+    const FeeModel& fee = src.fee;
+    if (fee.gas_price_sigma < 0)
+      return Err(i, src, "fee.gas_price_sigma must be >= 0");
+    if (fee.replacement_deadline.micros() < 0)
+      return Err(i, src, "fee.replacement_deadline must be >= 0");
+    if (fee.replacement_deadline.micros() > 0) {
+      if (fee.escalation_factor <= 1.0)
+        return Err(i, src, "fee.escalation_factor must be > 1 to replace");
+      if (src.poll_interval.micros() <= 0)
+        return Err(i, src, "poll_interval must be > 0 to track replacements");
+    }
+  }
+  return {};
+}
+
+}  // namespace ethsim::workload

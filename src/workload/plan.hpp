@@ -1,0 +1,168 @@
+// Declarative traffic-generation plan. A WorkloadPlan is part of the
+// experiment config: an ordered list of independent TrafficSources — Poisson
+// baselines, per-region diurnal curves, scheduled flash crowds, and
+// closed-loop client populations — each drawing from its own fork of the
+// workload RNG stream. A run is a pure function of (config, plan, seed); an
+// *empty* plan is guaranteed bit-for-bit inert: the generator then runs the
+// legacy Poisson+burst+inversion process on the root workload stream with the
+// exact draw order the original core::TxWorkload used, so every pre-plan
+// golden (datasets, head hash, determinism digest) still matches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/geo.hpp"
+
+namespace ethsim::workload {
+
+// Legacy single-process parameters (the pre-plan workload model, kept as the
+// default). Field semantics documented where core::ExperimentConfig embeds
+// this struct.
+struct TxWorkloadParams {
+  // Aggregate submission rate across the network. Mainnet ran ~8.2 tx/s in
+  // the study window; benches scale this down with the node count.
+  double rate_per_sec = 2.0;
+  // Distinct sender accounts (nonce streams).
+  std::size_t accounts = 400;
+  // Probability that a submission is a burst: the same sender immediately
+  // issues the next nonce too, through a *different* node (multi-frontend
+  // wallets/exchanges). Bursts are what make out-of-order arrivals possible.
+  double burst_prob = 0.30;
+  // Within a burst, probability that the *lower* nonce is the delayed one —
+  // a stuck/slow frontend releases it seconds after the follow-up already
+  // propagated. These inversions create the out-of-order commit penalty the
+  // paper measures (Fig 5: OoO p90 325 s vs in-order 292 s): the higher
+  // nonce sits queued in every pool until its predecessor shows up.
+  double inversion_prob = 0.20;
+  double inversion_delay_mean_s = 12.0;
+  // Mean calldata size (exponential); 0 disables payloads.
+  double payload_mean_bytes = 120.0;
+};
+
+enum class SourceKind : std::uint8_t {
+  kPoisson = 0,   // flat-rate open-loop baseline
+  kDiurnal,       // open-loop, rate follows the region's local time of day
+  kFlashCrowd,    // open-loop, rate multiplied inside a scheduled window
+  kClosedLoop,    // each client waits for inclusion/commit before the next tx
+};
+inline constexpr std::size_t kSourceKindCount = 4;
+std::string_view SourceKindName(SourceKind kind);
+
+// Region affinity sentinel: the source submits through frontends anywhere.
+inline constexpr std::int32_t kAnyRegion = -1;
+
+// Fee-market behavior of one source: where its gas prices come from, and
+// whether a client replaces (same sender+nonce, escalated price) a tx that
+// has not been included by the deadline — Geth's replace-by-fee path.
+struct FeeModel {
+  // log-normal gas-price distribution exp(N(mu, sigma)), clamped to
+  // [1, 10000]. The legacy uniform 1..100 spread roughly matches mu=3.2.
+  double gas_price_mu = 3.2;
+  double gas_price_sigma = 0.9;
+  // Zero disables replacement. Otherwise a tx still tracked as un-included
+  // this long after submission is re-issued at an escalated price.
+  Duration replacement_deadline;
+  // Price multiplier per escalation; Geth requires >= 1.10 to replace.
+  double escalation_factor = 1.125;
+  std::uint32_t max_replacements = 3;
+};
+
+// One traffic source. Flat (no variant) so the provenance dump, the builder
+// helpers, and the generator all speak the same trivially-serializable
+// struct; fields irrelevant to a kind keep their inert defaults and are
+// ignored.
+struct TrafficSource {
+  SourceKind kind = SourceKind::kPoisson;
+  std::string name;
+
+  // Open-loop kinds: mean submission rate (peak rate is derived per kind).
+  double rate_per_sec = 1.0;
+
+  // Sender population: global account indices
+  // [account_offset, account_offset + accounts). Sources whose ranges
+  // overlap *share* sender nonce streams — that contention (consecutive
+  // nonces racing through different frontends) is the hot-account analogue
+  // of the legacy burst path.
+  std::size_t accounts = 100;
+  std::uint64_t account_offset = 0;
+  // Zipf exponent over the account range (0 = uniform). With s > 0 account
+  // `account_offset + k` has weight (k+1)^-s, concentrating traffic on a few
+  // hot senders.
+  double zipf_exponent = 0.0;
+
+  // Frontend affinity: submit only through frontends in this region
+  // (net::Region cast to int), or kAnyRegion for the whole fleet. Diurnal
+  // sources also take their local clock from this region.
+  std::int32_t region = kAnyRegion;
+
+  // kDiurnal: rate(t) = rate_per_sec * (1 + amplitude * cos(local_hour
+  // relative to peak_hour)); amplitude in [0, 1].
+  double diurnal_amplitude = 0.6;
+  double peak_hour = 14.0;
+
+  // kFlashCrowd: baseline rate_per_sec outside the window; inside
+  // [surge_at, surge_at + surge_window) the rate is multiplied.
+  TimePoint surge_at;
+  Duration surge_window;
+  double surge_multiplier = 8.0;
+
+  // kClosedLoop: `clients` independent users, each owning one account from
+  // the range above; a client submits, polls a frontend's canonical chain
+  // every poll_interval until its tx is `commit_depth` blocks deep, then
+  // thinks (exponential think_time_mean) and submits the next.
+  std::size_t clients = 0;
+  Duration think_time_mean = Duration::Seconds(30);
+  std::uint64_t commit_depth = 0;
+  Duration poll_interval = Duration::Seconds(3);
+
+  // Mean calldata size (exponential); 0 disables payloads.
+  double payload_mean_bytes = 120.0;
+
+  FeeModel fee;
+};
+
+// The plan: an ordered set of sources. Ordering is part of the identity —
+// source i draws from Fork(workload_stream, i).
+struct WorkloadPlan {
+  std::vector<TrafficSource> sources;
+
+  bool empty() const { return sources.empty(); }
+
+  // Builder helpers (chainable). Each appends one source; `last()` exposes
+  // it for follow-up tweaks (zipf_exponent, fee model, account_offset).
+  WorkloadPlan& Poisson(std::string name, double rate_per_sec,
+                        std::size_t accounts);
+  WorkloadPlan& Diurnal(std::string name, double rate_per_sec,
+                        std::size_t accounts, net::Region region,
+                        double amplitude = 0.6, double peak_hour = 14.0);
+  WorkloadPlan& FlashCrowd(std::string name, double rate_per_sec,
+                           std::size_t accounts, TimePoint at, Duration window,
+                           double multiplier = 8.0);
+  WorkloadPlan& ClosedLoop(std::string name, std::size_t clients,
+                           Duration think_time_mean,
+                           std::uint64_t commit_depth = 0);
+  TrafficSource& last();
+
+  // Structural validation: unique non-empty names, non-negative rates and
+  // probabilities, populated account ranges for open-loop kinds, sane
+  // diurnal/flash-crowd/closed-loop/fee parameters. Returns an empty string
+  // when the plan is well-formed, else a description of the first violation.
+  std::string Validate() const;
+};
+
+// Local-time offset a diurnal source applies to the simulation clock (the
+// simulation starts at UTC midnight by convention). Coarse per-region UTC
+// offsets; only relative phase between regions matters.
+double RegionUtcOffsetHours(net::Region region);
+
+// Deterministic sender address for a global account index. Shared by the
+// legacy path and every plan source, so overlapping account ranges really do
+// collide on the same on-chain senders.
+Address AccountAddress(std::uint64_t index);
+
+}  // namespace ethsim::workload

@@ -1,0 +1,136 @@
+#include "workload/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/provenance.hpp"
+
+namespace ethsim::workload {
+namespace {
+
+TEST(WorkloadPlan, EmptyByDefault) {
+  WorkloadPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(WorkloadPlan, BuildersAppendInOrder) {
+  WorkloadPlan plan;
+  plan.Poisson("base", 2.0, 100)
+      .Diurnal("na", 1.0, 50, net::Region::NorthAmerica)
+      .FlashCrowd("surge", 0.5, 40, TimePoint::FromMicros(60'000'000),
+                  Duration::Minutes(5), 6.0)
+      .ClosedLoop("users", 20, Duration::Seconds(30), 3);
+  ASSERT_EQ(plan.sources.size(), 4u);
+  EXPECT_EQ(plan.sources[0].kind, SourceKind::kPoisson);
+  EXPECT_EQ(plan.sources[1].kind, SourceKind::kDiurnal);
+  EXPECT_EQ(plan.sources[2].kind, SourceKind::kFlashCrowd);
+  EXPECT_EQ(plan.sources[3].kind, SourceKind::kClosedLoop);
+  EXPECT_EQ(plan.sources[3].clients, 20u);
+  EXPECT_EQ(plan.sources[3].commit_depth, 3u);
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(WorkloadPlan, LastExposesTheNewestSourceForTweaks) {
+  WorkloadPlan plan;
+  plan.Poisson("whales", 0.2, 10);
+  plan.last().zipf_exponent = 1.2;
+  plan.last().fee.replacement_deadline = Duration::Seconds(60);
+  EXPECT_EQ(plan.sources[0].zipf_exponent, 1.2);
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(WorkloadPlanValidate, RejectsStructuralProblems) {
+  {
+    WorkloadPlan plan;
+    plan.Poisson("", 1.0, 10);
+    EXPECT_NE(plan.Validate().find("name"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.Poisson("a", 1.0, 10).Poisson("a", 2.0, 10);
+    EXPECT_NE(plan.Validate().find("duplicate"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.Poisson("a", -1.0, 10);
+    EXPECT_NE(plan.Validate().find("rate_per_sec"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.Poisson("a", 1.0, 0);
+    EXPECT_NE(plan.Validate().find("accounts"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.Diurnal("d", 1.0, 10, net::Region::EasternAsia, /*amplitude=*/1.5);
+    EXPECT_NE(plan.Validate().find("amplitude"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.FlashCrowd("f", 1.0, 10, TimePoint{}, Duration::Micros(0));
+    EXPECT_NE(plan.Validate().find("surge_window"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.ClosedLoop("c", 0, Duration::Seconds(10));
+    EXPECT_NE(plan.Validate().find("clients"), std::string::npos);
+  }
+  {
+    WorkloadPlan plan;
+    plan.Poisson("a", 1.0, 10);
+    plan.last().fee.replacement_deadline = Duration::Seconds(30);
+    plan.last().fee.escalation_factor = 1.0;  // cannot out-bid itself
+    EXPECT_NE(plan.Validate().find("escalation_factor"), std::string::npos);
+  }
+}
+
+TEST(WorkloadPlan, SourceKindNamesAreStable) {
+  EXPECT_EQ(SourceKindName(SourceKind::kPoisson), "poisson");
+  EXPECT_EQ(SourceKindName(SourceKind::kDiurnal), "diurnal");
+  EXPECT_EQ(SourceKindName(SourceKind::kFlashCrowd), "flash_crowd");
+  EXPECT_EQ(SourceKindName(SourceKind::kClosedLoop), "closed_loop");
+}
+
+TEST(WorkloadPlan, AccountAddressesAreDeterministicAndDistinct) {
+  EXPECT_EQ(AccountAddress(7), AccountAddress(7));
+  EXPECT_NE(AccountAddress(7), AccountAddress(8));
+}
+
+// --- Digest participation (the provenance contract) ------------------------
+
+core::ExperimentConfig DigestConfig() {
+  core::ExperimentConfig cfg = core::presets::SmallStudy(16);
+  return cfg;
+}
+
+TEST(WorkloadPlanDigest, EmptyPlanKeepsTheLegacyDigest) {
+  core::ExperimentConfig with_default = DigestConfig();
+  core::ExperimentConfig explicit_empty = DigestConfig();
+  explicit_empty.workload_plan = WorkloadPlan{};
+  EXPECT_EQ(core::ConfigDigest(with_default),
+            core::ConfigDigest(explicit_empty));
+}
+
+TEST(WorkloadPlanDigest, NonemptyPlanEntersTheDigest) {
+  core::ExperimentConfig base = DigestConfig();
+  core::ExperimentConfig planned = DigestConfig();
+  planned.workload_plan.Poisson("base", 1.0, 50);
+  EXPECT_NE(core::ConfigDigest(base), core::ConfigDigest(planned));
+}
+
+TEST(WorkloadPlanDigest, EverySourceFieldParticipates) {
+  core::ExperimentConfig a = DigestConfig();
+  a.workload_plan.Poisson("base", 1.0, 50);
+  core::ExperimentConfig b = a;
+  b.workload_plan.last().zipf_exponent = 0.9;
+  EXPECT_NE(core::ConfigDigest(a), core::ConfigDigest(b));
+  core::ExperimentConfig c = a;
+  c.workload_plan.last().fee.replacement_deadline = Duration::Seconds(45);
+  EXPECT_NE(core::ConfigDigest(a), core::ConfigDigest(c));
+  core::ExperimentConfig d = a;
+  d.workload_plan.last().account_offset = 1000;
+  EXPECT_NE(core::ConfigDigest(a), core::ConfigDigest(d));
+}
+
+}  // namespace
+}  // namespace ethsim::workload

@@ -28,6 +28,12 @@
 //   ethsim_inspect <run-dir> --watermarks
 //       Per-series peak + the sim time it was first hit (same values the
 //       producing run folded into manifest.json).
+//   ethsim_inspect <run-dir> --demand
+//       Workload-plan demand summary from the manifest extras: offered and
+//       included totals per traffic source, replacement churn, and the
+//       closed-loop position at run end. Only runs driven by a non-empty
+//       WorkloadPlan record these; a default-workload manifest is a one-line
+//       error and a nonzero exit.
 //   ethsim_inspect <run-dir> --summary   (default when no query given)
 //
 // `--block head` resolves the head hash from manifest.json, so the common
@@ -88,7 +94,8 @@ void Usage() {
       "    [--series <substr>]     restrict to matching series names\n"
       "    [--from <s>] [--to <s>] slice to a sim-time window in seconds\n"
       "    [--csv]                 dump the selected window as CSV\n"
-      "  --watermarks              per-series peak value + sim time of peak\n");
+      "  --watermarks              per-series peak value + sim time of peak\n"
+      "  --demand                  per-source workload demand (plan runs)\n");
 }
 
 std::string RegionName(const ProvenanceLog& log, std::uint32_t host) {
@@ -114,6 +121,27 @@ bool HeadHashFromManifest(const std::string& dir, std::string* hex) {
     if (close == std::string::npos) continue;
     *hex = line.substr(open + 1, close - open - 1);
     return !hex->empty();
+  }
+  return false;
+}
+
+// Generic manifest extra lookup ("key": "value"), same line-scraping
+// approach as the head hash. Returns false when the key is absent.
+bool ManifestValue(const std::string& dir, const std::string& key,
+                   std::string* value) {
+  std::ifstream in(dir + "/manifest.json");
+  if (!in) return false;
+  const std::string quoted = "\"" + key + "\"";
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find(quoted);
+    if (pos == std::string::npos) continue;
+    const auto open = line.find('"', pos + quoted.size());
+    if (open == std::string::npos) continue;
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    *value = line.substr(open + 1, close - open - 1);
+    return true;
   }
   return false;
 }
@@ -460,6 +488,59 @@ int PrintTimeSeries(const std::string& dir, const TimeSeriesLog& ts,
   return 0;
 }
 
+// --- manifest.json demand query ---------------------------------------------
+
+// Per-source demand from the workload extras a plan-driven run folds into
+// its manifest ("workload_source.N" = "name:kind:submitted:included").
+int PrintDemand(const std::string& dir) {
+  std::string sources;
+  if (!ManifestValue(dir, "workload_sources", &sources)) {
+    LogError("inspect",
+             "no workload extras in %s/manifest.json (only runs driven by a "
+             "non-empty WorkloadPlan record demand data)",
+             dir.c_str());
+    return 1;
+  }
+  std::string submitted, replacements, completed, in_flight;
+  ManifestValue(dir, "workload_submitted", &submitted);
+  ManifestValue(dir, "workload_replacements", &replacements);
+  ManifestValue(dir, "workload_closed_loop_completed", &completed);
+  ManifestValue(dir, "workload_in_flight_end", &in_flight);
+  std::printf("workload plan: %s sources, %s submitted, %s replacements\n",
+              sources.c_str(), submitted.c_str(), replacements.c_str());
+  std::printf("closed loop: %s completed; %s tracked txs in flight at end\n",
+              completed.c_str(), in_flight.c_str());
+
+  std::printf("%-4s %-20s %-12s %12s %12s\n", "#", "source", "kind",
+              "submitted", "included");
+  const std::size_t count =
+      static_cast<std::size_t>(std::strtoull(sources.c_str(), nullptr, 10));
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string row;
+    if (!ManifestValue(dir, "workload_source." + std::to_string(i), &row)) {
+      LogError("inspect", "manifest lists %zu sources but workload_source.%zu "
+               "is missing", count, i);
+      return 1;
+    }
+    // name:kind:submitted:included — names cannot contain ':' (plan
+    // validation does not forbid it, but the writer owns both sides; split
+    // from the right so a pathological name degrades gracefully).
+    std::vector<std::string> fields(4);
+    std::size_t end = row.size();
+    for (int f = 3; f >= 1; --f) {
+      const auto colon = row.rfind(':', end == 0 ? 0 : end - 1);
+      if (colon == std::string::npos) break;
+      fields[static_cast<std::size_t>(f)] = row.substr(colon + 1,
+                                                       end - colon - 1);
+      end = colon;
+    }
+    fields[0] = row.substr(0, end);
+    std::printf("%-4zu %-20s %-12s %12s %12s\n", i, fields[0].c_str(),
+                fields[1].c_str(), fields[2].c_str(), fields[3].c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -472,7 +553,7 @@ int main(int argc, char** argv) {
   std::string node_token;
   bool want_tree = false, want_timeline = false, want_redundancy = false;
   bool want_hops = false, want_degree = false, want_summary = false;
-  bool want_timeseries = false, want_watermarks = false;
+  bool want_timeseries = false, want_watermarks = false, want_demand = false;
   TimeSeriesQuery ts_query;
   std::size_t top = 20;
   for (int i = 2; i < argc; ++i) {
@@ -494,6 +575,7 @@ int main(int argc, char** argv) {
     else if (arg == "--summary") want_summary = true;
     else if (arg == "--timeseries") want_timeseries = true;
     else if (arg == "--watermarks") want_watermarks = true;
+    else if (arg == "--demand") want_demand = true;
     else if (arg == "--series") ts_query.series = next("--series");
     else if (arg == "--from") ts_query.from_s = std::strtod(next("--from"),
                                                             nullptr);
@@ -507,6 +589,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // The demand query reads only manifest.json: no binary artifact needed.
+  if (want_demand) return PrintDemand(dir);
 
   // Time-series queries read only timeseries.bin: a run sampled without
   // provenance recording is fully inspectable.
