@@ -23,6 +23,7 @@
 #include "eth/node.hpp"
 #include "miner/pool.hpp"
 #include "net/network.hpp"
+#include "obs/tx_provenance.hpp"
 #include "p2p/kademlia.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
@@ -329,6 +330,59 @@ void BM_WorkloadSubmit(benchmark::State& state) {
   state.SetItemsProcessed(total_submitted);
 }
 BENCHMARK(BM_WorkloadSubmit)->Unit(benchmark::kMillisecond);
+
+// Tx-lifecycle recorder hot path: full submit -> pool-admit -> select ->
+// include cycles with a periodic AdvanceHead commit sweep over two depths.
+// items/sec == stage records appended/sec; guards the per-record cost of the
+// ETHSIM_TXPROV flight recorder (columnar append + per-tx state + invariant
+// facts) that rides every transaction event when recording is on.
+void BM_TxProvRecord(benchmark::State& state) {
+  constexpr std::size_t kTxs = 512;
+  constexpr std::size_t kTxsPerBlock = 8;
+  std::vector<Hash32> tx_hashes(kTxs);
+  std::vector<Hash32> block_hashes(kTxs / kTxsPerBlock);
+  for (std::size_t i = 0; i < kTxs; ++i) {
+    tx_hashes[i].bytes[0] = static_cast<std::uint8_t>(i >> 8);
+    tx_hashes[i].bytes[1] = static_cast<std::uint8_t>(i);
+  }
+  for (std::size_t i = 0; i < block_hashes.size(); ++i) {
+    block_hashes[i].bytes[0] = 0xb0;
+    block_hashes[i].bytes[1] = static_cast<std::uint8_t>(i);
+  }
+  std::int64_t total_records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    obs::TxProvConfig config;
+    config.confirmation_depths = {0, 2};
+    auto recorder = std::make_unique<obs::TxProvRecorder>(std::move(config));
+    for (std::uint32_t host = 0; host < 4; ++host)
+      recorder->RegisterHost(host, static_cast<std::uint8_t>(host));
+    recorder->MarkVantage(1);
+    recorder->MarkAnchor(0);
+    state.ResumeTiming();
+
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < kTxs; ++i) {
+      const Hash32& tx = tx_hashes[i];
+      const std::uint64_t height = 1 + i / kTxsPerBlock;
+      const Hash32& block = block_hashes[i / kTxsPerBlock];
+      recorder->RecordSubmitted(tx, t, 2, 0, 50 + (i % 7), 0);
+      recorder->RecordFirstSeen(1, tx, t + 1);
+      recorder->RecordPoolOutcome(2, tx, t + 2, obs::TxPoolOutcome::kPending,
+                                  50 + (i % 7));
+      recorder->RecordSelected(0, tx, t + 3,
+                               static_cast<std::uint16_t>(i % 6), block,
+                               height);
+      recorder->RecordIncluded(0, tx, t + 4, block, height);
+      t += 5;
+      if ((i + 1) % kTxsPerBlock == 0) recorder->AdvanceHead(0, height, t++);
+    }
+    benchmark::DoNotOptimize(recorder->records_recorded());
+    total_records += static_cast<std::int64_t>(recorder->records_recorded());
+  }
+  state.SetItemsProcessed(total_records);
+}
+BENCHMARK(BM_TxProvRecord);
 
 // Schedule/cancel churn: half the scheduled events are cancelled before they
 // fire. Guards the O(1) generation-based Cancel (the seed engine kept a

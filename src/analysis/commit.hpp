@@ -21,7 +21,7 @@ struct CommitTimeResult {
   std::size_t committed_txs = 0;      // txs with full confirmation coverage
 };
 
-// Computes inclusion/commit CDurves over the canonical chain of
+// Computes inclusion/commit curves over the canonical chain of
 // `inputs.reference`. Transactions too close to the end of the run (their
 // h+max_depth block doesn't exist) are excluded, as are never-committed txs.
 CommitTimeResult TransactionCommitTimes(

@@ -1,0 +1,292 @@
+#include "analysis/latency_stages.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+#include "analysis/commit.hpp"
+#include "common/render.hpp"
+
+namespace ethsim::analysis {
+
+namespace {
+
+using render::Fmt;
+using render::Table;
+
+constexpr std::int64_t kUnset = INT64_MIN;
+constexpr std::uint16_t kNoPool = 0xffff;
+
+// Per-transaction stage times distilled from one pass over the log.
+struct TxTimeline {
+  std::int64_t submitted_us = kUnset;
+  std::int64_t first_admit_us = kUnset;
+  std::int64_t include_us = kUnset;  // latest (live) anchor inclusion
+  std::int64_t commit_us = kUnset;   // commit at the max swept depth
+  std::uint64_t include_block = 0;
+  std::uint8_t submit_region = 0xff;
+  std::uint16_t include_pool = kNoPool;
+  // Block-prefix -> pool of the kSelected record, so a reorg that lands the
+  // tx via a different block still attributes the right pool.
+  std::unordered_map<std::uint64_t, std::uint16_t> selected_pool;
+};
+
+std::unordered_map<std::uint64_t, TxTimeline> BuildTimelines(
+    const obs::TxProvLog& log, std::uint64_t max_depth) {
+  std::unordered_map<std::uint64_t, TxTimeline> timelines;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    TxTimeline& tl = timelines[log.tx[i]];
+    switch (static_cast<obs::TxStage>(log.stage[i])) {
+      case obs::TxStage::kSubmitted:
+        if (tl.submitted_us == kUnset) {
+          tl.submitted_us = log.t_us[i];
+          const std::uint32_t host = log.host[i];
+          if (host < log.host_region.size())
+            tl.submit_region = log.host_region[host];
+        }
+        break;
+      case obs::TxStage::kPoolAdmitted:
+      case obs::TxStage::kPoolReplaced:
+        if (tl.first_admit_us == kUnset) tl.first_admit_us = log.t_us[i];
+        break;
+      case obs::TxStage::kSelected:
+        tl.selected_pool[log.aux[i]] = log.info[i];
+        break;
+      case obs::TxStage::kIncluded: {
+        tl.include_us = log.t_us[i];
+        tl.include_block = log.aux[i];
+        const auto sel = tl.selected_pool.find(log.aux[i]);
+        tl.include_pool =
+            sel == tl.selected_pool.end() ? kNoPool : sel->second;
+        break;
+      }
+      case obs::TxStage::kCommitted:
+        if (log.info[i] == max_depth) tl.commit_us = log.t_us[i];
+        break;
+      default:
+        break;  // kFirstSeen / rejection outcomes don't enter the split
+    }
+  }
+  return timelines;
+}
+
+// Folds one committed transaction's timeline into a bucket. Returns false
+// when a stage needed for the three-way split is missing.
+bool AddToBucket(StageLatency& bucket, const TxTimeline& tl) {
+  ++bucket.committed;
+  if (tl.submitted_us == kUnset || tl.first_admit_us == kUnset ||
+      tl.include_us == kUnset || tl.commit_us == kUnset)
+    return false;
+  bucket.submit_to_admit_s.Add(
+      static_cast<double>(tl.first_admit_us - tl.submitted_us) / 1e6);
+  bucket.admit_to_include_s.Add(
+      static_cast<double>(tl.include_us - tl.first_admit_us) / 1e6);
+  bucket.include_to_commit_s.Add(
+      static_cast<double>(tl.commit_us - tl.include_us) / 1e6);
+  return true;
+}
+
+// Attributes one committed tx to overall + region + pool. A bucket index of
+// kNoPool / region >= kRegionCount only skips that breakdown.
+void Attribute(LatencyStageResult& result, const TxTimeline& tl,
+               std::uint8_t region, std::uint16_t pool) {
+  ++result.committed_total;
+  const bool complete = AddToBucket(result.overall, tl);
+  if (!complete) ++result.missing_stage_records;
+  if (region < net::kRegionCount) AddToBucket(result.per_region[region], tl);
+  if (pool != kNoPool && pool < result.per_pool.size())
+    AddToBucket(result.per_pool[pool], tl);
+}
+
+void RenderBucketRow(Table& table, const std::string& name,
+                     const StageLatency& bucket) {
+  const auto cell = [](const SampleSet& s, double q) {
+    return s.empty() ? std::string("-") : Fmt(s.Quantile(q), 2) + " s";
+  };
+  table.AddRow({name, std::to_string(bucket.committed),
+                std::to_string(bucket.submit_to_admit_s.count()),
+                cell(bucket.submit_to_admit_s, 0.50),
+                cell(bucket.submit_to_admit_s, 0.90),
+                cell(bucket.admit_to_include_s, 0.50),
+                cell(bucket.admit_to_include_s, 0.90),
+                cell(bucket.include_to_commit_s, 0.50),
+                cell(bucket.include_to_commit_s, 0.90)});
+}
+
+void RenderCsvRow(std::ostream& os, std::string_view kind,
+                  std::string_view name, const StageLatency& bucket) {
+  const auto cell = [](const SampleSet& s, double q) {
+    return s.empty() ? std::string("") : Fmt(s.Quantile(q), 6);
+  };
+  os << kind << ',' << name << ',' << bucket.committed << ','
+     << bucket.submit_to_admit_s.count() << ','
+     << cell(bucket.submit_to_admit_s, 0.50) << ','
+     << cell(bucket.submit_to_admit_s, 0.90) << ','
+     << cell(bucket.admit_to_include_s, 0.50) << ','
+     << cell(bucket.admit_to_include_s, 0.90) << ','
+     << cell(bucket.include_to_commit_s, 0.50) << ','
+     << cell(bucket.include_to_commit_s, 0.90) << '\n';
+}
+
+}  // namespace
+
+LatencyStageResult DecomposeLatencyStages(
+    const StudyInputs& inputs,
+    const std::vector<workload::SubmittedTx>& submitted,
+    const obs::TxProvLog& log,
+    std::vector<std::uint64_t> confirmation_depths) {
+  assert(inputs.reference != nullptr);
+  LatencyStageResult result;
+  result.depths = confirmation_depths;
+  if (inputs.pools != nullptr) {
+    result.per_pool.resize(inputs.pools->size());
+    for (const auto& pool : *inputs.pools)
+      result.pool_names.push_back(pool.name);
+  }
+
+  const std::uint64_t max_depth =
+      confirmation_depths.empty()
+          ? 0
+          : *std::max_element(confirmation_depths.begin(),
+                              confirmation_depths.end());
+  const auto timelines = BuildTimelines(log, max_depth);
+
+  std::unordered_map<Hash32, const workload::SubmittedTx*> by_hash;
+  by_hash.reserve(submitted.size());
+  for (const workload::SubmittedTx& rec : submitted)
+    by_hash.emplace(rec.hash, &rec);
+  const auto coinbase =
+      inputs.pools != nullptr
+          ? CoinbaseIndex(*inputs.pools)
+          : std::unordered_map<Address, std::size_t>{};
+
+  // Committed set: the exact TransactionCommitTimes / AnalyzeDemand rule —
+  // canonical transaction whose including height has vantage-observed
+  // canonical blocks at every swept depth.
+  const auto block_seen = CanonicalBlockFirstSeen(inputs);
+  const auto tx_seen = TxFirstSeen(inputs.observers);
+  static const TxTimeline kEmptyTimeline;
+  for (const auto& block : inputs.reference->CanonicalChain()) {
+    const std::uint64_t height = block->header.number;
+    bool covered = block_seen.contains(height + max_depth);
+    for (const std::uint64_t depth : confirmation_depths)
+      if (!block_seen.contains(height + depth)) covered = false;
+    if (!covered) continue;
+
+    std::uint16_t pool = kNoPool;
+    if (const auto pool_it = coinbase.find(block->header.miner);
+        pool_it != coinbase.end())
+      pool = static_cast<std::uint16_t>(pool_it->second);
+
+    for (const auto& tx : block->transactions) {
+      if (!tx_seen.contains(tx.hash)) continue;
+      const auto tl_it = timelines.find(tx.hash.prefix_u64());
+      const TxTimeline& tl =
+          tl_it == timelines.end() ? kEmptyTimeline : tl_it->second;
+      // Region of the submitting frontend, straight off the submission
+      // record (same attribution as AnalyzeDemand's per-region table).
+      std::uint8_t region = 0xff;
+      if (const auto rec_it = by_hash.find(tx.hash); rec_it != by_hash.end())
+        region = rec_it->second->region;
+      Attribute(result, tl, region, pool);
+    }
+  }
+  return result;
+}
+
+LatencyStageResult DecomposeLatencyStages(const obs::TxProvLog& log) {
+  LatencyStageResult result;
+  result.depths = log.depths;
+  const std::uint64_t max_depth =
+      log.depths.empty()
+          ? 0
+          : *std::max_element(log.depths.begin(), log.depths.end());
+  const auto timelines = BuildTimelines(log, max_depth);
+
+  std::uint16_t max_pool = 0;
+  bool any_pool = false;
+  for (const auto& [tx, tl] : timelines) {
+    (void)tx;
+    for (const auto& [block, pool] : tl.selected_pool) {
+      (void)block;
+      if (pool != kNoPool) {
+        max_pool = std::max(max_pool, pool);
+        any_pool = true;
+      }
+    }
+  }
+  if (any_pool) {
+    result.per_pool.resize(static_cast<std::size_t>(max_pool) + 1);
+    for (std::size_t p = 0; p < result.per_pool.size(); ++p)
+      result.pool_names.push_back("pool" + std::to_string(p));
+  }
+
+  // Deterministic order: sort committed txs by (commit time, hash prefix)
+  // so repeated invocations over the same artifact render identical output.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> committed;
+  for (const auto& [tx, tl] : timelines)
+    if (tl.commit_us != kUnset) committed.emplace_back(tl.commit_us, tx);
+  std::sort(committed.begin(), committed.end());
+  for (const auto& [commit_us, tx] : committed) {
+    (void)commit_us;
+    const TxTimeline& tl = timelines.at(tx);
+    Attribute(result, tl, tl.submit_region, tl.include_pool);
+  }
+  return result;
+}
+
+std::string RenderLatencyStages(const LatencyStageResult& result,
+                                bool by_region, bool by_pool) {
+  std::ostringstream os;
+  os << "Commit-latency decomposition (submit->admit | admit->include | "
+        "include->commit)\n";
+  os << "depths:";
+  for (const std::uint64_t depth : result.depths) os << ' ' << depth;
+  os << "  committed: " << result.committed_total;
+  if (result.missing_stage_records > 0)
+    os << "  (missing stage records: " << result.missing_stage_records << ")";
+  os << '\n';
+
+  Table table{{"bucket", "committed", "n", "s->a p50", "s->a p90",
+               "a->i p50", "a->i p90", "i->c p50", "i->c p90"}};
+  RenderBucketRow(table, "overall", result.overall);
+  if (by_region) {
+    for (std::size_t r = 0; r < net::kRegionCount; ++r) {
+      if (result.per_region[r].committed == 0) continue;
+      RenderBucketRow(
+          table,
+          std::string(net::RegionShortName(static_cast<net::Region>(r))),
+          result.per_region[r]);
+    }
+  }
+  if (by_pool) {
+    for (std::size_t p = 0; p < result.per_pool.size(); ++p) {
+      if (result.per_pool[p].committed == 0) continue;
+      RenderBucketRow(table, result.pool_names[p], result.per_pool[p]);
+    }
+  }
+  os << table.ToString();
+  return os.str();
+}
+
+std::string RenderLatencyStagesCsv(const LatencyStageResult& result) {
+  std::ostringstream os;
+  os << "kind,bucket,committed,n,submit_admit_p50_s,submit_admit_p90_s,"
+        "admit_include_p50_s,admit_include_p90_s,include_commit_p50_s,"
+        "include_commit_p90_s\n";
+  RenderCsvRow(os, "overall", "overall", result.overall);
+  for (std::size_t r = 0; r < net::kRegionCount; ++r) {
+    if (result.per_region[r].committed == 0) continue;
+    RenderCsvRow(os, "region",
+                 net::RegionShortName(static_cast<net::Region>(r)),
+                 result.per_region[r]);
+  }
+  for (std::size_t p = 0; p < result.per_pool.size(); ++p) {
+    if (result.per_pool[p].committed == 0) continue;
+    RenderCsvRow(os, "pool", result.pool_names[p], result.per_pool[p]);
+  }
+  return os.str();
+}
+
+}  // namespace ethsim::analysis

@@ -1,0 +1,76 @@
+// Commit-latency decomposition over the tx-lifecycle provenance stream
+// (obs/tx_provenance): for every committed transaction, split the end-to-end
+// commit time into
+//   submit -> pool-admit   (gossip + admission: first admit at any host)
+//   admit  -> inclusion    (queueing: how long the pool sat on it)
+//   inclusion -> commit    (confirmation: depth sweep on the anchor chain)
+// per region and per mining pool. The committed SET is decided by the exact
+// TransactionCommitTimes / AnalyzeDemand rule (canonical chain + full
+// vantage confirmation coverage), so `committed_total` reconciles with both;
+// the txprov stage times are used only for the decomposition itself.
+// Committed transactions missing a stage record (e.g. a tx that entered
+// before the recorder's anchor saw it) stay in committed_total but are
+// skipped from the sample sets and counted in `missing_stage_records`.
+//
+// A log-only overload powers `ethsim_inspect --stages` offline, where the
+// run's StudyInputs are gone: there the committed set is "txs with a
+// max-depth kCommitted record", region comes from the artifact's host table,
+// and the pool from the kSelected record matching the including block.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/inputs.hpp"
+#include "common/stats.hpp"
+#include "net/geo.hpp"
+#include "obs/tx_provenance.hpp"
+#include "workload/generator.hpp"
+
+namespace ethsim::analysis {
+
+// One attribution bucket (overall, a region, or a pool).
+struct StageLatency {
+  std::uint64_t committed = 0;  // committed txs attributed to this bucket
+  SampleSet submit_to_admit_s;
+  SampleSet admit_to_include_s;
+  SampleSet include_to_commit_s;
+};
+
+struct LatencyStageResult {
+  std::vector<std::uint64_t> depths;  // the swept confirmation depths
+  StageLatency overall;
+  // Indexed by net::Region of the submitting frontend; buckets with
+  // committed == 0 are skipped by the renderers.
+  std::array<StageLatency, net::kRegionCount> per_region{};
+  // Indexed by pool; names come from the roster (reconciling form) or are
+  // synthesized as "pool<N>" (log-only form).
+  std::vector<StageLatency> per_pool;
+  std::vector<std::string> pool_names;
+  std::uint64_t committed_total = 0;  // == TransactionCommitTimes committed_txs
+  std::uint64_t missing_stage_records = 0;
+};
+
+// Reconciling form: committed set from the canonical chain + vantage
+// coverage (identical to AnalyzeDemand), stage times from `log`, region from
+// the submission record, pool from the including block's coinbase.
+LatencyStageResult DecomposeLatencyStages(
+    const StudyInputs& inputs,
+    const std::vector<workload::SubmittedTx>& submitted,
+    const obs::TxProvLog& log,
+    std::vector<std::uint64_t> confirmation_depths = {0, 3, 12, 15, 36});
+
+// Log-only form (ethsim_inspect --stages): everything, including the
+// committed set, is derived from the artifact alone.
+LatencyStageResult DecomposeLatencyStages(const obs::TxProvLog& log);
+
+// Human-readable stage table(s); `by_region` / `by_pool` add the breakdown
+// sections (the overall row always renders).
+std::string RenderLatencyStages(const LatencyStageResult& result,
+                                bool by_region = true, bool by_pool = true);
+// Machine-readable CSV: one row per bucket.
+std::string RenderLatencyStagesCsv(const LatencyStageResult& result);
+
+}  // namespace ethsim::analysis

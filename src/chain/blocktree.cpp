@@ -189,6 +189,10 @@ void BlockTree::MaybeReorg(BlockId candidate, AddResult& result) {
   head_id_ = candidate;
   head_ = nodes_[candidate].block->hash;
   result.outcome = AddOutcome::kAddedNewHead;
+  if (record_reorg_steps_) [[unlikely]]
+    result.steps.push_back(
+        {static_cast<std::uint32_t>(result.retired.size()),
+         static_cast<std::uint32_t>(result.adopted.size())});
 }
 
 std::vector<BlockHeader> BlockTree::UncleCandidates(

@@ -148,6 +148,18 @@ void Experiment::Build() {
   //    alone); nothing is scheduled until Run.
   if (telemetry_ != nullptr && telemetry_->sampler() != nullptr)
     RegisterSamplerProbes();
+
+  // 7. Tx-lifecycle recorder roles: the reference view (pool 0's primary
+  //    gateway — nodes_[0], built first) anchors inclusion/commit stages;
+  //    vantage observers record first-seen. Marked after every node has
+  //    registered its host in AttachTelemetry.
+  if (telemetry_ != nullptr && telemetry_->txprov() != nullptr) {
+    obs::TxProvRecorder* txprov = telemetry_->txprov();
+    txprov->MarkAnchor(nodes_.front()->host());
+    const std::size_t observer_start = nodes_.size() - observers_.size();
+    for (std::size_t i = observer_start; i < nodes_.size(); ++i)
+      txprov->MarkVantage(nodes_[i]->host());
+  }
 }
 
 void Experiment::RegisterSamplerProbes() {
@@ -417,6 +429,8 @@ void Experiment::Run() {
   if (telemetry_ != nullptr) {
     if (obs::ProvenanceRecorder* prov = telemetry_->provenance())
       prov->SetEndTime(sim_.Now().micros());
+    if (obs::TxProvRecorder* txprov = telemetry_->txprov())
+      txprov->SetEndTime(sim_.Now().micros());
   }
 
   // One top-level span covering the whole simulated interval, so a loaded

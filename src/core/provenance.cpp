@@ -260,6 +260,15 @@ obs::RunManifest BuildRunManifest(const Experiment& experiment,
       manifest.extra.emplace_back("samples",
                                   std::to_string(sampler->sample_count()));
     }
+    // Tx-lifecycle extras only when the recorder ran: txprov-off manifests
+    // are byte-identical to pre-txprov output.
+    if (const obs::TxProvRecorder* txprov = telemetry->txprov()) {
+      manifest.txprov_enabled = true;
+      manifest.extra.emplace_back("txprov_records",
+                                  std::to_string(txprov->records_recorded()));
+      manifest.extra.emplace_back("txprov_violations",
+                                  std::to_string(txprov->violations()));
+    }
   }
   // Workload-plan extras only when a plan ran: default-workload manifests
   // are byte-identical to pre-workload-subsystem output.

@@ -8,6 +8,22 @@
 
 namespace ethsim::eth {
 
+// obs::TxPoolOutcome mirrors chain::TxPool::AddOutcome value-for-value so the
+// pool hook can static_cast between them.
+static_assert(
+    static_cast<int>(obs::TxPoolOutcome::kPending) ==
+        static_cast<int>(chain::TxPool::AddOutcome::kPending) &&
+    static_cast<int>(obs::TxPoolOutcome::kQueued) ==
+        static_cast<int>(chain::TxPool::AddOutcome::kQueued) &&
+    static_cast<int>(obs::TxPoolOutcome::kKnown) ==
+        static_cast<int>(chain::TxPool::AddOutcome::kKnown) &&
+    static_cast<int>(obs::TxPoolOutcome::kStale) ==
+        static_cast<int>(chain::TxPool::AddOutcome::kStale) &&
+    static_cast<int>(obs::TxPoolOutcome::kReplaced) ==
+        static_cast<int>(chain::TxPool::AddOutcome::kReplaced) &&
+    static_cast<int>(obs::TxPoolOutcome::kRejected) ==
+        static_cast<int>(chain::TxPool::AddOutcome::kRejected));
+
 EthNode::EthNode(sim::Simulator& simulator, net::Network& network,
                  net::HostId host, p2p::NodeId id, chain::BlockPtr genesis,
                  NodeConfig config, Rng rng)
@@ -32,6 +48,8 @@ net::Region EthNode::region() const { return net_.host(host_).region; }
 void EthNode::AttachTelemetry(obs::Telemetry* telemetry,
                               std::uint32_t trace_lane) {
   prov_ = nullptr;
+  txprov_ = nullptr;
+  tree_.set_record_reorg_steps(false);
   block_tracer_ = nullptr;
   tx_tracer_ = nullptr;
   imported_count_ = nullptr;
@@ -44,6 +62,13 @@ void EthNode::AttachTelemetry(obs::Telemetry* telemetry,
 
   if ((prov_ = telemetry->provenance()) != nullptr)
     prov_->RegisterHost(host_, static_cast<std::uint8_t>(region()));
+
+  if ((txprov_ = telemetry->txprov()) != nullptr) {
+    txprov_->RegisterHost(host_, static_cast<std::uint8_t>(region()));
+    // RecordChainEdit replays the per-switch reorg slices; only recorder-on
+    // trees pay for collecting them.
+    tree_.set_record_reorg_steps(true);
+  }
 
   if (obs::Tracer* tracer = telemetry->tracer()) {
     if (tracer->enabled(obs::TraceCategory::kBlock)) block_tracer_ = tracer;
@@ -175,12 +200,41 @@ void EthNode::MarkKnowsBlock(EthNode* from, const Hash32& hash) {
   if (Peer* p = FindPeer(from)) p->known_blocks.Insert(hash);
 }
 
+void EthNode::RecordChainEdit(const chain::BlockTree::AddResult& result,
+                              bool new_head) {
+  // Replay each head switch in order, retirements before adoptions within a
+  // switch: one Add can cascade through several reorgs (orphan attach), and
+  // a block adopted by one switch may be retired by the next — processing
+  // the flat lists wholesale would record that block's orphan-return before
+  // its inclusion and leave the recorder's live-inclusion state wrong.
+  const std::int64_t now_us = sim_.Now().micros();
+  std::size_t r = 0;
+  std::size_t a = 0;
+  for (const auto& step : result.steps) {
+    for (; r < step.retired_end; ++r)
+      for (const auto& tx : result.retired[r]->transactions)
+        txprov_->RecordOrphanReturned(host_, tx.hash, now_us,
+                                      result.retired[r]->hash,
+                                      result.retired[r]->header.number);
+    for (; a < step.adopted_end; ++a)
+      for (const auto& tx : result.adopted[a]->transactions)
+        txprov_->RecordIncluded(host_, tx.hash, now_us,
+                                result.adopted[a]->hash,
+                                result.adopted[a]->header.number);
+  }
+  if (new_head) txprov_->AdvanceHead(host_, tree_.head_number(), now_us);
+}
+
 // --- local actions ---------------------------------------------------------
 
 void EthNode::SubmitTransaction(const chain::Transaction& tx) {
   if (!online_) return;  // a crashed node accepts no local submissions
   if (!seen_txs_.Insert(tx.hash)) return;
-  pool_.Add(tx);
+  const auto outcome = pool_.Add(tx);
+  if (txprov_ != nullptr) [[unlikely]]
+    txprov_->RecordPoolOutcome(host_, tx.hash, sim_.Now().micros(),
+                               static_cast<obs::TxPoolOutcome>(outcome),
+                               tx.gas_price);
   QueueTxForBroadcast(tx);
 }
 
@@ -207,6 +261,8 @@ void EthNode::InjectMinedBlock(chain::BlockPtr block) {
 
   const bool new_head =
       result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead;
+  if (txprov_ != nullptr) [[unlikely]]
+    RecordChainEdit(result, new_head);
   if (sink_ != nullptr) sink_->OnBlockImported(block, new_head);
   if (imported_count_ != nullptr) [[unlikely]] {
     imported_count_->Add();
@@ -311,7 +367,15 @@ void EthNode::DeliverTransactions(EthNode* from, const TxBatchView& batch) {
     if (sink_ != nullptr) sink_->OnTransactionMessage(tx);
     if (peer != nullptr) peer->known_txs.Insert(tx.hash);
     if (!seen_txs_.Insert(tx.hash)) return;
-    pool_.Add(tx);
+    // Post-dedupe = this node's first reception of the transaction. The
+    // recorder filters to vantage hosts itself.
+    if (txprov_ != nullptr) [[unlikely]]
+      txprov_->RecordFirstSeen(host_, tx.hash, sim_.Now().micros());
+    const auto outcome = pool_.Add(tx);
+    if (txprov_ != nullptr) [[unlikely]]
+      txprov_->RecordPoolOutcome(host_, tx.hash, sim_.Now().micros(),
+                                 static_cast<obs::TxPoolOutcome>(outcome),
+                                 tx.gas_price);
     QueueTxForBroadcast(tx);
   };
   const auto& txs = *batch.txs;
@@ -434,6 +498,8 @@ void EthNode::ImportBlock(chain::BlockPtr block, EthNode* origin) {
 
   const bool new_head =
       result.outcome == chain::BlockTree::AddOutcome::kAddedNewHead;
+  if (txprov_ != nullptr) [[unlikely]]
+    RecordChainEdit(result, new_head);
   if (sink_ != nullptr) sink_->OnBlockImported(block, new_head);
   if (imported_count_ != nullptr) [[unlikely]] {
     imported_count_->Add();

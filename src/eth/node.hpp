@@ -191,6 +191,12 @@ class EthNode {
   void ImportBlock(chain::BlockPtr block, EthNode* origin);
   Duration ValidationDelay(const chain::Block& block) const;
 
+  // Feeds a BlockTree edit (retired blocks' orphan-returned txs, adopted
+  // blocks' included txs, head advance) to the tx-lifecycle recorder.
+  // Callers check txprov_ != nullptr first (hot-path single-branch contract).
+  void RecordChainEdit(const chain::BlockTree::AddResult& result,
+                       bool new_head);
+
   void QueueTxForBroadcast(const chain::Transaction& tx);
   void FlushTxBroadcast();
 
@@ -241,6 +247,10 @@ class EthNode {
   // stages an edge immediately before net_.Send (the Network finalizes it)
   // and every ingress resolves its delivery — see obs/provenance_dag.hpp.
   obs::ProvenanceRecorder* prov_ = nullptr;
+  // txprov_ is the transaction-lifecycle recorder: pool outcomes at every
+  // host, vantage first-seens, and the anchor's include/orphan/commit
+  // timeline — see obs/tx_provenance.hpp.
+  obs::TxProvRecorder* txprov_ = nullptr;
   obs::Tracer* block_tracer_ = nullptr;  // kBlock category pre-checked
   obs::Tracer* tx_tracer_ = nullptr;     // kTx category pre-checked
   obs::Counter* imported_count_ = nullptr;

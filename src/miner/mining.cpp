@@ -56,10 +56,13 @@ void MiningCoordinator::OnGatewayHead(std::size_t pool_index,
 
 void MiningCoordinator::AttachTelemetry(obs::Telemetry* telemetry) {
   mine_tracer_ = nullptr;
+  txprov_ = nullptr;
   minted_count_.assign(pools_.size(), nullptr);
   fork_count_.assign(pools_.size(), nullptr);
   empty_count_.assign(pools_.size(), nullptr);
   if (telemetry == nullptr) return;
+
+  txprov_ = telemetry->txprov();
 
   if (obs::Tracer* tracer = telemetry->tracer();
       tracer != nullptr && tracer->enabled(obs::TraceCategory::kMine)) {
@@ -158,7 +161,16 @@ chain::BlockPtr MiningCoordinator::AssembleBlock(std::size_t pool_index,
         parent->hash, 2, params_.forbid_one_miner_uncles);
 
   block.Seal();
-  return arena_.Adopt(std::move(block));
+  chain::BlockPtr sealed = arena_.Adopt(std::move(block));
+  // Selection is attributed to the primary gateway's host: its pool is where
+  // the transactions were drawn from. Fork siblings copy the primary's
+  // transaction set and are deliberately not re-recorded as selections.
+  if (txprov_ != nullptr) [[unlikely]]
+    for (const auto& tx : sealed->transactions)
+      txprov_->RecordSelected(primary->host(), tx.hash, sim_.Now().micros(),
+                              static_cast<std::uint16_t>(pool_index),
+                              sealed->hash, sealed->header.number);
+  return sealed;
 }
 
 void MiningCoordinator::Release(std::size_t pool_index,

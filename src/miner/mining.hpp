@@ -134,6 +134,9 @@ class MiningCoordinator {
   // Telemetry (null = disabled). Per-pool counters are resolved once at
   // attach time; indices line up with pools_.
   obs::Tracer* mine_tracer_ = nullptr;  // kMine category pre-checked
+  // Tx-lifecycle recorder: AssembleBlock stamps a kSelected stage (with the
+  // winning pool index) for every transaction drawn into a block.
+  obs::TxProvRecorder* txprov_ = nullptr;
   std::vector<obs::Counter*> minted_count_;
   std::vector<obs::Counter*> fork_count_;
   std::vector<obs::Counter*> empty_count_;

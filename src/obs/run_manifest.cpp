@@ -69,6 +69,7 @@ std::string ManifestToJson(const RunManifest& m) {
       << ", \"profile\": " << (m.profile_enabled ? "true" : "false")
       << ", \"provenance\": " << (m.provenance_enabled ? "true" : "false");
   if (m.sample_enabled) out << ", \"sample\": true";
+  if (m.txprov_enabled) out << ", \"txprov\": true";
   out << "}";
   if (!m.watermarks.empty()) {
     out << ",\n  \"watermarks\": {";

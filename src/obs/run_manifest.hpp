@@ -52,6 +52,8 @@ struct RunManifest {
   // only when non-empty, so sampler-off manifests stay byte-identical to
   // pre-sampler output (same rule as the provenance/fault extras).
   bool sample_enabled = false;
+  // Rendered as telemetry.txprov only when true (same byte-identity rule).
+  bool txprov_enabled = false;
   std::vector<SeriesWatermark> watermarks;
   BuildInfo build = CurrentBuild();
   // Tool-specific annotations (seed lists, node counts, dataset paths...).

@@ -40,6 +40,10 @@ TelemetryConfig TelemetryConfig::FromEnv() {
     if (end != sample && *end == '\0' && parsed_ms > 1)
       cfg.sample_interval_us = parsed_ms * 1000;
   }
+  if (const char* txprov = std::getenv("ETHSIM_TXPROV"); EnvTruthy(txprov)) {
+    cfg.txprov = true;
+    cfg.txprov_strict = std::string_view(txprov) == "strict";
+  }
   if (const char* ring = std::getenv("ETHSIM_PROVENANCE_RING");
       ring != nullptr && ring[0] != '\0') {
     const long long parsed = std::atoll(ring);
@@ -73,6 +77,12 @@ Telemetry::Telemetry(TelemetryConfig config) : config_(std::move(config)) {
   }
   if (config_.sample)
     sampler_ = std::make_unique<StateSampler>(config_.sample_interval_us);
+  if (config_.txprov) {
+    TxProvConfig tx;
+    tx.fatal_invariants = config_.txprov_strict;
+    txprov_ = std::make_unique<TxProvRecorder>(tx);
+    txprov_->AttachMetrics(metrics_.get());
+  }
 }
 
 bool Telemetry::WriteArtifacts(const std::string& dir,
@@ -124,6 +134,14 @@ bool Telemetry::WriteArtifacts(const std::string& dir,
     if (!sampler_->WriteArtifact(dir, &sample_error)) {
       if (error != nullptr) *error = sample_error;
       LogError("telemetry", "failed writing %s", sample_error.c_str());
+      return false;
+    }
+  }
+  if (txprov_) {
+    std::string tx_error;
+    if (!txprov_->WriteArtifact(dir, &tx_error)) {
+      if (error != nullptr) *error = tx_error;
+      LogError("telemetry", "failed writing %s", tx_error.c_str());
       return false;
     }
   }

@@ -1,9 +1,10 @@
-// Telemetry facade: one object bundling the five instruments —
+// Telemetry facade: one object bundling the six instruments —
 //   * MetricsRegistry     (sim-clock, deterministic)      -> metrics.jsonl
 //   * Tracer              (sim-clock, deterministic)      -> trace.json
 //   * EngineProfiler      (wall-clock, nondeterministic)  -> profile.jsonl
 //   * ProvenanceRecorder  (sim-clock, deterministic)      -> provenance.bin
 //   * StateSampler        (sim-clock, deterministic)      -> timeseries.bin
+//   * TxProvRecorder      (sim-clock, deterministic)      -> txprov.bin
 // plus the config that gates them. Components accept a `Telemetry*`; a null
 // pointer (or a facade with everything disabled) costs exactly one predicted
 // branch on hot paths. Telemetry never draws from any Rng and never schedules
@@ -19,6 +20,7 @@
 #include "obs/provenance_dag.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/tx_provenance.hpp"
 
 namespace ethsim::obs {
 
@@ -44,12 +46,18 @@ struct TelemetryConfig {
   // window, small enough to never dominate the artifact set.
   bool sample = false;
   std::int64_t sample_interval_us = 250'000;
+  // Transaction-lifecycle flight recorder (obs/tx_provenance): every stage
+  // transition of every transaction into txprov.bin, with the runtime
+  // invariant checker riding the stream. `txprov_strict` escalates invariant
+  // violations to abort.
+  bool txprov = false;
+  bool txprov_strict = false;
   // Artifact directory for WriteArtifacts-style helpers; empty = caller's
   // choice (entry points default next to their other outputs).
   std::string output_dir;
 
   bool any() const {
-    return metrics || trace || profile || provenance || sample;
+    return metrics || trace || profile || provenance || sample || txprov;
   }
 
   // Environment gates:
@@ -62,6 +70,8 @@ struct TelemetryConfig {
   //   ETHSIM_TRACE_CAPACITY=N     ring capacity in events
   //   ETHSIM_SAMPLE=1|interval_ms state-sampling flight recorder (a numeric
   //                               value overrides the 250 ms cadence)
+  //   ETHSIM_TXPROV=1|strict      record per-transaction lifecycle stages
+  //                               (strict: abort on invariant violations)
   //   ETHSIM_TELEMETRY_DIR=path   artifact directory
   static TelemetryConfig FromEnv();
 };
@@ -86,10 +96,12 @@ class Telemetry {
   const ProvenanceRecorder* provenance() const { return provenance_.get(); }
   StateSampler* sampler() { return sampler_.get(); }
   const StateSampler* sampler() const { return sampler_.get(); }
+  TxProvRecorder* txprov() { return txprov_.get(); }
+  const TxProvRecorder* txprov() const { return txprov_.get(); }
 
   // Writes the enabled streams into `dir` (created if missing) as
   // metrics.jsonl / trace.json / profile.jsonl / provenance.bin /
-  // timeseries.bin. Returns
+  // timeseries.bin / txprov.bin. Returns
   // false and fills `error` (when non-null) with the failing path on I/O
   // errors. Writing provenance finishes the recorder (drains staging rings);
   // further recording afterwards is a programming error.
@@ -103,6 +115,7 @@ class Telemetry {
   std::unique_ptr<EngineProfiler> profiler_;
   std::unique_ptr<ProvenanceRecorder> provenance_;
   std::unique_ptr<StateSampler> sampler_;
+  std::unique_ptr<TxProvRecorder> txprov_;
 };
 
 }  // namespace ethsim::obs

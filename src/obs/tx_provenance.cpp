@@ -1,0 +1,482 @@
+// Implementation of the transaction-lifecycle flight recorder. See the
+// header for role scoping; the notes here cover the commit sweep:
+//
+// Commit scheduling. When the anchor adopts a block at height h containing a
+// tx, the recorder buckets one PendingCommit per configured depth d at key
+// h + d. AdvanceHead pops every bucket at or below the new head height and
+// emits kCommitted for entries that are still *valid*: the tx is still
+// included, at the same height the entry was scheduled for (a reorg in
+// between invalidates the entry — the re-adoption schedules fresh ones), and
+// that depth has not already been committed (the per-tx committed mask is
+// sticky across reorgs, so "committed at depth d" is emitted at most once
+// per tx, matching the first-time-d-deep semantics of analysis/commit).
+#include "obs/tx_provenance.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/diag.hpp"
+#include "obs/metrics.hpp"
+
+namespace ethsim::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'T', 'H', 'T', 'X', '1', '\0', '\0'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint8_t kUnknownRegion = 0xff;
+
+// How many individual violations get a log line before we go quiet (the
+// counters keep the full tally either way).
+constexpr std::uint64_t kMaxLoggedViolations = 16;
+
+template <typename T>
+void WriteColumn(std::ofstream& out, const std::vector<T>& column) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadColumn(std::ifstream& in, std::vector<T>& column, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  column.resize(count);
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return in.good() || (count == 0 && !in.bad());
+}
+
+template <typename T>
+void WriteScalar(std::ofstream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+std::string_view TxStageName(TxStage stage) {
+  switch (stage) {
+    case TxStage::kSubmitted:
+      return "submitted";
+    case TxStage::kFirstSeen:
+      return "first_seen";
+    case TxStage::kPoolAdmitted:
+      return "pool_admitted";
+    case TxStage::kPoolRejected:
+      return "pool_rejected";
+    case TxStage::kPoolReplaced:
+      return "pool_replaced";
+    case TxStage::kSelected:
+      return "selected";
+    case TxStage::kIncluded:
+      return "included";
+    case TxStage::kOrphanReturned:
+      return "orphan_returned";
+    case TxStage::kCommitted:
+      return "committed";
+  }
+  return "unknown";
+}
+
+std::string_view TxPoolOutcomeName(TxPoolOutcome outcome) {
+  switch (outcome) {
+    case TxPoolOutcome::kPending:
+      return "pending";
+    case TxPoolOutcome::kQueued:
+      return "queued";
+    case TxPoolOutcome::kKnown:
+      return "known";
+    case TxPoolOutcome::kStale:
+      return "stale";
+    case TxPoolOutcome::kReplaced:
+      return "replaced";
+    case TxPoolOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+std::string_view TxInvariantName(TxInvariant check) {
+  switch (check) {
+    case TxInvariant::kNonMonotoneStage:
+      return "monotonic_stage";
+    case TxInvariant::kIncludeWithoutAdmit:
+      return "include_without_admit";
+    case TxInvariant::kOrphanReturnWithoutInclude:
+      return "orphan_return_without_include";
+    case TxInvariant::kCommitBeforeInclude:
+      return "commit_before_include";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// TxProvLog
+
+void TxProvLog::Append(const TxStageRecord& record) {
+  t_us.push_back(record.t_us);
+  tx.push_back(record.tx);
+  host.push_back(record.host);
+  stage.push_back(static_cast<std::uint8_t>(record.stage));
+  info.push_back(record.info);
+  aux.push_back(record.aux);
+  number.push_back(record.number);
+}
+
+// Layout (all little-endian, no padding):
+//   char     magic[8]        "ETHTX1\0\0"
+//   u32      version         1
+//   u32      host_count
+//   u32      depth_count
+//   u64      record_count
+//   i64      end_us
+//   u8       host_region[host_count]
+//   u64      depths[depth_count]
+//   i64      t_us[record_count]
+//   u64      tx[record_count]
+//   u32      host[record_count]
+//   u8       stage[record_count]
+//   u16      info[record_count]
+//   u64      aux[record_count]
+//   u64      number[record_count]
+bool TxProvLog::WriteBinary(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WriteScalar(out, kFormatVersion);
+  WriteScalar(out, static_cast<std::uint32_t>(host_region.size()));
+  WriteScalar(out, static_cast<std::uint32_t>(depths.size()));
+  WriteScalar(out, static_cast<std::uint64_t>(size()));
+  WriteScalar(out, end_us);
+  WriteColumn(out, host_region);
+  WriteColumn(out, depths);
+  WriteColumn(out, t_us);
+  WriteColumn(out, tx);
+  WriteColumn(out, host);
+  WriteColumn(out, stage);
+  WriteColumn(out, info);
+  WriteColumn(out, aux);
+  WriteColumn(out, number);
+  out.flush();
+  if (!out.good()) return Fail(error, "short write to " + path);
+  return true;
+}
+
+bool TxProvLog::ReadBinary(const std::string& path, TxProvLog* out,
+                           std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Fail(error, path + ": bad magic (not a txprov.bin artifact)");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t host_count = 0;
+  std::uint32_t depth_count = 0;
+  std::uint64_t record_count = 0;
+  if (!ReadScalar(in, &version)) return Fail(error, path + ": truncated header");
+  if (version != kFormatVersion) {
+    return Fail(error, path + ": unsupported format version " +
+                           std::to_string(version));
+  }
+  if (!ReadScalar(in, &host_count) || !ReadScalar(in, &depth_count) ||
+      !ReadScalar(in, &record_count) || !ReadScalar(in, &out->end_us)) {
+    return Fail(error, path + ": truncated header");
+  }
+  const auto count = static_cast<std::size_t>(record_count);
+  if (!ReadColumn(in, out->host_region, host_count) ||
+      !ReadColumn(in, out->depths, depth_count) ||
+      !ReadColumn(in, out->t_us, count) || !ReadColumn(in, out->tx, count) ||
+      !ReadColumn(in, out->host, count) ||
+      !ReadColumn(in, out->stage, count) ||
+      !ReadColumn(in, out->info, count) || !ReadColumn(in, out->aux, count) ||
+      !ReadColumn(in, out->number, count)) {
+    return Fail(error, path + ": truncated column data");
+  }
+  // Exact-size check: nothing may trail the last column.
+  in.peek();
+  if (!in.eof()) return Fail(error, path + ": trailing bytes after columns");
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TxInvariantChecker
+
+TxInvariantChecker::TxInvariantChecker(bool fatal) : fatal_(fatal) {}
+
+void TxInvariantChecker::AttachMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  for (std::size_t i = 0; i < kTxInvariantCount; ++i) {
+    const auto check = static_cast<TxInvariant>(i);
+    counters_[i] = metrics->GetCounter(
+        LabeledName("txprov.violation", {{"check", TxInvariantName(check)}}));
+  }
+}
+
+void TxInvariantChecker::Violate(TxInvariant check, std::string detail) {
+  ++total_;
+  ++by_check_[static_cast<std::size_t>(check)];
+  if (Counter* c = counters_[static_cast<std::size_t>(check)]) c->Add();
+  if (handler_) {
+    handler_(check, detail);
+    return;
+  }
+  if (total_ <= kMaxLoggedViolations) {
+    LogWarn("txprov", "invariant %s violated: %s",
+            std::string(TxInvariantName(check)).c_str(), detail.c_str());
+    if (total_ == kMaxLoggedViolations) {
+      LogWarn("txprov",
+              "further invariant violations will be counted but not logged");
+    }
+  }
+  if (fatal_) {
+    LogError("txprov", "aborting on invariant violation (%s): %s",
+             std::string(TxInvariantName(check)).c_str(), detail.c_str());
+    std::abort();
+  }
+}
+
+void TxInvariantChecker::OnStage(TxStage stage, std::uint64_t tx,
+                                 std::int64_t t_us, std::int64_t last_t_us) {
+  if (t_us < last_t_us) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "tx %016" PRIx64 " stage %s at t=%" PRId64
+                  "us is earlier than its prior record (t=%" PRId64 "us)",
+                  tx, std::string(TxStageName(stage)).c_str(), t_us,
+                  last_t_us);
+    Violate(TxInvariant::kNonMonotoneStage, buf);
+  }
+}
+
+void TxInvariantChecker::OnInclude(std::uint64_t tx, bool ever_admitted) {
+  if (!ever_admitted) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "tx %016" PRIx64 " included without any pool admission", tx);
+    Violate(TxInvariant::kIncludeWithoutAdmit, buf);
+  }
+}
+
+void TxInvariantChecker::OnOrphanReturn(std::uint64_t tx,
+                                        bool currently_included) {
+  if (!currently_included) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "tx %016" PRIx64 " orphan-returned without a live inclusion",
+                  tx);
+    Violate(TxInvariant::kOrphanReturnWithoutInclude, buf);
+  }
+}
+
+void TxInvariantChecker::OnCommit(std::uint64_t tx, bool currently_included) {
+  if (!currently_included) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "tx %016" PRIx64 " committed while not included", tx);
+    Violate(TxInvariant::kCommitBeforeInclude, buf);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TxProvRecorder
+
+TxProvRecorder::TxProvRecorder(TxProvConfig config)
+    : config_(std::move(config)), checker_(config_.fatal_invariants) {
+  if (config_.confirmation_depths.empty())
+    config_.confirmation_depths = {0};
+  // The per-tx committed mask is a u32 bitfield, one bit per depth.
+  if (config_.confirmation_depths.size() > 32)
+    config_.confirmation_depths.resize(32);
+  log_.depths = config_.confirmation_depths;
+}
+
+void TxProvRecorder::AttachMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  for (std::size_t i = 0; i < kTxStageCount; ++i) {
+    const auto stage = static_cast<TxStage>(i);
+    stage_count_[i] = metrics->GetCounter(
+        LabeledName("txprov.record", {{"stage", TxStageName(stage)}}));
+  }
+  checker_.AttachMetrics(metrics);
+}
+
+void TxProvRecorder::RegisterHost(std::uint32_t host, std::uint8_t region) {
+  if (host >= log_.host_region.size()) {
+    log_.host_region.resize(host + 1, kUnknownRegion);
+  }
+  log_.host_region[host] = region;
+}
+
+void TxProvRecorder::MarkVantage(std::uint32_t host) {
+  if (host >= vantage_.size()) vantage_.resize(host + 1, false);
+  vantage_[host] = true;
+}
+
+void TxProvRecorder::MarkAnchor(std::uint32_t host) {
+  anchor_host_ = host;
+  has_anchor_ = true;
+}
+
+void TxProvRecorder::Append(TxStage stage, std::uint64_t tx, std::int64_t t_us,
+                            std::uint32_t host, std::uint16_t info,
+                            std::uint64_t aux, std::uint64_t number) {
+  TxState& state = State(tx);
+  checker_.OnStage(stage, tx, t_us, state.last_t_us);
+  if (t_us > state.last_t_us) state.last_t_us = t_us;
+  TxStageRecord record;
+  record.t_us = t_us;
+  record.tx = tx;
+  record.host = host;
+  record.stage = stage;
+  record.info = info;
+  record.aux = aux;
+  record.number = number;
+  log_.Append(record);
+  if (Counter* c = stage_count_[static_cast<std::size_t>(stage)]) c->Add();
+}
+
+void TxProvRecorder::RecordSubmitted(const Hash32& hash, std::int64_t t_us,
+                                     std::uint32_t frontend_host,
+                                     std::uint16_t source,
+                                     std::uint64_t gas_price,
+                                     std::uint16_t replacement) {
+  Append(TxStage::kSubmitted, hash.prefix_u64(), t_us, frontend_host, source,
+         gas_price, replacement);
+}
+
+void TxProvRecorder::RecordFirstSeen(std::uint32_t host, const Hash32& hash,
+                                     std::int64_t t_us) {
+  if (host >= vantage_.size() || !vantage_[host]) return;
+  Append(TxStage::kFirstSeen, hash.prefix_u64(), t_us, host, 0, 0, 0);
+}
+
+void TxProvRecorder::RecordPoolOutcome(std::uint32_t host, const Hash32& hash,
+                                       std::int64_t t_us,
+                                       TxPoolOutcome outcome,
+                                       std::uint64_t gas_price) {
+  TxStage stage;
+  switch (outcome) {
+    case TxPoolOutcome::kPending:
+    case TxPoolOutcome::kQueued:
+      stage = TxStage::kPoolAdmitted;
+      break;
+    case TxPoolOutcome::kReplaced:
+      stage = TxStage::kPoolReplaced;
+      break;
+    default:
+      stage = TxStage::kPoolRejected;
+      break;
+  }
+  const std::uint64_t tx = hash.prefix_u64();
+  if (stage != TxStage::kPoolRejected) State(tx).admitted = true;
+  Append(stage, tx, t_us, host, static_cast<std::uint16_t>(outcome),
+         gas_price, 0);
+}
+
+void TxProvRecorder::RecordSelected(std::uint32_t host, const Hash32& hash,
+                                    std::int64_t t_us, std::uint16_t pool,
+                                    const Hash32& block,
+                                    std::uint64_t height) {
+  Append(TxStage::kSelected, hash.prefix_u64(), t_us, host, pool,
+         block.prefix_u64(), height);
+}
+
+void TxProvRecorder::RecordIncluded(std::uint32_t host, const Hash32& hash,
+                                    std::int64_t t_us, const Hash32& block,
+                                    std::uint64_t height) {
+  if (!IsAnchor(host)) return;
+  const std::uint64_t tx = hash.prefix_u64();
+  TxState& state = State(tx);
+  checker_.OnInclude(tx, state.admitted);
+  ++state.include_count;
+  state.include_height = height;
+  state.include_block = block.prefix_u64();
+  Append(TxStage::kIncluded, tx, t_us, host, 0, state.include_block, height);
+  for (std::uint32_t d = 0; d < config_.confirmation_depths.size(); ++d) {
+    if ((state.committed_mask & (1u << d)) != 0) continue;
+    commit_queue_[height + config_.confirmation_depths[d]].push_back(
+        PendingCommit{tx, height, d});
+  }
+}
+
+void TxProvRecorder::RecordOrphanReturned(std::uint32_t host,
+                                          const Hash32& hash,
+                                          std::int64_t t_us,
+                                          const Hash32& block,
+                                          std::uint64_t height) {
+  if (!IsAnchor(host)) return;
+  const std::uint64_t tx = hash.prefix_u64();
+  TxState& state = State(tx);
+  checker_.OnOrphanReturn(tx, state.include_count > 0);
+  if (state.include_count > 0) --state.include_count;
+  Append(TxStage::kOrphanReturned, tx, t_us, host, 0, block.prefix_u64(),
+         height);
+}
+
+void TxProvRecorder::AdvanceHead(std::uint32_t host, std::uint64_t head_number,
+                                 std::int64_t t_us) {
+  if (!IsAnchor(host)) return;
+  while (!commit_queue_.empty() &&
+         commit_queue_.begin()->first <= head_number) {
+    // The bucket must leave the queue before records are emitted: a strict
+    // checker handler could re-enter in tests.
+    std::vector<PendingCommit> bucket =
+        std::move(commit_queue_.begin()->second);
+    commit_queue_.erase(commit_queue_.begin());
+    for (const PendingCommit& pending : bucket) {
+      TxState& state = State(pending.tx);
+      // Stale entry: the tx was reorged away (and possibly re-included at a
+      // different height, which scheduled fresh entries).
+      if (state.include_count == 0 ||
+          state.include_height != pending.include_height)
+        continue;
+      const std::uint32_t bit = 1u << pending.depth_index;
+      if ((state.committed_mask & bit) != 0) continue;
+      checker_.OnCommit(pending.tx, state.include_count > 0);
+      state.committed_mask |= bit;
+      Append(TxStage::kCommitted, pending.tx, t_us, host,
+             static_cast<std::uint16_t>(
+                 config_.confirmation_depths[pending.depth_index]),
+             state.include_block, state.include_height);
+    }
+  }
+}
+
+const TxProvLog& TxProvRecorder::Finish() {
+  if (finished_) return log_;
+  finished_ = true;
+  log_.end_us = end_us_;
+  return log_;
+}
+
+bool TxProvRecorder::WriteArtifact(const std::string& dir,
+                                   std::string* error) {
+  const TxProvLog& log = Finish();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = dir + ": " + ec.message();
+    return false;
+  }
+  return log.WriteBinary(dir + "/txprov.bin", error);
+}
+
+}  // namespace ethsim::obs

@@ -89,6 +89,7 @@ WorkloadGenerator::WorkloadGenerator(sim::Simulator& simulator, Rng rng,
 
 void WorkloadGenerator::AttachTelemetry(obs::Telemetry* telemetry) {
   if (telemetry == nullptr) return;
+  txprov_ = telemetry->txprov();
   obs::MetricsRegistry* metrics = telemetry->metrics();
   if (metrics == nullptr) return;
   submitted_counter_ = metrics->GetCounter("workload.submitted");
@@ -481,6 +482,12 @@ void WorkloadGenerator::Record(const chain::Transaction& tx, TimePoint at,
   rec.closed_loop = closed_loop;
   rec.gas_price = tx.gas_price;
   submitted_.push_back(rec);
+  // Stamped with the submission time `at` (legacy bursts record at
+  // scheduling time), so the stage timeline lines up with SubmittedTx rows.
+  if (txprov_ != nullptr) [[unlikely]]
+    txprov_->RecordSubmitted(tx.hash, at.micros(), frontends_[frontend]->host(),
+                             static_cast<std::uint16_t>(source), tx.gas_price,
+                             replacement);
   if (!source_submitted_.empty()) ++source_submitted_[source];
   if (submitted_counter_ != nullptr) submitted_counter_->Add();
   if (!source_counters_.empty() && source_counters_[source] != nullptr)

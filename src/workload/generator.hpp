@@ -169,6 +169,9 @@ class WorkloadGenerator {
   std::uint64_t tracked_in_flight_ = 0;
 
   // Telemetry instruments (null = disabled; one predicted branch).
+  // Tx-lifecycle recorder: Record() stamps the kSubmitted stage (every
+  // submission path funnels through it).
+  obs::TxProvRecorder* txprov_ = nullptr;
   obs::Counter* submitted_counter_ = nullptr;
   obs::Counter* replaced_counter_ = nullptr;
   std::vector<obs::Counter*> source_counters_;

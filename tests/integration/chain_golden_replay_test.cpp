@@ -99,6 +99,19 @@ TEST(ChainGoldenReplay, Table3SmokeProvenanceOnUnchanged) {
   ExpectGolden(cfg, golden, "table3_smoke_provenance");
 }
 
+// The tx-lifecycle recorder must not shift the run either: every hook is
+// record-only (no Rng draws, no scheduled events), so the txprov-on run must
+// match the txprov-off golden bit for bit — event count included.
+TEST(ChainGoldenReplay, Table3SmokeTxProvOnUnchanged) {
+  const Golden golden = {
+      "7d1a24c6e4e4248c7b283663cfd45e93b5b16357bda2be4624d96b1e0e84c16c",
+      7479658, 816109,
+      "719e032f18716168e85fba3ba04f57f7505efad748bbd020f57bfced7a226dd7"};
+  core::ExperimentConfig cfg = Table3Smoke();
+  cfg.telemetry.txprov = true;
+  ExpectGolden(cfg, golden, "table3_smoke_txprov");
+}
+
 // The state sampler must be read-only: its self-rescheduling tick adds
 // events of its own (so events_executed grows), but the chain outcome and
 // the determinism digest — which deliberately excludes the event count —

@@ -34,7 +34,19 @@
 //       closed-loop position at run end. Only runs driven by a non-empty
 //       WorkloadPlan record these; a default-workload manifest is a one-line
 //       error and a nonzero exit.
+//   ethsim_inspect <run-dir> --tx <hash>
+//       One transaction's full lifecycle timeline from txprov.bin (runs
+//       executed with ETHSIM_TXPROV=1): submission, vantage first-seens,
+//       pool outcomes per host, selection, inclusion, orphan returns and
+//       depth commits, in recording order.
+//   ethsim_inspect <run-dir> --stages [--by-region|--by-pool] [--csv]
+//       Commit-latency decomposition (submit->admit / admit->include /
+//       include->commit) over every committed transaction in txprov.bin.
+//       Default prints overall + both breakdowns; --by-region / --by-pool
+//       restrict to one. --csv emits machine-readable rows.
 //   ethsim_inspect <run-dir> --summary   (default when no query given)
+//
+// `--json` switches --demand and --watermarks to machine-readable JSON.
 //
 // `--block head` resolves the head hash from manifest.json, so the common
 // "show me the head block's tree" needs no copy-pasted hash.
@@ -54,11 +66,13 @@
 #include <vector>
 
 #include "analysis/dissemination.hpp"
+#include "analysis/latency_stages.hpp"
 #include "common/types.hpp"
 #include "net/geo.hpp"
 #include "obs/diag.hpp"
 #include "obs/provenance_dag.hpp"
 #include "obs/sampler.hpp"
+#include "obs/tx_provenance.hpp"
 
 namespace {
 
@@ -95,7 +109,12 @@ void Usage() {
       "    [--from <s>] [--to <s>] slice to a sim-time window in seconds\n"
       "    [--csv]                 dump the selected window as CSV\n"
       "  --watermarks              per-series peak value + sim time of peak\n"
-      "  --demand                  per-source workload demand (plan runs)\n");
+      "  --demand                  per-source workload demand (plan runs)\n"
+      "  --tx <hash>               one transaction's lifecycle (ETHSIM_TXPROV)\n"
+      "  --stages                  commit-latency stage decomposition\n"
+      "    [--by-region|--by-pool] restrict the breakdown sections\n"
+      "    [--csv]                 machine-readable rows\n"
+      "  --json                    JSON output for --demand / --watermarks\n");
 }
 
 std::string RegionName(const ProvenanceLog& log, std::uint32_t host) {
@@ -403,7 +422,31 @@ struct TimeSeriesQuery {
   bool csv = false;
 };
 
-int PrintWatermarks(const TimeSeriesLog& ts) {
+// Minimal JSON string escaping (quotes and backslashes), matching the
+// manifest writer's own rules.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int PrintWatermarks(const TimeSeriesLog& ts, bool json) {
+  if (json) {
+    std::printf("{\"watermarks\": [");
+    bool first = true;
+    for (const SeriesWatermark& mark : ComputeWatermarks(ts)) {
+      std::printf("%s{\"series\": \"%s\", \"peak\": %" PRId64
+                  ", \"at_us\": %" PRId64 "}",
+                  first ? "" : ", ", JsonEscape(mark.series).c_str(),
+                  mark.peak, mark.at_us);
+      first = false;
+    }
+    std::printf("]}\n");
+    return 0;
+  }
   std::printf("%-30s %14s %14s\n", "series", "peak", "at sim-s");
   for (const SeriesWatermark& mark : ComputeWatermarks(ts))
     std::printf("%-30s %14" PRId64 " %14.1f\n", mark.series.c_str(), mark.peak,
@@ -488,11 +531,156 @@ int PrintTimeSeries(const std::string& dir, const TimeSeriesLog& ts,
   return 0;
 }
 
+// --- txprov.bin queries -----------------------------------------------------
+
+std::string TxRegionName(const ethsim::obs::TxProvLog& log,
+                         std::uint32_t host) {
+  if (host < log.host_region.size() && log.host_region[host] != 0xff) {
+    return std::string(ethsim::net::RegionShortName(
+        static_cast<ethsim::net::Region>(log.host_region[host])));
+  }
+  return "?";
+}
+
+// Same hex handling as ResolveObject, but matched against the tx column of
+// the lifecycle log (no "head" shorthand — heads are blocks).
+bool ResolveTx(const ethsim::obs::TxProvLog& log, std::string token,
+               std::uint64_t* tx) {
+  if (token.rfind("0x", 0) == 0) token = token.substr(2);
+  if (token.size() > 16) token = token.substr(0, 16);
+  if (token.empty() || token.size() % 2 != 0) {
+    LogError("inspect", "bad tx hash '%s'", token.c_str());
+    return false;
+  }
+  std::uint64_t prefix = 0;
+  for (char c : token) {
+    int nibble;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+    else {
+      LogError("inspect", "bad hex in '%s'", token.c_str());
+      return false;
+    }
+    prefix = (prefix << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  if (token.size() == 16) {
+    *tx = prefix;
+    return true;
+  }
+  const unsigned bits = static_cast<unsigned>(token.size()) * 4;
+  const std::uint64_t wanted = prefix << (64 - bits);
+  std::uint64_t found = 0;
+  for (const std::uint64_t candidate : log.tx) {
+    if ((candidate >> (64 - bits)) << (64 - bits) == wanted) {
+      if (found != 0 && found != candidate) {
+        LogError("inspect", "ambiguous tx prefix '%s'", token.c_str());
+        return false;
+      }
+      found = candidate;
+    }
+  }
+  if (found == 0) {
+    LogError("inspect", "no transaction matches '%s'", token.c_str());
+    return false;
+  }
+  *tx = found;
+  return true;
+}
+
+int PrintTxTimeline(const ethsim::obs::TxProvLog& log, std::uint64_t tx) {
+  using ethsim::obs::TxPoolOutcome;
+  using ethsim::obs::TxPoolOutcomeName;
+  using ethsim::obs::TxStage;
+  using ethsim::obs::TxStageName;
+  std::size_t records = 0;
+  for (std::size_t i = 0; i < log.size(); ++i)
+    if (log.tx[i] == tx) ++records;
+  if (records == 0) {
+    LogError("inspect", "tx %016" PRIx64 " has no records in this log", tx);
+    return 1;
+  }
+  std::printf("tx %016" PRIx64 ": %zu stage records\n", tx, records);
+  std::printf("%12s %6s %-6s %-15s  %s\n", "t_us", "host", "region", "stage",
+              "detail");
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log.tx[i] != tx) continue;
+    const auto stage = static_cast<TxStage>(log.stage[i]);
+    std::printf("%12" PRId64 " %6u %-6s %-15s  ", log.t_us[i], log.host[i],
+                TxRegionName(log, log.host[i]).c_str(),
+                std::string(TxStageName(stage)).c_str());
+    switch (stage) {
+      case TxStage::kSubmitted:
+        std::printf("source=%u gas=%" PRIu64 " replacement=%" PRIu64,
+                    log.info[i], log.aux[i], log.number[i]);
+        break;
+      case TxStage::kFirstSeen:
+        break;
+      case TxStage::kPoolAdmitted:
+      case TxStage::kPoolRejected:
+      case TxStage::kPoolReplaced:
+        std::printf("outcome=%s gas=%" PRIu64,
+                    std::string(TxPoolOutcomeName(
+                                    static_cast<TxPoolOutcome>(log.info[i])))
+                        .c_str(),
+                    log.aux[i]);
+        break;
+      case TxStage::kSelected:
+        std::printf("pool=%u block=%016" PRIx64 " height=%" PRIu64,
+                    log.info[i], log.aux[i], log.number[i]);
+        break;
+      case TxStage::kIncluded:
+      case TxStage::kOrphanReturned:
+        std::printf("block=%016" PRIx64 " height=%" PRIu64, log.aux[i],
+                    log.number[i]);
+        break;
+      case TxStage::kCommitted:
+        std::printf("depth=%u block=%016" PRIx64 " include_height=%" PRIu64,
+                    log.info[i], log.aux[i], log.number[i]);
+        break;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int PrintStages(const ethsim::obs::TxProvLog& log, bool by_region,
+                bool by_pool, bool csv) {
+  const ethsim::analysis::LatencyStageResult result =
+      ethsim::analysis::DecomposeLatencyStages(log);
+  if (csv)
+    std::fputs(ethsim::analysis::RenderLatencyStagesCsv(result).c_str(),
+               stdout);
+  else
+    std::fputs(ethsim::analysis::RenderLatencyStages(result, by_region,
+                                                     by_pool)
+                   .c_str(),
+               stdout);
+  return 0;
+}
+
 // --- manifest.json demand query ---------------------------------------------
+
+// Splits a "name:kind:submitted:included" source row. Names cannot contain
+// ':' (plan validation does not forbid it, but the writer owns both sides;
+// split from the right so a pathological name degrades gracefully).
+std::vector<std::string> SplitSourceRow(const std::string& row) {
+  std::vector<std::string> fields(4);
+  std::size_t end = row.size();
+  for (int f = 3; f >= 1; --f) {
+    const auto colon = row.rfind(':', end == 0 ? 0 : end - 1);
+    if (colon == std::string::npos) break;
+    fields[static_cast<std::size_t>(f)] = row.substr(colon + 1,
+                                                     end - colon - 1);
+    end = colon;
+  }
+  fields[0] = row.substr(0, end);
+  return fields;
+}
 
 // Per-source demand from the workload extras a plan-driven run folds into
 // its manifest ("workload_source.N" = "name:kind:submitted:included").
-int PrintDemand(const std::string& dir) {
+int PrintDemand(const std::string& dir, bool json) {
   std::string sources;
   if (!ManifestValue(dir, "workload_sources", &sources)) {
     LogError("inspect",
@@ -506,38 +694,50 @@ int PrintDemand(const std::string& dir) {
   ManifestValue(dir, "workload_replacements", &replacements);
   ManifestValue(dir, "workload_closed_loop_completed", &completed);
   ManifestValue(dir, "workload_in_flight_end", &in_flight);
-  std::printf("workload plan: %s sources, %s submitted, %s replacements\n",
-              sources.c_str(), submitted.c_str(), replacements.c_str());
-  std::printf("closed loop: %s completed; %s tracked txs in flight at end\n",
-              completed.c_str(), in_flight.c_str());
-
-  std::printf("%-4s %-20s %-12s %12s %12s\n", "#", "source", "kind",
-              "submitted", "included");
   const std::size_t count =
       static_cast<std::size_t>(std::strtoull(sources.c_str(), nullptr, 10));
+
+  // Numeric extras are decimal strings written by the manifest; emit "0"
+  // when a key is absent so the JSON stays well-formed.
+  const auto num = [](const std::string& value) {
+    return value.empty() ? std::string("0") : value;
+  };
+  if (json) {
+    std::printf("{\"sources\": %s, \"submitted\": %s, \"replacements\": %s, "
+                "\"closed_loop_completed\": %s, \"in_flight_end\": %s, "
+                "\"per_source\": [",
+                num(sources).c_str(), num(submitted).c_str(),
+                num(replacements).c_str(), num(completed).c_str(),
+                num(in_flight).c_str());
+  } else {
+    std::printf("workload plan: %s sources, %s submitted, %s replacements\n",
+                sources.c_str(), submitted.c_str(), replacements.c_str());
+    std::printf("closed loop: %s completed; %s tracked txs in flight at end\n",
+                completed.c_str(), in_flight.c_str());
+    std::printf("%-4s %-20s %-12s %12s %12s\n", "#", "source", "kind",
+                "submitted", "included");
+  }
   for (std::size_t i = 0; i < count; ++i) {
     std::string row;
     if (!ManifestValue(dir, "workload_source." + std::to_string(i), &row)) {
+      if (json) std::printf("]}\n");
       LogError("inspect", "manifest lists %zu sources but workload_source.%zu "
                "is missing", count, i);
       return 1;
     }
-    // name:kind:submitted:included — names cannot contain ':' (plan
-    // validation does not forbid it, but the writer owns both sides; split
-    // from the right so a pathological name degrades gracefully).
-    std::vector<std::string> fields(4);
-    std::size_t end = row.size();
-    for (int f = 3; f >= 1; --f) {
-      const auto colon = row.rfind(':', end == 0 ? 0 : end - 1);
-      if (colon == std::string::npos) break;
-      fields[static_cast<std::size_t>(f)] = row.substr(colon + 1,
-                                                       end - colon - 1);
-      end = colon;
+    const std::vector<std::string> fields = SplitSourceRow(row);
+    if (json) {
+      std::printf("%s{\"index\": %zu, \"name\": \"%s\", \"kind\": \"%s\", "
+                  "\"submitted\": %s, \"included\": %s}",
+                  i == 0 ? "" : ", ", i, JsonEscape(fields[0]).c_str(),
+                  JsonEscape(fields[1]).c_str(), num(fields[2]).c_str(),
+                  num(fields[3]).c_str());
+    } else {
+      std::printf("%-4zu %-20s %-12s %12s %12s\n", i, fields[0].c_str(),
+                  fields[1].c_str(), fields[2].c_str(), fields[3].c_str());
     }
-    fields[0] = row.substr(0, end);
-    std::printf("%-4zu %-20s %-12s %12s %12s\n", i, fields[0].c_str(),
-                fields[1].c_str(), fields[2].c_str(), fields[3].c_str());
   }
+  if (json) std::printf("]}\n");
   return 0;
 }
 
@@ -551,9 +751,12 @@ int main(int argc, char** argv) {
   const std::string dir = argv[1];
   std::string block_token;
   std::string node_token;
+  std::string tx_token;
   bool want_tree = false, want_timeline = false, want_redundancy = false;
   bool want_hops = false, want_degree = false, want_summary = false;
   bool want_timeseries = false, want_watermarks = false, want_demand = false;
+  bool want_stages = false, by_region = false, by_pool = false;
+  bool json = false;
   TimeSeriesQuery ts_query;
   std::size_t top = 20;
   for (int i = 2; i < argc; ++i) {
@@ -576,6 +779,11 @@ int main(int argc, char** argv) {
     else if (arg == "--timeseries") want_timeseries = true;
     else if (arg == "--watermarks") want_watermarks = true;
     else if (arg == "--demand") want_demand = true;
+    else if (arg == "--tx") tx_token = next("--tx");
+    else if (arg == "--stages") want_stages = true;
+    else if (arg == "--by-region") by_region = true;
+    else if (arg == "--by-pool") by_pool = true;
+    else if (arg == "--json") json = true;
     else if (arg == "--series") ts_query.series = next("--series");
     else if (arg == "--from") ts_query.from_s = std::strtod(next("--from"),
                                                             nullptr);
@@ -591,7 +799,30 @@ int main(int argc, char** argv) {
   }
 
   // The demand query reads only manifest.json: no binary artifact needed.
-  if (want_demand) return PrintDemand(dir);
+  if (want_demand) return PrintDemand(dir, json);
+
+  // Lifecycle queries read only txprov.bin: a run recorded without gossip
+  // provenance still answers --tx / --stages.
+  if (!tx_token.empty() || want_stages) {
+    ethsim::obs::TxProvLog txlog;
+    std::string error;
+    if (!ethsim::obs::TxProvLog::ReadBinary(dir + "/txprov.bin", &txlog,
+                                            &error)) {
+      LogError("inspect",
+               "%s (run the producing tool with ETHSIM_TXPROV=1 to record "
+               "transaction lifecycles)",
+               error.c_str());
+      return 1;
+    }
+    if (!tx_token.empty()) {
+      std::uint64_t tx = 0;
+      if (!ResolveTx(txlog, tx_token, &tx)) return 1;
+      return PrintTxTimeline(txlog, tx);
+    }
+    // Neither breakdown flag = both sections.
+    if (!by_region && !by_pool) by_region = by_pool = true;
+    return PrintStages(txlog, by_region, by_pool, ts_query.csv);
+  }
 
   // Time-series queries read only timeseries.bin: a run sampled without
   // provenance recording is fully inspectable.
@@ -605,7 +836,7 @@ int main(int argc, char** argv) {
                error.c_str());
       return 1;
     }
-    if (want_watermarks) return PrintWatermarks(ts);
+    if (want_watermarks) return PrintWatermarks(ts, json);
     return PrintTimeSeries(dir, ts, ts_query);
   }
 

@@ -15,6 +15,8 @@ Validates whichever artifacts exist in DIR (at least manifest.json must):
                   enum ranges, arrival/drop consistency
   timeseries.bin  ETHTS1 columnar state-sample log: header, name table,
                   exact file size, nondecreasing time column
+  txprov.bin      ETHTX1 columnar tx-lifecycle stage log: header, exact
+                  file size, stage enum range, per-tx monotone times
 
 --require METRIC (repeatable) additionally asserts that metrics.jsonl
 contains at least one metric whose name equals METRIC or starts with
@@ -77,6 +79,9 @@ def check_manifest(path):
     # optional -- but must be well-formed when present.
     if "sample" in telemetry and not isinstance(telemetry["sample"], bool):
         fail("manifest telemetry.sample is not a bool")
+    # telemetry.txprov is likewise rendered only for tx-provenance runs.
+    if "txprov" in telemetry and not isinstance(telemetry["txprov"], bool):
+        fail("manifest telemetry.txprov is not a bool")
     if "watermarks" in doc:
         marks = doc["watermarks"]
         if not isinstance(marks, dict) or not marks:
@@ -305,6 +310,71 @@ def check_timeseries(path):
           f"samples, every {interval_us} us)")
 
 
+TXPROV_MAGIC = b"ETHTX1\x00\x00"
+# Per-record column widths in layout order (see TxProvLog::WriteBinary):
+# t_us i64, tx u64, host u32, stage u8, info u16, aux u64, number u64.
+TXPROV_COLUMNS = (("t_us", "q"), ("tx", "Q"), ("host", "I"), ("stage", "B"),
+                  ("info", "H"), ("aux", "Q"), ("number", "Q"))
+TXPROV_STAGE_COUNT = 9
+
+
+def check_txprov(path):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    header = struct.calcsize("<8sIIIQq")
+    if len(blob) < header:
+        fail("txprov.bin shorter than its header")
+        return
+    magic, version, host_count, depth_count, record_count, end_us = (
+        struct.unpack_from("<8sIIIQq", blob))
+    if magic != TXPROV_MAGIC:
+        fail(f"txprov.bin bad magic {magic!r}")
+        return
+    if version != 1:
+        fail(f"txprov.bin unsupported version {version}")
+        return
+    widths = {"q": 8, "Q": 8, "I": 4, "H": 2, "B": 1}
+    expected = (header + host_count + 8 * depth_count
+                + record_count * sum(widths[f] for _, f in TXPROV_COLUMNS))
+    if len(blob) != expected:
+        fail(f"txprov.bin is {len(blob)} bytes, expected {expected} "
+             f"({record_count} records, {host_count} hosts, "
+             f"{depth_count} depths)")
+        return
+    offset = header + host_count  # skip the host-region table
+    depths = struct.unpack_from(f"<{depth_count}Q", blob, offset)
+    offset += 8 * depth_count
+    if list(depths) != sorted(set(depths)):
+        fail(f"txprov.bin depth table is not strictly increasing: {depths}")
+    columns = {}
+    for name, fmt in TXPROV_COLUMNS:
+        columns[name] = struct.unpack_from(f"<{record_count}{fmt}", blob,
+                                           offset)
+        offset += record_count * widths[fmt]
+    bad_stage = sum(1 for s in columns["stage"] if s >= TXPROV_STAGE_COUNT)
+    if bad_stage:
+        fail(f"txprov.bin has {bad_stage} out-of-range stage bytes")
+    # Per-tx record times never go backwards (the global column can: legacy
+    # bursts record their future submit timestamps at scheduling time).
+    last = {}
+    backwards = 0
+    for tx, t in zip(columns["tx"], columns["t_us"]):
+        if t < last.get(tx, t):
+            backwards += 1
+        elif t > last.get(tx, -2**63):
+            last[tx] = t
+    if backwards:
+        fail(f"txprov.bin has {backwards} per-tx time regressions")
+    # Commit depths must come from the header's depth table.
+    depth_set = set(depths)
+    bad_depth = sum(1 for s, i in zip(columns["stage"], columns["info"])
+                    if s == 8 and i not in depth_set)
+    if bad_depth:
+        fail(f"txprov.bin has {bad_depth} commits at unswept depths")
+    print(f"  ok: txprov.bin ({record_count} records, {host_count} hosts, "
+          f"depths {list(depths)}, end_us {end_us})")
+
+
 def check_required(names, required):
     for metric in required:
         labeled = metric + "{"
@@ -371,7 +441,8 @@ def main():
               ("profile.jsonl", telemetry.get("profile"), check_profile),
               ("provenance.bin", telemetry.get("provenance"),
                check_provenance),
-              ("timeseries.bin", telemetry.get("sample"), check_timeseries))
+              ("timeseries.bin", telemetry.get("sample"), check_timeseries),
+              ("txprov.bin", telemetry.get("txprov"), check_txprov))
     for filename, enabled, check in checks:
         path = os.path.join(directory, filename)
         present = os.path.exists(path)
@@ -381,7 +452,8 @@ def main():
             result = check(path)
             if filename == "metrics.jsonl" and result:
                 metric_names, counter_values = result
-            if filename not in ("provenance.bin", "timeseries.bin"):
+            if filename not in ("provenance.bin", "timeseries.bin",
+                                "txprov.bin"):
                 print(f"  ok: {filename}")  # .bin checks print their own line
     if required:
         if not metric_names:
