@@ -1,8 +1,13 @@
 #include "analysis/dissemination.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
 #include <unordered_map>
+
+#include "net/geo.hpp"
 
 namespace ethsim::analysis {
 
@@ -359,6 +364,69 @@ std::vector<DegreeEstimate> InferDegrees(const obs::ProvenanceLog& log,
               return a.host < b.host;
             });
   return estimates;
+}
+
+namespace {
+
+// Region tag for JSON rows; "?" when the host has no recorded region.
+std::string HostRegion(const obs::ProvenanceLog& log, std::uint32_t host) {
+  if (host < log.host_region.size() && log.host_region[host] != 0xff)
+    return std::string(net::RegionShortName(
+        static_cast<net::Region>(log.host_region[host])));
+  return "?";
+}
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RenderRedundancyJson(const obs::ProvenanceLog& log,
+                                 std::size_t top) {
+  const std::vector<HostWaste> waste = WasteByHost(log);
+  std::uint64_t total_recv = 0, total_wasted = 0;
+  for (const HostWaste& entry : waste) {
+    total_recv += entry.receptions;
+    total_wasted += entry.wasted_bytes;
+  }
+  std::string out;
+  AppendF(out,
+          "{\"hosts\": %zu, \"receptions\": %" PRIu64
+          ", \"wasted_bytes\": %" PRIu64 ", \"per_host\": [",
+          waste.size(), total_recv, total_wasted);
+  std::size_t shown = 0;
+  for (const HostWaste& entry : waste) {
+    if (shown >= top) break;
+    AppendF(out,
+            "%s{\"host\": %u, \"region\": \"%s\", \"receptions\": %" PRIu64
+            ", \"redundant\": %" PRIu64 ", \"wasted_bytes\": %" PRIu64 "}",
+            shown == 0 ? "" : ", ", entry.host,
+            HostRegion(log, entry.host).c_str(), entry.receptions,
+            entry.redundant_receptions, entry.wasted_bytes);
+    ++shown;
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderHopsJson(const obs::ProvenanceLog& log) {
+  const HopDepthDistribution dist = HopDepths(log);
+  const FirstDeliveryShares shares = FirstDeliveryBreakdown(log);
+  std::string out;
+  AppendF(out,
+          "{\"pairs\": %zu, \"mean\": %.6g, \"p50\": %u, \"p90\": %u, "
+          "\"p99\": %u, \"max\": %u, \"first_delivery\": {\"push\": %" PRIu64
+          ", \"announce\": %" PRIu64 ", \"fetched\": %" PRIu64 "}}\n",
+          dist.depths.size(), dist.mean, dist.Quantile(0.50),
+          dist.Quantile(0.90), dist.Quantile(0.99), dist.max, shares.push,
+          shares.announce, shares.fetched);
+  return out;
 }
 
 }  // namespace ethsim::analysis

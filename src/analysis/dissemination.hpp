@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/redundancy.hpp"
@@ -112,5 +113,13 @@ struct DegreeEstimate {
 };
 std::vector<DegreeEstimate> InferDegrees(
     const obs::ProvenanceLog& log, Duration settle = Duration::Seconds(60));
+
+// Machine-readable renderings of the --redundancy and --hops reports, shared
+// by `ethsim_inspect --json` and its unit tests. One JSON object, newline
+// terminated; `top` bounds the per_host rows while the totals always cover
+// every host.
+std::string RenderRedundancyJson(const obs::ProvenanceLog& log,
+                                 std::size_t top);
+std::string RenderHopsJson(const obs::ProvenanceLog& log);
 
 }  // namespace ethsim::analysis

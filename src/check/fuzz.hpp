@@ -1,0 +1,67 @@
+// The fuzz driver behind tools/ethsim_fuzz: generate scenario -> run ->
+// oracles -> metamorphic relations -> (on failure) shrink -> repro.json.
+// Every failure lands as one JSONL line in the fuzz report with the config
+// digest, the seed and the failed oracle's name; the repro file records
+// (fuzz_seed, index, scenario bounds, mutation trace) — enough to rebuild
+// the exact shrunk config without serializing it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/scenario.hpp"
+
+namespace ethsim::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t runs = 8;
+  std::string out_dir = "fuzz-out";  // report + repro files land here
+  ScenarioOptions scenario;
+  bool metamorphic = true;  // run the relation suite on clean scenarios
+  // Probe-call budget per shrink. Oracle probes cost one run each;
+  // metamorphic probes re-run one relation (up to two runs), so they get
+  // half this budget.
+  std::size_t shrink_evaluations = 32;
+  OracleOptions oracles;  // carries the test-only failure injection
+};
+
+struct FuzzOutcome {
+  std::size_t scenarios = 0;
+  std::size_t failures = 0;  // scenarios with >= 1 oracle/relation failure
+  std::string report_path;
+  std::vector<std::string> repro_paths;  // one per failing scenario
+};
+
+// Runs the whole pipeline; progress goes to stderr, results to the report.
+// Returns the outcome; callers decide the exit code (failures != 0).
+FuzzOutcome RunFuzz(const FuzzOptions& options);
+
+// A replayable failure: regenerate scenario `index` from `fuzz_seed` under
+// the recorded bounds, re-apply the mutation trace, re-check `name`.
+struct ReproSpec {
+  std::uint64_t fuzz_seed = 0;
+  std::uint64_t index = 0;
+  std::string kind = "oracle";  // "oracle" | "relation"
+  std::string name;             // failed oracle or relation
+  std::string config_digest;    // hex digest of the shrunk config
+  ScenarioOptions scenario;
+  std::vector<std::string> mutations;
+};
+
+// Rebuilds the (possibly shrunk) config the spec describes.
+core::ExperimentConfig ReproConfig(const ReproSpec& spec);
+
+bool WriteRepro(const std::string& path, const ReproSpec& spec,
+                std::string* error = nullptr);
+bool ReadRepro(const std::string& path, ReproSpec* spec,
+               std::string* error = nullptr);
+
+// Re-runs the spec's check. Returns 1 while the failure still reproduces
+// (the bug is alive), 0 once it passes. `oracles` carries the injection
+// hook through for repro files produced under --inject-failure.
+int RunRepro(const ReproSpec& spec, const OracleOptions& oracles = {});
+
+}  // namespace ethsim::check

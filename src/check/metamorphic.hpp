@@ -1,0 +1,34 @@
+// Metamorphic relation checks: properties of the form "transform the config
+// this way, and the run outcome must respond that way", checked across
+// paired runs of generated scenarios. These generalize the repo's one-off
+// golden tests (empty-plan bit-inertness, telemetry-off parity) into
+// relations that hold for *every* valid config, so new scenarios exercise
+// them for free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ethsim::check {
+
+struct RelationResult {
+  std::string relation;  // stable name, e.g. "telemetry-parity"
+  bool passed = false;
+  std::string detail;  // both sides of the violated relation, or a note
+};
+
+// Stable names of every relation, in evaluation order.
+std::vector<std::string> RelationNames();
+
+// Runs every relation against `base`. The base run is executed once and
+// shared; each relation adds at most two more runs of the same small config.
+std::vector<RelationResult> RunMetamorphic(const core::ExperimentConfig& base);
+
+// Runs a single named relation (the shrinker's probe re-checks just the one
+// that failed). Unknown names return a failed result saying so.
+RelationResult RunRelation(const core::ExperimentConfig& base,
+                           const std::string& relation);
+
+}  // namespace ethsim::check

@@ -1,0 +1,255 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "net/geo.hpp"
+
+namespace ethsim::check {
+
+namespace {
+
+// Draws an inclusive integer range. `lo <= hi` is the caller's contract.
+std::uint64_t DrawRange(Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  return lo + rng.NextBounded(hi - lo + 1);
+}
+
+net::Region DrawRegion(Rng& rng) {
+  return static_cast<net::Region>(rng.NextBounded(net::kRegionCount));
+}
+
+// Appends 1..3 traffic sources. Account ranges deliberately overlap with
+// positive probability — contended nonce streams are the adversarial case
+// the tx-conservation oracles must survive.
+void DrawWorkloadPlan(Rng rng, core::ExperimentConfig& cfg) {
+  const std::size_t sources = 1 + rng.NextBounded(3);
+  for (std::size_t s = 0; s < sources; ++s) {
+    const std::string name = "src" + std::to_string(s);
+    const std::size_t accounts = DrawRange(rng, 20, 80);
+    const std::uint64_t offset = rng.NextBounded(40);
+    switch (rng.NextBounded(4)) {
+      case 0:
+        cfg.workload_plan.Poisson(name, rng.NextRange(0.1, 0.8), accounts);
+        break;
+      case 1:
+        cfg.workload_plan.Diurnal(name, rng.NextRange(0.1, 0.6), accounts,
+                                  DrawRegion(rng), rng.NextRange(0.2, 0.9),
+                                  rng.NextRange(0.0, 24.0));
+        break;
+      case 2: {
+        const std::int64_t run_us = cfg.duration.micros();
+        const auto at = TimePoint::FromMicros(
+            static_cast<std::int64_t>(rng.NextRange(0.2, 0.5) *
+                                      static_cast<double>(run_us)));
+        const auto window = Duration::Micros(static_cast<std::int64_t>(
+            rng.NextRange(0.1, 0.3) * static_cast<double>(run_us)));
+        cfg.workload_plan.FlashCrowd(name, rng.NextRange(0.1, 0.5), accounts,
+                                     at, window, rng.NextRange(2.0, 8.0));
+        break;
+      }
+      default: {
+        const std::uint64_t depth = rng.NextBounded(3) == 0 ? 3 : 0;
+        cfg.workload_plan.ClosedLoop(
+            name, DrawRange(rng, 4, 16),
+            Duration::Seconds(static_cast<std::int64_t>(DrawRange(rng, 5, 30))),
+            depth);
+        break;
+      }
+    }
+    workload::TrafficSource& src = cfg.workload_plan.last();
+    src.account_offset = offset;
+    if (src.kind != workload::SourceKind::kClosedLoop) src.accounts = accounts;
+    if (rng.NextBool(0.4)) src.zipf_exponent = rng.NextRange(0.5, 1.5);
+    if (rng.NextBool(0.3)) {
+      src.fee.replacement_deadline =
+          Duration::Seconds(static_cast<std::int64_t>(DrawRange(rng, 30, 90)));
+      src.fee.max_replacements = static_cast<std::uint32_t>(DrawRange(rng, 1, 3));
+    }
+    src.fee.gas_price_mu = rng.NextRange(2.5, 4.0);
+    src.fee.gas_price_sigma = rng.NextRange(0.5, 1.2);
+  }
+}
+
+// Appends 1..3 fault events in disjoint, strictly in-run windows. The net
+// substrate allows only one active partition (and one degradation) at a
+// time, so windows are laid out sequentially behind a moving cursor — the
+// generator never has to reject a draw.
+void DrawFaultPlan(Rng rng, core::ExperimentConfig& cfg) {
+  const std::int64_t run_us = cfg.duration.micros();
+  const std::size_t events = 1 + rng.NextBounded(3);
+  // Cursor starts 20% in (past warm-up) and each window is bounded so that
+  // even three maximal draws heal before the run ends.
+  std::int64_t cursor_us = run_us / 5;
+  for (std::size_t e = 0; e < events; ++e) {
+    const std::int64_t window_us = static_cast<std::int64_t>(
+        rng.NextRange(0.05, 0.15) * static_cast<double>(run_us));
+    const auto at = TimePoint::FromMicros(cursor_us);
+    const auto window = Duration::Micros(window_us);
+    switch (rng.NextBounded(5)) {
+      case 0:
+        cfg.fault_plan.NodeCrash(at, window,
+                                 static_cast<std::uint32_t>(DrawRange(rng, 1, 3)));
+        break;
+      case 1:
+        cfg.fault_plan.PoissonChurn(
+            at, window, rng.NextRange(1.0, 4.0),
+            Duration::Seconds(static_cast<std::int64_t>(DrawRange(rng, 10, 45))));
+        break;
+      case 2:
+        cfg.fault_plan.RegionalPartition(
+            at, window, 1u << static_cast<unsigned>(DrawRegion(rng)));
+        break;
+      case 3:
+        cfg.fault_plan.DegradeLinks(
+            at, window, 1u << static_cast<unsigned>(DrawRegion(rng)),
+            rng.NextRange(1.5, 3.0), rng.NextRange(1.0, 2.0),
+            rng.NextRange(0.0, 0.05));
+        break;
+      default:
+        cfg.fault_plan.GatewayOutage(
+            at, window,
+            static_cast<std::uint32_t>(rng.NextBounded(cfg.pools.size())));
+        break;
+    }
+    // Leave a gap so heal events never collide with the next injection.
+    cursor_us += window_us + run_us / 20;
+  }
+}
+
+}  // namespace
+
+Scenario GenerateScenario(std::uint64_t fuzz_seed, std::uint64_t index,
+                          const ScenarioOptions& options) {
+  // One independent stream per scenario, then one per aspect: adding a new
+  // aspect later cannot shift the draws of existing ones.
+  const Rng stream = Rng(fuzz_seed).Fork("fuzz-scenario").Fork(index);
+
+  Rng shape = stream.Fork("shape");
+  const std::size_t nodes = static_cast<std::size_t>(
+      DrawRange(shape, options.min_nodes, options.max_nodes));
+  core::ExperimentConfig cfg = core::presets::SmallStudy(nodes);
+  cfg.seed = stream.Fork("seed").Next();
+  cfg.duration = Duration::Minutes(static_cast<std::int64_t>(DrawRange(
+      shape, static_cast<std::uint64_t>(options.min_minutes),
+      static_cast<std::uint64_t>(options.max_minutes))));
+  cfg.dials_per_node = static_cast<std::size_t>(DrawRange(shape, 4, 10));
+
+  Rng net = stream.Fork("net");
+  cfg.net_params.latency_scale = net.NextRange(1.0, 2.6);
+  cfg.net_params.jitter_sigma = net.NextRange(0.4, 1.0);
+  if (net.NextBool(0.5)) cfg.net_params.drop_prob = net.NextRange(0.0, 0.02);
+  cfg.net_params.slow_path_prob = net.NextRange(0.01, 0.08);
+
+  // Pool roster: keep the paper's gateway geography but perturb the hashrate
+  // race and block-building policy.
+  Rng pools = stream.Fork("pools");
+  for (miner::PoolSpec& pool : cfg.pools) {
+    pool.hashrate_share *= pools.NextRange(0.5, 1.5);
+    pool.policy.empty_block_rate =
+        std::clamp(pool.policy.empty_block_rate * pools.NextRange(0.0, 2.0),
+                   0.0, 0.2);
+  }
+
+  Rng workload = stream.Fork("workload");
+  if (workload.NextBool(0.6)) {
+    DrawWorkloadPlan(workload.Fork("plan"), cfg);
+  } else {
+    cfg.workload.rate_per_sec = workload.NextRange(0.2, 1.2);
+    cfg.workload.burst_prob = workload.NextRange(0.0, 0.5);
+    cfg.workload.inversion_prob = workload.NextRange(0.0, 0.4);
+  }
+
+  Rng fault = stream.Fork("fault");
+  if (fault.NextBool(0.6)) DrawFaultPlan(fault.Fork("plan"), cfg);
+
+  // Record everything the oracles reconcile against. Telemetry is guaranteed
+  // record-only, so this cannot mask (or cause) a failure; strict modes stay
+  // off because the oracles want to *count* violations, not abort on them.
+  cfg.telemetry.metrics = true;
+  cfg.telemetry.provenance = true;
+  cfg.telemetry.txprov = true;
+
+  if (std::string problem = cfg.Validate(); !problem.empty())
+    throw std::logic_error("GenerateScenario drew an invalid config: " +
+                           problem);
+  return Scenario{std::move(cfg), fuzz_seed, index};
+}
+
+namespace {
+
+// Mutation predicates and actions, shared by ApplicableMutations and
+// ApplyMutation so the two can never disagree.
+struct Mutation {
+  const char* name;
+  bool (*applies)(const core::ExperimentConfig&);
+  void (*apply)(core::ExperimentConfig&);
+};
+
+const Mutation kMutations[] = {
+    {"halve-nodes",
+     [](const core::ExperimentConfig& c) { return c.peer_nodes > 4; },
+     [](core::ExperimentConfig& c) {
+       c.peer_nodes = std::max<std::size_t>(4, c.peer_nodes / 2);
+     }},
+    {"halve-duration",
+     [](const core::ExperimentConfig& c) {
+       return c.duration.micros() > Duration::Minutes(2).micros();
+     },
+     [](core::ExperimentConfig& c) {
+       c.duration = Duration::Micros(
+           std::max(Duration::Minutes(2).micros(), c.duration.micros() / 2));
+     }},
+    {"drop-fault-event",
+     [](const core::ExperimentConfig& c) { return !c.fault_plan.empty(); },
+     [](core::ExperimentConfig& c) { c.fault_plan.events.pop_back(); }},
+    {"drop-workload-source",
+     [](const core::ExperimentConfig& c) { return !c.workload_plan.empty(); },
+     [](core::ExperimentConfig& c) { c.workload_plan.sources.pop_back(); }},
+    {"drop-vantage",
+     [](const core::ExperimentConfig& c) { return c.vantages.size() > 1; },
+     [](core::ExperimentConfig& c) { c.vantages.pop_back(); }},
+    {"drop-pool",
+     [](const core::ExperimentConfig& c) { return c.pools.size() > 1; },
+     [](core::ExperimentConfig& c) {
+       c.pools.pop_back();
+       // Gateway-outage events referencing the dropped pool would index out
+       // of the roster; they shrink away with it.
+       const auto limit = static_cast<std::uint32_t>(c.pools.size());
+       auto& events = c.fault_plan.events;
+       events.erase(std::remove_if(events.begin(), events.end(),
+                                   [limit](const fault::FaultEvent& e) {
+                                     return e.kind ==
+                                                fault::FaultKind::kGatewayOutage &&
+                                            e.pool_index >= limit;
+                                   }),
+                    events.end());
+     }},
+    {"halve-dials",
+     [](const core::ExperimentConfig& c) { return c.dials_per_node > 2; },
+     [](core::ExperimentConfig& c) {
+       c.dials_per_node = std::max<std::size_t>(2, c.dials_per_node / 2);
+     }},
+};
+
+}  // namespace
+
+std::vector<std::string> ApplicableMutations(
+    const core::ExperimentConfig& cfg) {
+  std::vector<std::string> names;
+  for (const Mutation& m : kMutations)
+    if (m.applies(cfg)) names.emplace_back(m.name);
+  return names;
+}
+
+bool ApplyMutation(core::ExperimentConfig& cfg, const std::string& mutation) {
+  for (const Mutation& m : kMutations) {
+    if (mutation != m.name) continue;
+    if (!m.applies(cfg)) return false;
+    m.apply(cfg);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ethsim::check

@@ -1,0 +1,57 @@
+// Deterministic scenario generation for the fuzzer (tools/ethsim_fuzz).
+// A Scenario is a valid-but-adversarial ExperimentConfig drawn from a forked
+// RNG stream keyed by (fuzz_seed, index): node counts, geo latency scaling,
+// pool rosters, fault timelines and workload plans all vary, but the draw is
+// a pure function of the key — the same (fuzz_seed, index) always yields the
+// same config, which is what makes a one-line repro possible.
+//
+// The generator only ever emits configs that pass ExperimentConfig::Validate()
+// (it reuses each subsystem's Validate() as its own acceptance test), so an
+// oracle failure downstream is always a simulator bug, never a config bug.
+//
+// Shrinking speaks the same language: a shrunk repro is (fuzz_seed, index)
+// plus an ordered list of named mutations, replayed by ApplyMutation — no
+// config serialization format to version.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ethsim::check {
+
+struct ScenarioOptions {
+  // Plain-node population bounds (inclusive). Small worlds keep a fuzz run
+  // in CI-smoke territory; the generator covers the range uniformly.
+  std::size_t min_nodes = 8;
+  std::size_t max_nodes = 24;
+  // Simulated duration bounds in minutes (inclusive).
+  std::int64_t min_minutes = 4;
+  std::int64_t max_minutes = 10;
+};
+
+struct Scenario {
+  core::ExperimentConfig config;
+  std::uint64_t fuzz_seed = 0;
+  std::uint64_t index = 0;
+};
+
+// Draws scenario `index` of the stream keyed by `fuzz_seed`. Throws
+// std::logic_error if the drawn config fails Validate() — that is a
+// generator bug, not a caller error.
+Scenario GenerateScenario(std::uint64_t fuzz_seed, std::uint64_t index,
+                          const ScenarioOptions& options = {});
+
+// Named config reductions the shrinker searches over, most-reductive first.
+// Only mutations that currently apply (e.g. "drop-fault-event" needs a
+// non-empty fault plan) are listed.
+std::vector<std::string> ApplicableMutations(const core::ExperimentConfig& cfg);
+
+// Applies one named mutation in place. Returns false when the mutation does
+// not apply to this config (callers treat that as "skip", not an error).
+// Every successful application keeps Validate() passing.
+bool ApplyMutation(core::ExperimentConfig& cfg, const std::string& mutation);
+
+}  // namespace ethsim::check

@@ -1,0 +1,42 @@
+#include "check/shrink.hpp"
+
+#include <utility>
+
+#include "check/scenario.hpp"
+
+namespace ethsim::check {
+
+ShrinkResult Shrink(const core::ExperimentConfig& start,
+                    const FailureProbe& probe, std::size_t max_evaluations) {
+  ShrinkResult result;
+  result.config = start;
+  result.failure = probe(result.config);
+  ++result.evaluations;
+  if (result.failure.empty()) return result;  // nothing to shrink
+
+  // Greedy descent to a fixpoint: after every accepted mutation, restart
+  // from the most-reductive applicable one (halving nodes again beats
+  // trimming a vantage). Terminates because every mutation strictly shrinks
+  // some bounded dimension.
+  bool progressed = true;
+  while (progressed && result.evaluations < max_evaluations) {
+    progressed = false;
+    for (const std::string& mutation : ApplicableMutations(result.config)) {
+      if (result.evaluations >= max_evaluations) break;
+      core::ExperimentConfig candidate = result.config;
+      if (!ApplyMutation(candidate, mutation)) continue;
+      if (!candidate.Validate().empty()) continue;
+      const std::string failure = probe(candidate);
+      ++result.evaluations;
+      if (failure.empty()) continue;  // candidate passes; keep looking
+      result.config = std::move(candidate);
+      result.failure = failure;
+      result.mutations.push_back(mutation);
+      progressed = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ethsim::check

@@ -1,0 +1,40 @@
+// Delta-debugging shrinker: given a config that makes some predicate fail,
+// greedily applies the named mutations of check/scenario (halve the node
+// count, drop plan entries, shorten the run, ...) while the predicate keeps
+// failing, and returns the minimal config it reached plus the mutation trace
+// that got there. The trace IS the repro format: replaying the same
+// mutations on the same generated scenario reconstructs the shrunk config
+// exactly, so repro.json never has to serialize an ExperimentConfig.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ethsim::check {
+
+// Evaluates a config and returns a description of the failure, or an empty
+// string when the config passes. Typically: run the experiment, run the
+// oracles, report the first failure.
+using FailureProbe = std::function<std::string(const core::ExperimentConfig&)>;
+
+struct ShrinkResult {
+  core::ExperimentConfig config;       // the minimal failing config reached
+  std::vector<std::string> mutations;  // applied trace, in order
+  std::string failure;                 // probe output on that config
+  std::size_t evaluations = 0;         // probe calls spent
+};
+
+// Minimizes `start` under `probe`. The probe is called once up front; if the
+// start config does not fail, the result is returned unshrunk with an empty
+// failure string. Mutations that make the config invalid or make the probe
+// pass are discarded. Deterministic: same start + same probe behavior =>
+// same trace.
+ShrinkResult Shrink(const core::ExperimentConfig& start,
+                    const FailureProbe& probe,
+                    std::size_t max_evaluations = 48);
+
+}  // namespace ethsim::check

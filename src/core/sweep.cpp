@@ -116,8 +116,9 @@ obs::TimeSeriesLog MergeSweepTimeSeries(
       merged = sampler->log();
       have_base = true;
     } else if (!merged.Accumulate(sampler->log())) {
-      // Unreachable for a well-formed sweep (one config => one shape);
-      // surfaced instead of silently mis-merging.
+      // Unreachable for a well-formed sweep (one config => one series table
+      // and cadence; ragged lengths pool fine); surfaced instead of
+      // silently mis-merging.
       obs::LogWarn("sweep", "time-series shape mismatch at seed %llu; "
                    "member skipped in merge",
                    static_cast<unsigned long long>(

@@ -63,10 +63,12 @@ obs::MetricsRegistry MergeSweepMetrics(
 // Merges every sweep member's sampled time series (ETHSIM_SAMPLE) into one
 // log, strictly in seed order, summing each series element-wise — the
 // pooled-backlog view across N independent simulated months. All members
-// run one config, so the series tables, cadence and time columns are
-// identical by construction; like MergeSweepMetrics, the fixed merge order
-// makes the result invariant under SweepOptions::threads. Members without a
-// sampler contribute nothing; the result is empty when none sampled.
+// run one config, so the series tables and cadence are identical by
+// construction; ragged sample counts (members run for different spans) pool
+// over the shared time prefix with the longest tail kept. Like
+// MergeSweepMetrics, the fixed merge order makes the result invariant under
+// SweepOptions::threads. Members without a sampler contribute nothing; the
+// result is empty when none sampled.
 obs::TimeSeriesLog MergeSweepTimeSeries(
     const std::vector<std::unique_ptr<Experiment>>& experiments);
 

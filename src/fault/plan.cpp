@@ -101,8 +101,9 @@ std::string Err(std::size_t index, const FaultEvent& event,
   return out.str();
 }
 
-// Do two half-open windows [a, a+da) and [b, b+db) intersect? Zero-length
-// (never-healing) windows extend to infinity.
+// Do two half-open windows [a, a+da) and [b, b+db) intersect? A zero
+// duration (never-healing, only legal for crash/outage kinds) extends to
+// infinity.
 bool WindowsOverlap(const FaultEvent& a, const FaultEvent& b) {
   const std::int64_t a0 = a.at.micros();
   const std::int64_t b0 = b.at.micros();
@@ -135,10 +136,15 @@ std::string FaultPlan::Validate() const {
       case FaultKind::kRegionalPartition:
         if (event.region_mask == 0)
           return Err(i, event, "partition needs a non-empty region mask");
+        if (event.duration.micros() == 0)
+          return Err(i, event, "partition window must have a positive duration");
         break;
       case FaultKind::kLinkDegradation:
         if (event.region_mask == 0)
           return Err(i, event, "degradation needs a non-empty region mask");
+        if (event.duration.micros() == 0)
+          return Err(i, event,
+                     "degradation window must have a positive duration");
         if (event.latency_factor < 1.0 || event.bandwidth_factor < 1.0)
           return Err(i, event, "degradation factors must be >= 1");
         if (event.extra_drop_prob < 0.0 || event.extra_drop_prob >= 1.0)

@@ -36,7 +36,10 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kNodeCrash;
   TimePoint at;       // injection instant (simulation clock)
   Duration duration;  // window length; heal/restart fires at `at + duration`.
-                      // Zero means the fault never heals within the run.
+                      // Zero means "never heals within the run" for crashes
+                      // and gateway outages; churn, partition, and
+                      // degradation windows must be positive (Validate
+                      // rejects zero-length windows for those kinds).
 
   // kNodeCrash: how many plain nodes crash (sampled from the fault stream).
   std::uint32_t count = 1;

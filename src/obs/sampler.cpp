@@ -1,5 +1,6 @@
 #include "obs/sampler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <filesystem>
@@ -62,12 +63,22 @@ std::size_t TimeSeriesLog::Find(std::string_view name) const {
 }
 
 bool TimeSeriesLog::Accumulate(const TimeSeriesLog& other) {
-  if (interval_us != other.interval_us || names != other.names ||
-      t_us != other.t_us)
-    return false;
-  for (std::size_t s = 0; s < values.size(); ++s)
-    for (std::size_t i = 0; i < values[s].size(); ++i)
+  if (interval_us != other.interval_us || names != other.names) return false;
+  // Ragged lengths (members that sampled for different spans) are legal as
+  // long as the shorter time column is a prefix of the longer; anything else
+  // is a genuine shape mismatch and leaves the target untouched.
+  const std::size_t common = std::min(t_us.size(), other.t_us.size());
+  for (std::size_t i = 0; i < common; ++i)
+    if (t_us[i] != other.t_us[i]) return false;
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    for (std::size_t i = 0; i < common; ++i)
       values[s][i] += other.values[s][i];
+    // The longer member's tail carries over verbatim: past the shorter run's
+    // end the pool is just the surviving members' sum.
+    values[s].insert(values[s].end(), other.values[s].begin() + common,
+                     other.values[s].end());
+  }
+  t_us.insert(t_us.end(), other.t_us.begin() + common, other.t_us.end());
   return true;
 }
 

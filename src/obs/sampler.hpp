@@ -53,8 +53,9 @@ struct TimeSeriesLog {
   std::size_t Find(std::string_view name) const;
 
   // Element-wise accumulation for cross-seed merging: requires an identical
-  // series table, interval and time column (same config -> same shape).
-  // Returns false (untouched) on a shape mismatch.
+  // series table and interval, and time columns where the shorter is a
+  // prefix of the longer (ragged lengths pool over the shared prefix and
+  // keep the longer tail). Returns false (untouched) on a shape mismatch.
   bool Accumulate(const TimeSeriesLog& other);
 
   bool WriteBinary(const std::string& path, std::string* error = nullptr) const;

@@ -205,6 +205,48 @@ TEST(RedundancyFromProvenanceTest, CountsAndSettleWindowExclusion) {
   EXPECT_EQ(at0.blocks, 0u);
 }
 
+TEST(RenderRedundancyJsonTest, TotalsCoverAllHostsWorstOffenderFirst) {
+  const ProvenanceLog log = TwoBlockLog();
+  const std::string json = RenderRedundancyJson(log, 20);
+  // Totals over every host: 5 delivered block messages, 640 wasted bytes.
+  EXPECT_NE(json.find("\"hosts\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"receptions\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wasted_bytes\": 640"), std::string::npos) << json;
+  // Host 2 (640 wasted) leads the per_host rows.
+  const auto per_host = json.find("\"per_host\": [{\"host\": 2");
+  EXPECT_NE(per_host, std::string::npos) << json;
+  EXPECT_NE(json.find("\"redundant\": 2"), std::string::npos) << json;
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(RenderRedundancyJsonTest, TopBoundsRowsButNotTotals) {
+  const ProvenanceLog log = TwoBlockLog();
+  const std::string json = RenderRedundancyJson(log, 1);
+  // One row rendered, but the header still counts all three hosts.
+  EXPECT_NE(json.find("\"hosts\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"receptions\": 5"), std::string::npos) << json;
+  std::size_t rows = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("{\"host\":", pos)) != std::string::npos; ++pos)
+    ++rows;
+  EXPECT_EQ(rows, 1u);
+}
+
+TEST(RenderHopsJsonTest, QuantilesAndSharesMatchTheAnalyses) {
+  const ProvenanceLog log = TwoBlockLog();
+  const std::string json = RenderHopsJson(log);
+  // depths {0,0,1,1,1}: mean 0.6, p50 1, max 1; shares push 2 / announce 1.
+  EXPECT_NE(json.find("\"pairs\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": 0.6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"first_delivery\": {\"push\": 2, \"announce\": 1, "
+                      "\"fetched\": 0}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.back(), '\n');
+}
+
 TEST(InferDegreesTest, ReceptionsPerSettledBlockEstimateDegree) {
   ProvenanceLog log;
   log.host_region = {0, 1, 2, 3};

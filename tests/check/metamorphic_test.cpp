@@ -1,0 +1,52 @@
+// Metamorphic relations on a generated scenario. The suite generalizes the
+// repo's golden guarantees — empty-plan bit-inertness, telemetry-off parity,
+// replay determinism — into relations checked on arbitrary valid configs, so
+// this test proves they hold for a fuzzer draw, not just the hand-built
+// configs of the golden tests.
+#include "check/metamorphic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "check/scenario.hpp"
+
+namespace ethsim::check {
+namespace {
+
+TEST(RelationNamesContract, DistinctAndIncludesGeneralizedGoldens) {
+  const std::vector<std::string> names = RelationNames();
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+  for (const char* required :
+       {"replay-determinism", "telemetry-parity", "empty-fault-plan-inertness",
+        "latency-scale-monotone", "region-permutation-equivariance"})
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+}
+
+TEST(MetamorphicSuite, AllRelationsHoldOnGeneratedScenario) {
+  ScenarioOptions options;
+  options.min_nodes = 8;
+  options.max_nodes = 8;
+  options.min_minutes = 4;
+  options.max_minutes = 4;
+  const Scenario scenario = GenerateScenario(1, 0, options);
+  const std::vector<RelationResult> results =
+      RunMetamorphic(scenario.config);
+  EXPECT_EQ(results.size(), RelationNames().size());
+  for (const RelationResult& result : results)
+    EXPECT_TRUE(result.passed) << result.relation << ": " << result.detail;
+}
+
+TEST(MetamorphicSuite, UnknownRelationFailsWithoutRunning) {
+  const RelationResult result =
+      RunRelation(core::ExperimentConfig{}, "no-such-relation");
+  EXPECT_FALSE(result.passed);
+  EXPECT_EQ(result.detail, "unknown relation");
+}
+
+}  // namespace
+}  // namespace ethsim::check

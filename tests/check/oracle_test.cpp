@@ -1,0 +1,60 @@
+// Oracle suite: a generated scenario's run must come back clean, and the
+// test-only injection hook must surface as exactly one synthetic failure so
+// the catch -> shrink -> repro pipeline can be exercised end to end.
+#include "check/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "check/scenario.hpp"
+#include "core/experiment.hpp"
+
+namespace ethsim::check {
+namespace {
+
+ScenarioOptions Tiny() {
+  ScenarioOptions options;
+  options.min_nodes = 8;
+  options.max_nodes = 8;
+  options.min_minutes = 4;
+  options.max_minutes = 4;
+  return options;
+}
+
+TEST(OracleNamesContract, NonEmptyAndDistinct) {
+  const std::vector<std::string> names = OracleNames();
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+}
+
+TEST(OracleSuite, CleanRunPassesAndInjectionIsCaught) {
+  const Scenario scenario = GenerateScenario(1, 0, Tiny());
+  core::Experiment exp{scenario.config};
+  exp.Run();
+
+  const std::vector<OracleFailure> clean = RunOracles(exp);
+  EXPECT_TRUE(clean.empty())
+      << (clean.empty() ? std::string{}
+                        : clean.front().oracle + ": " + clean.front().detail);
+
+  // The study-input bundle the oracles reconcile over covers every vantage.
+  const analysis::StudyInputs inputs = MakeStudyInputs(exp);
+  EXPECT_EQ(inputs.observers.size(), exp.observers().size());
+  EXPECT_EQ(inputs.pools, &exp.config().pools);
+  EXPECT_EQ(inputs.reference, &exp.reference_tree());
+
+  // Rerunning with the hook armed adds exactly the synthetic failure — the
+  // real oracles must not flip on a second evaluation of the same run.
+  OracleOptions inject;
+  inject.inject_failure = "tx-conservation";
+  const std::vector<OracleFailure> injected = RunOracles(exp, inject);
+  ASSERT_EQ(injected.size(), 1u);
+  EXPECT_EQ(injected.front().oracle, "tx-conservation");
+  EXPECT_NE(injected.front().detail.find("injected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ethsim::check

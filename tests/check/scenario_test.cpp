@@ -1,0 +1,120 @@
+// Scenario-generation contract: the draw is a pure function of
+// (fuzz_seed, index), every emitted config validates, the stream covers the
+// adversarial shapes (fault plans, workload plans, legacy knobs), and the
+// named mutations shrink configs without ever invalidating them.
+#include "check/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/provenance.hpp"
+
+namespace ethsim::check {
+namespace {
+
+std::string Digest(const core::ExperimentConfig& cfg) {
+  return ToHex(core::ConfigDigest(cfg));
+}
+
+bool Contains(const std::vector<std::string>& names, const char* name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST(ScenarioGenerator, SameKeyDrawsIdenticalConfig) {
+  const Scenario a = GenerateScenario(7, 3);
+  const Scenario b = GenerateScenario(7, 3);
+  EXPECT_EQ(a.config.seed, b.config.seed);
+  EXPECT_EQ(Digest(a.config), Digest(b.config));
+  EXPECT_EQ(a.config.fault_plan.events.size(),
+            b.config.fault_plan.events.size());
+  EXPECT_EQ(a.config.workload_plan.sources.size(),
+            b.config.workload_plan.sources.size());
+}
+
+TEST(ScenarioGenerator, DistinctIndicesDrawDistinctConfigs) {
+  std::set<std::string> digests;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    digests.insert(Digest(GenerateScenario(1, i).config));
+  EXPECT_EQ(digests.size(), 8u);
+}
+
+TEST(ScenarioGenerator, RespectsBoundsAndArmsTelemetry) {
+  ScenarioOptions options;
+  options.min_nodes = 6;
+  options.max_nodes = 9;
+  options.min_minutes = 2;
+  options.max_minutes = 3;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const Scenario s = GenerateScenario(42, i, options);
+    EXPECT_GE(s.config.peer_nodes, 6u) << i;
+    EXPECT_LE(s.config.peer_nodes, 9u) << i;
+    EXPECT_GE(s.config.duration.micros(), Duration::Minutes(2).micros()) << i;
+    EXPECT_LE(s.config.duration.micros(), Duration::Minutes(3).micros()) << i;
+    EXPECT_TRUE(s.config.telemetry.provenance) << i;
+    EXPECT_TRUE(s.config.telemetry.txprov) << i;
+    EXPECT_EQ(s.config.Validate(), "") << i;
+    EXPECT_EQ(s.fuzz_seed, 42u);
+    EXPECT_EQ(s.index, i);
+  }
+}
+
+TEST(ScenarioGenerator, StreamCoversFaultAndWorkloadShapes) {
+  std::size_t with_faults = 0, with_sources = 0, legacy = 0;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const Scenario s = GenerateScenario(1, i);
+    if (!s.config.fault_plan.empty()) ++with_faults;
+    if (s.config.workload_plan.empty())
+      ++legacy;
+    else
+      ++with_sources;
+  }
+  EXPECT_GT(with_faults, 0u);
+  EXPECT_GT(with_sources, 0u);
+  EXPECT_GT(legacy, 0u);
+}
+
+TEST(ScenarioMutations, EveryApplicableMutationKeepsConfigValid) {
+  const Scenario s = GenerateScenario(5, 0);
+  const std::vector<std::string> names = ApplicableMutations(s.config);
+  // A fresh draw always sits above the structural floors.
+  EXPECT_TRUE(Contains(names, "halve-nodes"));
+  EXPECT_TRUE(Contains(names, "halve-duration"));
+  EXPECT_TRUE(Contains(names, "drop-vantage"));
+  EXPECT_TRUE(Contains(names, "halve-dials"));
+  for (const std::string& name : names) {
+    core::ExperimentConfig copy = s.config;
+    EXPECT_TRUE(ApplyMutation(copy, name)) << name;
+    EXPECT_EQ(copy.Validate(), "") << name;
+    EXPECT_NE(Digest(copy), Digest(s.config)) << name;
+  }
+}
+
+TEST(ScenarioMutations, InapplicableAndUnknownMutationsAreRejected) {
+  Scenario s = GenerateScenario(5, 0);
+  s.config.fault_plan.events.clear();
+  EXPECT_FALSE(ApplyMutation(s.config, "drop-fault-event"));
+  EXPECT_FALSE(ApplyMutation(s.config, "no-such-mutation"));
+  EXPECT_FALSE(Contains(ApplicableMutations(s.config), "drop-fault-event"));
+}
+
+TEST(ScenarioMutations, DropPoolErasesOutOfRangeGatewayOutages) {
+  Scenario s = GenerateScenario(5, 1);
+  s.config.fault_plan.events.clear();
+  ASSERT_GT(s.config.pools.size(), 1u);
+  const auto last_pool =
+      static_cast<std::uint32_t>(s.config.pools.size() - 1);
+  s.config.fault_plan.GatewayOutage(
+      TimePoint::FromMicros(Duration::Minutes(1).micros()),
+      Duration::Seconds(30), last_pool);
+  ASSERT_TRUE(ApplyMutation(s.config, "drop-pool"));
+  // The outage referenced the dropped pool, so it must shrink away with it.
+  EXPECT_TRUE(s.config.fault_plan.empty());
+  EXPECT_EQ(s.config.Validate(), "");
+}
+
+}  // namespace
+}  // namespace ethsim::check

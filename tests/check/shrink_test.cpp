@@ -1,0 +1,89 @@
+// Delta-debugging shrinker contract. No experiment ever runs here — the
+// probes are synthetic predicates over the config — so these tests pin the
+// search behavior (minimality, trace replay, budget, failure preservation)
+// without paying for simulation.
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/scenario.hpp"
+#include "common/types.hpp"
+#include "core/provenance.hpp"
+
+namespace ethsim::check {
+namespace {
+
+std::string Digest(const core::ExperimentConfig& cfg) {
+  return ToHex(core::ConfigDigest(cfg));
+}
+
+Scenario BigScenario() {
+  ScenarioOptions options;
+  options.min_nodes = 20;
+  options.max_nodes = 24;
+  return GenerateScenario(9, 0, options);
+}
+
+TEST(Shrinker, ConstantFailureShrinksToTheStructuralFloor) {
+  const Scenario scenario = BigScenario();
+  const ShrinkResult result = Shrink(
+      scenario.config, [](const core::ExperimentConfig&) { return "boom"; });
+  // The acceptance bar for a repro config: a handful of nodes, a short run,
+  // no optional plan entries left to distract from the bug.
+  EXPECT_LE(result.config.peer_nodes, 8u);
+  EXPECT_LE(result.config.duration.micros(), Duration::Minutes(2).micros());
+  EXPECT_TRUE(result.config.fault_plan.empty());
+  EXPECT_TRUE(result.config.workload_plan.empty());
+  EXPECT_EQ(result.failure, "boom");
+  EXPECT_FALSE(result.mutations.empty());
+  EXPECT_EQ(result.config.Validate(), "");
+}
+
+TEST(Shrinker, MutationTraceReplaysToTheShrunkConfig) {
+  const Scenario scenario = BigScenario();
+  const ShrinkResult result = Shrink(
+      scenario.config, [](const core::ExperimentConfig&) { return "boom"; });
+  core::ExperimentConfig replayed = scenario.config;
+  for (const std::string& mutation : result.mutations)
+    EXPECT_TRUE(ApplyMutation(replayed, mutation)) << mutation;
+  EXPECT_EQ(Digest(replayed), Digest(result.config));
+}
+
+TEST(Shrinker, PassingStartReturnsUnshrunk) {
+  const Scenario scenario = BigScenario();
+  const ShrinkResult result = Shrink(
+      scenario.config, [](const core::ExperimentConfig&) { return ""; });
+  EXPECT_TRUE(result.mutations.empty());
+  EXPECT_TRUE(result.failure.empty());
+  EXPECT_EQ(result.evaluations, 1u);
+  EXPECT_EQ(Digest(result.config), Digest(scenario.config));
+}
+
+TEST(Shrinker, NeverAcceptsAMutationThatMakesTheProbePass) {
+  ScenarioOptions options;
+  options.min_nodes = 16;
+  options.max_nodes = 16;
+  const Scenario scenario = GenerateScenario(3, 0, options);
+  const ShrinkResult result =
+      Shrink(scenario.config, [](const core::ExperimentConfig& cfg) {
+        return cfg.peer_nodes > 6 ? std::string("too many nodes")
+                                  : std::string{};
+      });
+  // 16 -> 8 still fails; 8 -> 4 would pass and must be rejected.
+  EXPECT_EQ(result.config.peer_nodes, 8u);
+  EXPECT_EQ(result.failure, "too many nodes");
+}
+
+TEST(Shrinker, RespectsTheEvaluationBudget) {
+  const Scenario scenario = BigScenario();
+  const ShrinkResult result =
+      Shrink(scenario.config,
+             [](const core::ExperimentConfig&) { return "boom"; }, 3);
+  EXPECT_LE(result.evaluations, 3u);
+  EXPECT_EQ(result.failure, "boom");
+}
+
+}  // namespace
+}  // namespace ethsim::check

@@ -13,8 +13,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/provenance.hpp"
@@ -171,6 +173,39 @@ TEST(MergeSweepTimeSeries, InvariantUnderThreadCount) {
   const obs::TimeSeriesLog& first =
       runs_serial[0]->telemetry()->sampler()->log();
   EXPECT_GT(a.values[known].back(), first.values[known].back());
+}
+
+TEST(MergeSweepTimeSeries, PoolsRaggedMemberLengthsWithoutOverruns) {
+  // Members that sampled for different spans (here: a duration sweep) must
+  // still pool in strict vector order — sum over the shared time prefix,
+  // keep the longest tail, never read past a shorter member's columns.
+  std::vector<std::unique_ptr<Experiment>> runs;
+  for (const int minutes : {2, 4, 3}) {  // longest member is in the middle
+    ExperimentConfig cfg = presets::SmallStudy(12);
+    cfg.duration = Duration::Minutes(minutes);
+    cfg.workload.rate_per_sec = 1.0;
+    cfg.telemetry.sample = true;
+    runs.push_back(std::make_unique<Experiment>(cfg));
+    runs.back()->Run();
+  }
+  const obs::TimeSeriesLog merged = MergeSweepTimeSeries(runs);
+  const obs::TimeSeriesLog& m0 = runs[0]->telemetry()->sampler()->log();
+  const obs::TimeSeriesLog& m1 = runs[1]->telemetry()->sampler()->log();
+  const obs::TimeSeriesLog& m2 = runs[2]->telemetry()->sampler()->log();
+  ASSERT_GT(m1.sample_count(), m2.sample_count());
+  ASSERT_GT(m2.sample_count(), m0.sample_count());
+
+  // The longest member defines the pooled time column and the table shape.
+  EXPECT_EQ(merged.t_us, m1.t_us);
+  EXPECT_EQ(merged.names, m0.names);
+  for (std::size_t s = 0; s < merged.series_count(); ++s)
+    for (std::size_t i = 0; i < merged.sample_count(); ++i) {
+      std::int64_t want = 0;
+      for (const obs::TimeSeriesLog* m : {&m0, &m1, &m2})
+        if (i < m->sample_count()) want += m->values[s][i];
+      ASSERT_EQ(merged.values[s][i], want)
+          << merged.names[s] << " sample " << i;
+    }
 }
 
 TEST(MergeSweepTimeSeries, EmptyWhenNoMemberSampled) {

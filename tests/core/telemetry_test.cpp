@@ -11,12 +11,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/provenance.hpp"
 #include "core/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "../obs/json_check.hpp"
 
 namespace ethsim::core {
@@ -132,6 +135,35 @@ TEST(MergeSweepMetrics, InvariantUnderThreadCount) {
   const std::string merged4 = MergeSweepMetrics(runs4).ToJsonl();
   EXPECT_FALSE(merged1.empty());
   EXPECT_EQ(merged1, merged4);
+}
+
+TEST(MergeSweepMetrics, RaggedDurationsPoolInStrictVectorOrder) {
+  // Members with different run lengths (a duration sweep) carry different
+  // counter magnitudes; the merge must still be a plain strict-order sum —
+  // checked against hand-summed member values for a counter that fires on
+  // every run.
+  std::vector<std::unique_ptr<Experiment>> runs;
+  for (const int minutes : {2, 6, 4}) {
+    ExperimentConfig cfg = TinyConfig();
+    cfg.duration = Duration::Minutes(minutes);
+    cfg.telemetry.metrics = true;
+    runs.push_back(std::make_unique<Experiment>(cfg));
+    runs.back()->Run();
+  }
+  const obs::MetricsRegistry merged = MergeSweepMetrics(runs);
+  const std::string name = obs::LabeledName(
+      "net.msg.sent", {{"kind", obs::MsgKindName(obs::MsgKind::kNewBlock)}});
+  std::uint64_t want = 0;
+  for (const auto& run : runs) {
+    const obs::Counter* member =
+        run->telemetry()->metrics()->FindCounter(name);
+    ASSERT_NE(member, nullptr);
+    EXPECT_GT(member->value(), 0u);
+    want += member->value();
+  }
+  const obs::Counter* pooled = merged.FindCounter(name);
+  ASSERT_NE(pooled, nullptr);
+  EXPECT_EQ(pooled->value(), want);
 }
 
 TEST(MergeSweepMetrics, MembersWithoutMetricsContributeNothing) {

@@ -87,14 +87,33 @@ TEST(FaultPlanValidate, RejectsOverlappingPartitionWindows) {
   EXPECT_EQ(disjoint.Validate(), "");
 }
 
-TEST(FaultPlanValidate, NeverHealingPartitionBlocksLaterOnes) {
-  // duration zero = never heals, so any later partition overlaps it.
-  const std::uint32_t mask = Mask(net::Region::Oceania);
+TEST(FaultPlanValidate, RejectsZeroLengthPartitionWindow) {
+  // start == end used to silently mean "never heals"; Validate now rejects
+  // it outright so a degenerate window can't slip through a config draw.
   FaultPlan plan;
-  plan.RegionalPartition(TimePoint::FromMicros(0), Duration::Micros(0), mask)
-      .RegionalPartition(TimePoint::FromMicros(Duration::Hours(1).micros()),
-                         Duration::Seconds(1), mask);
-  EXPECT_NE(plan.Validate(), "");
+  plan.RegionalPartition(TimePoint::FromMicros(0), Duration::Micros(0),
+                         Mask(net::Region::Oceania));
+  const std::string error = plan.Validate();
+  EXPECT_NE(error, "");
+  EXPECT_NE(error.find("positive duration"), std::string::npos) << error;
+}
+
+TEST(FaultPlanValidate, RejectsZeroLengthDegradeWindow) {
+  FaultPlan plan;
+  plan.DegradeLinks(TimePoint::FromMicros(0), Duration::Micros(0),
+                    Mask(net::Region::WesternEurope), 2.0, 2.0, 0.01);
+  const std::string error = plan.Validate();
+  EXPECT_NE(error, "");
+  EXPECT_NE(error.find("positive duration"), std::string::npos) << error;
+}
+
+TEST(FaultPlanValidate, ZeroDowntimeStaysLegalForCrashAndOutage) {
+  // Crashes and gateway outages keep the "zero = never restarts" meaning.
+  FaultPlan plan;
+  plan.NodeCrash(TimePoint::FromMicros(0), Duration::Micros(0), 2)
+      .GatewayOutage(TimePoint::FromMicros(Duration::Seconds(5).micros()),
+                     Duration::Micros(0), 0);
+  EXPECT_EQ(plan.Validate(), "");
 }
 
 TEST(FaultPlanValidate, RejectsBadDegradationKnobs) {

@@ -146,6 +146,52 @@ TEST(TimeSeriesLog, AccumulateSumsElementWise) {
   EXPECT_EQ(merged.names, a.log().names);
 }
 
+// Hand-built log with `samples` rows on the standard cadence; values are a
+// function of `scale` so member contributions stay distinguishable.
+TimeSeriesLog RaggedLog(std::size_t samples, std::int64_t scale) {
+  TimeSeriesLog log;
+  log.interval_us = 250'000;
+  log.names = {"ramp", "level"};
+  log.values.resize(2);
+  for (std::size_t i = 0; i < samples; ++i) {
+    log.t_us.push_back(static_cast<std::int64_t>(i) * 250'000);
+    log.values[0].push_back(scale * static_cast<std::int64_t>(i));
+    log.values[1].push_back(scale);
+  }
+  return log;
+}
+
+TEST(TimeSeriesLog, AccumulatePoolsRaggedLengthsOverTheSharedPrefix) {
+  // Shorter into longer: the common prefix sums, the longer tail survives.
+  TimeSeriesLog merged = RaggedLog(5, 100);
+  ASSERT_TRUE(merged.Accumulate(RaggedLog(3, 1)));
+  EXPECT_EQ(merged.sample_count(), 5u);
+  EXPECT_EQ(merged.t_us, RaggedLog(5, 100).t_us);
+  EXPECT_EQ(merged.values[0],
+            (std::vector<std::int64_t>{0, 101, 202, 300, 400}));
+  EXPECT_EQ(merged.values[1],
+            (std::vector<std::int64_t>{101, 101, 101, 100, 100}));
+
+  // Longer into shorter: the target grows the tail; same pooled result, so
+  // the merge is order-independent even when lengths are ragged.
+  TimeSeriesLog reversed = RaggedLog(3, 1);
+  ASSERT_TRUE(reversed.Accumulate(RaggedLog(5, 100)));
+  EXPECT_EQ(reversed.t_us, merged.t_us);
+  EXPECT_EQ(reversed.values, merged.values);
+}
+
+TEST(TimeSeriesLog, AccumulateRejectsANonPrefixTimeColumn) {
+  // Same length is covered by the shape-mismatch test; here the *shorter*
+  // column diverges inside the overlap, so prefix pooling must refuse too.
+  TimeSeriesLog merged = RaggedLog(5, 100);
+  const TimeSeriesLog snapshot = merged;
+  TimeSeriesLog skewed = RaggedLog(3, 1);
+  skewed.t_us[1] += 1;
+  EXPECT_FALSE(merged.Accumulate(skewed));
+  EXPECT_EQ(merged.t_us, snapshot.t_us);
+  EXPECT_EQ(merged.values, snapshot.values);
+}
+
 TEST(TimeSeriesLog, AccumulateRejectsShapeMismatch) {
   const StateSampler a = MakeSampled();
   TimeSeriesLog merged = a.log();

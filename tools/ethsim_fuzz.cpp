@@ -1,0 +1,122 @@
+// ethsim_fuzz: deterministic scenario fuzzer over the full simulator stack.
+//
+//   ethsim_fuzz --runs 8 --seed 1 --out fuzz-out
+//       Generate 8 valid-but-adversarial configs from seed 1, run each,
+//       check every cross-module oracle and metamorphic relation, shrink
+//       any failure, and write fuzz_report.jsonl (+ repro-N.json per
+//       failure) into fuzz-out. Exit 0 when clean, 1 on any failure.
+//
+//   ethsim_fuzz --repro fuzz-out/repro-3.json
+//       Rebuild the shrunk failing config a previous run minimized
+//       (regenerate the scenario, replay the mutation trace) and re-check
+//       the failed oracle. Exit 1 while the bug still reproduces, 0 once
+//       it passes.
+//
+// Flags default from the CI knobs ETHSIM_FUZZ_RUNS / ETHSIM_FUZZ_SEED /
+// ETHSIM_FUZZ_OUT when set. --inject-failure <oracle> is the test-only hook
+// that makes the named oracle fail on every scenario — it exists so the
+// pipeline (catch -> report -> shrink -> repro) can be exercised without
+// planting a real bug.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/fuzz.hpp"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ethsim_fuzz [options]\n"
+      "  --runs N             scenarios to generate (default 8, env "
+      "ETHSIM_FUZZ_RUNS)\n"
+      "  --seed S             fuzz stream seed (default 1, env "
+      "ETHSIM_FUZZ_SEED)\n"
+      "  --out DIR            report/repro directory (default fuzz-out, env "
+      "ETHSIM_FUZZ_OUT)\n"
+      "  --max-nodes N        upper bound on plain nodes (default 24)\n"
+      "  --max-minutes M      upper bound on simulated minutes (default 10)\n"
+      "  --no-metamorphic     skip the paired-run relation suite\n"
+      "  --shrink-evals N     probe budget per shrink (default 32)\n"
+      "  --inject-failure O   test-only: force oracle O to fail\n"
+      "  --repro FILE         replay a repro file instead of fuzzing\n");
+}
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0'
+             ? std::strtoull(value, nullptr, 10)
+             : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ethsim::check::FuzzOptions options;
+  options.runs = static_cast<std::size_t>(EnvU64("ETHSIM_FUZZ_RUNS", 8));
+  options.seed = EnvU64("ETHSIM_FUZZ_SEED", 1);
+  if (const char* out = std::getenv("ETHSIM_FUZZ_OUT");
+      out != nullptr && out[0] != '\0')
+    options.out_dir = out;
+  std::string repro_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ethsim_fuzz: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--runs")
+      options.runs =
+          static_cast<std::size_t>(std::strtoull(next("--runs"), nullptr, 10));
+    else if (arg == "--seed")
+      options.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (arg == "--out")
+      options.out_dir = next("--out");
+    else if (arg == "--max-nodes")
+      options.scenario.max_nodes = static_cast<std::size_t>(
+          std::strtoull(next("--max-nodes"), nullptr, 10));
+    else if (arg == "--max-minutes")
+      options.scenario.max_minutes =
+          std::strtoll(next("--max-minutes"), nullptr, 10);
+    else if (arg == "--no-metamorphic")
+      options.metamorphic = false;
+    else if (arg == "--shrink-evals")
+      options.shrink_evaluations = static_cast<std::size_t>(
+          std::strtoull(next("--shrink-evals"), nullptr, 10));
+    else if (arg == "--inject-failure")
+      options.oracles.inject_failure = next("--inject-failure");
+    else if (arg == "--repro")
+      repro_path = next("--repro");
+    else {
+      std::fprintf(stderr, "ethsim_fuzz: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (options.scenario.max_nodes < options.scenario.min_nodes)
+    options.scenario.min_nodes = options.scenario.max_nodes;
+  if (options.scenario.max_minutes < options.scenario.min_minutes)
+    options.scenario.min_minutes = options.scenario.max_minutes;
+
+  if (!repro_path.empty()) {
+    ethsim::check::ReproSpec spec;
+    std::string error;
+    if (!ethsim::check::ReadRepro(repro_path, &spec, &error)) {
+      std::fprintf(stderr, "ethsim_fuzz: %s\n", error.c_str());
+      return 2;
+    }
+    return ethsim::check::RunRepro(spec, options.oracles);
+  }
+
+  const ethsim::check::FuzzOutcome outcome = ethsim::check::RunFuzz(options);
+  std::fprintf(stderr, "[fuzz] %zu scenarios, %zu failing; report: %s\n",
+               outcome.scenarios, outcome.failures,
+               outcome.report_path.c_str());
+  return outcome.failures == 0 ? 0 : 1;
+}

@@ -46,7 +46,8 @@
 //       restrict to one. --csv emits machine-readable rows.
 //   ethsim_inspect <run-dir> --summary   (default when no query given)
 //
-// `--json` switches --demand and --watermarks to machine-readable JSON.
+// `--json` switches --demand, --watermarks, --redundancy and --hops to
+// machine-readable JSON.
 //
 // `--block head` resolves the head hash from manifest.json, so the common
 // "show me the head block's tree" needs no copy-pasted hash.
@@ -114,7 +115,8 @@ void Usage() {
       "  --stages                  commit-latency stage decomposition\n"
       "    [--by-region|--by-pool] restrict the breakdown sections\n"
       "    [--csv]                 machine-readable rows\n"
-      "  --json                    JSON output for --demand / --watermarks\n");
+      "  --json                    JSON output for --demand / --watermarks /\n"
+      "                            --redundancy / --hops\n");
 }
 
 std::string RegionName(const ProvenanceLog& log, std::uint32_t host) {
@@ -348,7 +350,12 @@ int PrintTimeline(const ProvenanceLog& log, std::uint32_t host) {
   return 0;
 }
 
-int PrintRedundancy(const ProvenanceLog& log, std::size_t top) {
+int PrintRedundancy(const ProvenanceLog& log, std::size_t top, bool json) {
+  if (json) {
+    std::fputs(ethsim::analysis::RenderRedundancyJson(log, top).c_str(),
+               stdout);
+    return 0;
+  }
   const auto waste = WasteByHost(log);
   std::printf("%6s %8s %10s %10s %12s  %s\n", "host", "recv", "redundant",
               "redun %", "wasted B", "region");
@@ -375,7 +382,11 @@ int PrintRedundancy(const ProvenanceLog& log, std::size_t top) {
   return 0;
 }
 
-int PrintHops(const ProvenanceLog& log) {
+int PrintHops(const ProvenanceLog& log, bool json) {
+  if (json) {
+    std::fputs(ethsim::analysis::RenderHopsJson(log).c_str(), stdout);
+    return 0;
+  }
   const auto dist = HopDepths(log);
   const auto shares = FirstDeliveryBreakdown(log);
   std::printf("first-delivery hop depths over %zu (block, host) pairs\n",
@@ -697,6 +708,20 @@ int PrintDemand(const std::string& dir, bool json) {
   const std::size_t count =
       static_cast<std::size_t>(std::strtoull(sources.c_str(), nullptr, 10));
 
+  // Collect every row before printing anything: a missing row is a one-line
+  // stderr diagnostic and a nonzero exit, never a partial report.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string row;
+    if (!ManifestValue(dir, "workload_source." + std::to_string(i), &row)) {
+      LogError("inspect", "manifest lists %zu sources but workload_source.%zu "
+               "is missing", count, i);
+      return 1;
+    }
+    rows.push_back(SplitSourceRow(row));
+  }
+
   // Numeric extras are decimal strings written by the manifest; emit "0"
   // when a key is absent so the JSON stays well-formed.
   const auto num = [](const std::string& value) {
@@ -717,15 +742,8 @@ int PrintDemand(const std::string& dir, bool json) {
     std::printf("%-4s %-20s %-12s %12s %12s\n", "#", "source", "kind",
                 "submitted", "included");
   }
-  for (std::size_t i = 0; i < count; ++i) {
-    std::string row;
-    if (!ManifestValue(dir, "workload_source." + std::to_string(i), &row)) {
-      if (json) std::printf("]}\n");
-      LogError("inspect", "manifest lists %zu sources but workload_source.%zu "
-               "is missing", count, i);
-      return 1;
-    }
-    const std::vector<std::string> fields = SplitSourceRow(row);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::vector<std::string>& fields = rows[i];
     if (json) {
       std::printf("%s{\"index\": %zu, \"name\": \"%s\", \"kind\": \"%s\", "
                   "\"submitted\": %s, \"included\": %s}",
@@ -871,8 +889,8 @@ int main(int argc, char** argv) {
     return PrintTimeline(log, static_cast<std::uint32_t>(
                                   std::strtoul(node_token.c_str(), nullptr, 10)));
   }
-  if (want_redundancy) return PrintRedundancy(log, top);
-  if (want_hops) return PrintHops(log);
+  if (want_redundancy) return PrintRedundancy(log, top, json);
+  if (want_hops) return PrintHops(log, json);
   if (want_degree) return PrintDegrees(log, top);
   (void)want_summary;
   return PrintSummary(log);
